@@ -1,0 +1,65 @@
+// Experiment S4C-b — virtual-thread clustering ablation (paper
+// Section IV-C: "extremely fine-grained programs can benefit from
+// coarsening (i.e., grouping virtual threads into longer virtual threads),
+// consequently reducing the overall scheduling overhead").
+//
+// A spawn of many tiny virtual threads (one addition each) pays a thread-
+// dispatch prefix-sum round trip per thread; clustering coarsens them into
+// one longer thread per TCU-slot. Expected shape: clustering reduces cycles
+// on tiny-thread spawns, and the relative benefit shrinks as the work per
+// virtual thread grows.
+#include <sstream>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using xmt::benchutil::timedRun;
+
+std::string tinyThreadKernel(int n, int workIters) {
+  std::ostringstream s;
+  s << "int A[" << n << "];\n"
+    << "int main() {\n"
+    << "  spawn(0, " << n - 1 << ") {\n"
+    << "    int v = A[$];\n";
+  for (int i = 0; i < workIters; ++i)
+    s << "    v = v * 3 + " << i + 1 << ";\n";
+  s << "    A[$] = v;\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+void BM_ClusteringAblation(benchmark::State& state) {
+  int work = static_cast<int>(state.range(0));
+  xmt::XmtConfig cfg = xmt::XmtConfig::chip1024();
+  std::string src = tinyThreadKernel(65536, work);
+  xmt::CompilerOptions off;
+  xmt::CompilerOptions on;
+  on.clusterThreads = true;
+  on.clusterCount = 2 * cfg.totalTcus();
+  for (auto _ : state) {
+    auto rOff = timedRun(src, cfg, xmt::SimMode::kCycleAccurate, off);
+    auto rOn = timedRun(src, cfg, xmt::SimMode::kCycleAccurate, on);
+    if (!rOn.result.halted || !rOff.result.halted)
+      state.SkipWithError("did not halt");
+    state.counters["cycles_flat"] = static_cast<double>(rOff.result.cycles);
+    state.counters["cycles_clustered"] =
+        static_cast<double>(rOn.result.cycles);
+    state.counters["improvement_x"] =
+        static_cast<double>(rOff.result.cycles) /
+        static_cast<double>(rOn.result.cycles);
+    state.counters["vthreads_flat"] =
+        static_cast<double>(rOff.sim->stats().virtualThreads);
+    state.counters["vthreads_clustered"] =
+        static_cast<double>(rOn.sim->stats().virtualThreads);
+  }
+  state.counters["work_per_thread"] = work;
+}
+
+}  // namespace
+
+BENCHMARK(BM_ClusteringAblation)->Arg(0)->Arg(4)->Arg(16)->Iterations(1);
+
+BENCHMARK_MAIN();

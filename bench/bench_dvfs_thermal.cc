@@ -1,0 +1,63 @@
+// Experiment S3F — dynamic power and thermal management (paper
+// Sections III-B/III-F; the capability behind the companion thermal
+// feasibility study [22]).
+//
+// A compute-heavy kernel runs (a) unmanaged and (b) under a DVFS controller
+// with a temperature cap. Expected shape: the managed run keeps peak
+// temperature at/near the cap, at a bounded cycle-count cost.
+#include "bench/bench_util.h"
+#include "src/power/dvfs.h"
+#include "src/workloads/kernels.h"
+
+namespace {
+
+xmt::PowerParams hotPower() {
+  xmt::PowerParams p;
+  p.pjAluOp = 2000.0;
+  p.wattsPerGhzCluster = 3.0;
+  return p;
+}
+
+xmt::ThermalParams fastThermal() {
+  xmt::ThermalParams t;
+  t.heatCapacity = 0.0004;
+  return t;
+}
+
+void BM_DvfsThermalCap(benchmark::State& state) {
+  xmt::Toolchain tc;  // fpga64
+  std::string kernel = xmt::workloads::parCompSource(64, 4000);
+  for (auto _ : state) {
+    auto base = tc.makeSimulator(kernel);
+    auto* trace = dynamic_cast<xmt::PowerTracePlugin*>(
+        base->addActivityPlugin(std::make_unique<xmt::PowerTracePlugin>(
+                                    hotPower(), fastThermal()),
+                                500));
+    auto rb = base->run();
+    if (!rb.halted) state.SkipWithError("baseline did not halt");
+    double uncapped = trace->peakTempC();
+    double cap = 45.0 + (uncapped - 45.0) * 0.6;
+
+    auto managed = tc.makeSimulator(kernel);
+    auto* dvfs = dynamic_cast<xmt::DvfsThermalPlugin*>(
+        managed->addActivityPlugin(
+            std::make_unique<xmt::DvfsThermalPlugin>(
+                cap, 0.075, 0.01, hotPower(), fastThermal()),
+            500));
+    auto rman = managed->run();
+    if (!rman.halted) state.SkipWithError("managed did not halt");
+
+    state.counters["uncapped_peak_C"] = uncapped;
+    state.counters["cap_C"] = cap;
+    state.counters["managed_peak_C"] = dvfs->peakTempC();
+    state.counters["throttle_actions"] = dvfs->throttleActions();
+    state.counters["slowdown_x"] = static_cast<double>(rman.cycles) /
+                                   static_cast<double>(rb.cycles);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_DvfsThermalCap)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,103 @@
+// Experiment F4/F5 — discrete-event scheduling versus discrete-time-style
+// macro-actor grouping (paper Figs. 4-5 and Section III-D).
+//
+// "A DT simulator polls through all the actions in one sweep, whereas
+// XMTSim would have to schedule and return a separate event for each one
+// ... A way around this problem is grouping closely related components in
+// one large actor. ... For a simple experiment conducted with components
+// that contain no action code this threshold was 800 events per cycle."
+//
+// We model N components of which `active` fire per cycle:
+//   - DE: each active component is an independently scheduled actor
+//     (active events through the event list per cycle);
+//   - macro-actor (DT style): one actor iterates all N components per
+//     cycle, paying a cheap check even for inactive ones.
+// The crossover in `active` where the macro-actor becomes faster is the
+// paper's threshold; its exact value depends on the host and on the action
+// code, the shape (a crossover in the hundreds for empty actions with
+// N=4096) is the reproduction target.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/desim/scheduler.h"
+
+namespace {
+
+using xmt::Actor;
+using xmt::Scheduler;
+using xmt::SimTime;
+
+constexpr int kComponents = 4096;
+constexpr SimTime kCycles = 2000;
+constexpr SimTime kPeriod = 1000;
+
+volatile unsigned gSink = 0;  // defeats over-eager optimization
+
+// One actor per component: each active component schedules itself every
+// cycle (empty action code).
+class SelfScheduling : public Actor {
+ public:
+  explicit SelfScheduling(Scheduler& s) : Actor("c"), sched_(s) {}
+  void notify(SimTime now) override {
+    gSink = gSink + 1;
+    if (now < kCycles * kPeriod) sched_.schedule(this, now + kPeriod);
+  }
+
+ private:
+  Scheduler& sched_;
+};
+
+// Macro-actor: iterates all components each cycle; only `active` have work.
+class MacroActor : public Actor {
+ public:
+  MacroActor(Scheduler& s, int total, int active)
+      : Actor("macro"), sched_(s), total_(total), active_(active) {}
+  void notify(SimTime now) override {
+    for (int i = 0; i < total_; ++i) {
+      if (i < active_) gSink = gSink + 1;  // action
+      else benchmark::DoNotOptimize(i);    // idle check
+    }
+    if (now < kCycles * kPeriod) sched_.schedule(this, now + kPeriod);
+  }
+
+ private:
+  Scheduler& sched_;
+  int total_;
+  int active_;
+};
+
+void BM_DiscreteEvent(benchmark::State& state) {
+  int active = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    std::vector<std::unique_ptr<SelfScheduling>> actors;
+    for (int i = 0; i < active; ++i) {
+      actors.push_back(std::make_unique<SelfScheduling>(sched));
+      sched.schedule(actors.back().get(), kPeriod);
+    }
+    sched.run();
+    state.counters["events"] =
+        static_cast<double>(sched.eventsProcessed());
+  }
+  state.counters["events_per_cycle"] = active;
+}
+
+void BM_MacroActor(benchmark::State& state) {
+  int active = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    Scheduler sched;
+    MacroActor macro(sched, kComponents, active);
+    sched.schedule(&macro, kPeriod);
+    sched.run();
+  }
+  state.counters["events_per_cycle"] = active;
+}
+
+}  // namespace
+
+BENCHMARK(BM_DiscreteEvent)->Arg(8)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_MacroActor)->Arg(8)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096);
+
+BENCHMARK_MAIN();

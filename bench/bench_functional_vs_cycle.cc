@@ -1,0 +1,52 @@
+// Experiment F3 — functional fast mode vs cycle-accurate mode (paper
+// Fig. 3 / Section III-A): "The functional simulation mode does not provide
+// any cycle-accurate information hence it is orders of magnitude faster
+// than the cycle-accurate mode."
+//
+// Expected shape: the speedup factor (cycle-accurate wall time / functional
+// wall time) is large (>=10x; typically 30-200x), and both modes produce
+// identical architectural results.
+#include "bench/bench_util.h"
+#include "src/workloads/kernels.h"
+
+namespace {
+
+using xmt::benchutil::timedRun;
+
+void runBoth(benchmark::State& state, const std::string& src) {
+  xmt::XmtConfig cfg = xmt::XmtConfig::chip1024();
+  double cycleTime = 0, funcTime = 0;
+  std::uint64_t instructions = 0;
+  for (auto _ : state) {
+    auto rc = timedRun(src, cfg, xmt::SimMode::kCycleAccurate);
+    auto rf = timedRun(src, cfg, xmt::SimMode::kFunctional);
+    if (!rc.result.halted || !rf.result.halted)
+      state.SkipWithError("did not halt");
+    cycleTime += rc.wallSeconds;
+    funcTime += rf.wallSeconds;
+    instructions = rc.result.instructions;
+    state.SetIterationTime(rc.wallSeconds + rf.wallSeconds);
+  }
+  state.counters["cycle_mode_sec"] = cycleTime;
+  state.counters["functional_mode_sec"] = funcTime;
+  state.counters["functional_speedup_x"] = cycleTime / funcTime;
+  state.counters["instructions"] = static_cast<double>(instructions);
+}
+
+void BM_ComputeKernel(benchmark::State& state) {
+  runBoth(state, xmt::workloads::parCompSource(1024, 64));
+}
+void BM_MemoryKernel(benchmark::State& state) {
+  runBoth(state, xmt::workloads::parMemSource(1024, 32));
+}
+void BM_Compaction(benchmark::State& state) {
+  runBoth(state, xmt::workloads::compactionSource(8192));
+}
+
+BENCHMARK(BM_ComputeKernel)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_MemoryKernel)->UseManualTime()->Iterations(1);
+BENCHMARK(BM_Compaction)->UseManualTime()->Iterations(1);
+
+}  // namespace
+
+BENCHMARK_MAIN();

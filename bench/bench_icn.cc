@@ -1,0 +1,98 @@
+// Experiment ICN — interconnection network and LS-unit address hashing
+// (paper Section II: "The load-store (LS) unit applies hashing on each
+// memory address to avoid hotspots").
+//
+// All TCUs stream loads either uniformly over a large array or all from
+// one small region (hot spot). With hashing, uniform traffic spreads over
+// the cache modules; without hashing, strided traffic whose stride matches
+// the module interleaving serializes at a few modules. Expected shape:
+// hashing is neutral for already-uniform traffic and far better for the
+// pathological stride; the hot-spot case is slow regardless (one line, one
+// module — hashing cannot help).
+#include <sstream>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using xmt::benchutil::timedRun;
+
+// Each of the 1024 threads loads `iters` words with a given stride pattern.
+std::string trafficKernel(int threads, int iters, int strideWords) {
+  int size = threads * iters * strideWords + 64;
+  std::ostringstream s;
+  s << "int DATA[" << size << "];\n"
+    << "int OUT[" << threads << "];\n"
+    << "int main() {\n"
+    << "  spawn(0, " << threads - 1 << ") {\n"
+    << "    int acc = 0;\n"
+    << "    int i = 0;\n"
+    << "    while (i < " << iters << ") {\n"
+    << "      acc += DATA[(i * " << threads << " + $) * " << strideWords
+    << "];\n"
+    << "      i++;\n"
+    << "    }\n"
+    << "    OUT[$] = acc;\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string hotspotKernel(int threads, int iters) {
+  std::ostringstream s;
+  s << "int DATA[16];\n"
+    << "int OUT[" << threads << "];\n"
+    << "int main() {\n"
+    << "  spawn(0, " << threads - 1 << ") {\n"
+    << "    int acc = 0;\n"
+    << "    int i = 0;\n"
+    << "    while (i < " << iters << ") {\n"
+    << "      acc += DATA[i & 7];\n"
+    << "      i++;\n"
+    << "    }\n"
+    << "    OUT[$] = acc;\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+void run(benchmark::State& state, const std::string& src) {
+  for (auto _ : state) {
+    for (bool hashing : {true, false}) {
+      xmt::XmtConfig cfg = xmt::XmtConfig::chip1024();
+      cfg.addressHashing = hashing;
+      auto r = timedRun(src, cfg, xmt::SimMode::kCycleAccurate);
+      if (!r.result.halted) state.SkipWithError("did not halt");
+      state.counters[hashing ? "cycles_hashed" : "cycles_unhashed"] =
+          static_cast<double>(r.result.cycles);
+    }
+    state.counters["unhashed_penalty_x"] =
+        state.counters["cycles_unhashed"] / state.counters["cycles_hashed"];
+  }
+}
+
+// Unit-stride: consecutive lines; benign with or without hashing.
+void BM_UniformTraffic(benchmark::State& state) {
+  run(state, trafficKernel(1024, 16, 1));
+}
+
+// Stride = 128 lines * 8 words: without hashing every access of every
+// thread maps to a handful of the 128 modules.
+void BM_ModuleAliasedStride(benchmark::State& state) {
+  run(state, trafficKernel(1024, 16, 128 * 8));
+}
+
+// True hot spot: everyone hammers the same two cache lines.
+void BM_HotSpot(benchmark::State& state) {
+  run(state, hotspotKernel(1024, 16));
+}
+
+}  // namespace
+
+BENCHMARK(BM_UniformTraffic)->Iterations(1);
+BENCHMARK(BM_ModuleAliasedStride)->Iterations(1);
+BENCHMARK(BM_HotSpot)->Iterations(1);
+
+BENCHMARK_MAIN();

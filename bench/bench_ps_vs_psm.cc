@@ -1,0 +1,46 @@
+// Experiment PS — ps versus psm cost (paper Section II-A): "The psm
+// operations are more expensive than ps as they require a round trip to
+// memory and multiple operations that arrive at the same cache module will
+// be queued", while ps requests are combined by the global PS unit in a
+// single cycle.
+//
+// N virtual threads each perform `iters` atomic increments on one shared
+// counter. Expected shape: ps cost stays nearly flat as the thread count
+// grows (hardware combining); psm cost grows with contention (one cache
+// module serializes every request).
+#include "bench/bench_util.h"
+#include "src/workloads/kernels.h"
+
+namespace {
+
+using xmt::benchutil::timedRun;
+
+void BM_PsVsPsm(benchmark::State& state) {
+  int threads = static_cast<int>(state.range(0));
+  constexpr int kIters = 8;
+  xmt::XmtConfig cfg = xmt::XmtConfig::chip1024();
+  for (auto _ : state) {
+    auto ps = timedRun(xmt::workloads::psCounterSource(threads, kIters), cfg,
+                       xmt::SimMode::kCycleAccurate);
+    auto psm = timedRun(xmt::workloads::psmCounterSource(threads, kIters),
+                        cfg, xmt::SimMode::kCycleAccurate);
+    if (!ps.result.halted || !psm.result.halted)
+      state.SkipWithError("did not halt");
+    // Sanity: both counted every increment.
+    if (ps.sim->getGlobal("total") != threads * kIters ||
+        psm.sim->getGlobal("total") != threads * kIters)
+      state.SkipWithError("atomicity violated");
+    state.counters["cycles_ps"] = static_cast<double>(ps.result.cycles);
+    state.counters["cycles_psm"] = static_cast<double>(psm.result.cycles);
+    state.counters["psm_penalty_x"] =
+        static_cast<double>(psm.result.cycles) /
+        static_cast<double>(ps.result.cycles);
+  }
+  state.counters["threads"] = threads;
+}
+
+}  // namespace
+
+BENCHMARK(BM_PsVsPsm)->Arg(16)->Arg(64)->Arg(256)->Arg(1024)->Iterations(1);
+
+BENCHMARK_MAIN();

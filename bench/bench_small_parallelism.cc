@@ -1,0 +1,49 @@
+// Experiment S2B-b — benefit from small amounts of parallelism (paper
+// Section II-B / IV-B: "The combination of code broadcasting, virtual
+// thread allocation with ps operations and the barrier-like function of
+// chkid allow fine-grained load-balancing and lightweight initialization
+// and termination of parallel sections. These enable XMT to benefit from
+// very small amounts of parallelism [24]").
+//
+// Parallel sum of N elements versus the serial loop, sweeping N downward.
+// Expected shape: the parallel version already wins at small N (crossover
+// at tens of elements, far below what a GPU-style offload needs).
+#include "bench/bench_util.h"
+#include "src/workloads/kernels.h"
+
+namespace {
+
+using xmt::benchutil::timedRun;
+
+void BM_SumCrossover(benchmark::State& state) {
+  int n = static_cast<int>(state.range(0));
+  xmt::XmtConfig cfg = xmt::XmtConfig::chip1024();
+  for (auto _ : state) {
+    auto ser = timedRun(xmt::workloads::serialSumSource(n), cfg,
+                        xmt::SimMode::kCycleAccurate);
+    auto par = timedRun(xmt::workloads::parallelSumSource(n), cfg,
+                        xmt::SimMode::kCycleAccurate);
+    if (!ser.result.halted || !par.result.halted)
+      state.SkipWithError("did not halt");
+    state.counters["serial_cycles"] =
+        static_cast<double>(ser.result.cycles);
+    state.counters["parallel_cycles"] =
+        static_cast<double>(par.result.cycles);
+    state.counters["speedup_x"] = static_cast<double>(ser.result.cycles) /
+                                  static_cast<double>(par.result.cycles);
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_SumCrossover)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Arg(512)
+    ->Arg(2048)
+    ->Arg(8192)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

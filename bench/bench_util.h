@@ -1,0 +1,38 @@
+// Shared helpers for the experiment harness.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "src/core/toolchain.h"
+
+namespace xmt::benchutil {
+
+struct TimedRun {
+  RunResult result;
+  double wallSeconds = 0;
+  std::unique_ptr<Simulator> sim;
+};
+
+/// Builds and runs a program, timing the host wall clock around run().
+inline TimedRun timedRun(const std::string& source, const XmtConfig& cfg,
+                         SimMode mode,
+                         const CompilerOptions& copts = {}) {
+  ToolchainOptions opts;
+  opts.compiler = copts;
+  opts.config = cfg;
+  opts.mode = mode;
+  Toolchain tc(opts);
+  TimedRun out;
+  out.sim = tc.makeSimulator(source);
+  auto t0 = std::chrono::steady_clock::now();
+  out.result = out.sim->run();
+  auto t1 = std::chrono::steady_clock::now();
+  out.wallSeconds = std::chrono::duration<double>(t1 - t0).count();
+  return out;
+}
+
+}  // namespace xmt::benchutil

@@ -1,0 +1,87 @@
+// Power profiling and dynamic thermal management (paper Sections III-B and
+// III-F): an activity plug-in samples the simulator's counters at a fixed
+// interval, derives power, feeds the HotSpot-style thermal model, and a
+// DVFS controller throttles cluster clocks to honour a temperature cap.
+// The floorplan visualizer renders the final temperature map.
+#include <cstdio>
+
+#include "src/core/toolchain.h"
+#include "src/power/dvfs.h"
+#include "src/power/floorviz.h"
+#include "src/workloads/kernels.h"
+
+namespace {
+
+// Aggressive coefficients so thermal dynamics are visible within a short
+// simulated run.
+xmt::PowerParams hotPower() {
+  xmt::PowerParams p;
+  p.pjAluOp = 2000.0;
+  p.wattsPerGhzCluster = 3.0;
+  return p;
+}
+
+xmt::ThermalParams fastThermal() {
+  xmt::ThermalParams t;
+  t.heatCapacity = 0.0004;
+  return t;
+}
+
+void printProfile(const char* name, const xmt::PowerTracePlugin& plugin) {
+  std::printf("%s profile (time[us]  power[W]  Tmax[C]  avg GHz):\n", name);
+  std::size_t n = plugin.samples().size();
+  std::size_t stride = n > 8 ? n / 8 : 1;
+  for (std::size_t i = 0; i < n; i += stride) {
+    const auto& s = plugin.samples()[i];
+    std::printf("  %8.1f  %7.2f  %6.1f  %5.3f\n",
+                static_cast<double>(s.time) * 1e-6, s.totalWatts, s.maxTempC,
+                s.avgClusterGhz);
+  }
+  std::printf("  peak temperature: %.1f C\n\n", plugin.peakTempC());
+}
+
+}  // namespace
+
+int main() {
+  xmt::Toolchain tc;  // fpga64: 8 clusters of 8 TCUs
+  std::string kernel = xmt::workloads::parCompSource(64, 4000);
+
+  // 1. Uncontrolled run: record the power/temperature profile.
+  auto baseline = tc.makeSimulator(kernel);
+  auto* trace = dynamic_cast<xmt::PowerTracePlugin*>(
+      baseline->addActivityPlugin(
+          std::make_unique<xmt::PowerTracePlugin>(hotPower(), fastThermal()),
+          500));
+  auto rb = baseline->run();
+  std::printf("baseline finished: %llu cycles\n",
+              static_cast<unsigned long long>(rb.cycles));
+  printProfile("baseline", *trace);
+  double uncapped = trace->peakTempC();
+
+  // Floorplan temperature map at end of run (Section III-E visualization).
+  int rows, cols;
+  xmt::floorplanDims(tc.options().config.clusters, rows, cols);
+  std::printf("%s\n", xmt::renderFloorplan(trace->thermal().temperatures(),
+                                           rows, cols, "T [C]")
+                          .c_str());
+
+  // 2. Same workload under a DVFS thermal cap.
+  double cap = 45.0 + (uncapped - 45.0) * 0.6;
+  std::printf("=== DVFS run with %.1f C cap ===\n", cap);
+  auto managed = tc.makeSimulator(kernel);
+  auto* dvfs = dynamic_cast<xmt::DvfsThermalPlugin*>(
+      managed->addActivityPlugin(
+          std::make_unique<xmt::DvfsThermalPlugin>(cap, 0.075, 0.01,
+                                                   hotPower(), fastThermal()),
+          500));
+  auto rm = managed->run();
+  printProfile("managed", *dvfs);
+  std::printf("throttle actions: %d\n", dvfs->throttleActions());
+  std::printf("peak:    %.1f C (was %.1f C uncapped)\n", dvfs->peakTempC(),
+              uncapped);
+  std::printf("slowdown: %.2fx (%llu vs %llu cycles)\n",
+              static_cast<double>(rm.cycles) / static_cast<double>(rb.cycles),
+              static_cast<unsigned long long>(rm.cycles),
+              static_cast<unsigned long long>(rb.cycles));
+  return 0;
+}

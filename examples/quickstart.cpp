@@ -1,0 +1,66 @@
+// Quickstart: the paper's Fig. 2a array-compaction program, end to end.
+//
+// Compiles the XMTC program with the optimizing compiler, loads it into the
+// cycle-accurate simulator (64-TCU FPGA-prototype configuration), provides
+// input through global variables, runs to halt, and reads back the results
+// and the simulation statistics.
+#include <cstdio>
+
+#include "src/core/toolchain.h"
+
+int main() {
+  const char* source = R"(
+// Array compaction (paper Fig. 2a): copy the non-zero elements of A into B.
+// The order is not necessarily preserved.
+int A[512];
+int B[512];
+psBaseReg base = 0;
+int count;
+int main() {
+  spawn(0, 511) {
+    int inc = 1;
+    if (A[$] != 0) {
+      ps(inc, base);      // atomic: inc <- old base; base += 1
+      B[inc] = A[$];
+    }
+  }
+  count = base;
+  printf("compacted %d elements\n", count);
+  return 0;
+}
+)";
+
+  xmt::Toolchain tc;  // defaults: fpga64 config, cycle-accurate mode
+  auto sim = tc.makeSimulator(source);
+
+  // Input via global variables (the toolchain has no OS or file I/O).
+  std::vector<std::int32_t> a(512, 0);
+  for (int i = 0; i < 512; i += 5) a[static_cast<std::size_t>(i)] = i + 1;
+  sim->setGlobalArray("A", a);
+
+  auto r = sim->run();
+
+  std::printf("--- program output ---\n%s", r.output.c_str());
+  std::printf("--- results ---\n");
+  std::printf("count        = %d\n", sim->getGlobal("count"));
+  auto b = sim->getGlobalArray("B");
+  std::printf("B[0..7]      =");
+  for (int i = 0; i < 8; ++i) std::printf(" %d", b[static_cast<std::size_t>(i)]);
+  std::printf("\n--- simulation ---\n");
+  std::printf("instructions = %llu\n",
+              static_cast<unsigned long long>(r.instructions));
+  std::printf("cycles       = %llu\n",
+              static_cast<unsigned long long>(r.cycles));
+  std::printf("virt threads = %llu\n",
+              static_cast<unsigned long long>(sim->stats().virtualThreads));
+
+  // The same program in the fast functional mode (orders of magnitude
+  // faster; serializes the spawn, so no cycle counts).
+  tc.options().mode = xmt::SimMode::kFunctional;
+  auto fsim = tc.makeSimulator(source);
+  fsim->setGlobalArray("A", a);
+  auto fr = fsim->run();
+  std::printf("functional mode count = %d (no cycle information)\n",
+              fsim->getGlobal("count"));
+  return fr.halted && r.halted ? 0 : 1;
+}

@@ -1,0 +1,154 @@
+// xmtcc — the XMT toolchain command-line driver.
+//
+// Compiles an XMTC source file, optionally loads a memory-map file for
+// input, runs it on a simulated XMT configuration, and prints the program
+// output, final statistics and plug-in reports — the paper's programmer
+// workflow in one command.
+//
+// Usage:
+//   xmtcc [options] program.xc
+//
+// Options:
+//   --config <fpga64|chip1024|custom>   machine model       (default fpga64)
+//   --set key=value                     config override (repeatable)
+//   --mode <cycle|functional>           simulation mode     (default cycle)
+//   --map <file>                        memory-map input file
+//   --emit-asm                          print generated assembly and exit
+//   --emit-transformed                  print the outlining pre-pass output
+//   --dump <symbol>                     print a global array after the run
+//                                       (repeatable)
+//   --stats                             print full simulation statistics
+//   --hotmem                            enable the hottest-memory filter
+//   --trace <functional|cycle>          print an execution trace
+//   --no-opt --no-prefetch --no-nbstores --no-outline --no-postpass
+//   --cluster <N>                       coarsen spawns to N virtual threads
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "src/assembler/memorymap.h"
+#include "src/common/error.h"
+#include "src/core/toolchain.h"
+
+namespace {
+
+std::string readFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw xmt::Error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xmtcc [options] program.xc   (see header comment)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string sourcePath, mapPath, configName = "fpga64";
+  std::vector<std::string> overrides, dumps;
+  bool emitAsm = false, emitTransformed = false, wantStats = false,
+       hotmem = false;
+  std::string traceLevel;
+  xmt::ToolchainOptions opts;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--config") configName = next();
+    else if (arg == "--set") overrides.push_back(next());
+    else if (arg == "--mode") {
+      std::string m = next();
+      opts.mode = m == "functional" ? xmt::SimMode::kFunctional
+                                    : xmt::SimMode::kCycleAccurate;
+    } else if (arg == "--map") mapPath = next();
+    else if (arg == "--emit-asm") emitAsm = true;
+    else if (arg == "--emit-transformed") emitTransformed = true;
+    else if (arg == "--dump") dumps.push_back(next());
+    else if (arg == "--stats") wantStats = true;
+    else if (arg == "--hotmem") hotmem = true;
+    else if (arg == "--trace") traceLevel = next();
+    else if (arg == "--no-opt") opts.compiler.optLevel = 0;
+    else if (arg == "--no-prefetch") opts.compiler.prefetch = false;
+    else if (arg == "--no-nbstores") opts.compiler.nonBlockingStores = false;
+    else if (arg == "--no-outline") opts.compiler.outline = false;
+    else if (arg == "--no-postpass") opts.compiler.postPass = false;
+    else if (arg == "--cluster") {
+      opts.compiler.clusterThreads = true;
+      opts.compiler.clusterCount = std::atoi(next().c_str());
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      sourcePath = arg;
+    }
+  }
+  if (sourcePath.empty()) return usage();
+
+  try {
+    xmt::ConfigMap cm;
+    cm.set("base", configName);
+    cm.applyOverrides(overrides);
+    opts.config = xmt::XmtConfig::fromConfigMap(cm);
+
+    xmt::Toolchain tc(opts);
+    std::string source = readFile(sourcePath);
+
+    if (emitTransformed || emitAsm) {
+      auto r = tc.compile(source);
+      if (emitTransformed)
+        std::printf("%s\n", r.transformedSource.c_str());
+      if (emitAsm) std::printf("%s\n", r.asmText.c_str());
+      return 0;
+    }
+
+    auto sim = tc.makeSimulator(source);
+    if (!mapPath.empty())
+      sim->applyMemoryMap(xmt::MemoryMap::parse(readFile(mapPath)));
+    if (hotmem)
+      sim->addFilterPlugin(std::make_unique<xmt::HotMemoryFilter>(10));
+    xmt::TextTrace trace(traceLevel == "cycle"
+                             ? xmt::TraceLevel::kCycle
+                             : xmt::TraceLevel::kFunctional);
+    if (!traceLevel.empty()) sim->setTraceSink(&trace);
+
+    auto r = sim->run();
+    std::fputs(r.output.c_str(), stdout);
+    if (!traceLevel.empty()) std::fputs(trace.str().c_str(), stdout);
+    for (const auto& sym : dumps) {
+      auto vals = sim->getGlobalArray(sym);
+      std::printf("%s =", sym.c_str());
+      for (auto v : vals) std::printf(" %d", v);
+      std::printf("\n");
+    }
+    if (hotmem) std::fputs(sim->filterReports().c_str(), stdout);
+    if (wantStats) {
+      std::fputs(sim->stats().report().c_str(), stdout);
+    } else {
+      std::fprintf(stderr, "[xmtcc] halted=%d code=%d instructions=%llu",
+                   r.halted, r.haltCode,
+                   static_cast<unsigned long long>(r.instructions));
+      if (opts.mode == xmt::SimMode::kCycleAccurate)
+        std::fprintf(stderr, " cycles=%llu",
+                     static_cast<unsigned long long>(r.cycles));
+      std::fprintf(stderr, "\n");
+    }
+    return r.halted ? r.haltCode : 1;
+  } catch (const xmt::Error& e) {
+    std::fprintf(stderr, "xmtcc: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,30 @@
+// Two-pass assembler for XMT assembly text.
+//
+// This is the C++ counterpart of the SableCC-generated front-end the paper
+// describes: it reads an assembly file and instantiates instruction objects
+// for the simulator. Directives:
+//
+//   .text / .data          switch segment
+//   label:                 define a label in the current segment
+//   .global name           export `name` to the host / memory-map interface
+//   .word v, v, ...        emit 32-bit words (values or symbol names)
+//   .float v, v, ...       emit 32-bit IEEE-754 floats
+//   .space n               reserve n zero bytes
+//   .align n               align to 2^n bytes
+//   .asciiz "text"         NUL-terminated string with C escapes
+//
+// Pseudo-instructions expanded by the assembler: b, beqz, bnez, neg, not.
+// Branch/jump targets and `la` resolve to absolute byte addresses.
+#pragma once
+
+#include <string>
+
+#include "src/assembler/program.h"
+
+namespace xmt {
+
+/// Assembles `source` into a program image. Throws AsmError with a line
+/// number on any syntax or resolution failure.
+Program assemble(const std::string& source);
+
+}  // namespace xmt

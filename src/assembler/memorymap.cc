@@ -1,0 +1,112 @@
+#include "src/assembler/memorymap.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+namespace {
+
+std::uint32_t parseWord(const std::string& s, int lineno) {
+  if (s.find('.') != std::string::npos ||
+      (!s.empty() && (s.back() == 'f' || s.back() == 'F') &&
+       s.find("0x") != 0)) {
+    float f = std::strtof(s.c_str(), nullptr);
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, 4);
+    return bits;
+  }
+  const char* c = s.c_str();
+  char* end = nullptr;
+  long long v = std::strtoll(c, &end, 0);
+  if (end == c || *end != '\0')
+    throw AsmError(lineno, "memory map: bad value '" + s + "'");
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
+
+MemoryMap MemoryMap::parse(const std::string& text) {
+  MemoryMap map;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    // Trim.
+    std::size_t b = 0, e = line.size();
+    while (b < e && std::isspace(static_cast<unsigned char>(line[b]))) ++b;
+    while (e > b && std::isspace(static_cast<unsigned char>(line[e - 1]))) --e;
+    line = line.substr(b, e - b);
+    if (line.empty()) continue;
+
+    auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw AsmError(lineno, "memory map: expected 'name = values'");
+    std::string lhs = line.substr(0, eq);
+    std::string rhs = line.substr(eq + 1);
+    // Trim lhs.
+    while (!lhs.empty() && std::isspace(static_cast<unsigned char>(lhs.back())))
+      lhs.pop_back();
+
+    MemoryMapEntry entry;
+    auto lb = lhs.find('[');
+    if (lb != std::string::npos) {
+      auto rb = lhs.find(']');
+      if (rb == std::string::npos || rb < lb)
+        throw AsmError(lineno, "memory map: bad index syntax");
+      entry.symbol = lhs.substr(0, lb);
+      entry.index = std::strtoll(lhs.substr(lb + 1, rb - lb - 1).c_str(),
+                                 nullptr, 0);
+    } else {
+      entry.symbol = lhs;
+    }
+    if (entry.symbol.empty())
+      throw AsmError(lineno, "memory map: empty symbol name");
+
+    std::istringstream vals(rhs);
+    std::string v;
+    while (vals >> v) entry.words.push_back(parseWord(v, lineno));
+    if (entry.words.empty())
+      throw AsmError(lineno, "memory map: no values for '" + entry.symbol +
+                                 "'");
+    map.entries_.push_back(std::move(entry));
+  }
+  return map;
+}
+
+void MemoryMap::add(const std::string& symbol,
+                    std::vector<std::uint32_t> words, std::int64_t index) {
+  MemoryMapEntry e;
+  e.symbol = symbol;
+  e.index = index;
+  e.words = std::move(words);
+  entries_.push_back(std::move(e));
+}
+
+void MemoryMap::apply(Program& program) const {
+  for (const auto& e : entries_) {
+    const Symbol& sym = program.symbol(e.symbol);
+    if (sym.isText)
+      throw AsmError("memory map: '" + e.symbol + "' is a text symbol");
+    std::uint64_t byteOff =
+        static_cast<std::uint64_t>(e.index) * 4;
+    std::uint64_t end = byteOff + e.words.size() * 4;
+    if (end > sym.size)
+      throw AsmError("memory map: write to '" + e.symbol + "' (" +
+                     std::to_string(end) + " bytes) exceeds its extent (" +
+                     std::to_string(sym.size) + " bytes)");
+    std::size_t base = sym.addr - kDataBase + byteOff;
+    XMT_CHECK(base + e.words.size() * 4 <= program.data.size());
+    std::memcpy(program.data.data() + base, e.words.data(),
+                e.words.size() * 4);
+  }
+}
+
+}  // namespace xmt

@@ -1,0 +1,49 @@
+// Memory-map files: initial values for global variables.
+//
+// "A memory map file contains the initial values of global variables. ...
+// global variables are the only way to provide input to XMTC programs."
+//
+// Format (one statement per line, '#' comments):
+//
+//   A = 1 2 3 4 5          # words written starting at symbol A
+//   N = 5                  # scalar
+//   B[2] = 7               # single element (word index)
+//
+// Values may be decimal, hex (0x...), or floating point with a trailing 'f'
+// (stored as IEEE-754 bits).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/assembler/program.h"
+
+namespace xmt {
+
+struct MemoryMapEntry {
+  std::string symbol;
+  std::int64_t index = 0;            // word offset within the symbol
+  std::vector<std::uint32_t> words;  // raw 32-bit values
+};
+
+class MemoryMap {
+ public:
+  /// Parses memory-map text. Throws AsmError on bad syntax.
+  static MemoryMap parse(const std::string& text);
+
+  void add(const std::string& symbol, std::vector<std::uint32_t> words,
+           std::int64_t index = 0);
+
+  /// Writes all entries into the program's data segment. Symbols must exist
+  /// and entries must fit within the symbol's extent; throws AsmError
+  /// otherwise.
+  void apply(Program& program) const;
+
+  const std::vector<MemoryMapEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<MemoryMapEntry> entries_;
+};
+
+}  // namespace xmt

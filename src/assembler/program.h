@@ -1,0 +1,44 @@
+// The loadable program image produced by the assembler.
+//
+// Addresses are byte addresses in a flat 32-bit space. The text segment
+// starts at kTextBase with one 4-byte slot per instruction; the data segment
+// starts at kDataBase. Symbols name positions in either segment; data symbols
+// are the only way to pass input to an XMTC program (the toolchain has no OS
+// and no file I/O, exactly as in the paper).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.h"
+
+namespace xmt {
+
+inline constexpr std::uint32_t kTextBase = 0x00001000u;
+inline constexpr std::uint32_t kDataBase = 0x10000000u;
+inline constexpr std::uint32_t kStackTop = 0x7ffffff0u;
+
+struct Symbol {
+  std::uint32_t addr = 0;
+  std::uint32_t size = 0;   // bytes (0 for text labels)
+  bool isText = false;
+  bool isGlobal = false;    // exported via .global (visible to the host API)
+};
+
+struct Program {
+  std::vector<Instruction> text;      // text[i] lives at kTextBase + 4*i
+  std::vector<std::uint8_t> data;     // data[i] lives at kDataBase + i
+  std::map<std::string, Symbol> symbols;
+  std::uint32_t entry = kTextBase;    // address of "main" or first instruction
+
+  /// Index into `text` for an instruction address; throws on bad address.
+  std::size_t textIndex(std::uint32_t addr) const;
+
+  /// Address of a symbol; throws AsmError when undefined.
+  const Symbol& symbol(const std::string& name) const;
+  bool hasSymbol(const std::string& name) const;
+};
+
+}  // namespace xmt

@@ -1,0 +1,146 @@
+#include "src/common/config.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+}  // namespace
+
+ConfigMap ConfigMap::fromText(const std::string& text) {
+  ConfigMap cfg;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw ConfigError("line " + std::to_string(lineno) +
+                        ": expected key=value, got '" + line + "'");
+    std::string key = trim(line.substr(0, eq));
+    std::string value = trim(line.substr(eq + 1));
+    if (key.empty())
+      throw ConfigError("line " + std::to_string(lineno) + ": empty key");
+    cfg.values_[key] = value;
+  }
+  return cfg;
+}
+
+ConfigMap ConfigMap::fromFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw ConfigError("cannot open config file '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return fromText(ss.str());
+}
+
+void ConfigMap::applyOverride(const std::string& keyEqualsValue) {
+  auto eq = keyEqualsValue.find('=');
+  if (eq == std::string::npos)
+    throw ConfigError("override '" + keyEqualsValue +
+                      "' is not of the form key=value");
+  std::string key = trim(keyEqualsValue.substr(0, eq));
+  std::string value = trim(keyEqualsValue.substr(eq + 1));
+  if (key.empty()) throw ConfigError("override with empty key");
+  values_[key] = value;
+}
+
+void ConfigMap::applyOverrides(const std::vector<std::string>& overrides) {
+  for (const auto& o : overrides) applyOverride(o);
+}
+
+void ConfigMap::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+void ConfigMap::set(const std::string& key, std::int64_t value) {
+  values_[key] = std::to_string(value);
+}
+void ConfigMap::set(const std::string& key, double value) {
+  std::ostringstream ss;
+  ss << value;
+  values_[key] = ss.str();
+}
+
+bool ConfigMap::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::optional<std::string> ConfigMap::find(const std::string& key) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string ConfigMap::getString(const std::string& key,
+                                 const std::string& dflt) const {
+  auto v = find(key);
+  return v ? *v : dflt;
+}
+
+std::int64_t ConfigMap::getInt(const std::string& key,
+                               std::int64_t dflt) const {
+  auto v = find(key);
+  if (!v) return dflt;
+  const char* s = v->c_str();
+  char* end = nullptr;
+  long long r = std::strtoll(s, &end, 0);
+  if (end == s || *end != '\0')
+    throw ConfigError("key '" + key + "': '" + *v + "' is not an integer");
+  return static_cast<std::int64_t>(r);
+}
+
+double ConfigMap::getDouble(const std::string& key, double dflt) const {
+  auto v = find(key);
+  if (!v) return dflt;
+  const char* s = v->c_str();
+  char* end = nullptr;
+  double r = std::strtod(s, &end);
+  if (end == s || *end != '\0')
+    throw ConfigError("key '" + key + "': '" + *v + "' is not a number");
+  return r;
+}
+
+bool ConfigMap::getBool(const std::string& key, bool dflt) const {
+  auto v = find(key);
+  if (!v) return dflt;
+  std::string s = *v;
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (s == "1" || s == "true" || s == "yes" || s == "on") return true;
+  if (s == "0" || s == "false" || s == "no" || s == "off") return false;
+  throw ConfigError("key '" + key + "': '" + *v + "' is not a boolean");
+}
+
+std::vector<std::string> ConfigMap::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, v] : values_) out.push_back(k);
+  return out;
+}
+
+std::string ConfigMap::toText() const {
+  std::ostringstream ss;
+  for (const auto& [k, v] : values_) ss << k << " = " << v << "\n";
+  return ss.str();
+}
+
+}  // namespace xmt

@@ -1,0 +1,62 @@
+// Key=value configuration store with file parsing and CLI-style overrides.
+//
+// XMTSim configurations ("the simulated XMT configuration is determined by
+// the user typically via configuration files and/or command line arguments")
+// are expressed as flat key=value maps. ConfigMap parses files of the form
+//
+//   # comment
+//   clusters = 64
+//   tcus_per_cluster = 16
+//
+// and accepts "key=value" override strings, as from argv.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace xmt {
+
+class ConfigMap {
+ public:
+  ConfigMap() = default;
+
+  /// Parses config file text (not a path). Throws ConfigError on bad syntax.
+  static ConfigMap fromText(const std::string& text);
+
+  /// Loads a config file from disk. Throws ConfigError if unreadable.
+  static ConfigMap fromFile(const std::string& path);
+
+  /// Applies one "key=value" override (CLI style). Throws on bad syntax.
+  void applyOverride(const std::string& keyEqualsValue);
+
+  /// Applies a list of "key=value" overrides.
+  void applyOverrides(const std::vector<std::string>& overrides);
+
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, double value);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters with defaults. Throw ConfigError when the stored value
+  /// cannot be converted to the requested type.
+  std::string getString(const std::string& key, const std::string& dflt) const;
+  std::int64_t getInt(const std::string& key, std::int64_t dflt) const;
+  double getDouble(const std::string& key, double dflt) const;
+  bool getBool(const std::string& key, bool dflt) const;
+
+  /// All keys, sorted, for serialization and diffing.
+  std::vector<std::string> keys() const;
+
+  /// Round-trippable textual form (sorted key = value lines).
+  std::string toText() const;
+
+ private:
+  std::optional<std::string> find(const std::string& key) const;
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace xmt

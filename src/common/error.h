@@ -1,0 +1,76 @@
+// Error types shared across the XMT toolchain.
+//
+// The toolchain reports user-facing failures (bad XMTC source, malformed
+// assembly, invalid configuration, simulator misuse) via exceptions derived
+// from xmt::Error. Internal invariant violations use XMT_CHECK, which throws
+// InternalError so tests can assert on them without aborting the process.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace xmt {
+
+/// Base class for all toolchain errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Malformed or semantically invalid XMTC source code.
+class CompileError : public Error {
+ public:
+  CompileError(int line, const std::string& what)
+      : Error("compile error (line " + std::to_string(line) + "): " + what),
+        line_(line) {}
+  int line() const { return line_; }
+
+ private:
+  int line_;
+};
+
+/// Malformed assembly input or a post-pass verification failure.
+class AsmError : public Error {
+ public:
+  explicit AsmError(const std::string& what) : Error("asm error: " + what) {}
+  AsmError(int line, const std::string& what)
+      : Error("asm error (line " + std::to_string(line) + "): " + what) {}
+};
+
+/// Invalid simulator configuration or API misuse.
+class ConfigError : public Error {
+ public:
+  explicit ConfigError(const std::string& what)
+      : Error("config error: " + what) {}
+};
+
+/// A simulated program performed an illegal operation (bad address, division
+/// trap, register-spill in parallel code detected at run time, ...).
+class SimError : public Error {
+ public:
+  explicit SimError(const std::string& what) : Error("sim error: " + what) {}
+};
+
+/// Violated internal invariant — a bug in the toolchain itself.
+class InternalError : public Error {
+ public:
+  explicit InternalError(const std::string& what)
+      : Error("internal error: " + what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line) {
+  throw InternalError(std::string(expr) + " at " + file + ":" +
+                      std::to_string(line));
+}
+}  // namespace detail
+
+}  // namespace xmt
+
+/// Internal invariant check; throws xmt::InternalError when violated.
+#define XMT_CHECK(expr)                                     \
+  do {                                                      \
+    if (!(expr))                                            \
+      ::xmt::detail::check_failed(#expr, __FILE__, __LINE__); \
+  } while (0)

@@ -1,0 +1,193 @@
+// XMTC abstract syntax tree.
+//
+// Nodes are owned through std::unique_ptr; passes dispatch on `kind`. Types
+// are a small value type (scalars plus pointers, arrays carried as
+// dimensions on declarations). The AST survives three source-to-source
+// passes before lowering: parallel-call inlining, virtual-thread clustering,
+// and the CIL-style outlining pre-pass (Section IV-B of the paper).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xmt {
+
+// ---------------------------------------------------------------------------
+// Types
+// ---------------------------------------------------------------------------
+
+struct TypeRef {
+  enum class Base : std::uint8_t { kVoid, kInt, kUInt, kFloat, kChar };
+  Base base = Base::kInt;
+  int ptr = 0;  // pointer depth: int* has ptr=1
+
+  bool isPointer() const { return ptr > 0; }
+  bool isFloat() const { return base == Base::kFloat && ptr == 0; }
+  bool isVoid() const { return base == Base::kVoid && ptr == 0; }
+  bool isChar() const { return base == Base::kChar && ptr == 0; }
+  bool isUnsigned() const { return base == Base::kUInt && ptr == 0; }
+  bool isIntegral() const {
+    return !isPointer() && (base == Base::kInt || base == Base::kUInt ||
+                            base == Base::kChar);
+  }
+  TypeRef pointee() const {
+    TypeRef t = *this;
+    t.ptr -= 1;
+    return t;
+  }
+  TypeRef pointerTo() const {
+    TypeRef t = *this;
+    t.ptr += 1;
+    return t;
+  }
+  /// Size of a value of this type in bytes.
+  int size() const {
+    if (ptr > 0) return 4;
+    return base == Base::kChar ? 1 : 4;
+  }
+  bool operator==(const TypeRef& o) const {
+    return base == o.base && ptr == o.ptr;
+  }
+  std::string str() const;
+
+  static TypeRef Int() { return {Base::kInt, 0}; }
+  static TypeRef UInt() { return {Base::kUInt, 0}; }
+  static TypeRef Float() { return {Base::kFloat, 0}; }
+  static TypeRef Char() { return {Base::kChar, 0}; }
+  static TypeRef Void() { return {Base::kVoid, 0}; }
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+// ---------------------------------------------------------------------------
+
+struct Expr;
+struct Stmt;
+using ExprPtr = std::unique_ptr<Expr>;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// Variable declaration: global, local, or function parameter.
+struct VarDecl {
+  std::string name;
+  TypeRef type;
+  std::vector<int> dims;  // array dimensions; empty for scalars
+  bool isGlobal = false;
+  bool isParam = false;
+  bool isVolatile = false;
+  bool isPsBaseReg = false;
+  int grIndex = -1;  // psBaseReg allocation (gr0..gr5)
+  int line = 0;
+
+  // Sema annotations.
+  bool addrTaken = false;
+  bool writtenInSpawn = false;  // for outlining: pass by reference
+  bool isArray() const { return !dims.empty(); }
+  /// Element count of the (flattened) array.
+  std::int64_t elementCount() const {
+    std::int64_t n = 1;
+    for (int d : dims) n *= d;
+    return n;
+  }
+  std::vector<ExprPtr> init;  // initializer(s); for arrays, a flat list
+};
+
+// ---------------------------------------------------------------------------
+// Expressions
+// ---------------------------------------------------------------------------
+
+enum class ExprKind : std::uint8_t {
+  kIntLit, kFloatLit, kStrLit,
+  kVarRef,       // resolved to a VarDecl by sema
+  kDollar,       // $ — the virtual thread ID
+  kUnary,        // op in `opTok`: - ! ~ * (deref) & (addr-of)
+  kBinary,       // arithmetic / comparison / logical (&& and || lower with
+                 // short-circuit)
+  kAssign,       // lhs opTok= rhs (opTok == kAssign for plain '=')
+  kCond,         // c ? t : f
+  kCall,         // user function call
+  kIndex,        // base[index]
+  kCast,         // (type) sub
+  kIncDec,       // ++/--; `prefix` selects form
+  kPs,           // ps(inc, psBaseRegVar)
+  kPsm,          // psm(inc, lvalue)
+  kSizeof,
+};
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+  TypeRef type;  // set by sema
+
+  std::int64_t intVal = 0;   // kIntLit / kSizeof result
+  double floatVal = 0.0;     // kFloatLit
+  std::string strVal;        // kStrLit contents / kCall callee name
+  VarDecl* decl = nullptr;   // kVarRef target
+
+  int opTok = 0;             // Tok as int, for unary/binary/assign
+  bool prefix = false;       // kIncDec
+
+  ExprPtr a, b, c;           // operands (lhs/rhs/condition arms)
+  std::vector<ExprPtr> args; // kCall arguments / kPrintf args
+
+  explicit Expr(ExprKind k) : kind(k) {}
+};
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+enum class StmtKind : std::uint8_t {
+  kExpr, kDecl, kIf, kWhile, kDoWhile, kFor, kBlock, kBreak, kContinue,
+  kReturn, kSpawn, kEmpty, kPrintf,
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+
+  ExprPtr expr;           // kExpr / kReturn value / kIf-kWhile condition
+  ExprPtr expr2, expr3;   // kFor: init uses `decls` or expr; cond expr2; step expr3
+  std::vector<std::unique_ptr<VarDecl>> decls;  // kDecl / kFor init decls
+  std::vector<ExprPtr> declInitsLowered;        // unused placeholder
+  StmtPtr body, elseBody;
+  std::vector<StmtPtr> stmts;  // kBlock
+
+  // kSpawn: expr = low, expr2 = high, body = spawn block.
+  // kPrintf: strVal format, args.
+  std::string strVal;
+  std::vector<ExprPtr> args;
+
+  explicit Stmt(StmtKind k) : kind(k) {}
+};
+
+// ---------------------------------------------------------------------------
+// Functions and translation unit
+// ---------------------------------------------------------------------------
+
+struct FuncDecl {
+  std::string name;
+  TypeRef retType;
+  std::vector<std::unique_ptr<VarDecl>> params;
+  StmtPtr body;  // kBlock
+  int line = 0;
+  bool generatedByOutlining = false;
+};
+
+struct TranslationUnit {
+  std::vector<std::unique_ptr<VarDecl>> globals;
+  std::vector<std::unique_ptr<FuncDecl>> funcs;
+
+  FuncDecl* findFunc(const std::string& name) {
+    for (auto& f : funcs)
+      if (f->name == name) return f.get();
+    return nullptr;
+  }
+};
+
+/// Pretty-prints the (possibly transformed) AST back to XMTC source — used
+/// by the compiler-explorer example to show the outlining pre-pass output.
+std::string printAst(const TranslationUnit& tu);
+
+}  // namespace xmt

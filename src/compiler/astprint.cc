@@ -1,0 +1,303 @@
+// AST pretty-printer: renders the (possibly transformed) AST back to XMTC.
+// Lets users inspect what the source-to-source pre-passes (outlining,
+// clustering, inlining) did — the role CIL's output played in the original
+// toolchain.
+#include <sstream>
+
+#include "src/common/error.h"
+#include "src/compiler/ast.h"
+#include "src/compiler/lexer.h"
+
+namespace xmt {
+
+namespace {
+
+const char* opStr(int tok) {
+  switch (static_cast<Tok>(tok)) {
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kAmp: return "&";
+    case Tok::kPipe: return "|";
+    case Tok::kCaret: return "^";
+    case Tok::kTilde: return "~";
+    case Tok::kBang: return "!";
+    case Tok::kAmpAmp: return "&&";
+    case Tok::kPipePipe: return "||";
+    case Tok::kEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kLt: return "<";
+    case Tok::kGt: return ">";
+    case Tok::kLe: return "<=";
+    case Tok::kGe: return ">=";
+    case Tok::kShl: return "<<";
+    case Tok::kShr: return ">>";
+    case Tok::kAssign: return "=";
+    case Tok::kPlusAssign: return "+=";
+    case Tok::kMinusAssign: return "-=";
+    case Tok::kStarAssign: return "*=";
+    case Tok::kSlashAssign: return "/=";
+    case Tok::kPercentAssign: return "%=";
+    case Tok::kShlAssign: return "<<=";
+    case Tok::kShrAssign: return ">>=";
+    case Tok::kAndAssign: return "&=";
+    case Tok::kOrAssign: return "|=";
+    case Tok::kXorAssign: return "^=";
+    case Tok::kPlusPlus: return "++";
+    case Tok::kMinusMinus: return "--";
+    default: return "?";
+  }
+}
+
+class Printer {
+ public:
+  std::string run(const TranslationUnit& tu) {
+    for (const auto& g : tu.globals) {
+      if (g->isPsBaseReg) out_ << "psBaseReg ";
+      else if (g->isVolatile) out_ << "volatile ";
+      printVarDecl(*g);
+      out_ << ";\n";
+    }
+    for (const auto& f : tu.funcs) {
+      out_ << "\n" << f->retType.str() << " " << f->name << "(";
+      for (std::size_t i = 0; i < f->params.size(); ++i) {
+        if (i) out_ << ", ";
+        printVarDecl(*f->params[i]);
+      }
+      out_ << ")\n";
+      printStmt(*f->body, 0);
+    }
+    return out_.str();
+  }
+
+ private:
+  void indent(int n) {
+    for (int i = 0; i < n; ++i) out_ << "  ";
+  }
+
+  void printVarDecl(const VarDecl& v) {
+    if (!v.isPsBaseReg) out_ << v.type.str() << " ";
+    out_ << v.name;
+    for (int d : v.dims) out_ << "[" << d << "]";
+    if (!v.init.empty()) {
+      out_ << " = ";
+      if (v.init.size() > 1 || v.isArray()) {
+        out_ << "{";
+        for (std::size_t i = 0; i < v.init.size(); ++i) {
+          if (i) out_ << ", ";
+          printExpr(*v.init[i]);
+        }
+        out_ << "}";
+      } else {
+        printExpr(*v.init[0]);
+      }
+    }
+  }
+
+  void printStmt(const Stmt& s, int depth) {
+    switch (s.kind) {
+      case StmtKind::kBlock:
+        indent(depth);
+        out_ << "{\n";
+        for (const auto& sub : s.stmts) printStmt(*sub, depth + 1);
+        indent(depth);
+        out_ << "}\n";
+        break;
+      case StmtKind::kExpr:
+        indent(depth);
+        printExpr(*s.expr);
+        out_ << ";\n";
+        break;
+      case StmtKind::kDecl:
+        indent(depth);
+        for (std::size_t i = 0; i < s.decls.size(); ++i) {
+          if (i) out_ << ", ";
+          if (i == 0 && s.decls[i]->isVolatile) out_ << "volatile ";
+          printVarDecl(*s.decls[i]);
+        }
+        out_ << ";\n";
+        break;
+      case StmtKind::kIf:
+        indent(depth);
+        out_ << "if (";
+        printExpr(*s.expr);
+        out_ << ")\n";
+        printStmt(*s.body, depth + 1);
+        if (s.elseBody) {
+          indent(depth);
+          out_ << "else\n";
+          printStmt(*s.elseBody, depth + 1);
+        }
+        break;
+      case StmtKind::kWhile:
+        indent(depth);
+        out_ << "while (";
+        printExpr(*s.expr);
+        out_ << ")\n";
+        printStmt(*s.body, depth + 1);
+        break;
+      case StmtKind::kDoWhile:
+        indent(depth);
+        out_ << "do\n";
+        printStmt(*s.body, depth + 1);
+        indent(depth);
+        out_ << "while (";
+        printExpr(*s.expr);
+        out_ << ");\n";
+        break;
+      case StmtKind::kFor:
+        indent(depth);
+        out_ << "for (";
+        if (!s.decls.empty()) {
+          for (std::size_t i = 0; i < s.decls.size(); ++i) {
+            if (i) out_ << ", ";
+            printVarDecl(*s.decls[i]);
+          }
+        } else if (s.expr) {
+          printExpr(*s.expr);
+        }
+        out_ << "; ";
+        if (s.expr2) printExpr(*s.expr2);
+        out_ << "; ";
+        if (s.expr3) printExpr(*s.expr3);
+        out_ << ")\n";
+        printStmt(*s.body, depth + 1);
+        break;
+      case StmtKind::kBreak:
+        indent(depth);
+        out_ << "break;\n";
+        break;
+      case StmtKind::kContinue:
+        indent(depth);
+        out_ << "continue;\n";
+        break;
+      case StmtKind::kReturn:
+        indent(depth);
+        out_ << "return";
+        if (s.expr) {
+          out_ << " ";
+          printExpr(*s.expr);
+        }
+        out_ << ";\n";
+        break;
+      case StmtKind::kSpawn:
+        indent(depth);
+        out_ << "spawn(";
+        printExpr(*s.expr);
+        out_ << ", ";
+        printExpr(*s.expr2);
+        out_ << ")\n";
+        printStmt(*s.body, depth + 1);
+        break;
+      case StmtKind::kEmpty:
+        indent(depth);
+        out_ << ";\n";
+        break;
+      case StmtKind::kPrintf: {
+        indent(depth);
+        out_ << "printf(\"";
+        for (char c : s.strVal) {
+          if (c == '\n') out_ << "\\n";
+          else if (c == '\t') out_ << "\\t";
+          else if (c == '"') out_ << "\\\"";
+          else out_ << c;
+        }
+        out_ << "\"";
+        for (const auto& a : s.args) {
+          out_ << ", ";
+          printExpr(*a);
+        }
+        out_ << ");\n";
+        break;
+      }
+    }
+  }
+
+  void printExpr(const Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit: out_ << e.intVal; break;
+      case ExprKind::kFloatLit: out_ << e.floatVal << "f"; break;
+      case ExprKind::kStrLit: out_ << "\"" << e.strVal << "\""; break;
+      case ExprKind::kVarRef:
+        out_ << (e.decl ? e.decl->name : e.strVal);
+        break;
+      case ExprKind::kDollar: out_ << "$"; break;
+      case ExprKind::kUnary:
+        out_ << "(" << opStr(e.opTok);
+        printExpr(*e.a);
+        out_ << ")";
+        break;
+      case ExprKind::kBinary:
+        out_ << "(";
+        printExpr(*e.a);
+        out_ << " " << opStr(e.opTok) << " ";
+        printExpr(*e.b);
+        out_ << ")";
+        break;
+      case ExprKind::kAssign:
+        printExpr(*e.a);
+        out_ << " " << opStr(e.opTok) << " ";
+        printExpr(*e.b);
+        break;
+      case ExprKind::kCond:
+        out_ << "(";
+        printExpr(*e.c);
+        out_ << " ? ";
+        printExpr(*e.a);
+        out_ << " : ";
+        printExpr(*e.b);
+        out_ << ")";
+        break;
+      case ExprKind::kCall:
+        out_ << e.strVal << "(";
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          if (i) out_ << ", ";
+          printExpr(*e.args[i]);
+        }
+        out_ << ")";
+        break;
+      case ExprKind::kIndex:
+        printExpr(*e.a);
+        out_ << "[";
+        printExpr(*e.b);
+        out_ << "]";
+        break;
+      case ExprKind::kCast:
+        out_ << "(" << e.type.str() << ")";
+        printExpr(*e.a);
+        break;
+      case ExprKind::kIncDec:
+        if (e.prefix) out_ << opStr(e.opTok);
+        printExpr(*e.a);
+        if (!e.prefix) out_ << opStr(e.opTok);
+        break;
+      case ExprKind::kPs:
+        out_ << "ps(";
+        printExpr(*e.a);
+        out_ << ", ";
+        printExpr(*e.b);
+        out_ << ")";
+        break;
+      case ExprKind::kPsm:
+        out_ << "psm(";
+        printExpr(*e.a);
+        out_ << ", ";
+        printExpr(*e.b);
+        out_ << ")";
+        break;
+      case ExprKind::kSizeof:
+        out_ << e.intVal;
+        break;
+    }
+  }
+
+  std::ostringstream out_;
+};
+
+}  // namespace
+
+std::string printAst(const TranslationUnit& tu) { return Printer().run(tu); }
+
+}  // namespace xmt

@@ -1,0 +1,55 @@
+#include "src/compiler/driver.h"
+
+#include "src/assembler/assembler.h"
+#include "src/compiler/emit.h"
+#include "src/compiler/lower.h"
+#include "src/compiler/opt.h"
+#include "src/compiler/parser.h"
+#include "src/compiler/postpass.h"
+#include "src/compiler/regalloc.h"
+#include "src/compiler/sema.h"
+#include "src/compiler/transforms.h"
+
+namespace xmt {
+
+CompileResult compileXmtc(const std::string& source,
+                          const CompilerOptions& opts) {
+  auto tu = parse(source);
+  analyze(*tu);
+
+  // Source-to-source pre-passes (the CIL stage).
+  if (opts.inlineParallel) inlineParallelCalls(*tu);
+  if (opts.clusterThreads) clusterVirtualThreads(*tu, opts.clusterCount);
+  if (opts.outline) outlineSpawnBlocks(*tu);
+
+  CompileResult res;
+  res.transformedSource = printAst(*tu);
+
+  // Core pass.
+  IrModule mod = lowerToIr(*tu);
+  std::vector<FrameInfo> frames;
+  frames.reserve(mod.funcs.size());
+  for (auto& fn : mod.funcs) {
+    optimizeIr(fn, opts.optLevel);
+    if (opts.nonBlockingStores) applyNonBlockingStores(fn);
+    if (opts.prefetch) insertPrefetches(fn, opts.prefetchDepth);
+    if (opts.outline) verifyParallelDataflow(fn);
+    frames.push_back(allocateRegisters(fn));
+  }
+  res.asmText = emitAssembly(mod, frames, opts.layoutQuirk);
+
+  // Post-pass.
+  if (opts.postPass) {
+    PostPassReport rep = runPostPass(res.asmText);
+    res.asmText = std::move(rep.asmText);
+    res.relocatedBlocks = rep.relocatedBlocks;
+  }
+  return res;
+}
+
+Program compileToProgram(const std::string& source,
+                         const CompilerOptions& opts) {
+  return assemble(compileXmtc(source, opts).asmText);
+}
+
+}  // namespace xmt

@@ -1,0 +1,42 @@
+// XMTC compiler driver: pre-pass (inlining, clustering, outlining), core
+// pass (lowering, optimization, register allocation, emission), post-pass
+// (verification and layout repair) — the three-stage structure of
+// Section IV.
+#pragma once
+
+#include <string>
+
+#include "src/assembler/program.h"
+
+namespace xmt {
+
+struct CompilerOptions {
+  int optLevel = 1;               // 0 disables generic IR optimization
+  bool nonBlockingStores = true;  // Section IV-C latency tolerance
+  bool prefetch = true;           // compiler prefetching (ref. [8])
+  int prefetchDepth = 4;          // outstanding prefetches per load group
+  bool clusterThreads = false;    // virtual-thread clustering (Section IV-C)
+  int clusterCount = 1024;        // coarsened thread count
+  bool inlineParallel = true;     // inline calls inside spawn blocks
+  bool outline = true;            // the CIL outlining pre-pass; disabling it
+                                  // demonstrates the paper's illegal
+                                  // dataflow (Fig. 8) — unsafe!
+  bool layoutQuirk = false;       // mimic GCC's Fig. 9a layout bug
+  bool postPass = true;           // verification + layout repair
+};
+
+struct CompileResult {
+  std::string asmText;
+  std::string transformedSource;  // XMTC after the source-to-source passes
+  int relocatedBlocks = 0;        // post-pass Fig. 9 repairs performed
+};
+
+/// Compiles XMTC source to XMT assembly. Throws CompileError / AsmError.
+CompileResult compileXmtc(const std::string& source,
+                          const CompilerOptions& opts = {});
+
+/// Compiles and assembles to a loadable program image.
+Program compileToProgram(const std::string& source,
+                         const CompilerOptions& opts = {});
+
+}  // namespace xmt

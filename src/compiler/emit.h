@@ -1,0 +1,22 @@
+// Assembly emission from register-allocated IR.
+//
+// `layoutQuirk` reproduces the GCC behaviour of paper Fig. 9a: a basic
+// block that logically belongs to a spawn block is laid out after the
+// function tail. The post-pass must detect and repair it; the option exists
+// so tests and the compiler-explorer example can exercise that repair on
+// demand.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/ir.h"
+#include "src/compiler/regalloc.h"
+
+namespace xmt {
+
+std::string emitAssembly(const IrModule& mod,
+                         const std::vector<FrameInfo>& frames,
+                         bool layoutQuirk);
+
+}  // namespace xmt

@@ -1,0 +1,116 @@
+// Three-address intermediate representation of the XMTC core pass.
+//
+// Virtual registers are integers; ids 0..31 are precolored to the machine
+// registers of the same number (used for calling convention and syscall
+// argument staging). Blocks form a CFG; block order is also the emission
+// layout. Blocks lowered from a spawn body carry `parallel = true` — the
+// optimizer uses this to refuse transformations that would constitute the
+// paper's "illegal dataflow", and the register allocator uses it to turn
+// spills inside spawn blocks into the compile error the paper mandates.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/isa/isa.h"
+
+namespace xmt {
+
+enum class IOp : std::uint8_t {
+  // Register-register ALU (dst, a, b).
+  kAdd, kSub, kMul, kDiv, kRem, kAnd, kOr, kXor, kNor,
+  kSlt, kSltu, kSllv, kSrlv, kSrav,
+  kFadd, kFsub, kFmul, kFdiv, kFeq, kFlt, kFle,
+  // Register-immediate ALU (dst, a, imm).
+  kAddi, kAndi, kOri, kXori, kSlti, kSll, kSrl, kSra,
+  // Conversions (dst, a).
+  kCvtif, kCvtfi,
+  // Materialization.
+  kLi,        // dst = imm
+  kLa,        // dst = &sym + imm
+  kCopy,      // dst = a
+  kGetTid,    // dst = $  (virtual thread ID)
+  kFrameAddr, // dst = sp + imm  (stack slot address; serial code only)
+  // Memory (address = a + imm; value = b for stores, dst for loads).
+  kLoadW, kLoadB, kStoreW, kStoreB,
+  kPref,      // prefetch a+imm
+  kFence,
+  // Prefix-sum.
+  kPs,        // dst = fetch-add(gr[imm], a); a = increment
+  kPsm,       // dst = fetch-add(mem[a+imm], b)
+  kMtgr,      // gr[imm] = a
+  kMfgr,      // dst = gr[imm]
+  // Control.
+  kCall,      // sym(args...); dst = v0 copy handled separately
+  kRet,
+  kBr,        // if rel(a, b) goto t1 else t2
+  kJmp,       // goto t1
+  kSpawn,     // spawn: body entry = t1, continuation = t2
+  kJoin,
+  kSys,       // syscall imm; argument pre-staged in a0 (operand a for
+              // liveness)
+  kHalt,
+};
+
+struct IrInstr {
+  IOp op;
+  int dst = -1;
+  int a = -1;
+  int b = -1;
+  std::int32_t imm = 0;
+  Op rel = Op::kBeq;          // kBr relation (machine branch opcode)
+  int t1 = -1, t2 = -1;       // block targets
+  std::string sym;            // kLa / kCall
+  std::vector<int> args;      // kCall argument vregs (staged to phys regs)
+  int srcLine = 0;
+  bool nonBlocking = false;   // kStoreW: lowered to swnb
+  bool volatileMem = false;   // suppresses nb-store / prefetch optimization
+  bool readOnlyHint = false;  // kLoadW eligible for the read-only cache
+
+  explicit IrInstr(IOp o) : op(o) {}
+  bool isTerminator() const {
+    return op == IOp::kBr || op == IOp::kJmp || op == IOp::kRet ||
+           op == IOp::kJoin || op == IOp::kHalt;
+  }
+};
+
+struct IrBlock {
+  int id = 0;
+  bool parallel = false;
+  std::vector<IrInstr> instrs;
+};
+
+struct IrFunc {
+  std::string name;
+  int nParams = 0;
+  int nextVreg = kNumRegs;  // 0..31 are precolored physical registers
+  std::vector<IrBlock> blocks;
+  bool hasCalls = false;
+  bool isMain = false;
+  int frameWords = 0;  // local stack slots (before spills)
+
+  int newVreg() { return nextVreg++; }
+  IrBlock& block(int id) { return blocks[static_cast<std::size_t>(id)]; }
+};
+
+struct IrData {
+  enum class Kind : std::uint8_t { kWords, kSpace, kAscii };
+  std::string label;
+  Kind kind = Kind::kWords;
+  std::vector<std::uint32_t> words;
+  std::uint32_t spaceBytes = 0;
+  std::string str;
+  bool exported = false;
+};
+
+struct IrModule {
+  std::vector<IrFunc> funcs;
+  std::vector<IrData> data;
+};
+
+/// Debug dump of a function's IR.
+std::string dumpIr(const IrFunc& f);
+
+}  // namespace xmt

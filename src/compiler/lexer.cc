@@ -1,0 +1,299 @@
+#include "src/compiler/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+namespace {
+
+const std::map<std::string, Tok, std::less<>> kKeywords = {
+    {"int", Tok::kInt},         {"unsigned", Tok::kUnsigned},
+    {"float", Tok::kFloat},     {"char", Tok::kChar},
+    {"void", Tok::kVoid},       {"if", Tok::kIf},
+    {"else", Tok::kElse},       {"while", Tok::kWhile},
+    {"for", Tok::kFor},         {"do", Tok::kDo},
+    {"break", Tok::kBreak},     {"continue", Tok::kContinue},
+    {"return", Tok::kReturn},   {"spawn", Tok::kSpawn},
+    {"psBaseReg", Tok::kPsBaseReg}, {"volatile", Tok::kVolatile},
+    {"sizeof", Tok::kSizeof},
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skipWhitespaceAndComments();
+      Token t = next();
+      out.push_back(t);
+      if (t.kind == Tok::kEof) break;
+    }
+    return out;
+  }
+
+ private:
+  char peek(int ahead = 0) const {
+    std::size_t i = pos_ + static_cast<std::size_t>(ahead);
+    return i < src_.size() ? src_[i] : '\0';
+  }
+  char get() {
+    char c = peek();
+    if (c == '\n') ++line_;
+    if (pos_ < src_.size()) ++pos_;
+    return c;
+  }
+  bool eat(char c) {
+    if (peek() == c) {
+      get();
+      return true;
+    }
+    return false;
+  }
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw CompileError(line_, msg);
+  }
+
+  void skipWhitespaceAndComments() {
+    for (;;) {
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        get();
+        continue;
+      }
+      if (c == '/' && peek(1) == '/') {
+        while (peek() != '\n' && peek() != '\0') get();
+        continue;
+      }
+      if (c == '/' && peek(1) == '*') {
+        get();
+        get();
+        while (!(peek() == '*' && peek(1) == '/')) {
+          if (peek() == '\0') fail("unterminated block comment");
+          get();
+        }
+        get();
+        get();
+        continue;
+      }
+      return;
+    }
+  }
+
+  char unescape() {
+    char c = get();
+    if (c != '\\') return c;
+    char e = get();
+    switch (e) {
+      case 'n': return '\n';
+      case 't': return '\t';
+      case 'r': return '\r';
+      case '0': return '\0';
+      case '\\': return '\\';
+      case '\'': return '\'';
+      case '"': return '"';
+      default: fail(std::string("bad escape '\\") + e + "'");
+    }
+  }
+
+  Token next() {
+    Token t;
+    t.line = line_;
+    char c = peek();
+    if (c == '\0') {
+      t.kind = Tok::kEof;
+      return t;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string id;
+      while (std::isalnum(static_cast<unsigned char>(peek())) ||
+             peek() == '_')
+        id += get();
+      auto it = kKeywords.find(id);
+      if (it != kKeywords.end()) {
+        t.kind = it->second;
+      } else {
+        t.kind = Tok::kIdent;
+        t.text = std::move(id);
+      }
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::string num;
+      bool isFloat = false;
+      if (c == '0' && (peek(1) == 'x' || peek(1) == 'X')) {
+        num += get();
+        num += get();
+        while (std::isxdigit(static_cast<unsigned char>(peek())))
+          num += get();
+        t.kind = Tok::kIntLit;
+        t.intVal = std::strtoll(num.c_str(), nullptr, 16);
+        return t;
+      }
+      while (std::isdigit(static_cast<unsigned char>(peek()))) num += get();
+      if (peek() == '.' && std::isdigit(static_cast<unsigned char>(peek(1)))) {
+        isFloat = true;
+        num += get();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) num += get();
+      }
+      if (peek() == 'e' || peek() == 'E') {
+        isFloat = true;
+        num += get();
+        if (peek() == '+' || peek() == '-') num += get();
+        while (std::isdigit(static_cast<unsigned char>(peek()))) num += get();
+      }
+      if (peek() == 'f' || peek() == 'F') {
+        isFloat = true;
+        get();
+      }
+      if (isFloat) {
+        t.kind = Tok::kFloatLit;
+        t.floatVal = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.kind = Tok::kIntLit;
+        t.intVal = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      return t;
+    }
+    if (c == '\'') {
+      get();
+      t.kind = Tok::kCharLit;
+      t.intVal = static_cast<unsigned char>(unescape());
+      if (!eat('\'')) fail("unterminated character literal");
+      return t;
+    }
+    if (c == '"') {
+      get();
+      t.kind = Tok::kStringLit;
+      while (peek() != '"') {
+        if (peek() == '\0') fail("unterminated string literal");
+        t.text += unescape();
+      }
+      get();
+      return t;
+    }
+    get();
+    switch (c) {
+      case '(': t.kind = Tok::kLParen; return t;
+      case ')': t.kind = Tok::kRParen; return t;
+      case '{': t.kind = Tok::kLBrace; return t;
+      case '}': t.kind = Tok::kRBrace; return t;
+      case '[': t.kind = Tok::kLBracket; return t;
+      case ']': t.kind = Tok::kRBracket; return t;
+      case ';': t.kind = Tok::kSemi; return t;
+      case ',': t.kind = Tok::kComma; return t;
+      case '$': t.kind = Tok::kDollar; return t;
+      case '?': t.kind = Tok::kQuestion; return t;
+      case ':': t.kind = Tok::kColon; return t;
+      case '~': t.kind = Tok::kTilde; return t;
+      case '+':
+        if (eat('+')) t.kind = Tok::kPlusPlus;
+        else if (eat('=')) t.kind = Tok::kPlusAssign;
+        else t.kind = Tok::kPlus;
+        return t;
+      case '-':
+        if (eat('-')) t.kind = Tok::kMinusMinus;
+        else if (eat('=')) t.kind = Tok::kMinusAssign;
+        else t.kind = Tok::kMinus;
+        return t;
+      case '*':
+        t.kind = eat('=') ? Tok::kStarAssign : Tok::kStar;
+        return t;
+      case '/':
+        t.kind = eat('=') ? Tok::kSlashAssign : Tok::kSlash;
+        return t;
+      case '%':
+        t.kind = eat('=') ? Tok::kPercentAssign : Tok::kPercent;
+        return t;
+      case '&':
+        if (eat('&')) t.kind = Tok::kAmpAmp;
+        else if (eat('=')) t.kind = Tok::kAndAssign;
+        else t.kind = Tok::kAmp;
+        return t;
+      case '|':
+        if (eat('|')) t.kind = Tok::kPipePipe;
+        else if (eat('=')) t.kind = Tok::kOrAssign;
+        else t.kind = Tok::kPipe;
+        return t;
+      case '^':
+        t.kind = eat('=') ? Tok::kXorAssign : Tok::kCaret;
+        return t;
+      case '!':
+        t.kind = eat('=') ? Tok::kNe : Tok::kBang;
+        return t;
+      case '=':
+        t.kind = eat('=') ? Tok::kEq : Tok::kAssign;
+        return t;
+      case '<':
+        if (eat('<')) t.kind = eat('=') ? Tok::kShlAssign : Tok::kShl;
+        else if (eat('=')) t.kind = Tok::kLe;
+        else t.kind = Tok::kLt;
+        return t;
+      case '>':
+        if (eat('>')) t.kind = eat('=') ? Tok::kShrAssign : Tok::kShr;
+        else if (eat('=')) t.kind = Tok::kGe;
+        else t.kind = Tok::kGt;
+        return t;
+      default:
+        fail(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(const std::string& source) {
+  return Lexer(source).run();
+}
+
+const char* tokName(Tok t) {
+  switch (t) {
+    case Tok::kEof: return "end of file";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kCharLit: return "char literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kInt: return "'int'";
+    case Tok::kUnsigned: return "'unsigned'";
+    case Tok::kFloat: return "'float'";
+    case Tok::kChar: return "'char'";
+    case Tok::kVoid: return "'void'";
+    case Tok::kIf: return "'if'";
+    case Tok::kElse: return "'else'";
+    case Tok::kWhile: return "'while'";
+    case Tok::kFor: return "'for'";
+    case Tok::kDo: return "'do'";
+    case Tok::kBreak: return "'break'";
+    case Tok::kContinue: return "'continue'";
+    case Tok::kReturn: return "'return'";
+    case Tok::kSpawn: return "'spawn'";
+    case Tok::kPsBaseReg: return "'psBaseReg'";
+    case Tok::kVolatile: return "'volatile'";
+    case Tok::kSizeof: return "'sizeof'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kSemi: return "';'";
+    case Tok::kComma: return "','";
+    case Tok::kDollar: return "'$'";
+    case Tok::kQuestion: return "'?'";
+    case Tok::kColon: return "':'";
+    case Tok::kAssign: return "'='";
+    default: return "operator";
+  }
+}
+
+}  // namespace xmt

@@ -1,0 +1,45 @@
+// Lexer for XMTC, the paper's "modest single-program multiple-data parallel
+// extension of C": C scalar types, pointers, arrays, control flow, plus
+// `spawn`, the thread-ID symbol `$`, `ps`/`psm` prefix-sum builtins, and the
+// `psBaseReg` storage class for global-register variables.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xmt {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kIdent, kIntLit, kFloatLit, kCharLit, kStringLit,
+  // Keywords.
+  kInt, kUnsigned, kFloat, kChar, kVoid, kIf, kElse, kWhile, kFor, kDo,
+  kBreak, kContinue, kReturn, kSpawn, kPsBaseReg, kVolatile, kSizeof,
+  // Punctuation and operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma, kDollar, kQuestion, kColon,
+  kAssign, kPlusAssign, kMinusAssign, kStarAssign, kSlashAssign,
+  kPercentAssign, kShlAssign, kShrAssign, kAndAssign, kOrAssign, kXorAssign,
+  kPlusPlus, kMinusMinus,
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kAmpAmp, kPipePipe,
+  kEq, kNe, kLt, kGt, kLe, kGe, kShl, kShr,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;        // identifier / string contents
+  std::int64_t intVal = 0;
+  double floatVal = 0.0;
+  int line = 0;
+};
+
+/// Tokenizes XMTC source. Throws CompileError on malformed input.
+std::vector<Token> lex(const std::string& source);
+
+/// Token name for diagnostics.
+const char* tokName(Tok t);
+
+}  // namespace xmt

@@ -1,0 +1,1026 @@
+#include "src/compiler/lower.h"
+
+#include <cstring>
+
+#include "src/common/error.h"
+#include "src/compiler/lexer.h"
+#include "src/compiler/sema.h"
+
+namespace xmt {
+
+namespace {
+
+// Physical argument registers: a0-a3 then t0-t3 (custom convention; the
+// callee immediately copies them into fresh vregs).
+constexpr int kArgRegs[8] = {kA0, kA1, kA2, kA3, kT0, kT1, kT2, kT3};
+
+struct AddrVal {
+  int reg = 0;          // base register (may be vreg 0 = zero)
+  std::int32_t off = 0; // constant byte offset
+};
+
+class FuncLowering {
+ public:
+  FuncLowering(TranslationUnit& tu, IrModule& mod, FuncDecl& f)
+      : tu_(tu), mod_(mod), f_(f) {
+    fn_.name = f.name;
+    fn_.nParams = static_cast<int>(f.params.size());
+    fn_.isMain = (f.name == "main");
+  }
+
+  IrFunc run() {
+    cur_ = newBlock();
+    // Copy incoming arguments out of the physical registers.
+    for (std::size_t i = 0; i < f_.params.size(); ++i) {
+      VarDecl* p = f_.params[i].get();
+      int v = fn_.newVreg();
+      emitCopy(v, kArgRegs[i]);
+      if (needsSlot(*p)) {
+        int slot = allocSlot(*p);
+        AddrVal a{frameReg(slot), 0};
+        emitStore(a, v, p->type.isChar(), p->isVolatile);
+      } else {
+        varReg_[p] = v;
+      }
+    }
+    exitBlock_ = -1;  // created on demand
+    genStmt(*f_.body);
+    // Fall-through at end of body.
+    if (!terminated()) {
+      if (fn_.isMain) {
+        emit(IrInstr(IOp::kHalt));
+      } else {
+        if (!f_.retType.isVoid())
+          throw CompileError(f_.line, "control reaches end of non-void "
+                                      "function '" + f_.name + "'");
+        emit(IrInstr(IOp::kRet));
+      }
+    }
+    if (exitBlock_ >= 0) {
+      setBlock(exitBlock_);
+      emit(IrInstr(fn_.isMain ? IOp::kHalt : IOp::kRet));
+    }
+    return std::move(fn_);
+  }
+
+ private:
+  [[noreturn]] void fail(int line, const std::string& msg) {
+    throw CompileError(line, msg);
+  }
+
+  // --- Block plumbing ---
+
+  int newBlock() {
+    IrBlock b;
+    b.id = static_cast<int>(fn_.blocks.size());
+    b.parallel = inParallel_;
+    fn_.blocks.push_back(std::move(b));
+    return static_cast<int>(fn_.blocks.size()) - 1;
+  }
+  void setBlock(int id) { cur_ = id; }
+  IrBlock& curBlock() { return fn_.blocks[static_cast<std::size_t>(cur_)]; }
+  bool terminated() {
+    return !curBlock().instrs.empty() &&
+           curBlock().instrs.back().isTerminator();
+  }
+  IrInstr& emit(IrInstr in) {
+    in.srcLine = curLine_;
+    if (terminated()) {
+      // Unreachable code after return/break: park it in a dead block.
+      setBlock(newBlock());
+    }
+    curBlock().instrs.push_back(std::move(in));
+    return curBlock().instrs.back();
+  }
+  void emitCopy(int dst, int src) {
+    IrInstr in(IOp::kCopy);
+    in.dst = dst;
+    in.a = src;
+    emit(std::move(in));
+  }
+  void emitJmp(int target) {
+    IrInstr in(IOp::kJmp);
+    in.t1 = target;
+    emit(std::move(in));
+  }
+  void emitBr(Op rel, int a, int b, int t, int f) {
+    IrInstr in(IOp::kBr);
+    in.rel = rel;
+    in.a = a;
+    in.b = b;
+    in.t1 = t;
+    in.t2 = f;
+    emit(std::move(in));
+  }
+  int emitLi(std::int32_t v) {
+    if (v == 0) return 0;  // the zero register
+    IrInstr in(IOp::kLi);
+    in.dst = fn_.newVreg();
+    in.imm = v;
+    return emit(std::move(in)).dst;
+  }
+
+  // --- Storage for variables ---
+
+  static bool needsSlot(const VarDecl& d) {
+    return d.isArray() || d.addrTaken || d.isVolatile;
+  }
+
+  int allocSlot(const VarDecl& d) {
+    if (inParallel_)
+      fail(d.line, "variable '" + d.name +
+                       "' needs stack storage inside a spawn block (no "
+                       "parallel stack)");
+    int words = d.isArray()
+                    ? static_cast<int>((d.elementCount() * d.type.size() + 3) / 4)
+                    : 1;
+    int slot = fn_.frameWords;
+    fn_.frameWords += words;
+    varSlot_[&d] = slot;
+    return slot;
+  }
+
+  int frameReg(int slotWords) {
+    IrInstr in(IOp::kFrameAddr);
+    in.dst = fn_.newVreg();
+    in.imm = slotWords * 4;
+    return emit(std::move(in)).dst;
+  }
+
+  // --- Memory helpers ---
+
+  void emitStore(const AddrVal& a, int val, bool isByte, bool isVolatile) {
+    IrInstr in(isByte ? IOp::kStoreB : IOp::kStoreW);
+    in.a = a.reg;
+    in.imm = a.off;
+    in.b = val;
+    in.volatileMem = isVolatile;
+    emit(std::move(in));
+  }
+  int emitLoad(const AddrVal& a, bool isByte, bool isVolatile) {
+    IrInstr in(isByte ? IOp::kLoadB : IOp::kLoadW);
+    in.a = a.reg;
+    in.imm = a.off;
+    in.dst = fn_.newVreg();
+    in.volatileMem = isVolatile;
+    return emit(std::move(in)).dst;
+  }
+
+  // --- Lvalues ---
+
+  // Address of an lvalue expression (never called for register-resident
+  // scalars — see loadLvalue/storeLvalue).
+  AddrVal genAddr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kVarRef: {
+        VarDecl* d = e.decl;
+        XMT_CHECK(d != nullptr);
+        if (d->isPsBaseReg) fail(e.line, "psBaseReg has no address");
+        if (d->isGlobal) {
+          IrInstr in(IOp::kLa);
+          in.dst = fn_.newVreg();
+          in.sym = d->name;
+          return {emit(std::move(in)).dst, 0};
+        }
+        auto slot = varSlot_.find(d);
+        if (slot == varSlot_.end()) {
+          // Scalar local living in a register: it must have been forced to
+          // a slot by sema (addrTaken) before we ever need its address.
+          fail(e.line, "internal: address of register variable");
+        }
+        return {frameReg(slot->second), 0};
+      }
+      case ExprKind::kIndex: {
+        int base = genExpr(*e.a);
+        int scale = e.type.size();
+        if (e.b->kind == ExprKind::kIntLit) {
+          return {base, static_cast<std::int32_t>(e.b->intVal * scale)};
+        }
+        int idx = genExpr(*e.b);
+        int scaled = idx;
+        if (scale == 4) {
+          IrInstr sh(IOp::kSll);
+          sh.dst = fn_.newVreg();
+          sh.a = idx;
+          sh.imm = 2;
+          scaled = emit(std::move(sh)).dst;
+        }
+        IrInstr add(IOp::kAdd);
+        add.dst = fn_.newVreg();
+        add.a = base;
+        add.b = scaled;
+        return {emit(std::move(add)).dst, 0};
+      }
+      case ExprKind::kUnary:
+        XMT_CHECK(e.opTok == static_cast<int>(Tok::kStar));
+        return {genExpr(*e.a), 0};
+      default:
+        fail(e.line, "expression is not an lvalue");
+    }
+  }
+
+  bool isRegisterVar(const Expr& e) const {
+    return e.kind == ExprKind::kVarRef && e.decl != nullptr &&
+           !e.decl->isGlobal && !e.decl->isPsBaseReg &&
+           varSlot_.count(e.decl) == 0;
+  }
+
+  int loadLvalue(Expr& e) {
+    if (e.kind == ExprKind::kVarRef && e.decl->isPsBaseReg) {
+      IrInstr in(IOp::kMfgr);
+      in.dst = fn_.newVreg();
+      in.imm = e.decl->grIndex;
+      return emit(std::move(in)).dst;
+    }
+    if (isRegisterVar(e)) {
+      auto it = varReg_.find(e.decl);
+      if (it == varReg_.end())
+        fail(e.line, "use of uninitialized variable '" + e.decl->name + "'");
+      return it->second;
+    }
+    AddrVal a = genAddr(e);
+    return emitLoad(a, e.type.isChar(), isVolatileAccess(e));
+  }
+
+  void storeLvalue(Expr& e, int val) {
+    if (e.kind == ExprKind::kVarRef && e.decl->isPsBaseReg) {
+      IrInstr in(IOp::kMtgr);
+      in.a = val;
+      in.imm = e.decl->grIndex;
+      emit(std::move(in));
+      return;
+    }
+    if (isRegisterVar(e)) {
+      auto it = varReg_.find(e.decl);
+      if (it == varReg_.end()) {
+        int v = fn_.newVreg();
+        varReg_[e.decl] = v;
+        emitCopy(v, val);
+      } else {
+        emitCopy(it->second, val);
+      }
+      return;
+    }
+    AddrVal a = genAddr(e);
+    emitStore(a, val, e.type.isChar(), isVolatileAccess(e));
+  }
+
+  static bool isVolatileAccess(const Expr& e) {
+    if (e.kind == ExprKind::kVarRef && e.decl) return e.decl->isVolatile;
+    if (e.kind == ExprKind::kIndex && e.a->kind == ExprKind::kVarRef &&
+        e.a->decl)
+      return e.a->decl->isVolatile;
+    return false;
+  }
+
+  // --- Conditions ---
+
+  void genCond(Expr& e, int tBlk, int fBlk) {
+    if (e.kind == ExprKind::kUnary &&
+        e.opTok == static_cast<int>(Tok::kBang)) {
+      genCond(*e.a, fBlk, tBlk);
+      return;
+    }
+    if (e.kind == ExprKind::kBinary) {
+      Tok op = static_cast<Tok>(e.opTok);
+      if (op == Tok::kAmpAmp) {
+        int mid = newBlock();
+        genCond(*e.a, mid, fBlk);
+        setBlock(mid);
+        genCond(*e.b, tBlk, fBlk);
+        return;
+      }
+      if (op == Tok::kPipePipe) {
+        int mid = newBlock();
+        genCond(*e.a, tBlk, mid);
+        setBlock(mid);
+        genCond(*e.b, tBlk, fBlk);
+        return;
+      }
+      bool isCmp = op == Tok::kEq || op == Tok::kNe || op == Tok::kLt ||
+                   op == Tok::kGt || op == Tok::kLe || op == Tok::kGe;
+      if (isCmp && !e.a->type.isFloat() && !e.b->type.isFloat()) {
+        int a = genExpr(*e.a);
+        int b = genExpr(*e.b);
+        Op rel;
+        switch (op) {
+          case Tok::kEq: rel = Op::kBeq; break;
+          case Tok::kNe: rel = Op::kBne; break;
+          case Tok::kLt: rel = Op::kBlt; break;
+          case Tok::kGt: rel = Op::kBgt; break;
+          case Tok::kLe: rel = Op::kBle; break;
+          default: rel = Op::kBge; break;
+        }
+        emitBr(rel, a, b, tBlk, fBlk);
+        return;
+      }
+    }
+    int v = genExpr(e);
+    emitBr(Op::kBne, v, 0, tBlk, fBlk);
+  }
+
+  // --- Expressions ---
+
+  int genExpr(Expr& e) {
+    curLine_ = e.line;
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        return emitLi(static_cast<std::int32_t>(e.intVal));
+      case ExprKind::kFloatLit: {
+        float f = static_cast<float>(e.floatVal);
+        std::int32_t bits;
+        std::memcpy(&bits, &f, 4);
+        return emitLi(bits);
+      }
+      case ExprKind::kStrLit: {
+        IrInstr in(IOp::kLa);
+        in.dst = fn_.newVreg();
+        in.sym = internString(e.strVal);
+        return emit(std::move(in)).dst;
+      }
+      case ExprKind::kVarRef:
+        if (e.decl->isGlobal && e.decl->isArray()) {
+          IrInstr in(IOp::kLa);
+          in.dst = fn_.newVreg();
+          in.sym = e.decl->name;
+          return emit(std::move(in)).dst;
+        }
+        if (!e.decl->isGlobal && e.decl->isArray()) {
+          auto slot = varSlot_.find(e.decl);
+          XMT_CHECK(slot != varSlot_.end());
+          return frameReg(slot->second);
+        }
+        return loadLvalue(e);
+      case ExprKind::kDollar:
+        XMT_CHECK(!dollarStack_.empty());
+        return dollarStack_.back();
+      case ExprKind::kUnary: {
+        Tok op = static_cast<Tok>(e.opTok);
+        if (op == Tok::kStar) return loadLvalue(e);
+        if (op == Tok::kAmp) {
+          if (e.a->kind == ExprKind::kVarRef && e.a->decl->isArray())
+            return genExpr(*e.a);  // array decays to its own address
+          AddrVal a = genAddr(*e.a);
+          if (a.off == 0) return a.reg;
+          IrInstr add(IOp::kAddi);
+          add.dst = fn_.newVreg();
+          add.a = a.reg;
+          add.imm = a.off;
+          return emit(std::move(add)).dst;
+        }
+        int v = genExpr(*e.a);
+        if (op == Tok::kMinus) {
+          IrInstr in(e.a->type.isFloat() ? IOp::kFsub : IOp::kSub);
+          in.dst = fn_.newVreg();
+          in.a = 0;
+          in.b = v;
+          if (e.a->type.isFloat()) {
+            // 0.0f - v
+            int zero = emitLi(0);
+            in.a = zero;
+          }
+          return emit(std::move(in)).dst;
+        }
+        if (op == Tok::kTilde) {
+          IrInstr in(IOp::kNor);
+          in.dst = fn_.newVreg();
+          in.a = v;
+          in.b = 0;
+          return emit(std::move(in)).dst;
+        }
+        // ! : v == 0
+        return emitNot(v, e.a->type.isFloat());
+      }
+      case ExprKind::kBinary:
+        return genBinary(e);
+      case ExprKind::kAssign: {
+        Tok op = static_cast<Tok>(e.opTok);
+        if (op == Tok::kAssign) {
+          int v = genExpr(*e.b);
+          storeLvalue(*e.a, v);
+          return v;
+        }
+        // Compound: load, op, store.
+        int lhs = loadLvalue(*e.a);
+        int rhs = genExpr(*e.b);
+        Tok binOp;
+        switch (op) {
+          case Tok::kPlusAssign: binOp = Tok::kPlus; break;
+          case Tok::kMinusAssign: binOp = Tok::kMinus; break;
+          case Tok::kStarAssign: binOp = Tok::kStar; break;
+          case Tok::kSlashAssign: binOp = Tok::kSlash; break;
+          case Tok::kPercentAssign: binOp = Tok::kPercent; break;
+          case Tok::kShlAssign: binOp = Tok::kShl; break;
+          case Tok::kShrAssign: binOp = Tok::kShr; break;
+          case Tok::kAndAssign: binOp = Tok::kAmp; break;
+          case Tok::kOrAssign: binOp = Tok::kPipe; break;
+          default: binOp = Tok::kCaret; break;
+        }
+        int res = emitArith(binOp, lhs, rhs, e.a->type, *e.a, *e.b, e.line);
+        storeLvalue(*e.a, res);
+        return res;
+      }
+      case ExprKind::kCond: {
+        int res = fn_.newVreg();
+        int tB = newBlock(), fB = newBlock(), mB = newBlock();
+        genCond(*e.c, tB, fB);
+        setBlock(tB);
+        emitCopy(res, genExpr(*e.a));
+        emitJmp(mB);
+        setBlock(fB);
+        emitCopy(res, genExpr(*e.b));
+        emitJmp(mB);
+        setBlock(mB);
+        return res;
+      }
+      case ExprKind::kCall:
+        return genCall(e);
+      case ExprKind::kIndex:
+        return loadLvalue(e);
+      case ExprKind::kCast: {
+        int v = genExpr(*e.a);
+        if (e.a->type.isFloat() && e.type.isIntegral()) {
+          IrInstr in(IOp::kCvtfi);
+          in.dst = fn_.newVreg();
+          in.a = v;
+          return emit(std::move(in)).dst;
+        }
+        if (e.a->type.isIntegral() && e.type.isFloat()) {
+          IrInstr in(IOp::kCvtif);
+          in.dst = fn_.newVreg();
+          in.a = v;
+          return emit(std::move(in)).dst;
+        }
+        if (e.type.isChar() && !e.a->type.isChar()) {
+          IrInstr in(IOp::kAndi);
+          in.dst = fn_.newVreg();
+          in.a = v;
+          in.imm = 0xff;
+          return emit(std::move(in)).dst;
+        }
+        return v;
+      }
+      case ExprKind::kIncDec: {
+        int old = loadLvalue(*e.a);
+        int delta = e.a->type.isPointer() ? e.a->type.pointee().size() : 1;
+        if (static_cast<Tok>(e.opTok) == Tok::kMinusMinus) delta = -delta;
+        IrInstr in(IOp::kAddi);
+        in.dst = fn_.newVreg();
+        in.a = old;
+        in.imm = delta;
+        int neu = emit(std::move(in)).dst;
+        // Snapshot the old value before the store (the store may overwrite
+        // the same register for register-resident vars).
+        int oldCopy = old;
+        if (!e.prefix) {
+          oldCopy = fn_.newVreg();
+          emitCopy(oldCopy, old);
+        }
+        storeLvalue(*e.a, neu);
+        return e.prefix ? neu : oldCopy;
+      }
+      case ExprKind::kPs: {
+        int inc = loadLvalue(*e.a);
+        IrInstr in(IOp::kPs);
+        in.dst = fn_.newVreg();
+        in.a = inc;
+        in.imm = e.b->decl->grIndex;
+        int old = emit(std::move(in)).dst;
+        storeLvalue(*e.a, old);
+        return old;
+      }
+      case ExprKind::kPsm: {
+        int inc = loadLvalue(*e.a);
+        AddrVal addr = genAddr(*e.b);
+        IrInstr in(IOp::kPsm);
+        in.dst = fn_.newVreg();
+        in.a = addr.reg;
+        in.imm = addr.off;
+        in.b = inc;
+        int old = emit(std::move(in)).dst;
+        storeLvalue(*e.a, old);
+        return old;
+      }
+      case ExprKind::kSizeof:
+        return emitLi(static_cast<std::int32_t>(e.intVal));
+    }
+    fail(e.line, "internal: unhandled expression");
+  }
+
+  int emitNot(int v, bool isFloat) {
+    (void)isFloat;
+    // (v == 0) as a value: sltu d, zero, v gives v!=0; xori flips.
+    IrInstr ne(IOp::kSltu);
+    ne.dst = fn_.newVreg();
+    ne.a = 0;
+    ne.b = v;
+    int neR = emit(std::move(ne)).dst;
+    IrInstr x(IOp::kXori);
+    x.dst = fn_.newVreg();
+    x.a = neR;
+    x.imm = 1;
+    return emit(std::move(x)).dst;
+  }
+
+  int emitArith(Tok op, int a, int b, TypeRef resType, const Expr& lhs,
+                const Expr& rhs, int line) {
+    bool flt = resType.isFloat() ||
+               (lhs.type.isFloat() || rhs.type.isFloat());
+    // Pointer arithmetic scaling.
+    if (lhs.type.isPointer() && rhs.type.isIntegral() &&
+        (op == Tok::kPlus || op == Tok::kMinus)) {
+      int scale = lhs.type.pointee().size();
+      if (scale == 4) {
+        IrInstr sh(IOp::kSll);
+        sh.dst = fn_.newVreg();
+        sh.a = b;
+        sh.imm = 2;
+        b = emit(std::move(sh)).dst;
+      }
+    } else if (rhs.type.isPointer() && lhs.type.isIntegral() &&
+               op == Tok::kPlus) {
+      int scale = rhs.type.pointee().size();
+      if (scale == 4) {
+        IrInstr sh(IOp::kSll);
+        sh.dst = fn_.newVreg();
+        sh.a = a;
+        sh.imm = 2;
+        a = emit(std::move(sh)).dst;
+      }
+    }
+    auto r3 = [&](IOp o) {
+      IrInstr in(o);
+      in.dst = fn_.newVreg();
+      in.a = a;
+      in.b = b;
+      return emit(std::move(in)).dst;
+    };
+    bool uns = lhs.type.isUnsigned() || rhs.type.isUnsigned() ||
+               lhs.type.isPointer() || rhs.type.isPointer();
+    switch (op) {
+      case Tok::kPlus: return r3(flt ? IOp::kFadd : IOp::kAdd);
+      case Tok::kMinus: return r3(flt ? IOp::kFsub : IOp::kSub);
+      case Tok::kStar: return r3(flt ? IOp::kFmul : IOp::kMul);
+      case Tok::kSlash: return r3(flt ? IOp::kFdiv : IOp::kDiv);
+      case Tok::kPercent:
+        if (flt) fail(line, "'%' on float");
+        return r3(IOp::kRem);
+      case Tok::kAmp: return r3(IOp::kAnd);
+      case Tok::kPipe: return r3(IOp::kOr);
+      case Tok::kCaret: return r3(IOp::kXor);
+      case Tok::kShl: return r3(IOp::kSllv);
+      case Tok::kShr: return r3(uns ? IOp::kSrlv : IOp::kSrav);
+      // Comparisons as values.
+      case Tok::kLt: return r3(flt ? IOp::kFlt : (uns ? IOp::kSltu : IOp::kSlt));
+      case Tok::kGt: {
+        std::swap(a, b);
+        return r3(flt ? IOp::kFlt : (uns ? IOp::kSltu : IOp::kSlt));
+      }
+      case Tok::kLe: {
+        if (flt) return r3(IOp::kFle);
+        std::swap(a, b);
+        int g = r3(uns ? IOp::kSltu : IOp::kSlt);  // b < a  == a > b
+        return flipBit(g);
+      }
+      case Tok::kGe: {
+        if (flt) {
+          std::swap(a, b);
+          return r3(IOp::kFle);
+        }
+        int l = r3(uns ? IOp::kSltu : IOp::kSlt);  // a < b
+        return flipBit(l);
+      }
+      case Tok::kEq: {
+        if (flt) return r3(IOp::kFeq);
+        int x = r3(IOp::kXor);
+        IrInstr ne(IOp::kSltu);
+        ne.dst = fn_.newVreg();
+        ne.a = 0;
+        ne.b = x;
+        return flipBit(emit(std::move(ne)).dst);
+      }
+      case Tok::kNe: {
+        if (flt) return flipBit(r3(IOp::kFeq));
+        int x = r3(IOp::kXor);
+        IrInstr ne(IOp::kSltu);
+        ne.dst = fn_.newVreg();
+        ne.a = 0;
+        ne.b = x;
+        return emit(std::move(ne)).dst;
+      }
+      default:
+        fail(line, "internal: unhandled binary operator");
+    }
+  }
+
+  int flipBit(int v) {
+    IrInstr x(IOp::kXori);
+    x.dst = fn_.newVreg();
+    x.a = v;
+    x.imm = 1;
+    return emit(std::move(x)).dst;
+  }
+
+  int genBinary(Expr& e) {
+    Tok op = static_cast<Tok>(e.opTok);
+    if (op == Tok::kAmpAmp || op == Tok::kPipePipe) {
+      int res = fn_.newVreg();
+      int tB = newBlock(), fB = newBlock(), mB = newBlock();
+      genCond(e, tB, fB);
+      setBlock(tB);
+      IrInstr one(IOp::kLi);
+      one.dst = res;
+      one.imm = 1;
+      emit(std::move(one));
+      emitJmp(mB);
+      setBlock(fB);
+      IrInstr zero(IOp::kLi);
+      zero.dst = res;
+      zero.imm = 0;
+      emit(std::move(zero));
+      emitJmp(mB);
+      setBlock(mB);
+      return res;
+    }
+    int a = genExpr(*e.a);
+    int b = genExpr(*e.b);
+    return emitArith(op, a, b, e.type, *e.a, *e.b, e.line);
+  }
+
+  int genCall(Expr& e) {
+    if (inParallel_)
+      fail(e.line, "function call inside a spawn block survived inlining; "
+                   "there is no parallel stack");
+    fn_.hasCalls = true;
+    std::vector<int> vals;
+    vals.reserve(e.args.size());
+    for (auto& a : e.args) vals.push_back(genExpr(*a));
+    IrInstr call(IOp::kCall);
+    call.sym = e.strVal;
+    for (std::size_t i = 0; i < vals.size(); ++i) {
+      emitCopy(kArgRegs[i], vals[i]);
+      call.args.push_back(kArgRegs[i]);
+    }
+    emit(std::move(call));
+    int res = fn_.newVreg();
+    emitCopy(res, kV0);
+    return res;
+  }
+
+  // --- Statements ---
+
+  void genLocalDecl(VarDecl& d) {
+    curLine_ = d.line;
+    if (needsSlot(d)) {
+      int slot = allocSlot(d);
+      // Array initializers.
+      if (d.isArray()) {
+        int elem = d.type.size();
+        for (std::size_t i = 0; i < d.init.size(); ++i) {
+          int v = genExpr(*d.init[i]);
+          AddrVal a{frameReg(slot), static_cast<std::int32_t>(i) *
+                                        static_cast<std::int32_t>(elem)};
+          emitStore(a, v, d.type.isChar(), d.isVolatile);
+        }
+      } else if (!d.init.empty()) {
+        int v = genExpr(*d.init[0]);
+        AddrVal a{frameReg(slot), 0};
+        emitStore(a, v, d.type.isChar(), d.isVolatile);
+      }
+      return;
+    }
+    int v = fn_.newVreg();
+    varReg_[&d] = v;
+    if (!d.init.empty()) {
+      int init = genExpr(*d.init[0]);
+      emitCopy(v, init);
+    }
+  }
+
+  void genStmt(Stmt& s) {
+    curLine_ = s.line;
+    switch (s.kind) {
+      case StmtKind::kExpr:
+        genExpr(*s.expr);
+        break;
+      case StmtKind::kDecl:
+        for (auto& d : s.decls) genLocalDecl(*d);
+        break;
+      case StmtKind::kIf: {
+        int tB = newBlock(), mB = newBlock();
+        int fB = s.elseBody ? newBlock() : mB;
+        genCond(*s.expr, tB, fB);
+        setBlock(tB);
+        genStmt(*s.body);
+        if (!terminated()) emitJmp(mB);
+        if (s.elseBody) {
+          setBlock(fB);
+          genStmt(*s.elseBody);
+          if (!terminated()) emitJmp(mB);
+        }
+        setBlock(mB);
+        break;
+      }
+      case StmtKind::kWhile: {
+        int head = newBlock(), body = newBlock(), exit = newBlock();
+        emitJmp(head);
+        setBlock(head);
+        genCond(*s.expr, body, exit);
+        loops_.push_back({head, exit});
+        setBlock(body);
+        genStmt(*s.body);
+        if (!terminated()) emitJmp(head);
+        loops_.pop_back();
+        setBlock(exit);
+        break;
+      }
+      case StmtKind::kDoWhile: {
+        int body = newBlock(), head = newBlock(), exit = newBlock();
+        emitJmp(body);
+        loops_.push_back({head, exit});
+        setBlock(body);
+        genStmt(*s.body);
+        if (!terminated()) emitJmp(head);
+        loops_.pop_back();
+        setBlock(head);
+        genCond(*s.expr, body, exit);
+        setBlock(exit);
+        break;
+      }
+      case StmtKind::kFor: {
+        for (auto& d : s.decls) genLocalDecl(*d);
+        if (s.expr) genExpr(*s.expr);
+        int head = newBlock(), body = newBlock(), step = newBlock(),
+            exit = newBlock();
+        emitJmp(head);
+        setBlock(head);
+        if (s.expr2) genCond(*s.expr2, body, exit);
+        else emitJmp(body);
+        loops_.push_back({step, exit});
+        setBlock(body);
+        genStmt(*s.body);
+        if (!terminated()) emitJmp(step);
+        loops_.pop_back();
+        setBlock(step);
+        if (s.expr3) genExpr(*s.expr3);
+        emitJmp(head);
+        setBlock(exit);
+        break;
+      }
+      case StmtKind::kBlock:
+        for (auto& sub : s.stmts) genStmt(*sub);
+        break;
+      case StmtKind::kBreak:
+        XMT_CHECK(!loops_.empty());
+        emitJmp(loops_.back().second);
+        break;
+      case StmtKind::kContinue:
+        XMT_CHECK(!loops_.empty());
+        emitJmp(loops_.back().first);
+        break;
+      case StmtKind::kReturn: {
+        if (s.expr) {
+          int v = genExpr(*s.expr);
+          emitCopy(kV0, v);
+        }
+        if (exitBlock_ < 0) exitBlock_ = newBlock();
+        emitJmp(exitBlock_);
+        break;
+      }
+      case StmtKind::kSpawn:
+        genSpawn(s);
+        break;
+      case StmtKind::kEmpty:
+        break;
+      case StmtKind::kPrintf:
+        genPrintf(s);
+        break;
+    }
+  }
+
+  void genSpawn(Stmt& s) {
+    if (inParallel_) {
+      // Nested spawn: serialized by the current release, exactly as the
+      // paper states.
+      int lo = genExpr(*s.expr);
+      int hi = genExpr(*s.expr2);
+      int iv = fn_.newVreg();
+      emitCopy(iv, lo);
+      int head = newBlock(), body = newBlock(), exit = newBlock();
+      emitJmp(head);
+      setBlock(head);
+      emitBr(Op::kBle, iv, hi, body, exit);
+      setBlock(body);
+      dollarStack_.push_back(iv);
+      genStmt(*s.body);
+      dollarStack_.pop_back();
+      IrInstr inc(IOp::kAddi);
+      inc.dst = iv;
+      inc.a = iv;
+      inc.imm = 1;
+      emit(std::move(inc));
+      emitJmp(head);
+      setBlock(exit);
+      return;
+    }
+    int lo = genExpr(*s.expr);
+    int hi = genExpr(*s.expr2);
+    IrInstr mlo(IOp::kMtgr);
+    mlo.a = lo;
+    mlo.imm = kGrNextId;
+    emit(std::move(mlo));
+    IrInstr mhi(IOp::kMtgr);
+    mhi.a = hi;
+    mhi.imm = kGrHigh;
+    emit(std::move(mhi));
+    IrInstr sp(IOp::kSpawn);
+    sp.t1 = -1;
+    sp.t2 = -1;
+    emit(std::move(sp));
+    int spBlock = cur_;
+    std::size_t spIdx = curBlock().instrs.size() - 1;
+
+    inParallel_ = true;
+    int body = newBlock();
+    setBlock(body);
+    IrInstr tid(IOp::kGetTid);
+    tid.dst = fn_.newVreg();
+    int tidReg = emit(std::move(tid)).dst;
+    dollarStack_.push_back(tidReg);
+    genStmt(*s.body);
+    dollarStack_.pop_back();
+    emit(IrInstr(IOp::kJoin));
+    inParallel_ = false;
+
+    int cont = newBlock();
+    setBlock(cont);
+    auto& spawnInstr =
+        fn_.blocks[static_cast<std::size_t>(spBlock)].instrs[spIdx];
+    spawnInstr.t1 = body;
+    spawnInstr.t2 = cont;
+  }
+
+  void genPrintf(Stmt& s) {
+    std::size_t argIdx = 0;
+    std::string pending;
+    auto flush = [&] {
+      if (pending.empty()) return;
+      IrInstr la(IOp::kLa);
+      la.dst = fn_.newVreg();
+      la.sym = internString(pending);
+      int addr = emit(std::move(la)).dst;
+      emitCopy(kA0, addr);
+      IrInstr sys(IOp::kSys);
+      sys.imm = 3;
+      sys.a = kA0;
+      emit(std::move(sys));
+      pending.clear();
+    };
+    const std::string& f = s.strVal;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      if (f[i] != '%') {
+        pending += f[i];
+        continue;
+      }
+      char c = f[++i];
+      if (c == '%') {
+        pending += '%';
+        continue;
+      }
+      flush();
+      int v = genExpr(*s.args[argIdx++]);
+      emitCopy(kA0, v);
+      IrInstr sys(IOp::kSys);
+      sys.a = kA0;
+      switch (c) {
+        case 'd':
+        case 'u': sys.imm = 1; break;
+        case 'c': sys.imm = 2; break;
+        case 's': sys.imm = 3; break;
+        case 'f': sys.imm = 4; break;
+        default: XMT_CHECK(false);
+      }
+      emit(std::move(sys));
+    }
+    flush();
+  }
+
+  std::string internString(const std::string& s) {
+    for (const auto& d : mod_.data)
+      if (d.kind == IrData::Kind::kAscii && d.str == s) return d.label;
+    IrData d;
+    d.label = "__str" + std::to_string(mod_.data.size());
+    d.kind = IrData::Kind::kAscii;
+    d.str = s;
+    mod_.data.push_back(std::move(d));
+    return mod_.data.back().label;
+  }
+
+  TranslationUnit& tu_;
+  IrModule& mod_;
+  FuncDecl& f_;
+  IrFunc fn_;
+  int cur_ = 0;
+  int curLine_ = 0;
+  int exitBlock_ = -1;
+  bool inParallel_ = false;
+  std::map<const VarDecl*, int> varReg_;
+  std::map<const VarDecl*, int> varSlot_;
+  std::vector<int> dollarStack_;
+  std::vector<std::pair<int, int>> loops_;  // (continue target, break target)
+};
+
+std::uint32_t constWord(const Expr& e) {
+  if (e.kind == ExprKind::kFloatLit) {
+    float f = static_cast<float>(e.floatVal);
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, 4);
+    return bits;
+  }
+  return static_cast<std::uint32_t>(e.intVal);
+}
+
+}  // namespace
+
+IrModule lowerToIr(TranslationUnit& tu) {
+  IrModule mod;
+  for (auto& g : tu.globals) {
+    if (g->isPsBaseReg) continue;  // lives in a global register
+    IrData d;
+    d.label = g->name;
+    d.exported = true;
+    std::uint32_t bytes =
+        static_cast<std::uint32_t>(g->elementCount() * g->type.size());
+    if (g->init.empty()) {
+      d.kind = IrData::Kind::kSpace;
+      d.spaceBytes = (bytes + 3u) & ~3u;
+    } else {
+      d.kind = IrData::Kind::kWords;
+      std::size_t n = (bytes + 3) / 4;
+      d.words.assign(n, 0);
+      if (g->isArray() && g->type.isChar()) {
+        // Byte-element arrays: pack initializers.
+        std::vector<std::uint8_t> raw(n * 4, 0);
+        for (std::size_t i = 0; i < g->init.size(); ++i)
+          raw[i] = static_cast<std::uint8_t>(g->init[i]->intVal);
+        std::memcpy(d.words.data(), raw.data(), n * 4);
+      } else {
+        for (std::size_t i = 0; i < g->init.size(); ++i)
+          d.words[i] = constWord(*g->init[i]);
+      }
+    }
+    mod.data.push_back(std::move(d));
+  }
+  for (auto& f : tu.funcs)
+    mod.funcs.push_back(FuncLowering(tu, mod, *f).run());
+
+  // psBaseReg initializers become mtgr instructions at the top of main.
+  std::vector<IrInstr> grInit;
+  for (auto& g : tu.globals) {
+    if (!g->isPsBaseReg || g->init.empty()) continue;
+    IrInstr li(IOp::kLi);
+    IrInstr mt(IOp::kMtgr);
+    li.imm = static_cast<std::int32_t>(g->init[0]->intVal);
+    mt.imm = g->grIndex;
+    grInit.push_back(li);
+    grInit.push_back(mt);
+  }
+  if (!grInit.empty()) {
+    for (auto& fn : mod.funcs) {
+      if (!fn.isMain) continue;
+      auto& entry = fn.blocks[0].instrs;
+      std::vector<IrInstr> prefix;
+      for (std::size_t i = 0; i + 1 < grInit.size(); i += 2) {
+        IrInstr li = grInit[i];
+        li.dst = fn.newVreg();
+        IrInstr mt = grInit[i + 1];
+        mt.a = li.dst;
+        prefix.push_back(li);
+        prefix.push_back(mt);
+      }
+      entry.insert(entry.begin(), prefix.begin(), prefix.end());
+    }
+  }
+  return mod;
+}
+
+std::string dumpIr(const IrFunc& f) {
+  std::string out = "func " + f.name + ":\n";
+  for (const auto& b : f.blocks) {
+    out += "  B" + std::to_string(b.id) + (b.parallel ? " [par]" : "") +
+           ":\n";
+    for (const auto& in : b.instrs) {
+      out += "    op=" + std::to_string(static_cast<int>(in.op)) +
+             " dst=" + std::to_string(in.dst) + " a=" + std::to_string(in.a) +
+             " b=" + std::to_string(in.b) + " imm=" + std::to_string(in.imm);
+      if (!in.sym.empty()) out += " sym=" + in.sym;
+      if (in.t1 >= 0)
+        out += " t1=" + std::to_string(in.t1) + " t2=" +
+               std::to_string(in.t2);
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace xmt

@@ -1,0 +1,15 @@
+// Lowering from the (analyzed, transformed) XMTC AST to the three-address
+// IR. Functions get a CFG; globals and string literals become data items.
+#pragma once
+
+#include "src/compiler/ast.h"
+#include "src/compiler/ir.h"
+
+namespace xmt {
+
+/// Lowers the translation unit. Throws CompileError for constructs that
+/// cannot be compiled (calls remaining in parallel code, locals needing a
+/// stack in parallel code, ...).
+IrModule lowerToIr(TranslationUnit& tu);
+
+}  // namespace xmt

@@ -1,0 +1,35 @@
+// IR optimization passes.
+//
+// Generic passes (constant folding, copy propagation, dead-code
+// elimination) are deliberately block-local: they can never move a value
+// across a spawn boundary, so they are safe by construction once outlining
+// has run. The XMT-specific passes implement Section IV-C of the paper:
+// non-blocking stores with memory-model fences, and prefetch-buffer
+// prefetching that batches the address computations of nearby loads to
+// create memory-level parallelism inside a virtual thread.
+#pragma once
+
+#include "src/compiler/ir.h"
+
+namespace xmt {
+
+/// Generic optimizations; level 0 = none, 1 = standard.
+void optimizeIr(IrFunc& fn, int level);
+
+/// Replaces eligible (non-volatile, word) stores with non-blocking stores
+/// and inserts the memory fences the XMT memory model requires before
+/// ps/psm/spawn (Section IV-A).
+void applyNonBlockingStores(IrFunc& fn);
+
+/// Inserts prefetches in parallel blocks: for groups of loads in the same
+/// block with independent address computations, hoists the address
+/// computation of later loads above the first and issues `pref`, so the
+/// loads overlap (the compiler prefetching of paper ref. [8]).
+/// `depth` bounds the number of outstanding prefetches per group.
+void insertPrefetches(IrFunc& fn, int depth);
+
+/// Safety net for the outlining guarantee: no virtual register defined in a
+/// parallel block may be used in a serial block. Throws InternalError.
+void verifyParallelDataflow(const IrFunc& fn);
+
+}  // namespace xmt

@@ -1,0 +1,572 @@
+#include "src/compiler/parser.h"
+
+#include "src/common/error.h"
+#include "src/compiler/lexer.h"
+
+namespace xmt {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& source) : toks_(lex(source)) {}
+
+  std::unique_ptr<TranslationUnit> run() {
+    auto tu = std::make_unique<TranslationUnit>();
+    while (!at(Tok::kEof)) {
+      bool isVolatile = accept(Tok::kVolatile);
+      bool isPsBase = accept(Tok::kPsBaseReg);
+      if (isPsBase) {
+        // psBaseReg [int] name [= init] (',' name)* ';'
+        accept(Tok::kInt);
+        do {
+          auto v = std::make_unique<VarDecl>();
+          v->line = cur().line;
+          v->name = expectIdent();
+          v->type = TypeRef::Int();
+          v->isGlobal = true;
+          v->isPsBaseReg = true;
+          if (accept(Tok::kAssign)) v->init.push_back(assignment());
+          tu->globals.push_back(std::move(v));
+        } while (accept(Tok::kComma));
+        expect(Tok::kSemi);
+        continue;
+      }
+      TypeRef base = parseBaseType();
+      // Look ahead: pointer stars then ident then '(' => function.
+      std::size_t save = pos_;
+      int stars = 0;
+      while (accept(Tok::kStar)) ++stars;
+      if (at(Tok::kIdent) && toks_[pos_ + 1].kind == Tok::kLParen) {
+        TypeRef ret = base;
+        ret.ptr = stars;
+        tu->funcs.push_back(parseFunction(ret));
+        if (isVolatile) fail("volatile function");
+        continue;
+      }
+      pos_ = save;
+      parseGlobalDeclarators(*tu, base, isVolatile);
+    }
+    return tu;
+  }
+
+ private:
+  const Token& cur() const { return toks_[pos_]; }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool accept(Tok k) {
+    if (at(k)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect(Tok k) {
+    if (!accept(k))
+      fail(std::string("expected ") + tokName(k) + ", got " +
+           tokName(cur().kind));
+  }
+  std::string expectIdent() {
+    if (!at(Tok::kIdent)) fail("expected identifier");
+    std::string s = cur().text;
+    ++pos_;
+    return s;
+  }
+  [[noreturn]] void fail(const std::string& msg) {
+    throw CompileError(cur().line, msg);
+  }
+
+  bool atTypeKeyword() const {
+    return at(Tok::kInt) || at(Tok::kUnsigned) || at(Tok::kFloat) ||
+           at(Tok::kChar) || at(Tok::kVoid);
+  }
+
+  TypeRef parseBaseType() {
+    TypeRef t;
+    if (accept(Tok::kInt)) t.base = TypeRef::Base::kInt;
+    else if (accept(Tok::kUnsigned)) {
+      accept(Tok::kInt);
+      t.base = TypeRef::Base::kUInt;
+    } else if (accept(Tok::kFloat)) t.base = TypeRef::Base::kFloat;
+    else if (accept(Tok::kChar)) t.base = TypeRef::Base::kChar;
+    else if (accept(Tok::kVoid)) t.base = TypeRef::Base::kVoid;
+    else fail("expected type");
+    return t;
+  }
+
+  std::unique_ptr<VarDecl> parseDeclarator(TypeRef base, bool isVolatile) {
+    auto v = std::make_unique<VarDecl>();
+    v->line = cur().line;
+    v->type = base;
+    while (accept(Tok::kStar)) v->type.ptr++;
+    v->isVolatile = isVolatile;
+    v->name = expectIdent();
+    while (accept(Tok::kLBracket)) {
+      if (!at(Tok::kIntLit)) fail("array dimension must be a constant");
+      v->dims.push_back(static_cast<int>(cur().intVal));
+      ++pos_;
+      expect(Tok::kRBracket);
+    }
+    if (accept(Tok::kAssign)) {
+      if (accept(Tok::kLBrace)) {
+        do {
+          v->init.push_back(assignment());
+        } while (accept(Tok::kComma));
+        expect(Tok::kRBrace);
+      } else {
+        v->init.push_back(assignment());
+      }
+    }
+    return v;
+  }
+
+  void parseGlobalDeclarators(TranslationUnit& tu, TypeRef base,
+                              bool isVolatile) {
+    do {
+      auto v = parseDeclarator(base, isVolatile);
+      v->isGlobal = true;
+      tu.globals.push_back(std::move(v));
+    } while (accept(Tok::kComma));
+    expect(Tok::kSemi);
+  }
+
+  std::unique_ptr<FuncDecl> parseFunction(TypeRef ret) {
+    auto f = std::make_unique<FuncDecl>();
+    f->line = cur().line;
+    f->retType = ret;
+    f->name = expectIdent();
+    expect(Tok::kLParen);
+    if (!accept(Tok::kRParen)) {
+      if (accept(Tok::kVoid) && at(Tok::kRParen)) {
+        expect(Tok::kRParen);
+      } else {
+        do {
+          TypeRef base =
+              atTypeKeyword() ? parseBaseType() : TypeRef::Int();
+          auto p = parseDeclarator(base, false);
+          if (!p->init.empty()) fail("parameter with initializer");
+          p->isParam = true;
+          // Array parameters decay to pointers.
+          if (p->isArray()) {
+            p->dims.clear();
+            p->type.ptr++;
+          }
+          f->params.push_back(std::move(p));
+        } while (accept(Tok::kComma));
+        expect(Tok::kRParen);
+      }
+    }
+    f->body = parseBlock();
+    return f;
+  }
+
+  StmtPtr parseBlock() {
+    expect(Tok::kLBrace);
+    auto blk = std::make_unique<Stmt>(StmtKind::kBlock);
+    blk->line = cur().line;
+    while (!accept(Tok::kRBrace)) {
+      if (at(Tok::kEof)) fail("unterminated block");
+      blk->stmts.push_back(statement());
+    }
+    return blk;
+  }
+
+  StmtPtr statement() {
+    int line = cur().line;
+    if (at(Tok::kLBrace)) return parseBlock();
+    if (accept(Tok::kSemi)) {
+      auto s = std::make_unique<Stmt>(StmtKind::kEmpty);
+      s->line = line;
+      return s;
+    }
+    if (accept(Tok::kIf)) {
+      auto s = std::make_unique<Stmt>(StmtKind::kIf);
+      s->line = line;
+      expect(Tok::kLParen);
+      s->expr = expression();
+      expect(Tok::kRParen);
+      s->body = statement();
+      if (accept(Tok::kElse)) s->elseBody = statement();
+      return s;
+    }
+    if (accept(Tok::kWhile)) {
+      auto s = std::make_unique<Stmt>(StmtKind::kWhile);
+      s->line = line;
+      expect(Tok::kLParen);
+      s->expr = expression();
+      expect(Tok::kRParen);
+      s->body = statement();
+      return s;
+    }
+    if (accept(Tok::kDo)) {
+      auto s = std::make_unique<Stmt>(StmtKind::kDoWhile);
+      s->line = line;
+      s->body = statement();
+      expect(Tok::kWhile);
+      expect(Tok::kLParen);
+      s->expr = expression();
+      expect(Tok::kRParen);
+      expect(Tok::kSemi);
+      return s;
+    }
+    if (accept(Tok::kFor)) {
+      auto s = std::make_unique<Stmt>(StmtKind::kFor);
+      s->line = line;
+      expect(Tok::kLParen);
+      if (!accept(Tok::kSemi)) {
+        if (atTypeKeyword()) {
+          TypeRef base = parseBaseType();
+          do {
+            auto v = parseDeclarator(base, false);
+            s->decls.push_back(std::move(v));
+          } while (accept(Tok::kComma));
+        } else {
+          s->expr = expression();
+        }
+        expect(Tok::kSemi);
+      }
+      if (!at(Tok::kSemi)) s->expr2 = expression();
+      expect(Tok::kSemi);
+      if (!at(Tok::kRParen)) s->expr3 = expression();
+      expect(Tok::kRParen);
+      s->body = statement();
+      return s;
+    }
+    if (accept(Tok::kBreak)) {
+      expect(Tok::kSemi);
+      auto s = std::make_unique<Stmt>(StmtKind::kBreak);
+      s->line = line;
+      return s;
+    }
+    if (accept(Tok::kContinue)) {
+      expect(Tok::kSemi);
+      auto s = std::make_unique<Stmt>(StmtKind::kContinue);
+      s->line = line;
+      return s;
+    }
+    if (accept(Tok::kReturn)) {
+      auto s = std::make_unique<Stmt>(StmtKind::kReturn);
+      s->line = line;
+      if (!at(Tok::kSemi)) s->expr = expression();
+      expect(Tok::kSemi);
+      return s;
+    }
+    if (accept(Tok::kSpawn)) {
+      auto s = std::make_unique<Stmt>(StmtKind::kSpawn);
+      s->line = line;
+      expect(Tok::kLParen);
+      s->expr = expression();
+      expect(Tok::kComma);
+      s->expr2 = expression();
+      expect(Tok::kRParen);
+      s->body = parseBlock();
+      return s;
+    }
+    if (atTypeKeyword() || at(Tok::kVolatile)) {
+      bool isVolatile = accept(Tok::kVolatile);
+      TypeRef base = parseBaseType();
+      auto s = std::make_unique<Stmt>(StmtKind::kDecl);
+      s->line = line;
+      do {
+        s->decls.push_back(parseDeclarator(base, isVolatile));
+      } while (accept(Tok::kComma));
+      expect(Tok::kSemi);
+      return s;
+    }
+    if (at(Tok::kIdent) && cur().text == "printf" &&
+        toks_[pos_ + 1].kind == Tok::kLParen) {
+      ++pos_;
+      expect(Tok::kLParen);
+      auto s = std::make_unique<Stmt>(StmtKind::kPrintf);
+      s->line = line;
+      if (!at(Tok::kStringLit)) fail("printf needs a literal format string");
+      s->strVal = cur().text;
+      ++pos_;
+      while (accept(Tok::kComma)) s->args.push_back(assignment());
+      expect(Tok::kRParen);
+      expect(Tok::kSemi);
+      return s;
+    }
+    auto s = std::make_unique<Stmt>(StmtKind::kExpr);
+    s->line = line;
+    s->expr = expression();
+    expect(Tok::kSemi);
+    return s;
+  }
+
+  // --- Expressions (precedence climbing) ---
+
+  ExprPtr expression() { return assignment(); }
+
+  ExprPtr assignment() {
+    ExprPtr lhs = conditional();
+    Tok k = cur().kind;
+    if (k == Tok::kAssign || k == Tok::kPlusAssign || k == Tok::kMinusAssign ||
+        k == Tok::kStarAssign || k == Tok::kSlashAssign ||
+        k == Tok::kPercentAssign || k == Tok::kShlAssign ||
+        k == Tok::kShrAssign || k == Tok::kAndAssign || k == Tok::kOrAssign ||
+        k == Tok::kXorAssign) {
+      int line = cur().line;
+      ++pos_;
+      auto e = std::make_unique<Expr>(ExprKind::kAssign);
+      e->line = line;
+      e->opTok = static_cast<int>(k);
+      e->a = std::move(lhs);
+      e->b = assignment();
+      return e;
+    }
+    return lhs;
+  }
+
+  ExprPtr conditional() {
+    ExprPtr c = binary(0);
+    if (accept(Tok::kQuestion)) {
+      auto e = std::make_unique<Expr>(ExprKind::kCond);
+      e->line = c->line;
+      e->c = std::move(c);
+      e->a = expression();
+      expect(Tok::kColon);
+      e->b = conditional();
+      return e;
+    }
+    return c;
+  }
+
+  // Binary operator precedence, loosest first.
+  static int precOf(Tok k) {
+    switch (k) {
+      case Tok::kPipePipe: return 1;
+      case Tok::kAmpAmp: return 2;
+      case Tok::kPipe: return 3;
+      case Tok::kCaret: return 4;
+      case Tok::kAmp: return 5;
+      case Tok::kEq:
+      case Tok::kNe: return 6;
+      case Tok::kLt:
+      case Tok::kGt:
+      case Tok::kLe:
+      case Tok::kGe: return 7;
+      case Tok::kShl:
+      case Tok::kShr: return 8;
+      case Tok::kPlus:
+      case Tok::kMinus: return 9;
+      case Tok::kStar:
+      case Tok::kSlash:
+      case Tok::kPercent: return 10;
+      default: return 0;
+    }
+  }
+
+  ExprPtr binary(int minPrec) {
+    ExprPtr lhs = unary();
+    for (;;) {
+      int prec = precOf(cur().kind);
+      if (prec == 0 || prec < minPrec) return lhs;
+      Tok op = cur().kind;
+      int line = cur().line;
+      ++pos_;
+      ExprPtr rhs = binaryRhs(prec + 1);
+      auto e = std::make_unique<Expr>(ExprKind::kBinary);
+      e->line = line;
+      e->opTok = static_cast<int>(op);
+      e->a = std::move(lhs);
+      e->b = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  ExprPtr binaryRhs(int minPrec) { return binary(minPrec); }
+
+  ExprPtr unary() {
+    int line = cur().line;
+    switch (cur().kind) {
+      case Tok::kPlusPlus:
+      case Tok::kMinusMinus: {
+        Tok k = cur().kind;
+        ++pos_;
+        auto e = std::make_unique<Expr>(ExprKind::kIncDec);
+        e->line = line;
+        e->prefix = true;
+        e->opTok = static_cast<int>(k);
+        e->a = unary();
+        return e;
+      }
+      case Tok::kMinus:
+      case Tok::kBang:
+      case Tok::kTilde:
+      case Tok::kStar:
+      case Tok::kAmp: {
+        Tok k = cur().kind;
+        ++pos_;
+        auto e = std::make_unique<Expr>(ExprKind::kUnary);
+        e->line = line;
+        e->opTok = static_cast<int>(k);
+        e->a = unary();
+        return e;
+      }
+      case Tok::kPlus:
+        ++pos_;
+        return unary();
+      case Tok::kSizeof: {
+        ++pos_;
+        expect(Tok::kLParen);
+        auto e = std::make_unique<Expr>(ExprKind::kSizeof);
+        e->line = line;
+        if (atTypeKeyword()) {
+          TypeRef t = parseBaseType();
+          while (accept(Tok::kStar)) t.ptr++;
+          e->intVal = t.size();
+        } else {
+          e->a = expression();  // sized by sema
+        }
+        expect(Tok::kRParen);
+        return e;
+      }
+      case Tok::kLParen:
+        // Cast or parenthesized expression.
+        if (atTypeKeyword(1)) {
+          ++pos_;
+          TypeRef t = parseBaseType();
+          while (accept(Tok::kStar)) t.ptr++;
+          expect(Tok::kRParen);
+          auto e = std::make_unique<Expr>(ExprKind::kCast);
+          e->line = line;
+          e->type = t;
+          e->a = unary();
+          return e;
+        }
+        return postfix();
+      default:
+        return postfix();
+    }
+  }
+
+  bool atTypeKeyword(int ahead) const {
+    Tok k = toks_[pos_ + static_cast<std::size_t>(ahead)].kind;
+    return k == Tok::kInt || k == Tok::kUnsigned || k == Tok::kFloat ||
+           k == Tok::kChar || k == Tok::kVoid;
+  }
+
+  ExprPtr postfix() {
+    ExprPtr e = primary();
+    for (;;) {
+      int line = cur().line;
+      if (accept(Tok::kLBracket)) {
+        auto idx = std::make_unique<Expr>(ExprKind::kIndex);
+        idx->line = line;
+        idx->a = std::move(e);
+        idx->b = expression();
+        expect(Tok::kRBracket);
+        e = std::move(idx);
+        continue;
+      }
+      if (at(Tok::kPlusPlus) || at(Tok::kMinusMinus)) {
+        auto p = std::make_unique<Expr>(ExprKind::kIncDec);
+        p->line = line;
+        p->prefix = false;
+        p->opTok = static_cast<int>(cur().kind);
+        ++pos_;
+        p->a = std::move(e);
+        e = std::move(p);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  ExprPtr primary() {
+    int line = cur().line;
+    switch (cur().kind) {
+      case Tok::kIntLit:
+      case Tok::kCharLit: {
+        auto e = std::make_unique<Expr>(ExprKind::kIntLit);
+        e->line = line;
+        e->intVal = cur().intVal;
+        ++pos_;
+        return e;
+      }
+      case Tok::kFloatLit: {
+        auto e = std::make_unique<Expr>(ExprKind::kFloatLit);
+        e->line = line;
+        e->floatVal = cur().floatVal;
+        ++pos_;
+        return e;
+      }
+      case Tok::kStringLit: {
+        auto e = std::make_unique<Expr>(ExprKind::kStrLit);
+        e->line = line;
+        e->strVal = cur().text;
+        ++pos_;
+        return e;
+      }
+      case Tok::kDollar: {
+        ++pos_;
+        auto e = std::make_unique<Expr>(ExprKind::kDollar);
+        e->line = line;
+        return e;
+      }
+      case Tok::kIdent: {
+        std::string name = cur().text;
+        ++pos_;
+        if (accept(Tok::kLParen)) {
+          if (name == "ps" || name == "psm") {
+            auto e = std::make_unique<Expr>(
+                name == "ps" ? ExprKind::kPs : ExprKind::kPsm);
+            e->line = line;
+            e->a = assignment();  // increment lvalue
+            expect(Tok::kComma);
+            e->b = assignment();  // base
+            expect(Tok::kRParen);
+            return e;
+          }
+          auto e = std::make_unique<Expr>(ExprKind::kCall);
+          e->line = line;
+          e->strVal = name;
+          if (!accept(Tok::kRParen)) {
+            do {
+              e->args.push_back(assignment());
+            } while (accept(Tok::kComma));
+            expect(Tok::kRParen);
+          }
+          return e;
+        }
+        auto e = std::make_unique<Expr>(ExprKind::kVarRef);
+        e->line = line;
+        e->strVal = name;
+        return e;
+      }
+      case Tok::kLParen: {
+        ++pos_;
+        ExprPtr e = expression();
+        expect(Tok::kRParen);
+        return e;
+      }
+      default:
+        fail(std::string("unexpected ") + tokName(cur().kind) +
+             " in expression");
+    }
+  }
+
+  std::vector<Token> toks_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<TranslationUnit> parse(const std::string& source) {
+  return Parser(source).run();
+}
+
+std::string TypeRef::str() const {
+  std::string s;
+  switch (base) {
+    case Base::kVoid: s = "void"; break;
+    case Base::kInt: s = "int"; break;
+    case Base::kUInt: s = "unsigned"; break;
+    case Base::kFloat: s = "float"; break;
+    case Base::kChar: s = "char"; break;
+  }
+  for (int i = 0; i < ptr; ++i) s += "*";
+  return s;
+}
+
+}  // namespace xmt

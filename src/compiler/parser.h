@@ -1,0 +1,16 @@
+// Recursive-descent parser for XMTC.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/compiler/ast.h"
+
+namespace xmt {
+
+/// Parses XMTC source into an AST. Throws CompileError with the offending
+/// line on any syntax error. Identifier resolution and typing happen in the
+/// subsequent sema pass.
+std::unique_ptr<TranslationUnit> parse(const std::string& source);
+
+}  // namespace xmt

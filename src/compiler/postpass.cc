@@ -1,0 +1,293 @@
+#include "src/compiler/postpass.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+namespace {
+
+struct AsmLine {
+  std::vector<std::string> labels;
+  std::string mnemonic;                 // empty for label-only / directives
+  std::vector<std::string> operands;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+// Parses assembly into structured lines. Comments and data directives are
+// preserved verbatim via `raw` rendering on output.
+struct ParsedAsm {
+  std::vector<AsmLine> lines;
+  std::map<std::string, std::size_t> labelAt;  // label -> line index
+
+  std::string render() const {
+    std::ostringstream out;
+    for (const auto& l : lines) {
+      for (const auto& lbl : l.labels) out << lbl << ":\n";
+      if (!l.mnemonic.empty()) {
+        out << "  " << l.mnemonic;
+        for (std::size_t i = 0; i < l.operands.size(); ++i)
+          out << (i == 0 ? " " : ", ") << l.operands[i];
+        out << "\n";
+      }
+    }
+    return out.str();
+  }
+};
+
+ParsedAsm parseAsm(const std::string& text) {
+  ParsedAsm p;
+  std::istringstream in(text);
+  std::string raw;
+  std::vector<std::string> pendingLabels;
+  auto isIdent = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '$';
+  };
+  while (std::getline(in, raw)) {
+    // Strip comments (no string literals contain '#' in our output except
+    // .asciiz — handle by skipping inside quotes).
+    std::string s;
+    bool inStr = false;
+    for (std::size_t i = 0; i < raw.size(); ++i) {
+      char c = raw[i];
+      if (inStr) {
+        s += c;
+        if (c == '\\' && i + 1 < raw.size()) s += raw[++i];
+        else if (c == '"') inStr = false;
+        continue;
+      }
+      if (c == '"') { inStr = true; s += c; continue; }
+      if (c == '#') break;
+      s += c;
+    }
+    s = trim(s);
+    if (s.empty()) continue;
+    // Labels.
+    for (;;) {
+      std::size_t j = 0;
+      while (j < s.size() && isIdent(s[j])) ++j;
+      if (j > 0 && j < s.size() && s[j] == ':') {
+        pendingLabels.push_back(s.substr(0, j));
+        s = trim(s.substr(j + 1));
+        continue;
+      }
+      break;
+    }
+    if (s.empty()) continue;
+    AsmLine line;
+    line.labels = std::move(pendingLabels);
+    pendingLabels.clear();
+    std::size_t sp = s.find_first_of(" \t");
+    if (sp == std::string::npos) {
+      line.mnemonic = s;
+    } else {
+      line.mnemonic = s.substr(0, sp);
+      std::string rest = s.substr(sp + 1);
+      // Split on commas outside quotes.
+      std::string curTok;
+      bool q = false;
+      for (std::size_t i = 0; i < rest.size(); ++i) {
+        char c = rest[i];
+        if (q) {
+          curTok += c;
+          if (c == '\\' && i + 1 < rest.size()) curTok += rest[++i];
+          else if (c == '"') q = false;
+          continue;
+        }
+        if (c == '"') { q = true; curTok += c; continue; }
+        if (c == ',') {
+          line.operands.push_back(trim(curTok));
+          curTok.clear();
+          continue;
+        }
+        curTok += c;
+      }
+      if (!trim(curTok).empty()) line.operands.push_back(trim(curTok));
+    }
+    p.lines.push_back(std::move(line));
+  }
+  if (!pendingLabels.empty()) {
+    AsmLine tail;
+    tail.labels = std::move(pendingLabels);
+    p.lines.push_back(std::move(tail));
+  }
+  for (std::size_t i = 0; i < p.lines.size(); ++i)
+    for (const auto& lbl : p.lines[i].labels) p.labelAt[lbl] = i;
+  return p;
+}
+
+bool isBranch(const std::string& m) {
+  return m == "beq" || m == "bne" || m == "blt" || m == "ble" || m == "bgt" ||
+         m == "bge" || m == "beqz" || m == "bnez";
+}
+
+bool endsFlow(const std::string& m) {
+  return m == "j" || m == "jr" || m == "join" || m == "halt" || m == "b";
+}
+
+// Branch/jump target label, or empty.
+std::string targetOf(const AsmLine& l) {
+  if (l.mnemonic == "j" || l.mnemonic == "b") return l.operands.at(0);
+  if (isBranch(l.mnemonic)) return l.operands.back();
+  return {};
+}
+
+}  // namespace
+
+PostPassReport runPostPass(const std::string& asmText) {
+  ParsedAsm p = parseAsm(asmText);
+  PostPassReport report;
+  int fixLabelCounter = 0;
+
+  for (std::size_t si = 0; si < p.lines.size(); ++si) {
+    if (p.lines[si].mnemonic != "spawn") continue;
+    ++report.regionsChecked;
+    if (p.lines[si].operands.size() != 2)
+      throw AsmError("post-pass: spawn needs two label operands");
+    auto s = p.labelAt.find(p.lines[si].operands[0]);
+    auto e = p.labelAt.find(p.lines[si].operands[1]);
+    if (s == p.labelAt.end() || e == p.labelAt.end())
+      throw AsmError("post-pass: spawn references unknown label");
+    std::size_t start = s->second;
+    std::size_t end = e->second;
+    if (start > end) throw AsmError("post-pass: inverted spawn region");
+
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      // Reachability from the region entry.
+      std::set<std::size_t> visited;
+      std::vector<std::size_t> work{start};
+      while (!work.empty()) {
+        std::size_t i = work.back();
+        work.pop_back();
+        if (i >= p.lines.size() || !visited.insert(i).second) continue;
+        const AsmLine& l = p.lines[i];
+        if (l.mnemonic == "spawn")
+          throw AsmError("post-pass: nested spawn inside a spawn region");
+        if (l.mnemonic == "halt")
+          throw AsmError("post-pass: halt inside a spawn region");
+        if (l.mnemonic == "jr")
+          throw AsmError("post-pass: jr inside a spawn region (no calls in "
+                         "parallel code)");
+        std::string tgt = targetOf(l);
+        if (!tgt.empty()) {
+          auto t = p.labelAt.find(tgt);
+          if (t == p.labelAt.end())
+            throw AsmError("post-pass: branch to unknown label " + tgt);
+          work.push_back(t->second);
+        }
+        if (!endsFlow(l.mnemonic)) work.push_back(i + 1);
+      }
+      // Misplaced = reachable but outside [start, end).
+      std::vector<std::size_t> misplaced;
+      for (std::size_t i : visited)
+        if (i < start || i >= end) misplaced.push_back(i);
+      if (misplaced.empty()) break;
+      if (attempt == 7)
+        throw AsmError("post-pass: could not repair spawn-region layout");
+
+      // Take the first contiguous misplaced run.
+      std::sort(misplaced.begin(), misplaced.end());
+      std::size_t runBegin = misplaced[0];
+      std::size_t runEnd = runBegin;
+      for (std::size_t i : misplaced) {
+        if (i == runEnd + 1 || i == runBegin) runEnd = i;
+        else break;
+      }
+      // If the run's last line can fall through, give the successor a label
+      // and append an explicit jump (keeps semantics when relocated).
+      std::vector<AsmLine> chunk(p.lines.begin() +
+                                     static_cast<std::ptrdiff_t>(runBegin),
+                                 p.lines.begin() +
+                                     static_cast<std::ptrdiff_t>(runEnd + 1));
+      if (!endsFlow(chunk.back().mnemonic)) {
+        std::size_t succ = runEnd + 1;
+        if (succ >= p.lines.size())
+          throw AsmError("post-pass: misplaced block falls off the end");
+        std::string lbl;
+        if (!p.lines[succ].labels.empty()) {
+          lbl = p.lines[succ].labels[0];
+        } else {
+          lbl = "__pp_succ" + std::to_string(fixLabelCounter++);
+          p.lines[succ].labels.push_back(lbl);
+        }
+        AsmLine jmp;
+        jmp.mnemonic = "j";
+        jmp.operands.push_back(lbl);
+        chunk.push_back(jmp);
+      }
+
+      // Find the join line inside the region (layout position of the
+      // repair point).
+      std::size_t joinIdx = end;
+      for (std::size_t i = start; i < end; ++i)
+        if (p.lines[i].mnemonic == "join") joinIdx = i;
+      if (joinIdx == end)
+        throw AsmError("post-pass: spawn region without a join");
+
+      // Give the join a label and make the preceding fall-through explicit.
+      std::string joinLbl;
+      if (!p.lines[joinIdx].labels.empty()) {
+        joinLbl = p.lines[joinIdx].labels[0];
+      } else {
+        joinLbl = "__pp_join" + std::to_string(fixLabelCounter++);
+        p.lines[joinIdx].labels.push_back(joinLbl);
+      }
+      std::vector<AsmLine> insertion;
+      if (joinIdx > start && !endsFlow(p.lines[joinIdx - 1].mnemonic)) {
+        AsmLine jmp;
+        jmp.mnemonic = "j";
+        jmp.operands.push_back(joinLbl);
+        insertion.push_back(jmp);
+      }
+      insertion.insert(insertion.end(), chunk.begin(), chunk.end());
+
+      // Remove the misplaced run (careful with index shifts): remove first
+      // if it sits after the join, then insert.
+      if (runBegin > joinIdx) {
+        p.lines.erase(p.lines.begin() + static_cast<std::ptrdiff_t>(runBegin),
+                      p.lines.begin() +
+                          static_cast<std::ptrdiff_t>(runEnd + 1));
+        p.lines.insert(p.lines.begin() + static_cast<std::ptrdiff_t>(joinIdx),
+                       insertion.begin(), insertion.end());
+      } else {
+        // Misplaced run before the region: insert first, then remove.
+        p.lines.insert(p.lines.begin() + static_cast<std::ptrdiff_t>(joinIdx),
+                       insertion.begin(), insertion.end());
+        p.lines.erase(p.lines.begin() + static_cast<std::ptrdiff_t>(runBegin),
+                      p.lines.begin() +
+                          static_cast<std::ptrdiff_t>(runEnd + 1));
+      }
+      ++report.relocatedBlocks;
+
+      // Rebuild the label index and region bounds, then re-verify.
+      p.labelAt.clear();
+      for (std::size_t i = 0; i < p.lines.size(); ++i)
+        for (const auto& lbl : p.lines[i].labels) p.labelAt[lbl] = i;
+      // This spawn line may have moved.
+      for (std::size_t i = 0; i < p.lines.size(); ++i)
+        if (p.lines[i].mnemonic == "spawn" &&
+            p.lines[i].operands == p.lines[si].operands)
+          si = i;
+      start = p.labelAt.at(p.lines[si].operands[0]);
+      end = p.labelAt.at(p.lines[si].operands[1]);
+    }
+  }
+
+  report.asmText = p.render();
+  return report;
+}
+
+}  // namespace xmt

@@ -1,0 +1,28 @@
+// Compiler post-pass (the SableCC stage of the paper, Section IV-B).
+//
+// Takes the assembly produced by the core pass, verifies it complies with
+// XMT semantics, and repairs the basic-block layout problem of Fig. 9: all
+// code of a spawn block must be placed between the spawn and join
+// instructions, because the hardware broadcasts exactly that range to the
+// TCUs. A basic block that is reachable from the spawn-block entry but laid
+// out outside the region is relocated to just before the join, with an
+// explicit jump inserted so the preceding code still reaches the join
+// (Fig. 9b).
+#pragma once
+
+#include <string>
+
+namespace xmt {
+
+struct PostPassReport {
+  std::string asmText;     // verified / repaired assembly
+  int relocatedBlocks = 0; // how many misplaced blocks were pulled back
+  int regionsChecked = 0;
+};
+
+/// Verifies and repairs assembly text. Throws AsmError when the layout
+/// cannot be repaired or other XMT rules are violated (nested spawn inside
+/// a region, missing join, halt inside a region).
+PostPassReport runPostPass(const std::string& asmText);
+
+}  // namespace xmt

@@ -1,0 +1,31 @@
+// Linear-scan register allocation.
+//
+// Serial code may spill to the stack frame; a spill needed inside a spawn
+// block is a compile error, because virtual threads have no stack — "the
+// compiler checks if the available registers suffice and produces a
+// register spill error otherwise" (Section IV-D).
+//
+// After allocation the IR is rewritten in place: every operand is a
+// physical register (0..31), spill loads/stores are inserted using the
+// reserved scratch registers at/k1, and the function's frame layout
+// (locals + spills + saved callee-saved registers + ra) is finalized.
+#pragma once
+
+#include <set>
+
+#include "src/compiler/ir.h"
+
+namespace xmt {
+
+struct FrameInfo {
+  int frameWords = 0;                // locals + spill slots
+  std::set<int> usedCalleeSaved;     // s-registers to save/restore
+  bool saveRa = false;
+};
+
+/// Allocates registers for `fn`, rewriting it in place. Returns the frame
+/// layout for prologue/epilogue emission. Throws CompileError on a register
+/// spill inside a parallel block.
+FrameInfo allocateRegisters(IrFunc& fn);
+
+}  // namespace xmt

@@ -1,0 +1,445 @@
+#include "src/compiler/sema.h"
+
+#include <map>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/compiler/lexer.h"
+#include "src/isa/isa.h"
+
+namespace xmt {
+
+bool isLvalue(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kVarRef:
+      return e.decl != nullptr && !e.decl->isArray();
+    case ExprKind::kIndex:
+      return true;
+    case ExprKind::kUnary:
+      return e.opTok == static_cast<int>(Tok::kStar);  // *p
+    default:
+      return false;
+  }
+}
+
+namespace {
+
+class Sema {
+ public:
+  explicit Sema(TranslationUnit& tu) : tu_(tu) {}
+
+  void run() {
+    int nextGr = 0;
+    for (auto& g : tu_.globals) {
+      declare(g.get());
+      if (g->isPsBaseReg) {
+        if (nextGr > 5)
+          throw CompileError(g->line,
+                             "too many psBaseReg variables (at most 6: the "
+                             "hardware reserves gr6/gr7 for spawn)");
+        g->grIndex = nextGr++;
+      }
+      if (g->dims.size() > 1)
+        throw CompileError(g->line,
+                           "multi-dimensional arrays are not supported; "
+                           "flatten the index manually");
+      for (auto& init : g->init) {
+        checkExpr(*init);
+        if (init->kind != ExprKind::kIntLit &&
+            init->kind != ExprKind::kFloatLit)
+          throw CompileError(g->line,
+                             "global initializers must be constants");
+      }
+      if (!g->init.empty() && g->isArray() &&
+          static_cast<std::int64_t>(g->init.size()) > g->elementCount())
+        throw CompileError(g->line, "too many initializers");
+    }
+    for (auto& f : tu_.funcs) checkFunction(*f);
+    if (tu_.findFunc("main") == nullptr)
+      throw CompileError(1, "no 'main' function");
+  }
+
+ private:
+  [[noreturn]] void fail(int line, const std::string& msg) {
+    throw CompileError(line, msg);
+  }
+
+  void declare(VarDecl* d) {
+    auto& scope = scopes_.empty() ? globalScope_ : scopes_.back();
+    if (!scope.emplace(d->name, d).second)
+      fail(d->line, "redefinition of '" + d->name + "'");
+  }
+
+  VarDecl* lookup(const std::string& name, int line) {
+    for (auto it = scopes_.rbegin(); it != scopes_.rend(); ++it) {
+      auto f = it->find(name);
+      if (f != it->end()) return f->second;
+    }
+    auto f = globalScope_.find(name);
+    if (f != globalScope_.end()) return f->second;
+    fail(line, "use of undeclared identifier '" + name + "'");
+  }
+
+  void checkFunction(FuncDecl& f) {
+    if (f.params.size() > 8)
+      fail(f.line,
+           "at most 8 parameters are supported (register-passed: a0-a3 "
+           "then t0-t3)");
+    curFunc_ = &f;
+    scopes_.emplace_back();
+    for (auto& p : f.params) declare(p.get());
+    checkStmt(*f.body);
+    scopes_.pop_back();
+    curFunc_ = nullptr;
+  }
+
+  void checkStmt(Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::kExpr:
+        checkExpr(*s.expr);
+        break;
+      case StmtKind::kDecl:
+        for (auto& d : s.decls) checkLocalDecl(*d, s.line);
+        break;
+      case StmtKind::kIf:
+        checkCondition(*s.expr);
+        checkStmt(*s.body);
+        if (s.elseBody) checkStmt(*s.elseBody);
+        break;
+      case StmtKind::kWhile:
+      case StmtKind::kDoWhile:
+        checkCondition(*s.expr);
+        ++loopDepth_;
+        checkStmt(*s.body);
+        --loopDepth_;
+        break;
+      case StmtKind::kFor:
+        scopes_.emplace_back();
+        for (auto& d : s.decls) checkLocalDecl(*d, s.line);
+        if (s.expr) checkExpr(*s.expr);
+        if (s.expr2) checkCondition(*s.expr2);
+        if (s.expr3) checkExpr(*s.expr3);
+        ++loopDepth_;
+        checkStmt(*s.body);
+        --loopDepth_;
+        scopes_.pop_back();
+        break;
+      case StmtKind::kBlock:
+        scopes_.emplace_back();
+        for (auto& sub : s.stmts) checkStmt(*sub);
+        scopes_.pop_back();
+        break;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue:
+        if (loopDepth_ == 0) fail(s.line, "break/continue outside a loop");
+        break;
+      case StmtKind::kReturn:
+        if (s.expr) {
+          checkExpr(*s.expr);
+          if (curFunc_->retType.isVoid())
+            fail(s.line, "return with a value in a void function");
+          coerce(s.expr, curFunc_->retType);
+        } else if (!curFunc_->retType.isVoid()) {
+          fail(s.line, "return without a value in a non-void function");
+        }
+        if (spawnDepth_ > 0)
+          fail(s.line, "return inside a spawn block is not allowed");
+        break;
+      case StmtKind::kSpawn: {
+        checkExpr(*s.expr);
+        checkExpr(*s.expr2);
+        coerce(s.expr, TypeRef::Int());
+        coerce(s.expr2, TypeRef::Int());
+        ++spawnDepth_;
+        int savedLoop = loopDepth_;
+        loopDepth_ = 0;  // break must not escape the spawn block
+        checkStmt(*s.body);
+        loopDepth_ = savedLoop;
+        --spawnDepth_;
+        break;
+      }
+      case StmtKind::kEmpty:
+        break;
+      case StmtKind::kPrintf:
+        checkPrintf(s);
+        break;
+    }
+  }
+
+  void checkLocalDecl(VarDecl& d, int line) {
+    if (d.dims.size() > 1)
+      fail(line, "multi-dimensional arrays are not supported");
+    if (spawnDepth_ > 0) {
+      // "virtual threads can only use registers or global memory" — no
+      // parallel stack in the current release.
+      if (d.isArray())
+        fail(line, "local arrays inside a spawn block are not supported "
+                   "(no parallel stack)");
+      if (d.isVolatile)
+        fail(line, "volatile locals inside a spawn block are not supported");
+    }
+    if (d.init.size() > 1 && !d.isArray())
+      fail(line, "scalar with brace initializer list");
+    declare(&d);
+    for (auto& init : d.init) {
+      checkExpr(*init);
+      if (!d.isArray()) coerce(d.init[0], d.type);
+    }
+  }
+
+  void checkCondition(Expr& e) {
+    checkExpr(e);
+    if (e.type.isVoid()) fail(e.line, "void value used as condition");
+  }
+
+  void checkPrintf(Stmt& s) {
+    std::size_t argIdx = 0;
+    const std::string& f = s.strVal;
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      if (f[i] != '%') continue;
+      if (i + 1 >= f.size()) fail(s.line, "trailing '%' in format");
+      char c = f[++i];
+      if (c == '%') continue;
+      if (c != 'd' && c != 'u' && c != 'c' && c != 'f' && c != 's')
+        fail(s.line, std::string("unsupported format '%") + c + "'");
+      if (argIdx >= s.args.size()) fail(s.line, "not enough printf arguments");
+      checkExpr(*s.args[argIdx]);
+      if (c == 'f') coerce(s.args[argIdx], TypeRef::Float());
+      else if (c == 's') {
+        const TypeRef& t = s.args[argIdx]->type;
+        if (!(t.ptr == 1 && t.base == TypeRef::Base::kChar) &&
+            s.args[argIdx]->kind != ExprKind::kStrLit)
+          fail(s.line, "%s needs a char* argument");
+      } else coerce(s.args[argIdx], TypeRef::Int());
+      ++argIdx;
+    }
+    if (argIdx != s.args.size()) fail(s.line, "too many printf arguments");
+  }
+
+  // Inserts a cast so that `e` has type `to` (numeric conversions only).
+  void coerce(ExprPtr& e, TypeRef to) {
+    if (e->type == to) return;
+    if (e->type.isPointer() && to.isPointer()) return;  // loose
+    if (e->type.isPointer() && to.isIntegral()) return;
+    if (e->type.isIntegral() && to.isPointer()) return;
+    if (e->type.isIntegral() && to.isIntegral()) {
+      // Same register representation (lbu zero-extends chars; stores
+      // truncate). Crucially, do NOT retype the node: an lvalue like a
+      // char-array element must keep its type, which drives the addressing
+      // scale and load/store width during lowering.
+      return;
+    }
+    if ((e->type.isIntegral() && to.isFloat()) ||
+        (e->type.isFloat() && to.isIntegral())) {
+      auto cast = std::make_unique<Expr>(ExprKind::kCast);
+      cast->line = e->line;
+      cast->type = to;
+      cast->a = std::move(e);
+      e = std::move(cast);
+      return;
+    }
+    if (e->type.isFloat() && to.isFloat()) return;
+    fail(e->line, "cannot convert " + e->type.str() + " to " + to.str());
+  }
+
+  void checkExpr(Expr& e) {
+    switch (e.kind) {
+      case ExprKind::kIntLit:
+        e.type = TypeRef::Int();
+        break;
+      case ExprKind::kFloatLit:
+        e.type = TypeRef::Float();
+        break;
+      case ExprKind::kStrLit:
+        e.type = TypeRef::Char().pointerTo();
+        break;
+      case ExprKind::kVarRef: {
+        e.decl = lookup(e.strVal, e.line);
+        if (e.decl->isArray())
+          e.type = e.decl->type.pointerTo();  // decay
+        else
+          e.type = e.decl->type;
+        break;
+      }
+      case ExprKind::kDollar:
+        if (spawnDepth_ == 0)
+          fail(e.line, "'$' used outside a spawn block");
+        e.type = TypeRef::Int();
+        break;
+      case ExprKind::kUnary: {
+        checkExpr(*e.a);
+        Tok op = static_cast<Tok>(e.opTok);
+        if (op == Tok::kStar) {
+          if (!e.a->type.isPointer())
+            fail(e.line, "dereference of non-pointer");
+          e.type = e.a->type.pointee();
+        } else if (op == Tok::kAmp) {
+          if (!isLvalue(*e.a) && !(e.a->kind == ExprKind::kVarRef &&
+                                   e.a->decl->isArray()))
+            fail(e.line, "cannot take the address of this expression");
+          if (e.a->kind == ExprKind::kVarRef) {
+            e.a->decl->addrTaken = true;
+            if (e.a->decl->isPsBaseReg)
+              fail(e.line, "cannot take the address of a psBaseReg variable");
+            e.type = e.a->decl->isArray() ? e.a->decl->type.pointerTo()
+                                          : e.a->type.pointerTo();
+          } else {
+            e.type = e.a->type.pointerTo();
+          }
+        } else if (op == Tok::kMinus || op == Tok::kTilde) {
+          if (op == Tok::kTilde && e.a->type.isFloat())
+            fail(e.line, "'~' on float");
+          e.type = e.a->type.isFloat() ? TypeRef::Float() : TypeRef::Int();
+        } else {  // !
+          e.type = TypeRef::Int();
+        }
+        break;
+      }
+      case ExprKind::kBinary: {
+        checkExpr(*e.a);
+        checkExpr(*e.b);
+        Tok op = static_cast<Tok>(e.opTok);
+        bool cmp = op == Tok::kEq || op == Tok::kNe || op == Tok::kLt ||
+                   op == Tok::kGt || op == Tok::kLe || op == Tok::kGe;
+        bool logical = op == Tok::kAmpAmp || op == Tok::kPipePipe;
+        if (logical) {
+          e.type = TypeRef::Int();
+          break;
+        }
+        // Pointer arithmetic: ptr +/- int.
+        if (e.a->type.isPointer() || e.b->type.isPointer()) {
+          if (cmp) {
+            e.type = TypeRef::Int();
+            break;
+          }
+          if (op != Tok::kPlus && op != Tok::kMinus)
+            fail(e.line, "invalid pointer arithmetic");
+          if (e.a->type.isPointer() && e.b->type.isPointer())
+            fail(e.line, "pointer - pointer is not supported");
+          e.type = e.a->type.isPointer() ? e.a->type : e.b->type;
+          break;
+        }
+        bool anyFloat = e.a->type.isFloat() || e.b->type.isFloat();
+        if (anyFloat) {
+          if (op == Tok::kPercent || op == Tok::kShl || op == Tok::kShr ||
+              op == Tok::kAmp || op == Tok::kPipe || op == Tok::kCaret)
+            fail(e.line, "integer operator on float operands");
+          coerce(e.a, TypeRef::Float());
+          coerce(e.b, TypeRef::Float());
+          e.type = cmp ? TypeRef::Int() : TypeRef::Float();
+        } else {
+          bool anyUnsigned =
+              e.a->type.isUnsigned() || e.b->type.isUnsigned();
+          e.type = cmp ? TypeRef::Int()
+                       : (anyUnsigned ? TypeRef::UInt() : TypeRef::Int());
+        }
+        break;
+      }
+      case ExprKind::kAssign: {
+        checkExpr(*e.a);
+        checkExpr(*e.b);
+        if (!isLvalue(*e.a)) fail(e.line, "assignment to non-lvalue");
+        if (e.a->kind == ExprKind::kVarRef && e.a->decl->isPsBaseReg &&
+            spawnDepth_ > 0)
+          fail(e.line,
+               "psBaseReg variables can only be modified with ps() inside "
+               "a spawn block");
+        coerce(e.b, e.a->type);
+        e.type = e.a->type;
+        break;
+      }
+      case ExprKind::kCond:
+        checkCondition(*e.c);
+        checkExpr(*e.a);
+        checkExpr(*e.b);
+        if (e.a->type.isFloat() || e.b->type.isFloat()) {
+          coerce(e.a, TypeRef::Float());
+          coerce(e.b, TypeRef::Float());
+          e.type = TypeRef::Float();
+        } else {
+          e.type = e.a->type;
+        }
+        break;
+      case ExprKind::kCall: {
+        FuncDecl* callee = tu_.findFunc(e.strVal);
+        if (callee == nullptr)
+          fail(e.line, "call to undefined function '" + e.strVal + "'");
+        if (e.args.size() != callee->params.size())
+          fail(e.line, "'" + e.strVal + "' expects " +
+                           std::to_string(callee->params.size()) +
+                           " arguments");
+        for (std::size_t i = 0; i < e.args.size(); ++i) {
+          checkExpr(*e.args[i]);
+          coerce(e.args[i], callee->params[i]->type);
+        }
+        e.type = callee->retType;
+        if (spawnDepth_ > 0) sawCallInSpawn_ = true;
+        break;
+      }
+      case ExprKind::kIndex: {
+        checkExpr(*e.a);
+        checkExpr(*e.b);
+        if (!e.a->type.isPointer())
+          fail(e.line, "subscript of non-array, non-pointer value");
+        coerce(e.b, TypeRef::Int());
+        e.type = e.a->type.pointee();
+        break;
+      }
+      case ExprKind::kCast:
+        checkExpr(*e.a);
+        // e.type already set by the parser.
+        break;
+      case ExprKind::kIncDec:
+        checkExpr(*e.a);
+        if (!isLvalue(*e.a)) fail(e.line, "++/-- on non-lvalue");
+        if (e.a->type.isFloat()) fail(e.line, "++/-- on float");
+        e.type = e.a->type;
+        break;
+      case ExprKind::kPs: {
+        checkExpr(*e.a);
+        checkExpr(*e.b);
+        if (!isLvalue(*e.a))
+          fail(e.line, "ps: first argument must be an assignable variable");
+        if (e.b->kind != ExprKind::kVarRef || !e.b->decl->isPsBaseReg)
+          fail(e.line, "ps: base must be a psBaseReg variable");
+        e.type = TypeRef::Int();
+        break;
+      }
+      case ExprKind::kPsm: {
+        checkExpr(*e.a);
+        checkExpr(*e.b);
+        if (!isLvalue(*e.a))
+          fail(e.line, "psm: first argument must be an assignable variable");
+        if (!isLvalue(*e.b))
+          fail(e.line, "psm: base must be a memory location");
+        if (e.b->kind == ExprKind::kVarRef && e.b->decl->isPsBaseReg)
+          fail(e.line, "psm: base must be in memory, not a psBaseReg");
+        e.type = TypeRef::Int();
+        break;
+      }
+      case ExprKind::kSizeof:
+        if (e.a) {
+          checkExpr(*e.a);
+          e.intVal = e.a->kind == ExprKind::kVarRef && e.a->decl->isArray()
+                         ? e.a->decl->elementCount() * e.a->decl->type.size()
+                         : e.a->type.size();
+        }
+        e.type = TypeRef::Int();
+        break;
+    }
+  }
+
+  TranslationUnit& tu_;
+  std::map<std::string, VarDecl*> globalScope_;
+  std::vector<std::map<std::string, VarDecl*>> scopes_;
+  FuncDecl* curFunc_ = nullptr;
+  int spawnDepth_ = 0;
+  int loopDepth_ = 0;
+  bool sawCallInSpawn_ = false;
+};
+
+}  // namespace
+
+void analyze(TranslationUnit& tu) { Sema(tu).run(); }
+
+}  // namespace xmt

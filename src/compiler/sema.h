@@ -1,0 +1,18 @@
+// Semantic analysis for XMTC: name resolution, type checking and
+// annotation, lvalue validation, psBaseReg global-register allocation, and
+// the XMT-specific rules ($ only inside spawn, ps over psBaseReg variables
+// only, no multi-dimensional arrays, at most 4 register arguments).
+#pragma once
+
+#include "src/compiler/ast.h"
+
+namespace xmt {
+
+/// Analyzes and annotates the AST in place. Throws CompileError on any
+/// violation.
+void analyze(TranslationUnit& tu);
+
+/// True if `e` designates a storage location (assignable).
+bool isLvalue(const Expr& e);
+
+}  // namespace xmt

@@ -1,0 +1,526 @@
+#include "src/compiler/transforms.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "src/common/error.h"
+#include "src/compiler/lexer.h"
+#include "src/compiler/sema.h"
+
+namespace xmt {
+
+namespace {
+
+// --- Generic walkers --------------------------------------------------------
+
+// Visits every expression (including sub-expressions) in a statement tree.
+// The callback receives an owning pointer so it can replace the node.
+void walkExprPtrs(ExprPtr& e, const std::function<void(ExprPtr&)>& fn);
+
+void walkSubExprs(Expr& e, const std::function<void(ExprPtr&)>& fn) {
+  if (e.a) walkExprPtrs(e.a, fn);
+  if (e.b) walkExprPtrs(e.b, fn);
+  if (e.c) walkExprPtrs(e.c, fn);
+  for (auto& a : e.args) walkExprPtrs(a, fn);
+}
+
+void walkExprPtrs(ExprPtr& e, const std::function<void(ExprPtr&)>& fn) {
+  if (!e) return;
+  walkSubExprs(*e, fn);
+  fn(e);
+}
+
+void walkStmtExprs(Stmt& s, const std::function<void(ExprPtr&)>& fn) {
+  if (s.expr) walkExprPtrs(s.expr, fn);
+  if (s.expr2) walkExprPtrs(s.expr2, fn);
+  if (s.expr3) walkExprPtrs(s.expr3, fn);
+  for (auto& d : s.decls)
+    for (auto& init : d->init) walkExprPtrs(init, fn);
+  for (auto& a : s.args) walkExprPtrs(a, fn);
+  if (s.body) walkStmtExprs(*s.body, fn);
+  if (s.elseBody) walkStmtExprs(*s.elseBody, fn);
+  for (auto& sub : s.stmts) walkStmtExprs(*sub, fn);
+}
+
+void walkStmts(Stmt& s, const std::function<void(Stmt&)>& fn) {
+  fn(s);
+  if (s.body) walkStmts(*s.body, fn);
+  if (s.elseBody) walkStmts(*s.elseBody, fn);
+  for (auto& sub : s.stmts) walkStmts(*sub, fn);
+}
+
+ExprPtr cloneExpr(const Expr& e) {
+  auto c = std::make_unique<Expr>(e.kind);
+  c->line = e.line;
+  c->type = e.type;
+  c->intVal = e.intVal;
+  c->floatVal = e.floatVal;
+  c->strVal = e.strVal;
+  c->decl = e.decl;
+  c->opTok = e.opTok;
+  c->prefix = e.prefix;
+  if (e.a) c->a = cloneExpr(*e.a);
+  if (e.b) c->b = cloneExpr(*e.b);
+  if (e.c) c->c = cloneExpr(*e.c);
+  for (const auto& a : e.args) c->args.push_back(cloneExpr(*a));
+  return c;
+}
+
+ExprPtr makeVarRef(VarDecl* d) {
+  auto e = std::make_unique<Expr>(ExprKind::kVarRef);
+  e->decl = d;
+  e->strVal = d->name;
+  e->type = d->isArray() ? d->type.pointerTo() : d->type;
+  return e;
+}
+
+ExprPtr makeIntLit(std::int64_t v) {
+  auto e = std::make_unique<Expr>(ExprKind::kIntLit);
+  e->intVal = v;
+  e->type = TypeRef::Int();
+  return e;
+}
+
+ExprPtr makeBinary(Tok op, ExprPtr a, ExprPtr b, TypeRef t) {
+  auto e = std::make_unique<Expr>(ExprKind::kBinary);
+  e->opTok = static_cast<int>(op);
+  e->a = std::move(a);
+  e->b = std::move(b);
+  e->type = t;
+  return e;
+}
+
+ExprPtr makeAssign(ExprPtr lhs, ExprPtr rhs) {
+  auto e = std::make_unique<Expr>(ExprKind::kAssign);
+  e->opTok = static_cast<int>(Tok::kAssign);
+  e->type = lhs->type;
+  e->a = std::move(lhs);
+  e->b = std::move(rhs);
+  return e;
+}
+
+StmtPtr makeExprStmt(ExprPtr e) {
+  auto s = std::make_unique<Stmt>(StmtKind::kExpr);
+  s->expr = std::move(e);
+  return s;
+}
+
+std::unique_ptr<VarDecl> makeIntLocal(const std::string& name) {
+  auto d = std::make_unique<VarDecl>();
+  d->name = name;
+  d->type = TypeRef::Int();
+  return d;
+}
+
+// --- Outlining (Fig. 8) -----------------------------------------------------
+
+struct Captures {
+  std::vector<VarDecl*> order;       // deterministic capture order
+  std::set<VarDecl*> seen;
+  std::set<VarDecl*> byRef;          // scalar value may be written
+  std::set<VarDecl*> declaredInside;
+};
+
+void collectCaptures(Stmt& body, Captures& cap) {
+  walkStmts(body, [&](Stmt& s) {
+    for (auto& d : s.decls) cap.declaredInside.insert(d.get());
+  });
+  auto noteUse = [&](VarDecl* d) {
+    if (d == nullptr || d->isGlobal || cap.declaredInside.count(d)) return;
+    if (cap.seen.insert(d).second) cap.order.push_back(d);
+  };
+  auto noteWrite = [&](Expr* lhs) {
+    if (lhs && lhs->kind == ExprKind::kVarRef && lhs->decl &&
+        !lhs->decl->isGlobal && !cap.declaredInside.count(lhs->decl))
+      cap.byRef.insert(lhs->decl);
+  };
+  walkStmtExprs(body, [&](ExprPtr& e) {
+    switch (e->kind) {
+      case ExprKind::kVarRef:
+        noteUse(e->decl);
+        break;
+      case ExprKind::kAssign:
+      case ExprKind::kIncDec:
+        noteWrite(e->a.get());
+        break;
+      case ExprKind::kPs:
+        noteWrite(e->a.get());
+        break;
+      case ExprKind::kPsm:
+        noteWrite(e->a.get());
+        noteWrite(e->b.get());
+        break;
+      case ExprKind::kUnary:
+        if (e->opTok == static_cast<int>(Tok::kAmp))
+          noteWrite(e->a.get());  // conservative: &x escapes
+        break;
+      default:
+        break;
+    }
+  });
+}
+
+void outlineOne(TranslationUnit& tu, FuncDecl& host, StmtPtr& spawnStmt,
+                int index) {
+  Stmt& sp = *spawnStmt;
+  Captures cap;
+  collectCaptures(*sp.body, cap);
+  // low/high expressions are evaluated in the outlined function too, so
+  // their variable uses are captures as well (read-only).
+  walkExprPtrs(sp.expr, [&](ExprPtr& e) {
+    if (e->kind == ExprKind::kVarRef && e->decl && !e->decl->isGlobal &&
+        !cap.declaredInside.count(e->decl) && cap.seen.insert(e->decl).second)
+      cap.order.push_back(e->decl);
+  });
+  walkExprPtrs(sp.expr2, [&](ExprPtr& e) {
+    if (e->kind == ExprKind::kVarRef && e->decl && !e->decl->isGlobal &&
+        !cap.declaredInside.count(e->decl) && cap.seen.insert(e->decl).second)
+      cap.order.push_back(e->decl);
+  });
+
+  if (cap.order.size() > 8)
+    throw CompileError(sp.line,
+                       "spawn block captures more than 8 enclosing "
+                       "variables; restructure using globals");
+
+  auto fn = std::make_unique<FuncDecl>();
+  fn->name = "__spawn" + std::to_string(index) + "_" + host.name;
+  fn->retType = TypeRef::Void();
+  fn->line = sp.line;
+  fn->generatedByOutlining = true;
+
+  // Build parameters and the substitution map.
+  std::map<VarDecl*, VarDecl*> byValParam;
+  std::map<VarDecl*, VarDecl*> byRefParam;
+  std::vector<ExprPtr> callArgs;
+  for (VarDecl* d : cap.order) {
+    auto p = std::make_unique<VarDecl>();
+    p->isParam = true;
+    p->name = d->name;
+    if (cap.byRef.count(d) && !d->isArray()) {
+      p->type = d->type.pointerTo();
+      byRefParam[d] = p.get();
+      d->addrTaken = true;
+      auto addr = std::make_unique<Expr>(ExprKind::kUnary);
+      addr->opTok = static_cast<int>(Tok::kAmp);
+      addr->a = makeVarRef(d);
+      addr->type = d->type.pointerTo();
+      callArgs.push_back(std::move(addr));
+    } else {
+      p->type = d->isArray() ? d->type.pointerTo() : d->type;
+      byValParam[d] = p.get();
+      callArgs.push_back(makeVarRef(d));
+    }
+    fn->params.push_back(std::move(p));
+  }
+
+  // Move the spawn into the new function and rewrite captured references.
+  auto block = std::make_unique<Stmt>(StmtKind::kBlock);
+  StmtPtr movedSpawn = std::move(spawnStmt);
+  auto rewrite = [&](ExprPtr& e) {
+    if (e->kind != ExprKind::kVarRef || e->decl == nullptr) return;
+    auto bv = byValParam.find(e->decl);
+    if (bv != byValParam.end()) {
+      e->decl = bv->second;
+      e->type = bv->second->type;
+      return;
+    }
+    auto br = byRefParam.find(e->decl);
+    if (br != byRefParam.end()) {
+      auto deref = std::make_unique<Expr>(ExprKind::kUnary);
+      deref->opTok = static_cast<int>(Tok::kStar);
+      deref->type = br->second->type.pointee();
+      deref->a = makeVarRef(br->second);
+      e = std::move(deref);
+    }
+  };
+  walkStmtExprs(*movedSpawn, rewrite);
+  walkExprPtrs(movedSpawn->expr, rewrite);
+  walkExprPtrs(movedSpawn->expr2, rewrite);
+  block->stmts.push_back(std::move(movedSpawn));
+  fn->body = std::move(block);
+
+  // Replace the original statement with a call.
+  auto call = std::make_unique<Expr>(ExprKind::kCall);
+  call->strVal = fn->name;
+  call->type = TypeRef::Void();
+  call->args = std::move(callArgs);
+  spawnStmt = makeExprStmt(std::move(call));
+
+  tu.funcs.push_back(std::move(fn));
+}
+
+// Recursively finds top-level spawn statements (not nested inside another
+// spawn) owned by `slot` or its children and outlines them.
+void outlineInStmt(TranslationUnit& tu, FuncDecl& host, StmtPtr& slot,
+                   int& counter) {
+  if (!slot) return;
+  if (slot->kind == StmtKind::kSpawn) {
+    outlineOne(tu, host, slot, counter++);
+    return;  // replaced by a call
+  }
+  outlineInStmt(tu, host, slot->body, counter);
+  outlineInStmt(tu, host, slot->elseBody, counter);
+  for (auto& sub : slot->stmts) outlineInStmt(tu, host, sub, counter);
+}
+
+// --- Virtual-thread clustering (Section IV-C) -------------------------------
+
+int gClusterCounter = 0;
+
+void clusterOne(StmtPtr& slot, int clusterCount) {
+  Stmt& sp = *slot;
+  int n = gClusterCounter++;
+  auto nm = [&](const char* base) {
+    return std::string(base) + std::to_string(n);
+  };
+
+  auto lo = makeIntLocal(nm("__clo"));
+  lo->init.push_back(std::move(sp.expr));
+  auto hi = makeIntLocal(nm("__chi"));
+  hi->init.push_back(std::move(sp.expr2));
+  auto cnt = makeIntLocal(nm("__cn"));
+  cnt->init.push_back(makeBinary(
+      Tok::kPlus,
+      makeBinary(Tok::kMinus, makeVarRef(hi.get()), makeVarRef(lo.get()),
+                 TypeRef::Int()),
+      makeIntLit(1), TypeRef::Int()));
+  auto ncl = makeIntLocal(nm("__cncl"));
+  {
+    auto cond = std::make_unique<Expr>(ExprKind::kCond);
+    cond->c = makeBinary(Tok::kLt, makeVarRef(cnt.get()),
+                         makeIntLit(clusterCount), TypeRef::Int());
+    cond->a = makeVarRef(cnt.get());
+    cond->b = makeIntLit(clusterCount);
+    cond->type = TypeRef::Int();
+    ncl->init.push_back(std::move(cond));
+  }
+  auto chunk = makeIntLocal(nm("__cc"));
+  chunk->init.push_back(makeBinary(
+      Tok::kSlash,
+      makeBinary(Tok::kMinus,
+                 makeBinary(Tok::kPlus, makeVarRef(cnt.get()),
+                            makeVarRef(ncl.get()), TypeRef::Int()),
+                 makeIntLit(1), TypeRef::Int()),
+      makeVarRef(ncl.get()), TypeRef::Int()));
+
+  // Inner spawn body: __ci, __ce; while loop over the chunk.
+  auto iv = makeIntLocal(nm("__ci"));
+  auto ev = makeIntLocal(nm("__ce"));
+  VarDecl* ivp = iv.get();
+  VarDecl* evp = ev.get();
+
+  auto dollar = std::make_unique<Expr>(ExprKind::kDollar);
+  dollar->type = TypeRef::Int();
+  iv->init.push_back(makeBinary(
+      Tok::kPlus, makeVarRef(lo.get()),
+      makeBinary(Tok::kStar, std::move(dollar), makeVarRef(chunk.get()),
+                 TypeRef::Int()),
+      TypeRef::Int()));
+  ev->init.push_back(makeBinary(
+      Tok::kMinus,
+      makeBinary(Tok::kPlus, makeVarRef(ivp), makeVarRef(chunk.get()),
+                 TypeRef::Int()),
+      makeIntLit(1), TypeRef::Int()));
+
+  // Rewrite $ inside the original body to __ci.
+  StmtPtr body = std::move(sp.body);
+  walkStmtExprs(*body, [&](ExprPtr& e) {
+    if (e->kind == ExprKind::kDollar) e = makeVarRef(ivp);
+  });
+
+  auto innerBlock = std::make_unique<Stmt>(StmtKind::kBlock);
+  {
+    auto declStmt = std::make_unique<Stmt>(StmtKind::kDecl);
+    declStmt->decls.push_back(std::move(iv));
+    innerBlock->stmts.push_back(std::move(declStmt));
+    auto declStmt2 = std::make_unique<Stmt>(StmtKind::kDecl);
+    declStmt2->decls.push_back(std::move(ev));
+    innerBlock->stmts.push_back(std::move(declStmt2));
+    // if (__ce > __chi) __ce = __chi;
+    auto clamp = std::make_unique<Stmt>(StmtKind::kIf);
+    clamp->expr = makeBinary(Tok::kGt, makeVarRef(evp), makeVarRef(hi.get()),
+                             TypeRef::Int());
+    clamp->body =
+        makeExprStmt(makeAssign(makeVarRef(evp), makeVarRef(hi.get())));
+    innerBlock->stmts.push_back(std::move(clamp));
+    // while (__ci <= __ce) { body; __ci = __ci + 1; }
+    auto loop = std::make_unique<Stmt>(StmtKind::kWhile);
+    loop->expr = makeBinary(Tok::kLe, makeVarRef(ivp), makeVarRef(evp),
+                            TypeRef::Int());
+    auto loopBody = std::make_unique<Stmt>(StmtKind::kBlock);
+    loopBody->stmts.push_back(std::move(body));
+    loopBody->stmts.push_back(makeExprStmt(makeAssign(
+        makeVarRef(ivp),
+        makeBinary(Tok::kPlus, makeVarRef(ivp), makeIntLit(1),
+                   TypeRef::Int()))));
+    loop->body = std::move(loopBody);
+    innerBlock->stmts.push_back(std::move(loop));
+  }
+
+  auto newSpawn = std::make_unique<Stmt>(StmtKind::kSpawn);
+  newSpawn->line = sp.line;
+  newSpawn->expr = makeIntLit(0);
+  newSpawn->expr2 = makeBinary(Tok::kMinus, makeVarRef(ncl.get()),
+                               makeIntLit(1), TypeRef::Int());
+  newSpawn->body = std::move(innerBlock);
+
+  // if (__cn > 0) { decls for __cncl/__cc; spawn }
+  auto guarded = std::make_unique<Stmt>(StmtKind::kIf);
+  guarded->expr = makeBinary(Tok::kGt, makeVarRef(cnt.get()), makeIntLit(0),
+                             TypeRef::Int());
+  auto guardBlock = std::make_unique<Stmt>(StmtKind::kBlock);
+  {
+    auto d1 = std::make_unique<Stmt>(StmtKind::kDecl);
+    d1->decls.push_back(std::move(ncl));
+    guardBlock->stmts.push_back(std::move(d1));
+    auto d2 = std::make_unique<Stmt>(StmtKind::kDecl);
+    d2->decls.push_back(std::move(chunk));
+    guardBlock->stmts.push_back(std::move(d2));
+    guardBlock->stmts.push_back(std::move(newSpawn));
+  }
+  guarded->body = std::move(guardBlock);
+
+  auto outer = std::make_unique<Stmt>(StmtKind::kBlock);
+  {
+    auto d = std::make_unique<Stmt>(StmtKind::kDecl);
+    d->decls.push_back(std::move(lo));
+    outer->stmts.push_back(std::move(d));
+    auto d2 = std::make_unique<Stmt>(StmtKind::kDecl);
+    d2->decls.push_back(std::move(hi));
+    outer->stmts.push_back(std::move(d2));
+    auto d3 = std::make_unique<Stmt>(StmtKind::kDecl);
+    d3->decls.push_back(std::move(cnt));
+    outer->stmts.push_back(std::move(d3));
+    outer->stmts.push_back(std::move(guarded));
+  }
+  slot = std::move(outer);
+}
+
+void clusterInStmt(StmtPtr& slot, int clusterCount) {
+  if (!slot) return;
+  if (slot->kind == StmtKind::kSpawn) {
+    clusterOne(slot, clusterCount);
+    return;  // inner spawn is the coarsened one; do not recurse
+  }
+  clusterInStmt(slot->body, clusterCount);
+  clusterInStmt(slot->elseBody, clusterCount);
+  for (auto& sub : slot->stmts) clusterInStmt(sub, clusterCount);
+}
+
+// --- Parallel-call inlining --------------------------------------------------
+
+bool hasSideEffects(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kAssign:
+    case ExprKind::kIncDec:
+    case ExprKind::kPs:
+    case ExprKind::kPsm:
+    case ExprKind::kCall:
+      return true;
+    default:
+      break;
+  }
+  if (e.a && hasSideEffects(*e.a)) return true;
+  if (e.b && hasSideEffects(*e.b)) return true;
+  if (e.c && hasSideEffects(*e.c)) return true;
+  for (const auto& a : e.args)
+    if (hasSideEffects(*a)) return true;
+  return false;
+}
+
+// Returns the single `return expr;` of an expression-bodied function, or
+// nullptr.
+const Expr* singleReturnExpr(const FuncDecl& f) {
+  const Stmt* body = f.body.get();
+  while (body->kind == StmtKind::kBlock && body->stmts.size() == 1)
+    body = body->stmts[0].get();
+  if (body->kind == StmtKind::kReturn && body->expr) return body->expr.get();
+  return nullptr;
+}
+
+void inlineCallsIn(TranslationUnit& tu, Stmt& stmt, int depthLimit);
+
+void inlineExprCalls(TranslationUnit& tu, ExprPtr& e, int depthLimit) {
+  walkExprPtrs(e, [&](ExprPtr& node) {
+    if (node->kind != ExprKind::kCall) return;
+    if (depthLimit <= 0)
+      throw CompileError(node->line,
+                         "recursive call inside a spawn block cannot be "
+                         "inlined (no parallel stack)");
+    FuncDecl* callee = tu.findFunc(node->strVal);
+    XMT_CHECK(callee != nullptr);
+    const Expr* retExpr = singleReturnExpr(*callee);
+    if (retExpr == nullptr)
+      throw CompileError(
+          node->line,
+          "call to '" + node->strVal +
+              "' inside a spawn block: there is no parallel stack; only "
+              "single-return-expression functions can be inlined");
+    for (const auto& a : node->args)
+      if (hasSideEffects(*a))
+        throw CompileError(node->line,
+                           "argument with side effects to a call inlined "
+                           "into a spawn block");
+    ExprPtr cloned = cloneExpr(*retExpr);
+    // Substitute parameters.
+    std::map<const VarDecl*, const Expr*> argOf;
+    for (std::size_t i = 0; i < callee->params.size(); ++i)
+      argOf[callee->params[i].get()] = node->args[i].get();
+    walkExprPtrs(cloned, [&](ExprPtr& sub) {
+      if (sub->kind == ExprKind::kVarRef) {
+        auto it = argOf.find(sub->decl);
+        if (it != argOf.end()) sub = cloneExpr(*it->second);
+      }
+    });
+    // Inline nested calls inside the clone.
+    inlineExprCalls(tu, cloned, depthLimit - 1);
+    node = std::move(cloned);
+  });
+}
+
+void inlineCallsIn(TranslationUnit& tu, Stmt& stmt, int depthLimit) {
+  if (stmt.expr) inlineExprCalls(tu, stmt.expr, depthLimit);
+  if (stmt.expr2) inlineExprCalls(tu, stmt.expr2, depthLimit);
+  if (stmt.expr3) inlineExprCalls(tu, stmt.expr3, depthLimit);
+  for (auto& d : stmt.decls)
+    for (auto& init : d->init) inlineExprCalls(tu, init, depthLimit);
+  for (auto& a : stmt.args) inlineExprCalls(tu, a, depthLimit);
+  if (stmt.body) inlineCallsIn(tu, *stmt.body, depthLimit);
+  if (stmt.elseBody) inlineCallsIn(tu, *stmt.elseBody, depthLimit);
+  for (auto& sub : stmt.stmts) inlineCallsIn(tu, *sub, depthLimit);
+}
+
+void inlineInSpawnsOnly(TranslationUnit& tu, Stmt& stmt) {
+  if (stmt.kind == StmtKind::kSpawn) {
+    inlineCallsIn(tu, *stmt.body, 10);
+    return;
+  }
+  if (stmt.body) inlineInSpawnsOnly(tu, *stmt.body);
+  if (stmt.elseBody) inlineInSpawnsOnly(tu, *stmt.elseBody);
+  for (auto& sub : stmt.stmts) inlineInSpawnsOnly(tu, *sub);
+}
+
+}  // namespace
+
+void outlineSpawnBlocks(TranslationUnit& tu) {
+  std::size_t originalCount = tu.funcs.size();
+  for (std::size_t i = 0; i < originalCount; ++i) {
+    int counter = 0;
+    FuncDecl& f = *tu.funcs[i];
+    outlineInStmt(tu, f, f.body, counter);
+  }
+}
+
+void clusterVirtualThreads(TranslationUnit& tu, int clusterCount) {
+  XMT_CHECK(clusterCount > 0);
+  for (auto& f : tu.funcs) clusterInStmt(f->body, clusterCount);
+}
+
+void inlineParallelCalls(TranslationUnit& tu) {
+  for (auto& f : tu.funcs)
+    if (f->body) inlineInSpawnsOnly(tu, *f->body);
+}
+
+}  // namespace xmt

@@ -1,0 +1,35 @@
+// Source-to-source AST transforms: the CIL-role pre-passes of the XMTC
+// compiler (paper Section IV-B and IV-C).
+//
+//  - outlineSpawnBlocks: method extraction of every top-level spawn
+//    statement into a fresh function, passing accessed enclosing-scope
+//    variables by value or — when the spawn block may write them — by
+//    reference (Fig. 8). This is what prevents the serial core-pass from
+//    performing illegal dataflow across spawn boundaries.
+//  - clusterVirtualThreads: virtual-thread clustering / coarsening — groups
+//    fine-grained virtual threads into longer ones to amortize scheduling
+//    overhead and enable prefetching (Section IV-C).
+//  - inlineParallelCalls: inlines expression-bodied functions called inside
+//    spawn blocks; there is no parallel (cactus) stack yet, so calls cannot
+//    survive into parallel code.
+#pragma once
+
+#include "src/compiler/ast.h"
+
+namespace xmt {
+
+/// Outlines every spawn statement not nested in another spawn. Must run
+/// after analyze(). Appends generated functions to the translation unit.
+void outlineSpawnBlocks(TranslationUnit& tu);
+
+/// Coarsens each spawn(lo, hi) into at most `clusterCount` longer virtual
+/// threads, each iterating a contiguous chunk. Must run after analyze() and
+/// before outlineSpawnBlocks().
+void clusterVirtualThreads(TranslationUnit& tu, int clusterCount);
+
+/// Inlines calls inside spawn blocks whose callee body is a single
+/// `return expr;`. Throws CompileError for calls it cannot inline (they
+/// would need a parallel stack). Must run after analyze().
+void inlineParallelCalls(TranslationUnit& tu);
+
+}  // namespace xmt

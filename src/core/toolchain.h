@@ -1,0 +1,72 @@
+// The XMT toolchain facade — the library's primary public API.
+//
+// Mirrors the programmer's workflow the paper describes: write a PRAM-style
+// XMTC program, compile it with the optimizing compiler, and run it on a
+// simulated XMT configuration (cycle-accurate, or the fast functional mode
+// for debugging), providing input through global variables and reading
+// results from the memory dump, printf output, and cycle statistics.
+//
+//   xmt::Toolchain tc;                        // fpga64, cycle-accurate
+//   auto sim = tc.makeSimulator(source);
+//   sim->setGlobalArray("A", data);
+//   auto r = sim->run();
+//   auto b = sim->getGlobalArray("B");
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "src/compiler/driver.h"
+#include "src/sim/simulator.h"
+
+namespace xmt {
+
+struct ToolchainOptions {
+  CompilerOptions compiler;
+  XmtConfig config = XmtConfig::fpga64();
+  SimMode mode = SimMode::kCycleAccurate;
+};
+
+class Toolchain {
+ public:
+  Toolchain() = default;
+  explicit Toolchain(ToolchainOptions opts) : opts_(std::move(opts)) {}
+
+  const ToolchainOptions& options() const { return opts_; }
+  ToolchainOptions& options() { return opts_; }
+
+  /// Compiles XMTC to assembly (exposes the pre-pass output too).
+  CompileResult compile(const std::string& xmtcSource) const {
+    return compileXmtc(xmtcSource, opts_.compiler);
+  }
+
+  /// Compiles and assembles to a loadable image.
+  Program build(const std::string& xmtcSource) const {
+    return compileToProgram(xmtcSource, opts_.compiler);
+  }
+
+  /// Compiles, assembles and loads into a fresh simulator.
+  std::unique_ptr<Simulator> makeSimulator(
+      const std::string& xmtcSource) const {
+    return std::make_unique<Simulator>(build(xmtcSource), opts_.config,
+                                       opts_.mode);
+  }
+
+  /// One-shot convenience: build, run to halt, return the simulator (for
+  /// output/global inspection) with the result.
+  struct Execution {
+    RunResult result;
+    std::unique_ptr<Simulator> sim;
+  };
+  Execution run(const std::string& xmtcSource) const {
+    Execution e;
+    e.sim = makeSimulator(xmtcSource);
+    e.result = e.sim->run();
+    return e;
+  }
+
+ private:
+  ToolchainOptions opts_;
+};
+
+}  // namespace xmt

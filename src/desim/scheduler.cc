@@ -1,0 +1,55 @@
+#include "src/desim/scheduler.h"
+
+namespace xmt {
+
+void Scheduler::schedule(Actor* actor, SimTime time, int priority) {
+  XMT_CHECK(actor != nullptr);
+  XMT_CHECK(time >= now_);
+  events_.push(Event{time, priority, seq_++, actor});
+}
+
+void Scheduler::scheduleStop(SimTime time) {
+  XMT_CHECK(time >= now_);
+  // Stop events sort after all same-time phases so the cycle completes.
+  events_.push(Event{time, kPhaseRetire + 1, seq_++, nullptr});
+}
+
+bool Scheduler::step() {
+  if (events_.empty()) return false;
+  Event e = events_.top();
+  events_.pop();
+  now_ = e.time;
+  if (e.actor == nullptr) return false;  // stop event
+  ++processed_;
+  e.actor->notify(now_);
+  return true;
+}
+
+bool Scheduler::run() {
+  while (!events_.empty()) {
+    Event e = events_.top();
+    if (e.actor == nullptr) {
+      events_.pop();
+      now_ = e.time;
+      return true;
+    }
+    step();
+  }
+  return false;
+}
+
+bool Scheduler::runUntil(SimTime limit) {
+  while (!events_.empty()) {
+    Event e = events_.top();
+    if (e.time > limit) return false;
+    if (e.actor == nullptr) {
+      events_.pop();
+      now_ = e.time;
+      return true;
+    }
+    step();
+  }
+  return false;
+}
+
+}  // namespace xmt

@@ -1,0 +1,64 @@
+// TickingActor: a clocked component (or macro-actor) that sleeps when idle.
+//
+// This realizes the paper's "Inputable"/macro-actor pattern: a component is
+// only notified when it has work. Producers push packages into the
+// component's queues and call wakeAt(); the actor then ticks on its clock
+// domain's edges until its tick() reports there is nothing left to do, at
+// which point it stops scheduling itself (the DE advantage over
+// discrete-time polling — Fig. 5 of the paper).
+//
+// Spurious notifications are possible when an earlier wake supersedes a
+// later one already in the event list; tick() implementations must be
+// work-conserving (safe to call with nothing to do).
+#pragma once
+
+#include "src/desim/clockdomain.h"
+#include "src/desim/scheduler.h"
+
+namespace xmt {
+
+class TickingActor : public Actor {
+ public:
+  TickingActor(std::string name, Scheduler& sched, ClockDomain& clock,
+               int priority = kPhaseTransfer)
+      : Actor(std::move(name)),
+        sched_(sched),
+        clock_(clock),
+        priority_(priority) {}
+
+  /// Ensures the actor is notified at the first clock edge at or after `t`.
+  void wakeAt(SimTime t) {
+    SimTime edge = clock_.nextEdge(t - 1);  // first edge >= t
+    if (edge < sched_.now()) edge = clock_.nextEdge(sched_.now() - 1);
+    if (pending_ >= 0 && pending_ <= edge) return;  // already covered
+    pending_ = edge;
+    sched_.schedule(this, edge, priority_);
+  }
+
+  /// Ensures the actor runs on the next clock edge strictly after `now`.
+  void wakeNextCycle(SimTime now) { wakeAt(clock_.nextEdge(now)); }
+
+  void notify(SimTime now) final {
+    if (pending_ >= 0 && now < pending_) return;  // superseded event
+    pending_ = -1;
+    SimTime next = tick(now);
+    if (next >= 0) wakeAt(next);
+  }
+
+  ClockDomain& clock() { return clock_; }
+  Scheduler& scheduler() { return sched_; }
+
+ protected:
+  /// Performs one cycle of work. Returns the next time the actor wants to
+  /// run (typically clock().nextEdge(now)), or -1 to go dormant until the
+  /// next wakeAt().
+  virtual SimTime tick(SimTime now) = 0;
+
+ private:
+  Scheduler& sched_;
+  ClockDomain& clock_;
+  int priority_;
+  SimTime pending_ = -1;
+};
+
+}  // namespace xmt

@@ -1,0 +1,65 @@
+#include "src/memsys/cache.h"
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+TagCache::TagCache(int lines, int assoc, int lineBytes)
+    : lineBytes_(lineBytes), assoc_(assoc) {
+  XMT_CHECK(lines > 0 && assoc > 0 && lineBytes > 0);
+  XMT_CHECK((lineBytes & (lineBytes - 1)) == 0);
+  if (assoc > lines) assoc_ = lines;
+  sets_ = lines / assoc_;
+  if (sets_ == 0) sets_ = 1;
+  ways_.resize(static_cast<std::size_t>(sets_) * assoc_);
+}
+
+bool TagCache::lookup(std::uint32_t addr) {
+  std::uint64_t line = lineOf(addr);
+  std::size_t base = setOf(line) * static_cast<std::size_t>(assoc_);
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (way.tag == line + 1) {
+      way.lru = ++clock_;
+      ++hits;
+      return true;
+    }
+  }
+  ++misses;
+  return false;
+}
+
+bool TagCache::contains(std::uint32_t addr) const {
+  std::uint64_t line = lineOf(addr);
+  std::size_t base = setOf(line) * static_cast<std::size_t>(assoc_);
+  for (int w = 0; w < assoc_; ++w)
+    if (ways_[base + static_cast<std::size_t>(w)].tag == line + 1)
+      return true;
+  return false;
+}
+
+void TagCache::install(std::uint32_t addr) {
+  std::uint64_t line = lineOf(addr);
+  std::size_t base = setOf(line) * static_cast<std::size_t>(assoc_);
+  Way* victim = &ways_[base];
+  for (int w = 0; w < assoc_; ++w) {
+    Way& way = ways_[base + static_cast<std::size_t>(w)];
+    if (way.tag == line + 1) {  // already present
+      way.lru = ++clock_;
+      return;
+    }
+    if (way.tag == 0) {
+      victim = &way;
+      break;
+    }
+    if (way.lru < victim->lru) victim = &way;
+  }
+  victim->tag = line + 1;
+  victim->lru = ++clock_;
+}
+
+void TagCache::invalidateAll() {
+  for (auto& w : ways_) w = Way{};
+}
+
+}  // namespace xmt

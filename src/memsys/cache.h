@@ -1,0 +1,56 @@
+// Set-associative tag array with LRU replacement.
+//
+// The simulator keeps data values in the functional model's memory (accessed
+// at package service time); caches are timing filters over tags, the
+// standard transaction-level practice the paper follows. TagCache is used by
+// the shared L1 cache modules, the Master TCU's private cache, and (in
+// direct-mapped form) the cluster read-only caches.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace xmt {
+
+class TagCache {
+ public:
+  /// `lines` total lines, `assoc`-way sets, `lineBytes` per line (pow2).
+  TagCache(int lines, int assoc, int lineBytes);
+
+  /// Looks up the line containing `addr`, updating LRU on hit.
+  bool lookup(std::uint32_t addr);
+
+  /// Presence check without touching LRU or the hit/miss counters (used by
+  /// issue logic that may retry the same access after a structural stall).
+  bool contains(std::uint32_t addr) const;
+
+  /// Installs the line containing `addr`, evicting the set's LRU way.
+  void install(std::uint32_t addr);
+
+  void invalidateAll();
+
+  int lineBytes() const { return lineBytes_; }
+  std::uint64_t lineOf(std::uint32_t addr) const {
+    return addr / static_cast<std::uint32_t>(lineBytes_);
+  }
+
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;  // line index + 1; 0 = invalid
+    std::uint64_t lru = 0;
+  };
+  std::size_t setOf(std::uint64_t line) const {
+    return static_cast<std::size_t>(line % static_cast<std::uint64_t>(sets_));
+  }
+
+  int lineBytes_;
+  int sets_;
+  int assoc_;
+  std::uint64_t clock_ = 0;
+  std::vector<Way> ways_;  // sets_ * assoc_, row-major by set
+};
+
+}  // namespace xmt

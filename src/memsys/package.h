@@ -1,0 +1,51 @@
+// Instruction/data packages: the unit of traffic in the cycle-accurate model.
+//
+// "Simulated assembly instruction instances are wrapped in objects of type
+// Package. An instruction package originates at a TCU, travels through a
+// specific set of cycle-accurate components according to its type ... and
+// expires upon returning to the commit stage of the originating TCU."
+#pragma once
+
+#include <cstdint>
+
+#include "src/desim/scheduler.h"
+
+namespace xmt {
+
+/// Source identifier for the master TCU (it has a dedicated ICN port).
+inline constexpr int kMasterCluster = -1;
+
+enum class PkgKind : std::uint8_t {
+  kLoadWord,      // lw: blocking word load
+  kLoadByte,      // lbu
+  kStoreWord,     // sw: blocking (waits for ack)
+  kStoreByte,     // sb
+  kStoreNbWord,   // swnb: non-blocking store (ack decrements fence counter)
+  kPsm,           // prefix-sum to memory: atomic fetch-and-add at the module
+  kPrefetch,      // fill a TCU prefetch-buffer entry
+  kReadOnlyLoad,  // fill a cluster read-only cache line
+};
+
+/// A memory-bound package and, symmetrically, its response on the return
+/// network. Responses carry the loaded value (or the psm old value) in
+/// `value`.
+struct Package {
+  PkgKind kind = PkgKind::kLoadWord;
+  std::uint32_t addr = 0;
+  std::uint32_t value = 0;
+  std::int16_t srcCluster = 0;  // kMasterCluster for the Master TCU
+  std::int16_t srcTcu = 0;
+  std::uint8_t destReg = 0;
+  std::uint64_t id = 0;        // unique, for traces and invariant checks
+  SimTime issueTime = 0;       // when the originating context issued it
+
+  bool isStore() const {
+    return kind == PkgKind::kStoreWord || kind == PkgKind::kStoreByte ||
+           kind == PkgKind::kStoreNbWord;
+  }
+  bool isNonBlocking() const {
+    return kind == PkgKind::kStoreNbWord || kind == PkgKind::kPrefetch;
+  }
+};
+
+}  // namespace xmt

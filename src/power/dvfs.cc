@@ -1,0 +1,97 @@
+#include "src/power/dvfs.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xmt {
+
+void floorplanDims(int clusters, int& rows, int& cols) {
+  rows = 1;
+  while (rows * rows < clusters) ++rows;
+  cols = (clusters + rows - 1) / rows;
+}
+
+PowerTracePlugin::PowerTracePlugin(PowerParams power, ThermalParams thermal)
+    : power_(power), thermalParams_(thermal) {}
+
+void PowerTracePlugin::onInterval(RuntimeControl& rc) {
+  const Stats& s = rc.stats();
+  int clusters = rc.config().clusters;
+  if (!initialized_) {
+    initialized_ = true;
+    floorplanDims(clusters, rows_, cols_);
+    thermal_ = std::make_unique<ThermalModel>(rows_, cols_, thermalParams_);
+    lastTime_ = rc.now();
+    lastSnap_ = takeSnapshot(s);
+    lastInstructions_ = s.instructions;
+    lastClusterTemps_.assign(static_cast<std::size_t>(clusters),
+                             thermalParams_.ambientC);
+    return;
+  }
+  SimTime now = rc.now();
+  double dt = static_cast<double>(now - lastTime_) * 1e-12;
+  if (dt <= 0) return;
+  ActivitySnapshot snap = takeSnapshot(s);
+  std::vector<double> ghz(static_cast<std::size_t>(clusters));
+  double sumGhz = 0;
+  for (int c = 0; c < clusters; ++c) {
+    ghz[static_cast<std::size_t>(c)] = rc.clusterFrequency(c);
+    sumGhz += ghz[static_cast<std::size_t>(c)];
+  }
+  PowerBreakdown pb = computePower(power_, lastSnap_, snap, dt, ghz,
+                                   rc.config().icnGhz);
+
+  // Distribute power onto the floorplan: cluster blocks get their own
+  // power; uncore power spreads evenly over all cells.
+  std::vector<double> cellW(static_cast<std::size_t>(thermal_->cells()),
+                            pb.uncoreWatts /
+                                static_cast<double>(thermal_->cells()));
+  for (int c = 0; c < clusters; ++c)
+    cellW[static_cast<std::size_t>(c)] +=
+        pb.clusterWatts[static_cast<std::size_t>(c)];
+  thermal_->step(cellW, dt);
+
+  for (int c = 0; c < clusters; ++c)
+    lastClusterTemps_[static_cast<std::size_t>(c)] =
+        thermal_->temperatures()[static_cast<std::size_t>(c)];
+
+  PowerSample sample;
+  sample.time = now;
+  sample.totalWatts = pb.totalWatts;
+  sample.maxClusterWatts =
+      pb.clusterWatts.empty()
+          ? 0
+          : *std::max_element(pb.clusterWatts.begin(), pb.clusterWatts.end());
+  sample.maxTempC = thermal_->maxTemp();
+  sample.avgClusterGhz = sumGhz / clusters;
+  sample.instructionsDelta = s.instructions - lastInstructions_;
+  samples_.push_back(sample);
+
+  lastTime_ = now;
+  lastSnap_ = std::move(snap);
+  lastInstructions_ = s.instructions;
+
+  control(rc);
+}
+
+double PowerTracePlugin::peakTempC() const {
+  double peak = thermalParams_.ambientC;
+  for (const auto& s : samples_) peak = std::max(peak, s.maxTempC);
+  return peak;
+}
+
+void DvfsThermalPlugin::control(RuntimeControl& rc) {
+  int clusters = rc.config().clusters;
+  for (int c = 0; c < clusters; ++c) {
+    double t = lastClusterTemps_[static_cast<std::size_t>(c)];
+    double f = rc.clusterFrequency(c);
+    if (t > capC_ && f > minGhz_) {
+      rc.setClusterFrequency(c, std::max(minGhz_, f * 0.75));
+      ++throttleActions_;
+    } else if (t < capC_ - 3.0 && f < nominalGhz_) {
+      rc.setClusterFrequency(c, std::min(nominalGhz_, f * 1.15));
+    }
+  }
+}
+
+}  // namespace xmt

@@ -1,0 +1,86 @@
+// Dynamic power and thermal management — the activity-plug-in application
+// the paper calls out as unique to XMTSim ("the only publicly available
+// many-core simulator that allows evaluation of mechanisms, such as dynamic
+// power and thermal management", Section I).
+//
+// PowerTracePlugin samples activity counters at a fixed interval and records
+// a power/temperature profile over simulated time (the "execution profiles
+// of XMTC programs ... showing memory and computation intensive phases,
+// power" of Section III-B).
+//
+// DvfsThermalPlugin additionally closes the loop: when a cluster's modelled
+// temperature exceeds the cap it lowers that cluster's clock through the
+// RuntimeControl API; when it cools below the cap minus hysteresis it steps
+// the clock back toward nominal.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "src/power/power.h"
+#include "src/power/thermal.h"
+#include "src/sim/plugins.h"
+
+namespace xmt {
+
+struct PowerSample {
+  SimTime time = 0;
+  double totalWatts = 0;
+  double maxClusterWatts = 0;
+  double maxTempC = 0;
+  double avgClusterGhz = 0;
+  std::uint64_t instructionsDelta = 0;
+};
+
+/// Maps `clusters` onto a near-square floorplan grid.
+void floorplanDims(int clusters, int& rows, int& cols);
+
+class PowerTracePlugin : public ActivityPlugin {
+ public:
+  PowerTracePlugin(PowerParams power = {}, ThermalParams thermal = {});
+
+  void onInterval(RuntimeControl& rc) override;
+
+  const std::vector<PowerSample>& samples() const { return samples_; }
+  const ThermalModel& thermal() const { return *thermal_; }
+  double peakTempC() const;
+
+ protected:
+  /// Hook for subclasses, called after the thermal step with per-cluster
+  /// temperatures available.
+  virtual void control(RuntimeControl& rc) { (void)rc; }
+
+  PowerParams power_;
+  ThermalParams thermalParams_;
+  std::unique_ptr<ThermalModel> thermal_;
+  int rows_ = 0, cols_ = 0;
+  bool initialized_ = false;
+  SimTime lastTime_ = 0;
+  ActivitySnapshot lastSnap_;
+  std::uint64_t lastInstructions_ = 0;
+  std::vector<PowerSample> samples_;
+  std::vector<double> lastClusterTemps_;
+};
+
+class DvfsThermalPlugin : public PowerTracePlugin {
+ public:
+  DvfsThermalPlugin(double tempCapC, double nominalGhz, double minGhz = 0.2,
+                    PowerParams power = {}, ThermalParams thermal = {})
+      : PowerTracePlugin(power, thermal),
+        capC_(tempCapC),
+        nominalGhz_(nominalGhz),
+        minGhz_(minGhz) {}
+
+  int throttleActions() const { return throttleActions_; }
+
+ protected:
+  void control(RuntimeControl& rc) override;
+
+ private:
+  double capC_;
+  double nominalGhz_;
+  double minGhz_;
+  int throttleActions_ = 0;
+};
+
+}  // namespace xmt

@@ -1,0 +1,49 @@
+#include "src/power/floorviz.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+std::string renderFloorplan(const std::vector<double>& values, int rows,
+                            int cols, const std::string& title, double lo,
+                            double hi) {
+  XMT_CHECK(values.size() >= static_cast<std::size_t>(rows * cols));
+  static const char kShades[] = " .:-=+*#%@";
+  constexpr int kLevels = 9;
+  if (lo >= hi) {
+    lo = *std::min_element(values.begin(), values.end());
+    hi = *std::max_element(values.begin(), values.end());
+    if (hi <= lo) hi = lo + 1.0;
+  }
+  std::ostringstream out;
+  out << "+-- " << title << " ";
+  for (std::size_t i = title.size() + 5; i < static_cast<std::size_t>(2 * cols + 1); ++i)
+    out << "-";
+  out << "+\n";
+  for (int r = 0; r < rows; ++r) {
+    out << "|";
+    for (int c = 0; c < cols; ++c) {
+      double v = values[static_cast<std::size_t>(r * cols + c)];
+      double norm = (v - lo) / (hi - lo);
+      int level = static_cast<int>(norm * kLevels + 0.5);
+      level = std::clamp(level, 0, kLevels);
+      char ch = kShades[level];
+      out << ch << ch;
+    }
+    out << "|\n";
+  }
+  out << "+";
+  for (int i = 0; i < 2 * cols; ++i) out << "-";
+  out << "+\n";
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "scale: '%c' = %.2f .. '%c' = %.2f\n",
+                kShades[0], lo, kShades[kLevels], hi);
+  out << buf;
+  return out.str();
+}
+
+}  // namespace xmt

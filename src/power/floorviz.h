@@ -1,0 +1,21 @@
+// Floorplan visualization (Section III-E).
+//
+// "XMTSim can be paired with the floorplan visualization package ... allows
+// displaying data for each cluster or cache module on an XMT floorplan, in
+// colors or text." This is the text renderer: an ASCII heat map over the
+// floorplan grid with a scale legend, usable from an activity plug-in to
+// animate statistics during a run.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace xmt {
+
+/// Renders `values` (row-major, rows x cols) as an ASCII intensity map.
+/// Pass lo >= hi to auto-scale to the data range.
+std::string renderFloorplan(const std::vector<double>& values, int rows,
+                            int cols, const std::string& title,
+                            double lo = 0.0, double hi = -1.0);
+
+}  // namespace xmt

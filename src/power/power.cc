@@ -1,0 +1,55 @@
+#include "src/power/power.h"
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+ActivitySnapshot takeSnapshot(const Stats& s) {
+  ActivitySnapshot snap;
+  snap.perCluster = s.perCluster;
+  snap.cacheServices = s.cacheHits + s.cacheMisses;
+  snap.dramRequests = s.dramRequests;
+  snap.icnPackets = s.icnPackets;
+  return snap;
+}
+
+PowerBreakdown computePower(const PowerParams& p,
+                            const ActivitySnapshot& before,
+                            const ActivitySnapshot& after,
+                            double intervalSeconds,
+                            const std::vector<double>& clusterGhz,
+                            double uncoreGhz) {
+  XMT_CHECK(intervalSeconds > 0);
+  XMT_CHECK(after.perCluster.size() == clusterGhz.size());
+  PowerBreakdown out;
+  out.clusterWatts.resize(after.perCluster.size(), 0.0);
+  auto delta = [](std::uint64_t a, std::uint64_t b) {
+    return a >= b ? static_cast<double>(a - b) : 0.0;
+  };
+  const double pjToW = 1e-12 / intervalSeconds;
+  for (std::size_t c = 0; c < after.perCluster.size(); ++c) {
+    const ClusterActivity& a = after.perCluster[c];
+    ClusterActivity z{};
+    const ClusterActivity& b =
+        c < before.perCluster.size() ? before.perCluster[c] : z;
+    double dynamic =
+        (delta(a.aluOps, b.aluOps) * p.pjAluOp +
+         delta(a.mduOps, b.mduOps) * p.pjMduOp +
+         delta(a.fpuOps, b.fpuOps) * p.pjFpuOp +
+         delta(a.memOps, b.memOps) * p.pjMemOp) *
+        pjToW;
+    double clock = p.wattsPerGhzCluster * clusterGhz[c];
+    out.clusterWatts[c] = dynamic + clock + p.leakCluster;
+    out.totalWatts += out.clusterWatts[c];
+  }
+  double uncoreDyn =
+      (delta(after.cacheServices, before.cacheServices) * p.pjCacheAccess +
+       delta(after.dramRequests, before.dramRequests) * p.pjDramAccess +
+       delta(after.icnPackets, before.icnPackets) * p.pjIcnPacket) *
+      pjToW;
+  out.uncoreWatts = uncoreDyn + p.wattsPerGhzUncore * uncoreGhz + p.leakUncore;
+  out.totalWatts += out.uncoreWatts;
+  return out;
+}
+
+}  // namespace xmt

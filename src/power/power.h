@@ -1,0 +1,64 @@
+// Activity-based power model.
+//
+// "The power output is computed as a function of the activity counters"
+// (Section III-F). Power is evaluated per floorplan block (one per cluster,
+// plus the shared-cache/ICN/master blocks) from deltas of the simulator's
+// activity counters over a sampling interval: dynamic energy per operation
+// class, clock-tree power proportional to the block's clock frequency, and
+// constant leakage. Coefficients are configurable; defaults are loosely
+// calibrated to a ~65 nm many-core so that a fully busy 1024-TCU chip lands
+// in the tens-of-watts range the XMT thermal study considers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/sim/stats.h"
+
+namespace xmt {
+
+struct PowerParams {
+  // Dynamic energy per operation, picojoules.
+  double pjAluOp = 8.0;
+  double pjMduOp = 35.0;
+  double pjFpuOp = 30.0;
+  double pjMemOp = 25.0;       // TCU-side issue of a memory package
+  double pjCacheAccess = 20.0; // per shared-cache service
+  double pjDramAccess = 200.0;
+  double pjIcnPacket = 15.0;
+  // Clock tree / idle switching, watts per GHz per block.
+  double wattsPerGhzCluster = 0.08;
+  double wattsPerGhzUncore = 0.5;
+  // Leakage, watts per block.
+  double leakCluster = 0.05;
+  double leakUncore = 0.4;
+};
+
+/// Snapshot of the counters a power evaluation needs.
+struct ActivitySnapshot {
+  std::vector<ClusterActivity> perCluster;
+  std::uint64_t cacheServices = 0;  // hits + misses
+  std::uint64_t dramRequests = 0;
+  std::uint64_t icnPackets = 0;
+};
+
+ActivitySnapshot takeSnapshot(const Stats& s);
+
+/// Per-block power (watts) over an interval.
+struct PowerBreakdown {
+  std::vector<double> clusterWatts;  // one per cluster
+  double uncoreWatts = 0;            // caches + ICN + DRAM + master
+  double totalWatts = 0;
+};
+
+/// Computes power over the interval between two snapshots.
+/// `intervalSeconds` must be > 0; `clusterGhz` holds each cluster's current
+/// frequency (for clock-tree power).
+PowerBreakdown computePower(const PowerParams& params,
+                            const ActivitySnapshot& before,
+                            const ActivitySnapshot& after,
+                            double intervalSeconds,
+                            const std::vector<double>& clusterGhz,
+                            double uncoreGhz);
+
+}  // namespace xmt

@@ -1,0 +1,53 @@
+#include "src/power/thermal.h"
+
+#include <algorithm>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+ThermalModel::ThermalModel(int rows, int cols, ThermalParams params)
+    : rows_(rows), cols_(cols), params_(params) {
+  XMT_CHECK(rows > 0 && cols > 0);
+  temps_.assign(static_cast<std::size_t>(rows * cols), params_.ambientC);
+}
+
+void ThermalModel::step(const std::vector<double>& powerWatts,
+                        double dtSeconds) {
+  XMT_CHECK(powerWatts.size() == temps_.size());
+  XMT_CHECK(dtSeconds >= 0);
+  // Stability bound for explicit Euler: dt < C * R_parallel_min. Use a
+  // conservative substep.
+  double gMax = 1.0 / params_.rVertical + 4.0 / params_.rLateral;
+  double dtMax = 0.25 * params_.heatCapacity / gMax;
+  int substeps = std::max(1, static_cast<int>(dtSeconds / dtMax) + 1);
+  double dt = dtSeconds / substeps;
+  std::vector<double> next(temps_.size());
+  for (int s = 0; s < substeps; ++s) {
+    for (int r = 0; r < rows_; ++r) {
+      for (int c = 0; c < cols_; ++c) {
+        std::size_t i = static_cast<std::size_t>(r * cols_ + c);
+        double t = temps_[i];
+        double flow = powerWatts[i];
+        flow -= (t - params_.ambientC) / params_.rVertical;
+        auto lateral = [&](int rr, int cc) {
+          if (rr < 0 || rr >= rows_ || cc < 0 || cc >= cols_) return;
+          flow -= (t - temps_[static_cast<std::size_t>(rr * cols_ + cc)]) /
+                  params_.rLateral;
+        };
+        lateral(r - 1, c);
+        lateral(r + 1, c);
+        lateral(r, c - 1);
+        lateral(r, c + 1);
+        next[i] = t + dt * flow / params_.heatCapacity;
+      }
+    }
+    temps_.swap(next);
+  }
+}
+
+double ThermalModel::maxTemp() const {
+  return *std::max_element(temps_.begin(), temps_.end());
+}
+
+}  // namespace xmt

@@ -1,0 +1,54 @@
+// Compact thermal model in the HotSpot style.
+//
+// The original toolchain passed power numbers to HotSpot over JNI for
+// "accurate and fast" temperature estimation (Section III-F); we
+// reimplement the same modelling idea natively: each floorplan block is an
+// RC node with a vertical resistance to the heat sink (held at ambient),
+// lateral resistances to its 4-neighbours on the floorplan grid, and a heat
+// capacity. Temperatures integrate with forward Euler using internally
+// bounded substeps for stability.
+#pragma once
+
+#include <vector>
+
+namespace xmt {
+
+struct ThermalParams {
+  double ambientC = 45.0;       // heat-sink temperature (deg C)
+  double rVertical = 2.2;       // K/W block -> sink
+  double rLateral = 4.0;        // K/W between adjacent blocks
+  double heatCapacity = 0.012;  // J/K per block
+};
+
+class ThermalModel {
+ public:
+  /// `rows` x `cols` floorplan grid.
+  ThermalModel(int rows, int cols, ThermalParams params = {});
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  int cells() const { return rows_ * cols_; }
+
+  /// Advances the model by `dtSeconds` with the given per-cell power
+  /// (watts; size must equal cells()).
+  void step(const std::vector<double>& powerWatts, double dtSeconds);
+
+  const std::vector<double>& temperatures() const { return temps_; }
+  double maxTemp() const;
+  double cellTemp(int r, int c) const {
+    return temps_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  /// Steady-state sanity: temperature a cell would reach in isolation.
+  double isolatedSteadyState(double watts) const {
+    return params_.ambientC + watts * params_.rVertical;
+  }
+
+ private:
+  int rows_;
+  int cols_;
+  ThermalParams params_;
+  std::vector<double> temps_;
+};
+
+}  // namespace xmt

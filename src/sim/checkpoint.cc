@@ -1,0 +1,136 @@
+#include "src/sim/checkpoint.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+namespace {
+
+constexpr const char* kMagic = "xmt-checkpoint-v1";
+
+void hexEncode(const std::vector<std::uint8_t>& bytes, std::string& out) {
+  static const char* kHex = "0123456789abcdef";
+  out.reserve(out.size() + bytes.size() * 2);
+  for (std::uint8_t b : bytes) {
+    out += kHex[b >> 4];
+    out += kHex[b & 0xf];
+  }
+}
+
+std::vector<std::uint8_t> hexDecode(const std::string& s) {
+  auto nib = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    throw SimError("checkpoint: bad hex digit");
+  };
+  if (s.size() % 2 != 0) throw SimError("checkpoint: odd hex length");
+  std::vector<std::uint8_t> out(s.size() / 2);
+  for (std::size_t i = 0; i < out.size(); ++i)
+    out[i] = static_cast<std::uint8_t>((nib(s[2 * i]) << 4) |
+                                       nib(s[2 * i + 1]));
+  return out;
+}
+
+void readPages(std::istream& in, Checkpoint& c, std::size_t n) {
+  std::string word;
+  c.arch.pages.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    in >> word;
+    if (word != "page") throw SimError("checkpoint: expected 'page'");
+    std::uint32_t idx;
+    in >> idx >> word;
+    c.arch.pages.emplace_back(idx, hexDecode(word));
+  }
+  in >> word;
+  if (word != "end") throw SimError("checkpoint: missing 'end'");
+}
+
+}  // namespace
+
+std::string Checkpoint::serialize() const {
+  std::ostringstream ss;
+  ss << kMagic << "\n";
+  ss << "config " << configName << "\n";
+  ss << "simtime " << simTime << "\n";
+  ss << "cycles " << cycles << "\n";
+  ss << "master-pc " << master.pc << "\n";
+  ss << "master-regs";
+  for (auto r : master.regs) ss << " " << r;
+  ss << "\n";
+  ss << "gr";
+  for (auto g : arch.gr) ss << " " << g;
+  ss << "\n";
+  ss << "stats " << stats.instructions << " " << stats.spawns << " "
+     << stats.virtualThreads << " " << stats.nonBlockingStores << " "
+     << stats.psRequests << " " << stats.psmRequests << "\n";
+  ss << "opcounts";
+  for (auto c : stats.opCount) ss << " " << c;
+  ss << "\n";
+  // Output can contain newlines: length-prefixed hex.
+  std::string outHex;
+  hexEncode(std::vector<std::uint8_t>(arch.output.begin(), arch.output.end()),
+            outHex);
+  ss << "output " << outHex << "\n";
+  ss << "pages " << arch.pages.size() << "\n";
+  for (const auto& [idx, data] : arch.pages) {
+    std::string hex;
+    hexEncode(data, hex);
+    ss << "page " << idx << " " << hex << "\n";
+  }
+  ss << "end\n";
+  return ss.str();
+}
+
+Checkpoint Checkpoint::deserialize(const std::string& text) {
+  std::istringstream in(text);
+  std::string line, word;
+  Checkpoint c;
+  if (!std::getline(in, line) || line != kMagic)
+    throw SimError("checkpoint: bad magic");
+  auto expect = [&](const char* key) {
+    in >> word;
+    if (word != key)
+      throw SimError(std::string("checkpoint: expected '") + key +
+                     "', got '" + word + "'");
+  };
+  expect("config");
+  in >> c.configName;
+  expect("simtime");
+  in >> c.simTime;
+  expect("cycles");
+  in >> c.cycles;
+  expect("master-pc");
+  in >> c.master.pc;
+  expect("master-regs");
+  for (auto& r : c.master.regs) in >> r;
+  expect("gr");
+  for (auto& g : c.arch.gr) in >> g;
+  expect("stats");
+  in >> c.stats.instructions >> c.stats.spawns >> c.stats.virtualThreads >>
+      c.stats.nonBlockingStores >> c.stats.psRequests >> c.stats.psmRequests;
+  expect("opcounts");
+  for (auto& v : c.stats.opCount) in >> v;
+  expect("output");
+  in >> word;
+  if (word == "pages") {
+    // empty output
+    std::size_t n;
+    in >> n;
+    readPages(in, c, n);
+    return c;
+  }
+  {
+    auto bytes = hexDecode(word);
+    c.arch.output.assign(bytes.begin(), bytes.end());
+  }
+  expect("pages");
+  std::size_t n;
+  in >> n;
+  readPages(in, c, n);
+  return c;
+}
+
+}  // namespace xmt

@@ -1,0 +1,38 @@
+// Simulation checkpoints.
+//
+// "XMTSim supports simulation checkpoints, i.e., the state of the simulation
+// can be saved at a point that is given by the user ahead of time ...
+// Simulation can be resumed at a later time." (Section III-E)
+//
+// Checkpoints capture architectural state (memory pages, global registers,
+// master context, printf output) plus accumulated statistics and the
+// simulated clock. They are taken at quiescent points — master executing
+// serial code with nothing in flight — so no microarchitectural state needs
+// saving; caches restart cold on resume (documented approximation).
+//
+// The serialized form is a line-oriented text format, versioned, suitable
+// for files and for the paper's use case of load-balancing long simulation
+// batches across machines.
+#pragma once
+
+#include <string>
+
+#include "src/desim/scheduler.h"
+#include "src/sim/funcmodel.h"
+#include "src/sim/stats.h"
+
+namespace xmt {
+
+struct Checkpoint {
+  FuncModel::ArchState arch;
+  Context master;
+  Stats stats;          // aggregate counters at save time
+  SimTime simTime = 0;  // picoseconds at save time
+  std::uint64_t cycles = 0;
+  std::string configName;  // provenance; resume validates nothing heavier
+
+  std::string serialize() const;
+  static Checkpoint deserialize(const std::string& text);
+};
+
+}  // namespace xmt

@@ -1,0 +1,201 @@
+#include "src/sim/config.h"
+
+#include <cmath>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+namespace {
+int ceilLog2(int n) {
+  int lg = 0;
+  while ((1 << lg) < n) ++lg;
+  return lg;
+}
+}  // namespace
+
+int XmtConfig::effectiveIcnSendLatency() const {
+  if (icnSendLatency > 0) return icnSendLatency;
+  return 2 + ceilLog2(clusters) + ceilLog2(cacheModules);
+}
+
+int XmtConfig::effectiveIcnReturnLatency() const {
+  if (icnReturnLatency > 0) return icnReturnLatency;
+  return 2 + ceilLog2(clusters) + ceilLog2(cacheModules);
+}
+
+void XmtConfig::validate() const {
+  auto positive = [](std::int64_t v, const char* what) {
+    if (v <= 0)
+      throw ConfigError(std::string(what) + " must be positive");
+  };
+  positive(clusters, "clusters");
+  positive(tcusPerCluster, "tcus_per_cluster");
+  positive(cacheModules, "cache_modules");
+  positive(dramChannels, "dram_channels");
+  positive(clusterInjectRate, "cluster_inject_rate");
+  positive(clusterReturnRate, "cluster_return_rate");
+  positive(cacheHitLatency, "cache_hit_latency");
+  positive(cacheLineBytes, "cache_line_bytes");
+  positive(cacheModuleKB, "cache_module_kb");
+  positive(cacheAssoc, "cache_assoc");
+  positive(dramLatency, "dram_latency");
+  positive(dramServiceInterval, "dram_service_interval");
+  positive(mduPerCluster, "mdu_per_cluster");
+  positive(fpuPerCluster, "fpu_per_cluster");
+  positive(mduLatency, "mdu_latency");
+  positive(fpuLatency, "fpu_latency");
+  positive(roCacheLines, "ro_cache_lines");
+  positive(masterCacheKB, "master_cache_kb");
+  positive(psLatency, "ps_latency");
+  positive(psReturnLatency, "ps_return_latency");
+  positive(spawnBroadcastBase, "spawn_broadcast_base");
+  positive(broadcastInstrPerCycle, "broadcast_instr_per_cycle");
+  if (prefetchEntries < 0)
+    throw ConfigError("prefetch_entries must be >= 0");
+  if (coreGhz <= 0 || icnGhz <= 0 || cacheGhz <= 0 || dramGhz <= 0)
+    throw ConfigError("clock frequencies must be positive");
+  if ((cacheLineBytes & (cacheLineBytes - 1)) != 0)
+    throw ConfigError("cache_line_bytes must be a power of two");
+  if (prefetchPolicy != "fifo" && prefetchPolicy != "lru")
+    throw ConfigError("prefetch_policy must be 'fifo' or 'lru'");
+  if (icnAsyncJitter < 0.0 || icnAsyncJitter >= 1.0)
+    throw ConfigError("icn_async_jitter must be in [0, 1)");
+}
+
+XmtConfig XmtConfig::fpga64() {
+  XmtConfig c;
+  c.name = "fpga64";
+  c.clusters = 8;
+  c.tcusPerCluster = 8;
+  c.cacheModules = 8;
+  c.dramChannels = 1;
+  c.coreGhz = 0.075;  // the 75 MHz FPGA prototype
+  c.icnGhz = 0.075;
+  c.cacheGhz = 0.075;
+  c.dramGhz = 0.075;
+  c.cacheModuleKB = 32;
+  c.dramLatency = 20;
+  c.dramServiceInterval = 2;
+  c.mduLatency = 8;
+  c.fpuLatency = 6;
+  c.prefetchEntries = 1;
+  return c;
+}
+
+XmtConfig XmtConfig::chip1024() {
+  XmtConfig c;
+  c.name = "chip1024";
+  c.clusters = 64;
+  c.tcusPerCluster = 16;
+  c.cacheModules = 128;
+  c.dramChannels = 16;
+  c.coreGhz = 1.3;
+  c.icnGhz = 1.3;
+  c.cacheGhz = 1.3;
+  c.dramGhz = 0.8;
+  c.cacheModuleKB = 32;
+  c.cacheHitLatency = 6;  // ~30-cycle round trip incl. ICN, per the paper
+  c.dramLatency = 80;
+  c.dramServiceInterval = 4;
+  c.prefetchEntries = 4;
+  return c;
+}
+
+XmtConfig XmtConfig::byName(const std::string& name) {
+  if (name == "fpga64") return fpga64();
+  if (name == "chip1024") return chip1024();
+  if (name == "custom" || name.empty()) return XmtConfig{};
+  throw ConfigError("unknown configuration '" + name + "'");
+}
+
+XmtConfig XmtConfig::fromConfigMap(const ConfigMap& map) {
+  XmtConfig c = byName(map.getString("base", "custom"));
+  auto geti = [&](const char* k, int d) {
+    return static_cast<int>(map.getInt(k, d));
+  };
+  c.clusters = geti("clusters", c.clusters);
+  c.tcusPerCluster = geti("tcus_per_cluster", c.tcusPerCluster);
+  c.cacheModules = geti("cache_modules", c.cacheModules);
+  c.dramChannels = geti("dram_channels", c.dramChannels);
+  c.coreGhz = map.getDouble("core_ghz", c.coreGhz);
+  c.icnGhz = map.getDouble("icn_ghz", c.icnGhz);
+  c.cacheGhz = map.getDouble("cache_ghz", c.cacheGhz);
+  c.dramGhz = map.getDouble("dram_ghz", c.dramGhz);
+  c.icnSendLatency = geti("icn_send_latency", c.icnSendLatency);
+  c.icnReturnLatency = geti("icn_return_latency", c.icnReturnLatency);
+  c.clusterInjectRate = geti("cluster_inject_rate", c.clusterInjectRate);
+  c.clusterReturnRate = geti("cluster_return_rate", c.clusterReturnRate);
+  c.addressHashing = map.getBool("address_hashing", c.addressHashing);
+  c.icnAsync = map.getBool("icn_async", c.icnAsync);
+  c.icnAsyncJitter = map.getDouble("icn_async_jitter", c.icnAsyncJitter);
+  c.cacheHitLatency = geti("cache_hit_latency", c.cacheHitLatency);
+  c.cacheLineBytes = geti("cache_line_bytes", c.cacheLineBytes);
+  c.cacheModuleKB = geti("cache_module_kb", c.cacheModuleKB);
+  c.cacheAssoc = geti("cache_assoc", c.cacheAssoc);
+  c.dramLatency = geti("dram_latency", c.dramLatency);
+  c.dramServiceInterval = geti("dram_service_interval", c.dramServiceInterval);
+  c.mduPerCluster = geti("mdu_per_cluster", c.mduPerCluster);
+  c.mduLatency = geti("mdu_latency", c.mduLatency);
+  c.fpuPerCluster = geti("fpu_per_cluster", c.fpuPerCluster);
+  c.fpuLatency = geti("fpu_latency", c.fpuLatency);
+  c.prefetchEntries = geti("prefetch_entries", c.prefetchEntries);
+  c.prefetchPolicy = map.getString("prefetch_policy", c.prefetchPolicy);
+  c.roCacheLines = geti("ro_cache_lines", c.roCacheLines);
+  c.masterCacheKB = geti("master_cache_kb", c.masterCacheKB);
+  c.psLatency = geti("ps_latency", c.psLatency);
+  c.psReturnLatency = geti("ps_return_latency", c.psReturnLatency);
+  c.spawnBroadcastBase = geti("spawn_broadcast_base", c.spawnBroadcastBase);
+  c.broadcastInstrPerCycle =
+      geti("broadcast_instr_per_cycle", c.broadcastInstrPerCycle);
+  c.maxInstructions = static_cast<std::uint64_t>(
+      map.getInt("max_instructions",
+                 static_cast<std::int64_t>(c.maxInstructions)));
+  c.validate();
+  return c;
+}
+
+ConfigMap XmtConfig::toConfigMap() const {
+  ConfigMap m;
+  m.set("base", name);
+  m.set("clusters", static_cast<std::int64_t>(clusters));
+  m.set("tcus_per_cluster", static_cast<std::int64_t>(tcusPerCluster));
+  m.set("cache_modules", static_cast<std::int64_t>(cacheModules));
+  m.set("dram_channels", static_cast<std::int64_t>(dramChannels));
+  m.set("core_ghz", coreGhz);
+  m.set("icn_ghz", icnGhz);
+  m.set("cache_ghz", cacheGhz);
+  m.set("dram_ghz", dramGhz);
+  m.set("icn_send_latency", static_cast<std::int64_t>(icnSendLatency));
+  m.set("icn_return_latency", static_cast<std::int64_t>(icnReturnLatency));
+  m.set("cluster_inject_rate", static_cast<std::int64_t>(clusterInjectRate));
+  m.set("cluster_return_rate", static_cast<std::int64_t>(clusterReturnRate));
+  m.set("address_hashing", addressHashing ? "true" : "false");
+  m.set("icn_async", icnAsync ? "true" : "false");
+  m.set("icn_async_jitter", icnAsyncJitter);
+  m.set("cache_hit_latency", static_cast<std::int64_t>(cacheHitLatency));
+  m.set("cache_line_bytes", static_cast<std::int64_t>(cacheLineBytes));
+  m.set("cache_module_kb", static_cast<std::int64_t>(cacheModuleKB));
+  m.set("cache_assoc", static_cast<std::int64_t>(cacheAssoc));
+  m.set("dram_latency", static_cast<std::int64_t>(dramLatency));
+  m.set("dram_service_interval",
+        static_cast<std::int64_t>(dramServiceInterval));
+  m.set("mdu_per_cluster", static_cast<std::int64_t>(mduPerCluster));
+  m.set("mdu_latency", static_cast<std::int64_t>(mduLatency));
+  m.set("fpu_per_cluster", static_cast<std::int64_t>(fpuPerCluster));
+  m.set("fpu_latency", static_cast<std::int64_t>(fpuLatency));
+  m.set("prefetch_entries", static_cast<std::int64_t>(prefetchEntries));
+  m.set("prefetch_policy", prefetchPolicy);
+  m.set("ro_cache_lines", static_cast<std::int64_t>(roCacheLines));
+  m.set("master_cache_kb", static_cast<std::int64_t>(masterCacheKB));
+  m.set("ps_latency", static_cast<std::int64_t>(psLatency));
+  m.set("ps_return_latency", static_cast<std::int64_t>(psReturnLatency));
+  m.set("spawn_broadcast_base",
+        static_cast<std::int64_t>(spawnBroadcastBase));
+  m.set("broadcast_instr_per_cycle",
+        static_cast<std::int64_t>(broadcastInstrPerCycle));
+  m.set("max_instructions", static_cast<std::int64_t>(maxInstructions));
+  return m;
+}
+
+}  // namespace xmt

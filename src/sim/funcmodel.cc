@@ -1,0 +1,326 @@
+#include "src/sim/funcmodel.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "src/common/error.h"
+#include "src/memsys/package.h"
+#include "src/sim/semantics.h"
+
+namespace xmt {
+
+FuncModel::FuncModel(Program program) : program_(std::move(program)) {
+  if (!program_.data.empty())
+    memory_.writeBlock(kDataBase, program_.data.data(), program_.data.size());
+}
+
+const Instruction& FuncModel::fetch(std::uint32_t pc) const {
+  return program_.text[program_.textIndex(pc)];
+}
+
+FuncModel::StepClass FuncModel::classify(const Instruction& in) {
+  switch (in.op) {
+    case Op::kLw:
+    case Op::kSw:
+    case Op::kSwnb:
+    case Op::kLbu:
+    case Op::kSb:
+    case Op::kPref:
+    case Op::kRolw:
+    case Op::kFence:
+      return StepClass::kMemory;
+    case Op::kPs:
+      return StepClass::kPs;
+    case Op::kPsm:
+      return StepClass::kPsm;
+    case Op::kSpawn:
+      return StepClass::kSpawn;
+    case Op::kJoin:
+      return StepClass::kJoin;
+    case Op::kHalt:
+      return StepClass::kHalt;
+    default:
+      return StepClass::kSimple;
+  }
+}
+
+void FuncModel::execSimple(Context& ctx, const Instruction& in) {
+  const OpInfo& info = opInfo(in.op);
+  std::uint32_t next = ctx.pc + 4;
+  switch (info.format) {
+    case OpFormat::kR3:
+      ctx.setReg(in.rd, evalAlu(in.op, ctx.reg(in.rs), ctx.reg(in.rt)));
+      break;
+    case OpFormat::kR2I:
+      ctx.setReg(in.rd, evalAlu(in.op, ctx.reg(in.rs),
+                                static_cast<std::uint32_t>(in.imm)));
+      break;
+    case OpFormat::kRI:
+    case OpFormat::kRL:
+      ctx.setReg(in.rd, static_cast<std::uint32_t>(in.imm));
+      break;
+    case OpFormat::kR2:
+      if (in.op == Op::kMove)
+        ctx.setReg(in.rd, ctx.reg(in.rs));
+      else  // cvtif / cvtfi
+        ctx.setReg(in.rd, evalAlu(in.op, ctx.reg(in.rs), 0));
+      break;
+    case OpFormat::kBr2:
+      if (evalBranch(in.op, ctx.reg(in.rs), ctx.reg(in.rt)))
+        next = static_cast<std::uint32_t>(in.imm);
+      break;
+    case OpFormat::kJump:
+      if (in.op == Op::kJal) ctx.setReg(kRa, ctx.pc + 4);
+      next = static_cast<std::uint32_t>(in.imm);
+      break;
+    case OpFormat::kR1:
+      if (in.op == Op::kJalr) ctx.setReg(kRa, ctx.pc + 4);
+      next = ctx.reg(in.rs);
+      break;
+    case OpFormat::kGr:
+      XMT_CHECK(in.rt < kNumGlobalRegs);
+      if (in.op == Op::kMtgr)
+        gr_[in.rt] = ctx.reg(in.rd);
+      else if (in.op == Op::kMfgr)
+        ctx.setReg(in.rd, gr_[in.rt]);
+      else
+        throw InternalError("ps must not reach execSimple");
+      break;
+    case OpFormat::kImm:
+      doSyscall(ctx, in.imm);
+      break;
+    case OpFormat::kNone:
+      if (in.op != Op::kNop)
+        throw InternalError("non-simple op in execSimple: " +
+                            std::string(info.name));
+      break;
+    default:
+      throw InternalError("unexpected format in execSimple");
+  }
+  ctx.pc = next;
+}
+
+std::uint32_t FuncModel::psFetchAdd(int gr, std::uint32_t inc) {
+  XMT_CHECK(gr >= 0 && gr < kNumGlobalRegs);
+  std::uint32_t old = gr_[static_cast<std::size_t>(gr)];
+  gr_[static_cast<std::size_t>(gr)] = old + inc;
+  return old;
+}
+
+Context FuncModel::makeThreadContext(const Context& master,
+                                     std::uint32_t startPc,
+                                     std::uint32_t tid) const {
+  Context t = master;  // register broadcast at spawn onset
+  t.pc = startPc;
+  t.setReg(kTid, tid);
+  return t;
+}
+
+void FuncModel::doSyscall(Context& ctx, std::int32_t code) {
+  char buf[64];
+  switch (code) {
+    case 1:  // print signed int in a0
+      std::snprintf(buf, sizeof buf, "%d",
+                    static_cast<std::int32_t>(ctx.reg(kA0)));
+      output_ += buf;
+      break;
+    case 2:  // print char in a0
+      output_ += static_cast<char>(ctx.reg(kA0) & 0xff);
+      break;
+    case 3: {  // print NUL-terminated string at address in a0
+      std::uint32_t addr = ctx.reg(kA0);
+      for (int guard = 0; guard < (1 << 20); ++guard) {
+        char c = static_cast<char>(memory_.readByte(addr++));
+        if (c == '\0') break;
+        output_ += c;
+      }
+      break;
+    }
+    case 4: {  // print float bits in a0
+      float f;
+      std::uint32_t bits = ctx.reg(kA0);
+      std::memcpy(&f, &bits, 4);
+      std::snprintf(buf, sizeof buf, "%g", static_cast<double>(f));
+      output_ += buf;
+      break;
+    }
+    default:
+      throw SimError("unknown syscall code " + std::to_string(code));
+  }
+}
+
+std::uint32_t FuncModel::symbolWordAddr(const std::string& name,
+                                        const char* why) const {
+  const Symbol& sym = program_.symbol(name);
+  if (sym.isText)
+    throw SimError(std::string(why) + ": '" + name + "' is a text symbol");
+  return sym.addr;
+}
+
+void FuncModel::setGlobal(const std::string& name, std::uint32_t value) {
+  memory_.writeWord(symbolWordAddr(name, "setGlobal"), value);
+}
+
+void FuncModel::setGlobalArray(const std::string& name,
+                               std::span<const std::uint32_t> values) {
+  const Symbol& sym = program_.symbol(name);
+  if (sym.isText) throw SimError("setGlobalArray: text symbol");
+  if (values.size() * 4 > sym.size)
+    throw SimError("setGlobalArray: '" + name + "' holds " +
+                   std::to_string(sym.size / 4) + " words, got " +
+                   std::to_string(values.size()));
+  std::uint32_t addr = sym.addr;
+  for (std::uint32_t v : values) {
+    memory_.writeWord(addr, v);
+    addr += 4;
+  }
+}
+
+std::uint32_t FuncModel::getGlobal(const std::string& name) const {
+  return memory_.readWord(symbolWordAddr(name, "getGlobal"));
+}
+
+std::vector<std::uint32_t> FuncModel::getGlobalArray(
+    const std::string& name) const {
+  const Symbol& sym = program_.symbol(name);
+  if (sym.isText) throw SimError("getGlobalArray: text symbol");
+  std::vector<std::uint32_t> out;
+  out.reserve(sym.size / 4);
+  for (std::uint32_t off = 0; off + 4 <= sym.size; off += 4)
+    out.push_back(memory_.readWord(sym.addr + off));
+  return out;
+}
+
+bool FuncModel::runContextSerial(Context& ctx, bool isMaster,
+                                 std::uint64_t maxInstructions,
+                                 std::uint64_t& executed,
+                                 CommitObserver* observer, Stats* stats) {
+  for (;;) {
+    if (executed >= maxInstructions)
+      throw SimError("functional mode exceeded instruction limit (" +
+                     std::to_string(maxInstructions) + ")");
+    const std::uint32_t pcBefore = ctx.pc;
+    const Instruction& in = fetch(ctx.pc);
+    ++executed;
+    if (stats) stats->countInstruction(in);
+    std::uint32_t memAddr = 0;
+    StepClass cls = classify(in);
+    switch (cls) {
+      case StepClass::kSimple:
+        execSimple(ctx, in);
+        break;
+      case StepClass::kMemory: {
+        memAddr = effectiveAddr(ctx, in);
+        switch (in.op) {
+          case Op::kLw:
+          case Op::kRolw:
+            ctx.setReg(in.rt, memory_.readWord(memAddr));
+            break;
+          case Op::kLbu:
+            ctx.setReg(in.rt, memory_.readByte(memAddr));
+            break;
+          case Op::kSw:
+          case Op::kSwnb:
+            memory_.writeWord(memAddr, ctx.reg(in.rt));
+            break;
+          case Op::kSb:
+            memory_.writeByte(memAddr,
+                              static_cast<std::uint8_t>(ctx.reg(in.rt)));
+            break;
+          case Op::kPref:
+          case Op::kFence:
+            break;  // timing-only in functional mode
+          default:
+            throw InternalError("bad memory op");
+        }
+        ctx.pc += 4;
+        break;
+      }
+      case StepClass::kPs: {
+        if (stats) ++stats->psRequests;
+        std::uint32_t old = psFetchAdd(in.rt, ctx.reg(in.rd));
+        ctx.setReg(in.rd, old);
+        ctx.pc += 4;
+        break;
+      }
+      case StepClass::kPsm: {
+        if (stats) ++stats->psmRequests;
+        memAddr = effectiveAddr(ctx, in);
+        std::uint32_t old = memory_.fetchAdd(memAddr, ctx.reg(in.rt));
+        ctx.setReg(in.rt, old);
+        ctx.pc += 4;
+        break;
+      }
+      case StepClass::kSpawn: {
+        if (!isMaster)
+          throw SimError("nested spawn reached hardware (the compiler "
+                         "serializes nested spawns)");
+        if (stats) ++stats->spawns;
+        std::uint32_t low = gr_[kGrNextId];
+        std::uint32_t high = gr_[kGrHigh];
+        auto startPc = static_cast<std::uint32_t>(in.imm);
+        // Serialize the spawn block: one virtual thread at a time, each
+        // starting from the master register snapshot.
+        for (std::uint32_t id = low;
+             static_cast<std::int32_t>(id) <=
+             static_cast<std::int32_t>(high);
+             ++id) {
+          if (stats) ++stats->virtualThreads;
+          Context t = makeThreadContext(ctx, startPc, id);
+          if (runContextSerial(t, false, maxInstructions, executed, observer,
+                               stats))
+            return true;
+        }
+        gr_[kGrNextId] = high + 1;
+        ctx.pc = static_cast<std::uint32_t>(in.imm2);
+        break;
+      }
+      case StepClass::kJoin:
+        if (isMaster)
+          throw SimError("join executed in serial (master) mode");
+        if (observer)
+          observer->onCommit(0, 0, in, pcBefore, 0);
+        return false;  // virtual thread complete
+      case StepClass::kHalt:
+        if (!isMaster) throw SimError("halt executed inside a spawn block");
+        if (observer) observer->onCommit(kMasterCluster, 0, in, pcBefore, 0);
+        return true;
+    }
+    if (observer && cls != StepClass::kJoin && cls != StepClass::kHalt)
+      observer->onCommit(isMaster ? kMasterCluster : 0, 0, in, pcBefore,
+                         memAddr);
+  }
+}
+
+FunctionalRunResult FuncModel::runFunctional(std::uint64_t maxInstructions,
+                                             CommitObserver* observer,
+                                             Stats* stats) {
+  Context master;
+  master.pc = program_.entry;
+  master.setReg(kSp, kStackTop);
+  std::uint64_t executed = 0;
+  bool halted =
+      runContextSerial(master, true, maxInstructions, executed, observer,
+                       stats);
+  FunctionalRunResult r;
+  r.halted = halted;
+  r.haltCode = static_cast<std::int32_t>(master.reg(kV0));
+  r.instructions = executed;
+  return r;
+}
+
+FuncModel::ArchState FuncModel::saveArchState() const {
+  ArchState s;
+  s.pages = memory_.snapshot();
+  s.gr = gr_;
+  s.output = output_;
+  return s;
+}
+
+void FuncModel::restoreArchState(const ArchState& s) {
+  memory_.restore(s.pages);
+  gr_ = s.gr;
+  output_ = s.output;
+}
+
+}  // namespace xmt

@@ -1,0 +1,126 @@
+// The functional model: architectural state plus operational definitions.
+//
+// "The functional model contains the operational definition of the
+// instructions, as well as the state of the registers and the memory."
+// (Section III-A). The cycle-accurate model fetches instructions from here
+// and returns expired instructions for execution; the fast functional mode
+// (runFunctional) replaces the cycle-accurate model with a mechanism that
+// serializes the parallel sections — orders of magnitude faster, but unable
+// to reveal concurrency bugs, exactly as the paper describes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/assembler/program.h"
+#include "src/sim/memory.h"
+#include "src/sim/stats.h"
+
+namespace xmt {
+
+/// One hardware execution context (the Master TCU or a parallel TCU).
+struct Context {
+  std::array<std::uint32_t, kNumRegs> regs{};
+  std::uint32_t pc = 0;
+
+  std::uint32_t reg(int r) const { return r == 0 ? 0u : regs[static_cast<std::size_t>(r)]; }
+  void setReg(int r, std::uint32_t v) {
+    if (r != 0) regs[static_cast<std::size_t>(r)] = v;
+  }
+};
+
+/// Result of a fast functional run.
+struct FunctionalRunResult {
+  bool halted = false;
+  std::int32_t haltCode = 0;
+  std::uint64_t instructions = 0;
+};
+
+class FuncModel {
+ public:
+  /// Classification used by both execution modes to route instructions.
+  enum class StepClass {
+    kSimple,  // ALU/shift/MDU/FPU/branch/li/la/move/mtgr/mfgr/sys/nop
+    kMemory,  // lw/sw/swnb/lbu/sb/pref/rolw/fence
+    kPs,      // prefix-sum on a global register
+    kPsm,     // prefix-sum to memory
+    kSpawn,
+    kJoin,
+    kHalt,
+  };
+
+  explicit FuncModel(Program program);
+
+  Program& program() { return program_; }
+  const Program& program() const { return program_; }
+  SparseMemory& memory() { return memory_; }
+  std::array<std::uint32_t, kNumGlobalRegs>& globalRegs() { return gr_; }
+
+  const Instruction& fetch(std::uint32_t pc) const;
+  static StepClass classify(const Instruction& in);
+
+  /// Executes one kSimple instruction on `ctx`, including pc update.
+  void execSimple(Context& ctx, const Instruction& in);
+
+  /// Effective address of a memory-class instruction.
+  std::uint32_t effectiveAddr(const Context& ctx, const Instruction& in) const {
+    return ctx.reg(in.rs) + static_cast<std::uint32_t>(in.imm);
+  }
+
+  /// Atomic fetch-and-add on global register `gr` (the ps primitive).
+  std::uint32_t psFetchAdd(int gr, std::uint32_t inc);
+
+  /// Fresh parallel context inheriting the master's registers (the
+  /// register-broadcast at spawn onset) with `tid` as its virtual thread ID.
+  Context makeThreadContext(const Context& master, std::uint32_t startPc,
+                            std::uint32_t tid) const;
+
+  // --- Host data interface (global variables are the only program input) ---
+  void setGlobal(const std::string& name, std::uint32_t value);
+  void setGlobalArray(const std::string& name,
+                      std::span<const std::uint32_t> values);
+  std::uint32_t getGlobal(const std::string& name) const;
+  std::vector<std::uint32_t> getGlobalArray(const std::string& name) const;
+
+  /// Printf output accumulated by `sys` instructions.
+  const std::string& output() const { return output_; }
+  std::string& mutableOutput() { return output_; }
+
+  /// Handles a `sys` instruction for `ctx` (print traps).
+  void doSyscall(Context& ctx, std::int32_t code);
+
+  /// Fast functional-mode execution from the program entry point.
+  /// Serializes spawn blocks. `observer` may be null. Throws SimError if
+  /// `maxInstructions` is exceeded (runaway-program guard).
+  FunctionalRunResult runFunctional(std::uint64_t maxInstructions,
+                                    CommitObserver* observer,
+                                    Stats* stats);
+
+  /// Architectural checkpoint support: memory + global registers + output.
+  struct ArchState {
+    std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> pages;
+    std::array<std::uint32_t, kNumGlobalRegs> gr;
+    std::string output;
+  };
+  ArchState saveArchState() const;
+  void restoreArchState(const ArchState& s);
+
+ private:
+  // Runs `ctx` until join/halt, executing memory ops immediately.
+  // Returns true when a halt was executed.
+  bool runContextSerial(Context& ctx, bool isMaster,
+                        std::uint64_t maxInstructions, std::uint64_t& executed,
+                        CommitObserver* observer, Stats* stats);
+
+  std::uint32_t symbolWordAddr(const std::string& name, const char* why) const;
+
+  Program program_;
+  SparseMemory memory_;
+  std::array<std::uint32_t, kNumGlobalRegs> gr_{};
+  std::string output_;
+};
+
+}  // namespace xmt

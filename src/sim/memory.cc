@@ -1,0 +1,83 @@
+#include "src/sim/memory.h"
+
+#include <cstring>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+SparseMemory::Page& SparseMemory::page(std::uint32_t addr) {
+  std::uint32_t idx = addr >> kPageBits;
+  auto it = pages_.find(idx);
+  if (it == pages_.end())
+    it = pages_.emplace(idx, Page(kPageSize, 0)).first;
+  return it->second;
+}
+
+const SparseMemory::Page* SparseMemory::findPage(std::uint32_t addr) const {
+  auto it = pages_.find(addr >> kPageBits);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+std::uint32_t SparseMemory::readWord(std::uint32_t addr) const {
+  if (addr % 4 != 0)
+    throw SimError("unaligned word read at 0x" + std::to_string(addr));
+  const Page* p = findPage(addr);
+  if (!p) return 0;
+  std::uint32_t w;
+  std::memcpy(&w, p->data() + (addr & (kPageSize - 1)), 4);
+  return w;
+}
+
+void SparseMemory::writeWord(std::uint32_t addr, std::uint32_t value) {
+  if (addr % 4 != 0)
+    throw SimError("unaligned word write at 0x" + std::to_string(addr));
+  std::memcpy(page(addr).data() + (addr & (kPageSize - 1)), &value, 4);
+}
+
+std::uint8_t SparseMemory::readByte(std::uint32_t addr) const {
+  const Page* p = findPage(addr);
+  return p ? (*p)[addr & (kPageSize - 1)] : 0;
+}
+
+void SparseMemory::writeByte(std::uint32_t addr, std::uint8_t value) {
+  page(addr)[addr & (kPageSize - 1)] = value;
+}
+
+std::uint32_t SparseMemory::fetchAdd(std::uint32_t addr, std::uint32_t delta) {
+  std::uint32_t old = readWord(addr);
+  writeWord(addr, old + delta);
+  return old;
+}
+
+void SparseMemory::writeBlock(std::uint32_t addr, const std::uint8_t* src,
+                              std::size_t len) {
+  while (len > 0) {
+    std::size_t inPage = kPageSize - (addr & (kPageSize - 1));
+    std::size_t n = len < inPage ? len : inPage;
+    std::memcpy(page(addr).data() + (addr & (kPageSize - 1)), src, n);
+    addr += static_cast<std::uint32_t>(n);
+    src += n;
+    len -= n;
+  }
+}
+
+std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>
+SparseMemory::snapshot() const {
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> out;
+  out.reserve(pages_.size());
+  for (const auto& [idx, data] : pages_) out.emplace_back(idx, data);
+  return out;
+}
+
+void SparseMemory::restore(
+    const std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>&
+        pages) {
+  pages_.clear();
+  for (const auto& [idx, data] : pages) {
+    XMT_CHECK(data.size() == kPageSize);
+    pages_[idx] = data;
+  }
+}
+
+}  // namespace xmt

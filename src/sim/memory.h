@@ -1,0 +1,53 @@
+// Sparse paged memory for the functional model.
+//
+// Backs the entire 32-bit simulated address space with 4 KiB pages allocated
+// on demand. Word accesses must be 4-byte aligned (the compiler and
+// assembler only generate aligned accesses; unaligned traffic indicates a
+// simulated-program bug and throws SimError).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace xmt {
+
+class SparseMemory {
+ public:
+  static constexpr std::uint32_t kPageBits = 12;
+  static constexpr std::uint32_t kPageSize = 1u << kPageBits;
+
+  std::uint32_t readWord(std::uint32_t addr) const;
+  void writeWord(std::uint32_t addr, std::uint32_t value);
+  std::uint8_t readByte(std::uint32_t addr) const;
+  void writeByte(std::uint32_t addr, std::uint8_t value);
+
+  /// Atomic fetch-and-add on a word; returns the previous value. This is the
+  /// psm primitive as executed by a shared cache module.
+  std::uint32_t fetchAdd(std::uint32_t addr, std::uint32_t delta);
+
+  /// Bulk copy-in (program loading, memory maps).
+  void writeBlock(std::uint32_t addr, const std::uint8_t* src,
+                  std::size_t len);
+
+  /// Number of resident pages (for tests and checkpoint sizing).
+  std::size_t residentPages() const { return pages_.size(); }
+
+  /// Deterministic serialization for checkpoints: (pageIndex, bytes) pairs
+  /// in ascending page order.
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> snapshot()
+      const;
+  void restore(
+      const std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>&
+          pages);
+
+ private:
+  using Page = std::vector<std::uint8_t>;
+  Page& page(std::uint32_t addr);
+  const Page* findPage(std::uint32_t addr) const;
+
+  std::map<std::uint32_t, Page> pages_;
+};
+
+}  // namespace xmt

@@ -1,0 +1,135 @@
+#include "src/sim/phase.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+
+namespace xmt {
+
+namespace {
+
+std::uint64_t memOpsOf(const Stats& s) {
+  return s.fuCount[static_cast<std::size_t>(FuKind::kMem)] +
+         s.fuCount[static_cast<std::size_t>(FuKind::kPs)];
+}
+
+}  // namespace
+
+void PhaseProfiler::onInterval(RuntimeControl& rc) {
+  const Stats& s = rc.stats();
+  std::uint64_t instr = s.instructions;
+  std::uint64_t cycles = rc.coreCycles();
+  std::uint64_t memOps = memOpsOf(s);
+  if (first_) {
+    first_ = false;
+    lastInstr_ = instr;
+    lastCycles_ = cycles;
+    lastMemOps_ = memOps;
+    return;
+  }
+  PhaseSample sample;
+  sample.time = rc.now();
+  sample.instrDelta = instr - lastInstr_;
+  sample.cycleDelta = cycles - lastCycles_;
+  std::uint64_t memDelta = memOps - lastMemOps_;
+  lastInstr_ = instr;
+  lastCycles_ = cycles;
+  lastMemOps_ = memOps;
+  if (sample.cycleDelta == 0) return;
+  sample.ipc = static_cast<double>(sample.instrDelta) /
+               static_cast<double>(sample.cycleDelta);
+  sample.memFrac =
+      sample.instrDelta == 0
+          ? 0.0
+          : static_cast<double>(memDelta) /
+                static_cast<double>(sample.instrDelta);
+
+  double ipcN = sample.ipc / (1.0 + sample.ipc);
+  int best = -1;
+  double bestDist = threshold_;
+  // Memory intensity is the stronger phase discriminator on XMT (the
+  // paper's execution profiles show "memory and computation intensive
+  // phases"), so it is weighted up in the distance metric.
+  constexpr double kMemWeight = 3.0;
+  for (std::size_t i = 0; i < centroids_.size(); ++i) {
+    double d = std::hypot(
+        ipcN - centroids_[i].ipcN,
+        kMemWeight * (sample.memFrac - centroids_[i].memFrac));
+    if (d <= bestDist) {
+      bestDist = d;
+      best = static_cast<int>(i);
+    }
+  }
+  if (best < 0) {
+    centroids_.push_back(Centroid{ipcN, sample.memFrac, 1});
+    best = static_cast<int>(centroids_.size()) - 1;
+  } else {
+    Centroid& c = centroids_[static_cast<std::size_t>(best)];
+    ++c.count;
+    c.ipcN += (ipcN - c.ipcN) / c.count;
+    c.memFrac += (sample.memFrac - c.memFrac) / c.count;
+  }
+  sample.phaseId = best;
+  samples_.push_back(sample);
+}
+
+std::string PhaseProfiler::report() const {
+  std::ostringstream ss;
+  ss << "phase timeline (" << centroids_.size() << " phases, "
+     << samples_.size() << " intervals):\n  ";
+  for (const auto& s : samples_)
+    ss << static_cast<char>('A' + (s.phaseId % 26));
+  ss << "\n";
+  std::map<int, std::pair<double, double>> agg;  // phase -> (ipc, memFrac)
+  std::map<int, int> counts;
+  for (const auto& s : samples_) {
+    agg[s.phaseId].first += s.ipc;
+    agg[s.phaseId].second += s.memFrac;
+    ++counts[s.phaseId];
+  }
+  for (const auto& [id, sums] : agg) {
+    ss << "  phase " << static_cast<char>('A' + (id % 26)) << ": "
+       << counts[id] << " intervals, avg IPC "
+       << sums.first / counts[id] << ", mem fraction "
+       << sums.second / counts[id] << "\n";
+  }
+  return ss.str();
+}
+
+double PhaseProfiler::estimateCycles(const std::vector<PhaseSample>& samples,
+                                     int detailPerPhase,
+                                     double* detailedFraction) {
+  std::map<int, int> seen;
+  std::map<int, double> cpiSum;
+  std::map<int, int> cpiCount;
+  double total = 0;
+  int detailed = 0;
+  for (const auto& s : samples) {
+    int k = seen[s.phaseId]++;
+    if (k < detailPerPhase) {
+      // Detailed interval: exact cycles, and it trains the phase CPI.
+      total += static_cast<double>(s.cycleDelta);
+      if (s.instrDelta > 0) {
+        cpiSum[s.phaseId] += static_cast<double>(s.cycleDelta) /
+                             static_cast<double>(s.instrDelta);
+        ++cpiCount[s.phaseId];
+      }
+      ++detailed;
+    } else {
+      // Fast-forwarded interval: instructions are known (the functional
+      // model provides them); cycles extrapolate from the phase CPI.
+      double cpi = cpiCount[s.phaseId] > 0
+                       ? cpiSum[s.phaseId] / cpiCount[s.phaseId]
+                       : 1.0;
+      total += cpi * static_cast<double>(s.instrDelta);
+    }
+  }
+  if (detailedFraction != nullptr)
+    *detailedFraction =
+        samples.empty()
+            ? 0.0
+            : static_cast<double>(detailed) / static_cast<double>(samples.size());
+  return total;
+}
+
+}  // namespace xmt

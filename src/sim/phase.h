@@ -1,0 +1,75 @@
+// Program phase detection and phase-sampling estimation (paper
+// Section III-F, "Phase sampling", citing SimPoint [38]).
+//
+// "Programs with very long execution times usually consist of multiple
+// phases where each phase is a set of intervals that have similar behavior.
+// An extension to the XMT system can be tested by running the cycle-
+// accurate simulation for a few intervals on each phase and fast-forwarding
+// in-between."
+//
+// PhaseProfiler is an activity plug-in that fingerprints each sampling
+// interval (IPC, memory intensity) and clusters intervals into phases with
+// a simple online nearest-centroid scheme. estimateCycles() then evaluates
+// the phase-sampling idea offline: simulate in detail only the first K
+// intervals of each phase, extrapolate the rest from the phase's CPI — and
+// compare the estimate against the fully detailed run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/plugins.h"
+
+namespace xmt {
+
+struct PhaseSample {
+  SimTime time = 0;
+  std::uint64_t instrDelta = 0;
+  std::uint64_t cycleDelta = 0;
+  double ipc = 0;      // instructions per core cycle over the interval
+  double memFrac = 0;  // fraction of instructions that touch memory
+  int phaseId = 0;
+};
+
+class PhaseProfiler : public ActivityPlugin {
+ public:
+  /// `distThreshold` controls phase granularity: a new interval joins the
+  /// nearest phase centroid within this distance, else starts a new phase.
+  explicit PhaseProfiler(double distThreshold = 0.2)
+      : threshold_(distThreshold) {}
+
+  void onInterval(RuntimeControl& rc) override;
+
+  const std::vector<PhaseSample>& samples() const { return samples_; }
+  int phaseCount() const { return static_cast<int>(centroids_.size()); }
+
+  /// Human-readable phase timeline and per-phase behaviour summary.
+  std::string report() const;
+
+  /// Offline phase-sampling evaluation: estimated total cycles when only
+  /// the first `detailPerPhase` intervals of each phase run cycle-accurate
+  /// and the rest are fast-forwarded with the phase's measured CPI.
+  /// Also returns via `detailedFraction` the fraction of intervals that
+  /// needed detailed simulation.
+  static double estimateCycles(const std::vector<PhaseSample>& samples,
+                               int detailPerPhase,
+                               double* detailedFraction = nullptr);
+
+ private:
+  struct Centroid {
+    double ipcN = 0;  // ipc/(1+ipc), bounded to [0,1)
+    double memFrac = 0;
+    int count = 0;
+  };
+
+  double threshold_;
+  bool first_ = true;
+  std::uint64_t lastInstr_ = 0;
+  std::uint64_t lastCycles_ = 0;
+  std::uint64_t lastMemOps_ = 0;
+  std::vector<Centroid> centroids_;
+  std::vector<PhaseSample> samples_;
+};
+
+}  // namespace xmt

@@ -1,0 +1,65 @@
+#include "src/sim/plugins.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace xmt {
+
+void HotMemoryFilter::onCommit(int cluster, int tcu, const Instruction& in,
+                               std::uint32_t pc, std::uint32_t memAddr) {
+  (void)cluster;
+  (void)tcu;
+  (void)pc;
+  if (!in.isMemory() || in.op == Op::kFence || in.op == Op::kPref) return;
+  ++counts_[memAddr / granularity_ * granularity_];
+}
+
+std::vector<std::pair<std::uint32_t, std::uint64_t>> HotMemoryFilter::top()
+    const {
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> v(counts_.begin(),
+                                                         counts_.end());
+  std::stable_sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (v.size() > static_cast<std::size_t>(topN_)) v.resize(topN_);
+  return v;
+}
+
+std::string HotMemoryFilter::report() const {
+  std::ostringstream ss;
+  ss << "hottest memory locations (top " << topN_ << "):\n";
+  for (const auto& [addr, count] : top())
+    ss << "  0x" << std::hex << addr << std::dec << ": " << count
+       << " accesses\n";
+  return ss.str();
+}
+
+void HotLineFilter::onCommit(int cluster, int tcu, const Instruction& in,
+                             std::uint32_t pc, std::uint32_t memAddr) {
+  (void)cluster;
+  (void)tcu;
+  (void)pc;
+  (void)memAddr;
+  ++counts_[in.srcLine];
+}
+
+std::vector<std::pair<std::int32_t, std::uint64_t>> HotLineFilter::top()
+    const {
+  std::vector<std::pair<std::int32_t, std::uint64_t>> v(counts_.begin(),
+                                                        counts_.end());
+  std::stable_sort(v.begin(), v.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  if (v.size() > static_cast<std::size_t>(topN_)) v.resize(topN_);
+  return v;
+}
+
+std::string HotLineFilter::report() const {
+  std::ostringstream ss;
+  ss << "hottest assembly lines (top " << topN_ << "):\n";
+  for (const auto& [line, count] : top())
+    ss << "  line " << line << ": " << count << " executions\n";
+  return ss.str();
+}
+
+}  // namespace xmt

@@ -1,0 +1,98 @@
+// Plug-in interfaces: filter plug-ins and activity plug-ins.
+//
+// "Users can customize the instruction statistics reported at the end of the
+// simulation via external filter plug-ins. ... instruction and activity
+// counters can be read at regular intervals during the simulation time via
+// the activity plug-in interface. ... it can change the frequencies of the
+// clock domains assigned to clusters, interconnection network, shared caches
+// and DRAM controllers" (Section III-B).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/desim/scheduler.h"
+#include "src/isa/isa.h"
+#include "src/sim/config.h"
+#include "src/sim/stats.h"
+
+namespace xmt {
+
+/// Runtime-control surface handed to activity plug-ins: counters plus the
+/// API "for modifying the operation of the cycle-accurate components during
+/// runtime" (clock domain control).
+class RuntimeControl {
+ public:
+  virtual ~RuntimeControl() = default;
+
+  virtual const Stats& stats() const = 0;
+  virtual const XmtConfig& config() const = 0;
+  virtual SimTime now() const = 0;
+  virtual std::uint64_t coreCycles() const = 0;
+
+  virtual void setClusterFrequency(int cluster, double ghz) = 0;
+  virtual double clusterFrequency(int cluster) const = 0;
+  virtual void setClusterEnabled(int cluster, bool enabled) = 0;
+  virtual void setIcnFrequency(double ghz) = 0;
+  virtual void setCacheFrequency(double ghz) = 0;
+  virtual void setDramFrequency(double ghz) = 0;
+
+  /// Stops the simulation at the current time (run() returns).
+  virtual void requestStop() = 0;
+};
+
+/// Called at a fixed cycle interval during cycle-accurate simulation.
+class ActivityPlugin {
+ public:
+  virtual ~ActivityPlugin() = default;
+  virtual void onInterval(RuntimeControl& rc) = 0;
+};
+
+/// Observes every committed instruction; reports at end of simulation.
+class FilterPlugin {
+ public:
+  virtual ~FilterPlugin() = default;
+  virtual void onCommit(int cluster, int tcu, const Instruction& in,
+                        std::uint32_t pc, std::uint32_t memAddr) = 0;
+  virtual std::string report() const = 0;
+};
+
+/// The default filter plug-in from the paper: "creates a list of most
+/// frequently accessed locations in the XMT shared memory space", to help a
+/// programmer find memory bottlenecks.
+class HotMemoryFilter : public FilterPlugin {
+ public:
+  explicit HotMemoryFilter(int topN = 10, std::uint32_t granularityBytes = 4)
+      : topN_(topN), granularity_(granularityBytes) {}
+
+  void onCommit(int cluster, int tcu, const Instruction& in,
+                std::uint32_t pc, std::uint32_t memAddr) override;
+  std::string report() const override;
+
+  /// (address, count) pairs, most frequent first.
+  std::vector<std::pair<std::uint32_t, std::uint64_t>> top() const;
+
+ private:
+  int topN_;
+  std::uint32_t granularity_;
+  std::map<std::uint32_t, std::uint64_t> counts_;
+};
+
+/// Filter plug-in counting instructions per assembly source line — the hook
+/// that lets the compiler refer hot assembly back to XMTC lines.
+class HotLineFilter : public FilterPlugin {
+ public:
+  explicit HotLineFilter(int topN = 10) : topN_(topN) {}
+  void onCommit(int cluster, int tcu, const Instruction& in,
+                std::uint32_t pc, std::uint32_t memAddr) override;
+  std::string report() const override;
+  std::vector<std::pair<std::int32_t, std::uint64_t>> top() const;
+
+ private:
+  int topN_;
+  std::map<std::int32_t, std::uint64_t> counts_;
+};
+
+}  // namespace xmt

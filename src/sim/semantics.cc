@@ -1,0 +1,128 @@
+#include "src/sim/semantics.h"
+
+#include <cstring>
+#include <limits>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+namespace {
+
+float asFloat(std::uint32_t b) {
+  float f;
+  std::memcpy(&f, &b, 4);
+  return f;
+}
+
+std::uint32_t asBits(float f) {
+  std::uint32_t b;
+  std::memcpy(&b, &f, 4);
+  return b;
+}
+
+}  // namespace
+
+bool usesImmediate(Op op) {
+  switch (op) {
+    case Op::kAddi:
+    case Op::kAndi:
+    case Op::kOri:
+    case Op::kXori:
+    case Op::kSlti:
+    case Op::kSll:
+    case Op::kSrl:
+    case Op::kSra:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::uint32_t evalAlu(Op op, std::uint32_t a, std::uint32_t b) {
+  auto sa = static_cast<std::int32_t>(a);
+  auto sb = static_cast<std::int32_t>(b);
+  switch (op) {
+    case Op::kAdd:
+    case Op::kAddi:
+      return a + b;
+    case Op::kSub:
+      return a - b;
+    case Op::kAnd:
+    case Op::kAndi:
+      return a & b;
+    case Op::kOr:
+    case Op::kOri:
+      return a | b;
+    case Op::kXor:
+    case Op::kXori:
+      return a ^ b;
+    case Op::kNor:
+      return ~(a | b);
+    case Op::kSlt:
+    case Op::kSlti:
+      return sa < sb ? 1u : 0u;
+    case Op::kSltu:
+      return a < b ? 1u : 0u;
+    case Op::kSll:
+    case Op::kSllv:
+      return a << (b & 31);
+    case Op::kSrl:
+    case Op::kSrlv:
+      return a >> (b & 31);
+    case Op::kSra:
+    case Op::kSrav:
+      return static_cast<std::uint32_t>(sa >> (b & 31));
+    case Op::kMul:
+      return static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(sa) * static_cast<std::int64_t>(sb));
+    case Op::kDiv:
+      if (sb == 0) throw SimError("division by zero");
+      if (sa == std::numeric_limits<std::int32_t>::min() && sb == -1)
+        return a;  // wraps, matching hardware two's-complement behaviour
+      return static_cast<std::uint32_t>(sa / sb);
+    case Op::kRem:
+      if (sb == 0) throw SimError("remainder by zero");
+      if (sa == std::numeric_limits<std::int32_t>::min() && sb == -1)
+        return 0;
+      return static_cast<std::uint32_t>(sa % sb);
+    case Op::kFadd:
+      return asBits(asFloat(a) + asFloat(b));
+    case Op::kFsub:
+      return asBits(asFloat(a) - asFloat(b));
+    case Op::kFmul:
+      return asBits(asFloat(a) * asFloat(b));
+    case Op::kFdiv:
+      return asBits(asFloat(a) / asFloat(b));  // IEEE: div-by-zero -> inf
+    case Op::kFeq:
+      return asFloat(a) == asFloat(b) ? 1u : 0u;
+    case Op::kFlt:
+      return asFloat(a) < asFloat(b) ? 1u : 0u;
+    case Op::kFle:
+      return asFloat(a) <= asFloat(b) ? 1u : 0u;
+    case Op::kCvtif:
+      return asBits(static_cast<float>(sa));
+    case Op::kCvtfi:
+      return static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(asFloat(a)));
+    default:
+      throw InternalError("evalAlu: not an ALU-class op");
+  }
+}
+
+bool evalBranch(Op op, std::uint32_t a, std::uint32_t b) {
+  auto sa = static_cast<std::int32_t>(a);
+  auto sb = static_cast<std::int32_t>(b);
+  switch (op) {
+    case Op::kBeq: return a == b;
+    case Op::kBne: return a != b;
+    case Op::kBlt: return sa < sb;
+    case Op::kBle: return sa <= sb;
+    case Op::kBgt: return sa > sb;
+    case Op::kBge: return sa >= sb;
+    default:
+      throw InternalError("evalBranch: not a conditional branch");
+  }
+}
+
+}  // namespace xmt

@@ -1,0 +1,24 @@
+// Pure operational semantics of XMT instructions.
+//
+// Shared by the functional model (fast mode) and the cycle-accurate model so
+// both always agree on architectural results — the invariant our integration
+// tests check in lieu of the paper's FPGA cross-validation.
+#pragma once
+
+#include <cstdint>
+
+#include "src/isa/isa.h"
+
+namespace xmt {
+
+/// Integer/float ALU-class evaluation for R3/R2I ops (second operand already
+/// selected: register or immediate). Throws SimError on division by zero.
+std::uint32_t evalAlu(Op op, std::uint32_t a, std::uint32_t b);
+
+/// Branch condition for the kBr2 ops (signed comparisons).
+bool evalBranch(Op op, std::uint32_t a, std::uint32_t b);
+
+/// True if this op's second source operand is the immediate field.
+bool usesImmediate(Op op);
+
+}  // namespace xmt

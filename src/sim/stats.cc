@@ -1,0 +1,43 @@
+#include "src/sim/stats.h"
+
+#include <sstream>
+
+namespace xmt {
+
+std::string Stats::report() const {
+  std::ostringstream ss;
+  ss << "=== simulation statistics ===\n";
+  ss << "instructions:        " << instructions << "\n";
+  ss << "cycles:              " << cycles << "\n";
+  ss << "sim time (ps):       " << simTime << "\n";
+  ss << "spawns:              " << spawns << "\n";
+  ss << "virtual threads:     " << virtualThreads << "\n";
+  static const char* kFuNames[] = {"alu", "shift", "branch", "mdu",
+                                   "fpu", "mem",   "ps",     "control"};
+  ss << "instructions by functional unit:\n";
+  for (int i = 0; i < 8; ++i)
+    if (fuCount[static_cast<std::size_t>(i)] != 0)
+      ss << "  " << kFuNames[i] << ": "
+         << fuCount[static_cast<std::size_t>(i)] << "\n";
+  ss << "instructions by opcode:\n";
+  for (int i = 0; i < kNumOps; ++i)
+    if (opCount[static_cast<std::size_t>(i)] != 0)
+      ss << "  " << opInfo(static_cast<Op>(i)).name << ": "
+         << opCount[static_cast<std::size_t>(i)] << "\n";
+  ss << "shared cache:        " << cacheHits << " hits, " << cacheMisses
+     << " misses\n";
+  ss << "master cache:        " << masterCacheHits << " hits, "
+     << masterCacheMisses << " misses\n";
+  ss << "read-only cache:     " << roCacheHits << " hits, " << roCacheMisses
+     << " misses\n";
+  ss << "prefetch buf hits:   " << prefetchBufferHits << "\n";
+  ss << "DRAM requests:       " << dramRequests << "\n";
+  ss << "ICN packets:         " << icnPackets << "\n";
+  ss << "TCU mem-wait cycles: " << memWaitCycles << "\n";
+  ss << "ps requests:         " << psRequests << "\n";
+  ss << "psm requests:        " << psmRequests << "\n";
+  ss << "non-blocking stores: " << nonBlockingStores << "\n";
+  return ss.str();
+}
+
+}  // namespace xmt

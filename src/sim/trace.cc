@@ -1,0 +1,31 @@
+#include "src/sim/trace.h"
+
+#include <iomanip>
+
+#include "src/memsys/package.h"
+
+namespace xmt {
+
+void TextTrace::onEvent(const TraceEvent& ev) {
+  if (level_ == TraceLevel::kOff) return;
+  if (level_ == TraceLevel::kFunctional &&
+      std::string_view(ev.stage) != "commit")
+    return;
+  if (fCluster_ != -2 && (ev.cluster != fCluster_ || ev.tcu != fTcu_)) return;
+  if (fOp_ != Op::kOpCount && (!ev.in || ev.in->op != fOp_)) return;
+  ++count_;
+  out_ << std::setw(10) << ev.time << " ";
+  if (ev.cluster == kMasterCluster)
+    out_ << "master      ";
+  else
+    out_ << "c" << std::setw(2) << ev.cluster << "/t" << std::setw(2)
+         << ev.tcu << "    ";
+  out_ << std::setw(8) << ev.stage << "  pc=0x" << std::hex << ev.pc
+       << std::dec;
+  if (ev.in) out_ << "  " << disassemble(*ev.in);
+  if (ev.memAddr != 0)
+    out_ << "  addr=0x" << std::hex << ev.memAddr << std::dec;
+  out_ << "\n";
+}
+
+}  // namespace xmt

@@ -1,0 +1,68 @@
+// Execution traces.
+//
+// "XMTSim generates execution traces at various detail levels. At the
+// functional level, only the results of executed assembly instructions are
+// displayed. The more detailed cycle-accurate level reports the
+// cycle-accurate components through which the instruction and data packages
+// travel. Traces can be limited to specific instructions in the assembly
+// input and/or to specific TCUs." (Section III-E)
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+#include "src/desim/scheduler.h"
+#include "src/isa/isa.h"
+
+namespace xmt {
+
+struct TraceEvent {
+  SimTime time = 0;
+  int cluster = 0;  // kMasterCluster for the master
+  int tcu = 0;
+  std::uint32_t pc = 0;
+  const Instruction* in = nullptr;
+  std::uint32_t memAddr = 0;
+  /// Component stage: "commit", "icn", "cache", "dram" — commit-only at the
+  /// functional level; package hops appear at the cycle-accurate level.
+  const char* stage = "commit";
+};
+
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void onEvent(const TraceEvent& ev) = 0;
+};
+
+enum class TraceLevel { kOff, kFunctional, kCycle };
+
+/// Text trace with the paper's filters: by TCU and by opcode.
+class TextTrace : public TraceSink {
+ public:
+  explicit TextTrace(TraceLevel level = TraceLevel::kFunctional)
+      : level_(level) {}
+
+  /// Restrict to one (cluster, tcu); pass (-2, -1) for "all" (default).
+  void filterTcu(int cluster, int tcu) {
+    fCluster_ = cluster;
+    fTcu_ = tcu;
+  }
+  /// Restrict to one opcode; Op::kOpCount means "all".
+  void filterOp(Op op) { fOp_ = op; }
+
+  void onEvent(const TraceEvent& ev) override;
+
+  std::string str() const { return out_.str(); }
+  std::uint64_t eventCount() const { return count_; }
+
+ private:
+  TraceLevel level_;
+  int fCluster_ = -2;  // -2 = any (kMasterCluster is -1)
+  int fTcu_ = -1;
+  Op fOp_ = Op::kOpCount;
+  std::ostringstream out_;
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace xmt

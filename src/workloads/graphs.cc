@@ -1,0 +1,246 @@
+#include "src/workloads/graphs.h"
+
+#include <algorithm>
+#include <queue>
+#include <sstream>
+
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace xmt::workloads {
+
+Graph randomGraph(int n, int degree, std::uint64_t seed) {
+  XMT_CHECK(n >= 2 && degree >= 1);
+  Rng rng(seed);
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<std::size_t>(n) * degree);
+  // A random spine keeps most of the graph connected, then random extras.
+  for (int v = 1; v < n; ++v)
+    edges.emplace_back(static_cast<int>(rng.below(static_cast<std::uint64_t>(v))), v);
+  for (int v = 0; v < n; ++v) {
+    for (int d = 1; d < degree; ++d) {
+      int u = static_cast<int>(rng.below(static_cast<std::uint64_t>(n)));
+      if (u != v) edges.emplace_back(u, v);
+    }
+  }
+  Graph g;
+  g.n = n;
+  g.m = static_cast<int>(edges.size()) * 2;
+  std::vector<int> deg(static_cast<std::size_t>(n), 0);
+  for (auto [u, v] : edges) {
+    ++deg[static_cast<std::size_t>(u)];
+    ++deg[static_cast<std::size_t>(v)];
+  }
+  g.rowStart.resize(static_cast<std::size_t>(n) + 1, 0);
+  for (int v = 0; v < n; ++v)
+    g.rowStart[static_cast<std::size_t>(v) + 1] =
+        g.rowStart[static_cast<std::size_t>(v)] + deg[static_cast<std::size_t>(v)];
+  g.adj.resize(static_cast<std::size_t>(g.m));
+  g.src.resize(static_cast<std::size_t>(g.m));
+  g.dst.resize(static_cast<std::size_t>(g.m));
+  std::vector<int> fill(g.rowStart.begin(), g.rowStart.end() - 1);
+  std::size_t ei = 0;
+  for (auto [u, v] : edges) {
+    g.adj[static_cast<std::size_t>(fill[static_cast<std::size_t>(u)]++)] = v;
+    g.adj[static_cast<std::size_t>(fill[static_cast<std::size_t>(v)]++)] = u;
+    g.src[ei] = u;
+    g.dst[ei] = v;
+    ++ei;
+    g.src[ei] = v;
+    g.dst[ei] = u;
+    ++ei;
+  }
+  return g;
+}
+
+std::string bfsParallelSource(const Graph& g, int src) {
+  std::ostringstream s;
+  s << "int rowStart[" << g.n + 1 << "];\n"
+    << "int adj[" << g.m << "];\n"
+    << "int dist[" << g.n << "];\n"
+    << "int visited[" << g.n << "];\n"
+    << "int cur[" << g.n << "];\n"
+    << "int next[" << g.n << "];\n"
+    << "int curSize;\n"
+    << "int levels;\n"
+    << "psBaseReg nextSize = 0;\n"
+    << "int main() {\n"
+    << "  spawn(0, " << g.n - 1 << ") { dist[$] = -1; visited[$] = 0; }\n"
+    << "  dist[" << src << "] = 0;\n"
+    << "  visited[" << src << "] = 1;\n"
+    << "  cur[0] = " << src << ";\n"
+    << "  curSize = 1;\n"
+    << "  int level = 0;\n"
+    << "  while (curSize > 0) {\n"
+    << "    level = level + 1;\n"
+    << "    nextSize = 0;\n"
+    << "    spawn(0, curSize - 1) {\n"
+    << "      int u = cur[$];\n"
+    << "      int e = rowStart[u];\n"
+    << "      int last = rowStart[u + 1];\n"
+    << "      while (e < last) {\n"
+    << "        int v = adj[e];\n"
+    << "        int one = 1;\n"
+    << "        psm(one, visited[v]);\n"
+    << "        if (one == 0) {\n"
+    << "          dist[v] = level;\n"
+    << "          int idx = 1;\n"
+    << "          ps(idx, nextSize);\n"
+    << "          next[idx] = v;\n"
+    << "        }\n"
+    << "        e = e + 1;\n"
+    << "      }\n"
+    << "    }\n"
+    << "    curSize = nextSize;\n"
+    << "    spawn(0, curSize - 1) { cur[$] = next[$]; }\n"
+    << "  }\n"
+    << "  levels = level;\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string bfsSerialSource(const Graph& g, int src) {
+  std::ostringstream s;
+  s << "int rowStart[" << g.n + 1 << "];\n"
+    << "int adj[" << g.m << "];\n"
+    << "int dist[" << g.n << "];\n"
+    << "int visited[" << g.n << "];\n"
+    << "int cur[" << g.n << "];\n"
+    << "int levels;\n"
+    << "int main() {\n"
+    << "  for (int i = 0; i < " << g.n << "; i++) {\n"
+    << "    dist[i] = -1;\n"
+    << "    visited[i] = 0;\n"
+    << "  }\n"
+    << "  dist[" << src << "] = 0;\n"
+    << "  visited[" << src << "] = 1;\n"
+    << "  cur[0] = " << src << ";\n"
+    << "  int head = 0;\n"
+    << "  int tail = 1;\n"
+    << "  while (head < tail) {\n"
+    << "    int u = cur[head];\n"
+    << "    head++;\n"
+    << "    int e = rowStart[u];\n"
+    << "    int last = rowStart[u + 1];\n"
+    << "    while (e < last) {\n"
+    << "      int v = adj[e];\n"
+    << "      if (visited[v] == 0) {\n"
+    << "        visited[v] = 1;\n"
+    << "        dist[v] = dist[u] + 1;\n"
+    << "        cur[tail] = v;\n"
+    << "        tail++;\n"
+    << "      }\n"
+    << "      e = e + 1;\n"
+    << "    }\n"
+    << "  }\n"
+    << "  levels = tail;\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::vector<std::int32_t> hostBfs(const Graph& g, int src) {
+  std::vector<std::int32_t> dist(static_cast<std::size_t>(g.n), -1);
+  std::queue<int> q;
+  dist[static_cast<std::size_t>(src)] = 0;
+  q.push(src);
+  while (!q.empty()) {
+    int u = q.front();
+    q.pop();
+    for (int e = g.rowStart[static_cast<std::size_t>(u)];
+         e < g.rowStart[static_cast<std::size_t>(u) + 1]; ++e) {
+      int v = g.adj[static_cast<std::size_t>(e)];
+      if (dist[static_cast<std::size_t>(v)] < 0) {
+        dist[static_cast<std::size_t>(v)] =
+            dist[static_cast<std::size_t>(u)] + 1;
+        q.push(v);
+      }
+    }
+  }
+  return dist;
+}
+
+std::string connectivityParallelSource(const Graph& g) {
+  std::ostringstream s;
+  s << "int esrc[" << g.m << "];\n"
+    << "int edst[" << g.m << "];\n"
+    << "int comp[" << g.n << "];\n"
+    << "int rounds;\n"
+    << "psBaseReg changed = 0;\n"
+    << "int main() {\n"
+    << "  spawn(0, " << g.n - 1 << ") { comp[$] = $; }\n"
+    << "  int iter = 0;\n"
+    << "  int go = 1;\n"
+    << "  while (go) {\n"
+    << "    changed = 0;\n"
+    << "    spawn(0, " << g.m - 1 << ") {\n"
+    << "      int a = comp[esrc[$]];\n"
+    << "      int b = comp[edst[$]];\n"
+    << "      if (b < a) {\n"
+    << "        comp[esrc[$]] = b;\n"  // benign min race; re-checked below
+    << "        int one = 1;\n"
+    << "        ps(one, changed);\n"
+    << "      }\n"
+    << "    }\n"
+    << "    spawn(0, " << g.n - 1 << ") { comp[$] = comp[comp[$]]; }\n"
+    << "    go = changed > 0;\n"
+    << "    iter = iter + 1;\n"
+    << "  }\n"
+    << "  rounds = iter;\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string connectivitySerialSource(const Graph& g) {
+  std::ostringstream s;
+  s << "int esrc[" << g.m << "];\n"
+    << "int edst[" << g.m << "];\n"
+    << "int comp[" << g.n << "];\n"
+    << "int rounds;\n"
+    << "int main() {\n"
+    << "  for (int i = 0; i < " << g.n << "; i++) comp[i] = i;\n"
+    << "  int go = 1;\n"
+    << "  int iter = 0;\n"
+    << "  while (go) {\n"
+    << "    go = 0;\n"
+    << "    for (int e = 0; e < " << g.m << "; e++) {\n"
+    << "      int a = comp[esrc[e]];\n"
+    << "      int b = comp[edst[e]];\n"
+    << "      if (b < a) { comp[esrc[e]] = b; go = 1; }\n"
+    << "    }\n"
+    << "    for (int i = 0; i < " << g.n << "; i++) comp[i] = comp[comp[i]];\n"
+    << "    iter = iter + 1;\n"
+    << "  }\n"
+    << "  rounds = iter;\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::vector<std::int32_t> hostComponents(const Graph& g) {
+  std::vector<std::int32_t> comp(static_cast<std::size_t>(g.n), -1);
+  for (int v = 0; v < g.n; ++v) {
+    if (comp[static_cast<std::size_t>(v)] >= 0) continue;
+    // BFS labelling with the minimum vertex id in the component (v).
+    std::queue<int> q;
+    comp[static_cast<std::size_t>(v)] = v;
+    q.push(v);
+    while (!q.empty()) {
+      int u = q.front();
+      q.pop();
+      for (int e = g.rowStart[static_cast<std::size_t>(u)];
+           e < g.rowStart[static_cast<std::size_t>(u) + 1]; ++e) {
+        int w = g.adj[static_cast<std::size_t>(e)];
+        if (comp[static_cast<std::size_t>(w)] < 0) {
+          comp[static_cast<std::size_t>(w)] = v;
+          q.push(w);
+        }
+      }
+    }
+  }
+  return comp;
+}
+
+}  // namespace xmt::workloads

@@ -1,0 +1,46 @@
+// Graph workloads: the irregular problems the paper's performance claims
+// center on (BFS and connectivity — Section II-B), with XMTC sources derived
+// from PRAM algorithms and host reference implementations.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xmt::workloads {
+
+/// CSR graph (undirected edges stored in both directions).
+struct Graph {
+  int n = 0;
+  int m = 0;  // directed edge count (2x undirected)
+  std::vector<std::int32_t> rowStart;  // n+1
+  std::vector<std::int32_t> adj;       // m
+  // Edge list view (for connectivity).
+  std::vector<std::int32_t> src;       // m
+  std::vector<std::int32_t> dst;       // m
+};
+
+/// Random graph: n vertices, ~degree undirected edges per vertex.
+Graph randomGraph(int n, int degree, std::uint64_t seed);
+
+/// PRAM level-synchronous BFS in XMTC. Globals: rowStart, adj, dist,
+/// visited, cur, next, curSize, levels. Source vertex `src` baked in.
+std::string bfsParallelSource(const Graph& g, int src);
+
+/// Serial BFS on the Master TCU (the serial baseline).
+std::string bfsSerialSource(const Graph& g, int src);
+
+/// Host BFS distances (reference).
+std::vector<std::int32_t> hostBfs(const Graph& g, int src);
+
+/// PRAM-style connectivity via repeated hooking (label propagation) in
+/// XMTC. Globals: comp (component label per vertex), rounds.
+std::string connectivityParallelSource(const Graph& g);
+
+/// Serial connectivity baseline (label propagation on the master).
+std::string connectivitySerialSource(const Graph& g);
+
+/// Host connected components labels (min label per component).
+std::vector<std::int32_t> hostComponents(const Graph& g);
+
+}  // namespace xmt::workloads

@@ -1,0 +1,380 @@
+#include "src/workloads/kernels.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace xmt::workloads {
+
+namespace {
+std::string N(int v) { return std::to_string(v); }
+}  // namespace
+
+std::string compactionSource(int n) {
+  std::ostringstream s;
+  s << "int A[" << N(n) << "];\n"
+    << "int B[" << N(n) << "];\n"
+    << "psBaseReg base = 0;\n"
+    << "int count;\n"
+    << "int main() {\n"
+    << "  spawn(0, " << N(n - 1) << ") {\n"
+    << "    int inc = 1;\n"
+    << "    if (A[$] != 0) {\n"
+    << "      ps(inc, base);\n"
+    << "      B[inc] = A[$];\n"
+    << "    }\n"
+    << "  }\n"
+    << "  count = base;\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string vectorAddSource(int n) {
+  std::ostringstream s;
+  s << "int A[" << N(n) << "];\n"
+    << "int B[" << N(n) << "];\n"
+    << "int main() {\n"
+    << "  spawn(0, " << N(n - 1) << ") { B[$] = A[$] + 1; }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string histogramSource(int n, int buckets) {
+  std::ostringstream s;
+  s << "int A[" << N(n) << "];\n"
+    << "int H[" << N(buckets) << "];\n"
+    << "int main() {\n"
+    << "  spawn(0, " << N(n - 1) << ") {\n"
+    << "    int one = 1;\n"
+    << "    psm(one, H[A[$]]);\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string parallelSumSource(int n) {
+  std::ostringstream s;
+  s << "int A[" << N(n) << "];\n"
+    << "int total;\n"
+    << "int main() {\n"
+    << "  spawn(0, " << N(n - 1) << ") {\n"
+    << "    int v = A[$];\n"
+    << "    psm(v, total);\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string serialSumSource(int n) {
+  std::ostringstream s;
+  s << "int A[" << N(n) << "];\n"
+    << "int total;\n"
+    << "int main() {\n"
+    << "  int t = 0;\n"
+    << "  for (int i = 0; i < " << N(n) << "; i++) t += A[i];\n"
+    << "  total = t;\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string saxpySource(int n) {
+  std::ostringstream s;
+  s << "float X[" << N(n) << "];\n"
+    << "float Y[" << N(n) << "];\n"
+    << "float alpha;\n"
+    << "int main() {\n"
+    << "  spawn(0, " << N(n - 1) << ") {\n"
+    << "    Y[$] = alpha * X[$] + Y[$];\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string prefixSumSource(int n) {
+  std::ostringstream s;
+  s << "int A[" << N(n) << "];\n"
+    << "int S[" << N(n) << "];\n"
+    << "int T[" << N(n) << "];\n"
+    << "int main() {\n"
+    << "  spawn(0, " << N(n - 1) << ") { S[$] = A[$]; }\n"
+    << "  int d = 1;\n"
+    << "  while (d < " << N(n) << ") {\n"
+    << "    spawn(0, " << N(n - 1) << ") {\n"
+    << "      if ($ >= d) T[$] = S[$] + S[$ - d];\n"
+    << "      else T[$] = S[$];\n"
+    << "    }\n"
+    << "    spawn(0, " << N(n - 1) << ") { S[$] = T[$]; }\n"
+    << "    d = d * 2;\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string serialPrefixSumSource(int n) {
+  std::ostringstream s;
+  s << "int A[" << N(n) << "];\n"
+    << "int S[" << N(n) << "];\n"
+    << "int main() {\n"
+    << "  int acc = 0;\n"
+    << "  for (int i = 0; i < " << N(n) << "; i++) {\n"
+    << "    acc += A[i];\n"
+    << "    S[i] = acc;\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string psCounterSource(int threads, int iters) {
+  std::ostringstream s;
+  s << "psBaseReg counter = 0;\n"
+    << "int total;\n"
+    << "int main() {\n"
+    << "  spawn(0, " << N(threads - 1) << ") {\n"
+    << "    int i = 0;\n"
+    << "    while (i < " << N(iters) << ") {\n"
+    << "      int one = 1;\n"
+    << "      ps(one, counter);\n"
+    << "      i++;\n"
+    << "    }\n"
+    << "  }\n"
+    << "  total = counter;\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string psmCounterSource(int threads, int iters) {
+  std::ostringstream s;
+  s << "int counter;\n"
+    << "int total;\n"
+    << "int main() {\n"
+    << "  spawn(0, " << N(threads - 1) << ") {\n"
+    << "    int i = 0;\n"
+    << "    while (i < " << N(iters) << ") {\n"
+    << "      int one = 1;\n"
+    << "      psm(one, counter);\n"
+    << "      i++;\n"
+    << "    }\n"
+    << "  }\n"
+    << "  total = counter;\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string matmulSource(int n) {
+  std::ostringstream s;
+  s << "int A[" << N(n * n) << "];\n"
+    << "int B[" << N(n * n) << "];\n"
+    << "int C[" << N(n * n) << "];\n"
+    << "int main() {\n"
+    << "  spawn(0, " << N(n * n - 1) << ") {\n"
+    << "    int r = $ / " << N(n) << ";\n"
+    << "    int c = $ - r * " << N(n) << ";\n"
+    << "    int acc = 0;\n"
+    << "    for (int k = 0; k < " << N(n) << "; k++)\n"
+    << "      acc += A[r * " << N(n) << " + k] * B[k * " << N(n)
+    << " + c];\n"
+    << "    C[$] = acc;\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::vector<std::int32_t> hostMatmul(const std::vector<std::int32_t>& a,
+                                     const std::vector<std::int32_t>& b,
+                                     int n) {
+  std::vector<std::int32_t> c(static_cast<std::size_t>(n) * n, 0);
+  for (int r = 0; r < n; ++r)
+    for (int col = 0; col < n; ++col) {
+      std::int32_t acc = 0;
+      for (int k = 0; k < n; ++k)
+        acc += a[static_cast<std::size_t>(r * n + k)] *
+               b[static_cast<std::size_t>(k * n + col)];
+      c[static_cast<std::size_t>(r * n + col)] = acc;
+    }
+  return c;
+}
+
+std::string fftSource(int n) {
+  std::ostringstream s;
+  s << "float RE[" << N(n) << "];\n"
+    << "float IM[" << N(n) << "];\n"
+    << "float TR[" << N(n) << "];\n"
+    << "float TI[" << N(n) << "];\n"
+    << "float WR[" << N(n / 2) << "];\n"
+    << "float WI[" << N(n / 2) << "];\n"
+    << "int BR[" << N(n) << "];\n"
+    << "int main() {\n"
+    // Bit-reversal permutation (parallel gather via the host-filled table).
+    << "  spawn(0, " << N(n - 1) << ") {\n"
+    << "    TR[$] = RE[BR[$]];\n"
+    << "    TI[$] = IM[BR[$]];\n"
+    << "  }\n"
+    << "  spawn(0, " << N(n - 1) << ") { RE[$] = TR[$]; IM[$] = TI[$]; }\n"
+    // log2(n) butterfly stages, n/2 fine-grained butterflies each.
+    << "  int len = 2;\n"
+    << "  while (len <= " << N(n) << ") {\n"
+    << "    int half = len / 2;\n"
+    << "    int stride = " << N(n) << " / len;\n"
+    << "    spawn(0, " << N(n / 2 - 1) << ") {\n"
+    << "      int g = $ / half;\n"
+    << "      int j = $ - g * half;\n"
+    << "      int i0 = g * len + j;\n"
+    << "      int i1 = i0 + half;\n"
+    << "      int ti = j * stride;\n"
+    << "      float xr = RE[i1] * WR[ti] - IM[i1] * WI[ti];\n"
+    << "      float xi = RE[i1] * WI[ti] + IM[i1] * WR[ti];\n"
+    << "      RE[i1] = RE[i0] - xr;\n"
+    << "      IM[i1] = IM[i0] - xi;\n"
+    << "      RE[i0] = RE[i0] + xr;\n"
+    << "      IM[i0] = IM[i0] + xi;\n"
+    << "    }\n"
+    << "    len = len * 2;\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+FftTables fftTables(int n) {
+  FftTables t;
+  auto bits = [](float f) {
+    std::int32_t b;
+    std::memcpy(&b, &f, 4);
+    return b;
+  };
+  for (int k = 0; k < n / 2; ++k) {
+    double ang = -2.0 * M_PI * k / n;
+    t.wr.push_back(bits(static_cast<float>(std::cos(ang))));
+    t.wi.push_back(bits(static_cast<float>(std::sin(ang))));
+  }
+  int logn = 0;
+  while ((1 << logn) < n) ++logn;
+  for (int i = 0; i < n; ++i) {
+    int r = 0;
+    for (int b = 0; b < logn; ++b)
+      if (i & (1 << b)) r |= 1 << (logn - 1 - b);
+    t.br.push_back(r);
+  }
+  return t;
+}
+
+void hostDft(const std::vector<float>& re, const std::vector<float>& im,
+             std::vector<double>& outRe, std::vector<double>& outIm) {
+  std::size_t n = re.size();
+  outRe.assign(n, 0.0);
+  outIm.assign(n, 0.0);
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t t = 0; t < n; ++t) {
+      double ang = -2.0 * M_PI * static_cast<double>(k * t) /
+                   static_cast<double>(n);
+      double c = std::cos(ang), s = std::sin(ang);
+      outRe[k] += re[t] * c - im[t] * s;
+      outIm[k] += re[t] * s + im[t] * c;
+    }
+  }
+}
+
+std::string parMemSource(int threads, int itersPerThread) {
+  // Each virtual thread walks DATA with a large stride so accesses spread
+  // over all cache modules and mostly miss.
+  int size = threads * itersPerThread;
+  std::ostringstream s;
+  s << "int DATA[" << N(size) << "];\n"
+    << "int OUT[" << N(threads) << "];\n"
+    << "int main() {\n"
+    << "  spawn(0, " << N(threads - 1) << ") {\n"
+    << "    int acc = 0;\n"
+    << "    int i = 0;\n"
+    << "    while (i < " << N(itersPerThread) << ") {\n"
+    << "      acc += DATA[i * " << N(threads) << " + $];\n"
+    << "      i++;\n"
+    << "    }\n"
+    << "    OUT[$] = acc;\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string parCompSource(int threads, int itersPerThread) {
+  std::ostringstream s;
+  s << "int OUT[" << N(threads) << "];\n"
+    << "int main() {\n"
+    << "  spawn(0, " << N(threads - 1) << ") {\n"
+    << "    int a = $ + 1;\n"
+    << "    int b = 12345;\n"
+    << "    int i = 0;\n"
+    << "    while (i < " << N(itersPerThread) << ") {\n"
+    << "      a = a * 5 + b;\n"
+    << "      b = b ^ (a >> 3);\n"
+    << "      a = a + (b << 1);\n"
+    << "      i++;\n"
+    << "    }\n"
+    << "    OUT[$] = a;\n"
+    << "  }\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string serMemSource(int iters) {
+  int size = 1 << 14;
+  std::ostringstream s;
+  s << "int DATA[" << N(size) << "];\n"
+    << "int OUT[1];\n"
+    << "int main() {\n"
+    << "  int acc = 0;\n"
+    << "  int idx = 7;\n"
+    << "  for (int i = 0; i < " << N(iters) << "; i++) {\n"
+    << "    acc += DATA[idx];\n"
+    << "    idx = (idx + 1027) & " << N(size - 1) << ";\n"
+    << "  }\n"
+    << "  OUT[0] = acc;\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::string serCompSource(int iters) {
+  std::ostringstream s;
+  s << "int OUT[1];\n"
+    << "int main() {\n"
+    << "  int a = 1;\n"
+    << "  int b = 12345;\n"
+    << "  for (int i = 0; i < " << N(iters) << "; i++) {\n"
+    << "    a = a * 5 + b;\n"
+    << "    b = b ^ (a >> 3);\n"
+    << "    a = a + (b << 1);\n"
+    << "  }\n"
+    << "  OUT[0] = a;\n"
+    << "  return 0;\n"
+    << "}\n";
+  return s.str();
+}
+
+std::vector<std::int32_t> hostCompaction(const std::vector<std::int32_t>& a) {
+  std::vector<std::int32_t> out;
+  for (std::int32_t v : a)
+    if (v != 0) out.push_back(v);
+  return out;
+}
+
+std::vector<std::int32_t> hostHistogram(const std::vector<std::int32_t>& a,
+                                        int buckets) {
+  std::vector<std::int32_t> h(static_cast<std::size_t>(buckets), 0);
+  for (std::int32_t v : a) ++h[static_cast<std::size_t>(v)];
+  return h;
+}
+
+}  // namespace xmt::workloads

@@ -1,0 +1,99 @@
+// XMTC workload generators: parameterized source programs plus host
+// reference implementations used by integration tests, examples and the
+// benchmark harness.
+//
+// The microbenchmark groups mirror Table I of the paper: {serial, parallel}
+// x {memory-, computation-intensive}.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xmt::workloads {
+
+// --- Simple kernels ---------------------------------------------------------
+
+/// Fig. 2a array compaction. Globals: A[n], B[n], count.
+std::string compactionSource(int n);
+
+/// B[$] = A[$] + 1 over n elements. Globals: A, B.
+std::string vectorAddSource(int n);
+
+/// Histogram with psm. Globals: A[n], H[buckets].
+std::string histogramSource(int n, int buckets);
+
+/// Parallel sum via psm into `total`. Globals: A[n], total.
+std::string parallelSumSource(int n);
+
+/// Serial sum loop (baseline for the small-parallelism study).
+std::string serialSumSource(int n);
+
+/// SAXPY on floats: Y[$] = a*X[$] + Y[$]. Globals: X, Y, alpha (float bits).
+std::string saxpySource(int n);
+
+/// PRAM inclusive prefix sum (Hillis-Steele, log-depth, n log n work):
+/// S[i] = A[0] + ... + A[i]. Globals: A[n], S[n]. The classic example of a
+/// PRAM algorithm whose XMTC rendering is a direct transcription.
+std::string prefixSumSource(int n);
+
+/// Serial prefix-sum baseline. Globals: A[n], S[n].
+std::string serialPrefixSumSource(int n);
+
+/// N threads each add 1 to a shared counter `iters` times with the
+/// hardware ps primitive (global register; combining PS unit).
+std::string psCounterSource(int threads, int iters);
+
+/// Same, with psm to a memory location (serializes at one cache module).
+std::string psmCounterSource(int threads, int iters);
+
+/// Square matrix multiply C = A x B (flattened n*n arrays, one virtual
+/// thread per output element — heavy shared-MDU contention within clusters).
+std::string matmulSource(int n);
+
+/// Host reference for matmulSource.
+std::vector<std::int32_t> hostMatmul(const std::vector<std::int32_t>& a,
+                                     const std::vector<std::int32_t>& b,
+                                     int n);
+
+// --- FFT (the fine-grained parallel FFT of paper ref. [24]) -----------------
+
+/// Radix-2 iterative complex FFT over n (power of two) points. Globals:
+/// RE[n], IM[n] (in/out, float bits), WR/WI[n/2] (twiddles, host-filled),
+/// BR[n] (bit-reversal table, host-filled). Each stage is one spawn over
+/// n/2 butterflies — exactly the fine-grained decomposition XMT favours.
+std::string fftSource(int n);
+
+/// Host-filled tables for fftSource.
+struct FftTables {
+  std::vector<std::int32_t> wr, wi;  // float bits
+  std::vector<std::int32_t> br;
+};
+FftTables fftTables(int n);
+
+/// Reference DFT (double precision) for validation.
+void hostDft(const std::vector<float>& re, const std::vector<float>& im,
+             std::vector<double>& outRe, std::vector<double>& outIm);
+
+// --- Table I microbenchmarks ------------------------------------------------
+
+/// Parallel memory-intensive: each virtual thread streams through a chunk
+/// of a large array with data-dependent loads.
+std::string parMemSource(int threads, int itersPerThread);
+
+/// Parallel computation-intensive: register-only integer mix per thread.
+std::string parCompSource(int threads, int itersPerThread);
+
+/// Serial memory-intensive: pointer-chase style strided walk on the master.
+std::string serMemSource(int iters);
+
+/// Serial computation-intensive: register-only integer mix on the master.
+std::string serCompSource(int iters);
+
+// --- Host references ---------------------------------------------------------
+
+std::vector<std::int32_t> hostCompaction(const std::vector<std::int32_t>& a);
+std::vector<std::int32_t> hostHistogram(const std::vector<std::int32_t>& a,
+                                        int buckets);
+
+}  // namespace xmt::workloads

@@ -1,0 +1,60 @@
+// Shared helpers for simulator tests: assemble-and-run in either mode, and
+// cross-mode result comparison (our stand-in for the paper's FPGA
+// verification of XMTSim).
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/assembler/assembler.h"
+#include "src/sim/simulator.h"
+
+namespace xmt::testutil {
+
+struct RunOutput {
+  RunResult result;
+  std::vector<std::pair<std::string, std::vector<std::int32_t>>> globals;
+};
+
+inline std::unique_ptr<Simulator> makeSim(
+    const std::string& asmText, SimMode mode,
+    XmtConfig cfg = XmtConfig::fpga64()) {
+  return std::make_unique<Simulator>(assemble(asmText), cfg, mode);
+}
+
+/// Assembles and runs `asmText`, returning the result plus the contents of
+/// the requested global arrays.
+inline RunOutput runAsm(const std::string& asmText, SimMode mode,
+                        const std::vector<std::string>& globalsToRead = {},
+                        XmtConfig cfg = XmtConfig::fpga64()) {
+  auto sim = makeSim(asmText, mode, cfg);
+  RunOutput out;
+  out.result = sim->run();
+  for (const auto& g : globalsToRead)
+    out.globals.emplace_back(g, sim->getGlobalArray(g));
+  return out;
+}
+
+/// Runs in both modes and asserts identical architectural results for the
+/// given globals (which must be deterministic under any thread interleaving)
+/// and identical printf output.
+inline void expectModesAgree(const std::string& asmText,
+                             const std::vector<std::string>& globals,
+                             XmtConfig cfg = XmtConfig::fpga64()) {
+  RunOutput f = runAsm(asmText, SimMode::kFunctional, globals, cfg);
+  RunOutput c = runAsm(asmText, SimMode::kCycleAccurate, globals, cfg);
+  ASSERT_TRUE(f.result.halted);
+  ASSERT_TRUE(c.result.halted);
+  EXPECT_EQ(f.result.haltCode, c.result.haltCode);
+  EXPECT_EQ(f.result.output, c.result.output);
+  ASSERT_EQ(f.globals.size(), c.globals.size());
+  for (std::size_t i = 0; i < f.globals.size(); ++i) {
+    EXPECT_EQ(f.globals[i].second, c.globals[i].second)
+        << "global '" << f.globals[i].first << "' differs between modes";
+  }
+}
+
+}  // namespace xmt::testutil

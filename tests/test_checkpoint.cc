@@ -1,0 +1,155 @@
+// Checkpoint tests (paper Section III-E): save at a quiescent point,
+// serialize, restore, resume, and match a straight run bit-for-bit on
+// architectural results.
+#include <gtest/gtest.h>
+
+#include "src/common/error.h"
+#include "tests/sim_test_util.h"
+
+namespace xmt {
+namespace {
+
+// Two serial phases separated by a parallel phase — plenty of quiescent
+// points between them.
+const char* kPhased = R"(
+.data
+A: .space 256
+S: .word 0
+.global A
+.global S
+.text
+main:
+  # phase 1: serial fill A[i] = i
+  la s0, A
+  li t0, 0
+  li t1, 64
+Lfill:
+  sll t2, t0, 2
+  add t2, s0, t2
+  sw t0, 0(t2)
+  addi t0, t0, 1
+  blt t0, t1, Lfill
+  # phase 2: parallel A[$] *= 2
+  li t0, 0
+  mtgr t0, gr6
+  li t1, 63
+  mtgr t1, gr7
+  spawn Ls, Le
+Ls:
+  sll t2, tid, 2
+  add t2, s0, t2
+  lw t3, 0(t2)
+  sll t3, t3, 1
+  swnb t3, 0(t2)
+  join
+Le:
+  # phase 3: serial sum into S
+  li t0, 0
+  li t4, 0
+Lsum:
+  sll t2, t0, 2
+  add t2, s0, t2
+  lw t3, 0(t2)
+  add t4, t4, t3
+  addi t0, t0, 1
+  blt t0, t1, Lsum
+  lw t3, 0(t2)      # last element (t1 == 63 loop bound quirk avoided below)
+  sw t4, S
+  li a0, 1
+  sys 1
+  halt
+)";
+
+TEST(Checkpoint, ResumeMatchesStraightRun) {
+  Program p = assemble(kPhased);
+
+  Simulator straight(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  auto rs = straight.run();
+  ASSERT_TRUE(rs.halted);
+
+  Simulator first(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  auto r1 = first.runToCheckpoint(100);
+  ASSERT_TRUE(r1.checkpointTaken);
+  ASSERT_FALSE(r1.halted);
+  Checkpoint chk = first.checkpoint();
+  EXPECT_GE(chk.cycles, 100u);
+
+  // Serialize / deserialize round trip.
+  std::string blob = chk.serialize();
+  Checkpoint back = Checkpoint::deserialize(blob);
+  EXPECT_EQ(back.cycles, chk.cycles);
+  EXPECT_EQ(back.simTime, chk.simTime);
+  EXPECT_EQ(back.master.pc, chk.master.pc);
+  EXPECT_EQ(back.master.regs, chk.master.regs);
+  EXPECT_EQ(back.arch.gr, chk.arch.gr);
+  EXPECT_EQ(back.arch.pages.size(), chk.arch.pages.size());
+
+  auto resumed = Simulator::resume(p, back, XmtConfig::fpga64());
+  auto r2 = resumed->run();
+  ASSERT_TRUE(r2.halted);
+
+  EXPECT_EQ(resumed->getGlobal("S"), straight.getGlobal("S"));
+  EXPECT_EQ(resumed->getGlobalArray("A"), straight.getGlobalArray("A"));
+  EXPECT_EQ(resumed->output(), straight.output());
+  EXPECT_EQ(r2.haltCode, rs.haltCode);
+  // Instruction totals agree exactly: the checkpoint carries counters.
+  EXPECT_EQ(resumed->stats().instructions, straight.stats().instructions);
+}
+
+TEST(Checkpoint, TakenOnlyAtQuiescentPoints) {
+  Program p = assemble(kPhased);
+  Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  auto r = sim.runToCheckpoint(1);  // request essentially immediately
+  ASSERT_TRUE(r.checkpointTaken);
+  // Quiescent implies the master was in serial mode: spawn hardware idle.
+  // (Indirect check: resuming and running yields the correct final state.)
+  auto resumed = Simulator::resume(p, sim.checkpoint(), XmtConfig::fpga64());
+  ASSERT_TRUE(resumed->run().halted);
+  Simulator straight(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  straight.run();
+  EXPECT_EQ(resumed->getGlobal("S"), straight.getGlobal("S"));
+}
+
+TEST(Checkpoint, LateRequestRunsToHalt) {
+  Program p = assemble(kPhased);
+  Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  auto r = sim.runToCheckpoint(100'000'000);  // never reached
+  EXPECT_TRUE(r.halted);
+  EXPECT_FALSE(r.checkpointTaken);
+  EXPECT_THROW(sim.checkpoint(), SimError);
+}
+
+TEST(Checkpoint, CyclesAccumulateAcrossResume) {
+  Program p = assemble(kPhased);
+  Simulator straight(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  auto rs = straight.run();
+
+  Simulator first(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  auto r1 = first.runToCheckpoint(200);
+  ASSERT_TRUE(r1.checkpointTaken);
+  auto resumed = Simulator::resume(p, first.checkpoint(),
+                                   XmtConfig::fpga64());
+  auto r2 = resumed->run();
+  ASSERT_TRUE(r2.halted);
+  // Resumed total cycle count is close to the straight run: identical
+  // instruction stream, cold microarchitectural state adds a bounded delta.
+  double ratio = static_cast<double>(r2.cycles) /
+                 static_cast<double>(rs.cycles);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.2);
+}
+
+TEST(Checkpoint, DeserializeRejectsGarbage) {
+  EXPECT_THROW(Checkpoint::deserialize("not a checkpoint"), SimError);
+  EXPECT_THROW(Checkpoint::deserialize("xmt-checkpoint-v1\nbogus 3\n"),
+               SimError);
+}
+
+TEST(Checkpoint, FunctionalModeRejected) {
+  Program p = assemble(kPhased);
+  Simulator sim(p, XmtConfig::fpga64(), SimMode::kFunctional);
+  EXPECT_THROW(sim.runToCheckpoint(10), SimError);
+}
+
+}  // namespace
+}  // namespace xmt

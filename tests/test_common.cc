@@ -1,0 +1,98 @@
+// Unit tests for src/common: config parsing, overrides, RNG determinism.
+#include <gtest/gtest.h>
+
+#include "src/common/config.h"
+#include "src/common/error.h"
+#include "src/common/rng.h"
+
+namespace xmt {
+namespace {
+
+TEST(Config, ParsesKeyValueText) {
+  auto cfg = ConfigMap::fromText(
+      "# a comment\n"
+      "clusters = 64\n"
+      "tcus_per_cluster=16   # trailing comment\n"
+      "\n"
+      "core_ghz = 1.3\n"
+      "hashing = true\n");
+  EXPECT_EQ(cfg.getInt("clusters", 0), 64);
+  EXPECT_EQ(cfg.getInt("tcus_per_cluster", 0), 16);
+  EXPECT_DOUBLE_EQ(cfg.getDouble("core_ghz", 0), 1.3);
+  EXPECT_TRUE(cfg.getBool("hashing", false));
+}
+
+TEST(Config, DefaultsWhenMissing) {
+  ConfigMap cfg;
+  EXPECT_EQ(cfg.getInt("absent", 42), 42);
+  EXPECT_EQ(cfg.getString("absent", "x"), "x");
+  EXPECT_FALSE(cfg.getBool("absent", false));
+}
+
+TEST(Config, RejectsMalformedLine) {
+  EXPECT_THROW(ConfigMap::fromText("novalue\n"), ConfigError);
+  EXPECT_THROW(ConfigMap::fromText("= 3\n"), ConfigError);
+}
+
+TEST(Config, RejectsWrongTypes) {
+  auto cfg = ConfigMap::fromText("a = hello\n");
+  EXPECT_THROW(cfg.getInt("a", 0), ConfigError);
+  EXPECT_THROW(cfg.getDouble("a", 0), ConfigError);
+  EXPECT_THROW(cfg.getBool("a", false), ConfigError);
+}
+
+TEST(Config, OverridesReplaceFileValues) {
+  auto cfg = ConfigMap::fromText("clusters = 8\n");
+  cfg.applyOverride("clusters=64");
+  cfg.applyOverrides({"dram_latency = 200", "hashing=off"});
+  EXPECT_EQ(cfg.getInt("clusters", 0), 64);
+  EXPECT_EQ(cfg.getInt("dram_latency", 0), 200);
+  EXPECT_FALSE(cfg.getBool("hashing", true));
+  EXPECT_THROW(cfg.applyOverride("nope"), ConfigError);
+}
+
+TEST(Config, HexIntegers) {
+  auto cfg = ConfigMap::fromText("base = 0x1000\n");
+  EXPECT_EQ(cfg.getInt("base", 0), 0x1000);
+}
+
+TEST(Config, RoundTripsThroughText) {
+  auto cfg = ConfigMap::fromText("b = 2\na = 1\n");
+  auto again = ConfigMap::fromText(cfg.toText());
+  EXPECT_EQ(again.getInt("a", 0), 1);
+  EXPECT_EQ(again.getInt("b", 0), 2);
+  EXPECT_EQ(again.keys(), cfg.keys());
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123), c(124);
+  bool anyDiff = false;
+  for (int i = 0; i < 100; ++i) {
+    auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) anyDiff = true;
+  }
+  EXPECT_TRUE(anyDiff);
+}
+
+TEST(Rng, BoundsRespected) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    auto v = r.below(17);
+    EXPECT_LT(v, 17u);
+    auto x = r.range(-5, 5);
+    EXPECT_GE(x, -5);
+    EXPECT_LE(x, 5);
+    auto u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Error, CheckMacroThrowsInternalError) {
+  EXPECT_THROW(XMT_CHECK(1 == 2), InternalError);
+  EXPECT_NO_THROW(XMT_CHECK(1 == 1));
+}
+
+}  // namespace
+}  // namespace xmt

@@ -1,0 +1,979 @@
+// XMTC compiler tests: language features end-to-end (compile, assemble,
+// simulate, check results), semantic errors, and the compiler's XMT-specific
+// behaviour (outlining, spill errors, memory-model fences).
+#include <gtest/gtest.h>
+
+#include "src/assembler/assembler.h"
+#include "src/common/error.h"
+#include "src/compiler/driver.h"
+#include "src/sim/simulator.h"
+
+namespace xmt {
+namespace {
+
+// Compiles and runs in the given mode; returns the simulator for output
+// inspection.
+std::unique_ptr<Simulator> compileRun(const std::string& src, SimMode mode,
+                                      CompilerOptions opts = {},
+                                      XmtConfig cfg = XmtConfig::fpga64()) {
+  Program p = compileToProgram(src, opts);
+  auto sim = std::make_unique<Simulator>(p, cfg, mode);
+  auto r = sim->run();
+  EXPECT_TRUE(r.halted);
+  return sim;
+}
+
+// Runs in both modes and checks a scalar global in each.
+void expectGlobal(const std::string& src, const std::string& name,
+                  std::int32_t expected, CompilerOptions opts = {}) {
+  for (SimMode mode : {SimMode::kFunctional, SimMode::kCycleAccurate}) {
+    auto sim = compileRun(src, mode, opts);
+    EXPECT_EQ(sim->getGlobal(name), expected)
+        << name << " in mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(CompilerSerial, ArithmeticAndGlobals) {
+  expectGlobal(R"(
+int R;
+int main() {
+  int a = 6, b = 7;
+  R = a * b + 1 - 3 / 2 + 10 % 3;
+  return 0;
+}
+)", "R", 6 * 7 + 1 - 1 + 1);
+}
+
+TEST(CompilerSerial, OperatorPrecedenceAndBitops) {
+  expectGlobal(R"(
+int R;
+int main() {
+  R = (1 << 4) | (255 >> 6) & ~1 ^ 8;
+  return 0;
+}
+)", "R", (1 << 4) | ((255 >> 6) & ~1) ^ 8);
+}
+
+TEST(CompilerSerial, ComparisonsAsValues) {
+  expectGlobal(R"(
+int R;
+int main() {
+  int a = 3, b = 5;
+  R = (a < b) + (a > b) * 10 + (a <= 3) * 100 + (b >= 6) * 1000
+    + (a == 3) * 10000 + (a != 3) * 100000;
+  return 0;
+}
+)", "R", 1 + 0 + 100 + 0 + 10000 + 0);
+}
+
+TEST(CompilerSerial, ControlFlow) {
+  expectGlobal(R"(
+int R;
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i % 2 == 0) continue;
+    sum += i;
+    if (sum > 20) break;
+  }
+  int j = 0;
+  while (j < 3) { sum++; j++; }
+  do { sum += 100; } while (sum < 200);
+  R = sum;
+  return 0;
+}
+)", "R", [] {
+    int sum = 0;
+    for (int i = 0; i < 10; i++) {
+      if (i % 2 == 0) continue;
+      sum += i;
+      if (sum > 20) break;
+    }
+    int j = 0;
+    while (j < 3) { sum++; j++; }
+    do { sum += 100; } while (sum < 200);
+    return sum;
+  }());
+}
+
+TEST(CompilerSerial, LogicalShortCircuit) {
+  expectGlobal(R"(
+int R;
+int hits;
+int bump() { hits = hits + 1; return 1; }
+int main() {
+  int a = 0;
+  if (a && bump()) { R = 1; }
+  if (a || bump()) { R = 2; }
+  R = R * 10 + hits;
+  return 0;
+}
+)", "R", 21);
+}
+
+TEST(CompilerSerial, TernaryAndCompoundAssign) {
+  expectGlobal(R"(
+int R;
+int main() {
+  int x = 5;
+  x += 3; x -= 1; x *= 2; x /= 7; x %= 3; x <<= 4; x >>= 1; x |= 5;
+  x &= 13; x ^= 2;
+  R = x > 5 ? x : -x;
+  return 0;
+}
+)", "R", [] {
+    int x = 5;
+    x += 3; x -= 1; x *= 2; x /= 7; x %= 3; x <<= 4; x >>= 1; x |= 5;
+    x &= 13; x ^= 2;
+    return x > 5 ? x : -x;
+  }());
+}
+
+TEST(CompilerSerial, FunctionsAndRecursion) {
+  expectGlobal(R"(
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int R;
+int main() { R = fib(12); return 0; }
+)", "R", 144);
+}
+
+TEST(CompilerSerial, FourArgFunctions) {
+  expectGlobal(R"(
+int f(int a, int b, int c, int d) { return a*1000 + b*100 + c*10 + d; }
+int R;
+int main() { R = f(1, 2, 3, 4); return 0; }
+)", "R", 1234);
+}
+
+TEST(CompilerSerial, EightArgFunctions) {
+  expectGlobal(R"(
+int f(int a, int b, int c, int d, int e, int g, int h, int i) {
+  return a + b*2 + c*3 + d*4 + e*5 + g*6 + h*7 + i*8;
+}
+int R;
+int main() { R = f(1, 2, 3, 4, 5, 6, 7, 8); return 0; }
+)", "R", 1 + 4 + 9 + 16 + 25 + 36 + 49 + 64);
+}
+
+TEST(CompilerSerial, NineArgsRejected) {
+  EXPECT_THROW(compileToProgram(R"(
+int f(int a, int b, int c, int d, int e, int g, int h, int i, int j) {
+  return a;
+}
+int main() { return f(1,2,3,4,5,6,7,8,9); }
+)"), CompileError);
+}
+
+TEST(CompilerSerial, NestedCallsPreserveArguments) {
+  // Inner calls clobber argument registers; values crossing calls must be
+  // kept in callee-saved registers or recomputed.
+  expectGlobal(R"(
+int add(int a, int b) { return a + b; }
+int R;
+int main() {
+  R = add(add(1, 2), add(add(3, 4), 5));
+  return 0;
+}
+)", "R", 15);
+}
+
+TEST(CompilerSerial, PointersAndArrays) {
+  expectGlobal(R"(
+int A[10];
+int R;
+int main() {
+  int *p = A;
+  for (int i = 0; i < 10; i++) p[i] = i * i;
+  int *q = &A[4];
+  R = *q + q[1] + *(A + 2);
+  return 0;
+}
+)", "R", 16 + 25 + 4);
+}
+
+TEST(CompilerSerial, LocalArraysOnStack) {
+  expectGlobal(R"(
+int R;
+int main() {
+  int buf[8];
+  for (int i = 0; i < 8; i++) buf[i] = i + 1;
+  int s = 0;
+  for (int i = 0; i < 8; i++) s += buf[i];
+  R = s;
+  return 0;
+}
+)", "R", 36);
+}
+
+TEST(CompilerSerial, AddressOfLocal) {
+  expectGlobal(R"(
+void set(int *p, int v) { *p = v; }
+int R;
+int main() {
+  int x = 0;
+  set(&x, 77);
+  R = x;
+  return 0;
+}
+)", "R", 77);
+}
+
+TEST(CompilerSerial, CharsAndStrings) {
+  auto sim = compileRun(R"(
+char buf[16];
+int R;
+int main() {
+  buf[0] = 'h'; buf[1] = 'i'; buf[2] = 0;
+  char c = buf[0];
+  R = c + buf[1];
+  printf("%s there %c\n", buf, 'X');
+  return 0;
+}
+)", SimMode::kCycleAccurate);
+  EXPECT_EQ(sim->getGlobal("R"), 'h' + 'i');
+  EXPECT_EQ(sim->output(), "hi there X\n");
+}
+
+TEST(CompilerSerial, Floats) {
+  auto sim = compileRun(R"(
+float F = 2.5f;
+int R;
+int main() {
+  float x = F * 2.0f + 1.0f;   // 6.0
+  float y = x / 4.0f;          // 1.5
+  R = (int)(y * 10.0f) + (x > y) + (int)3.9f;
+  printf("%f", y);
+  return 0;
+}
+)", SimMode::kCycleAccurate);
+  EXPECT_EQ(sim->getGlobal("R"), 15 + 1 + 3);
+  EXPECT_EQ(sim->output(), "1.5");
+}
+
+TEST(CompilerSerial, IntFloatConversions) {
+  expectGlobal(R"(
+int R;
+int main() {
+  int i = 7;
+  float f = (float)i / 2.0f;   // 3.5
+  R = (int)(f * 100.0f);       // 350
+  float g = 3;                  // implicit int->float
+  R = R + (int)g;
+  return 0;
+}
+)", "R", 353);
+}
+
+TEST(CompilerSerial, UnsignedOps) {
+  expectGlobal(R"(
+int R;
+int main() {
+  unsigned a = 0x80000000;
+  unsigned b = a >> 4;          // logical shift
+  R = (b == 0x08000000) + (a > 1);  // unsigned compare
+  return 0;
+}
+)", "R", 2);
+}
+
+TEST(CompilerSerial, GlobalInitializers) {
+  expectGlobal(R"(
+int A[5] = {10, 20, 30};
+int X = 42;
+int R;
+int main() {
+  R = A[0] + A[1] + A[2] + A[3] + A[4] + X;
+  return 0;
+}
+)", "R", 102);
+}
+
+TEST(CompilerSerial, SizeofAndPrintfd) {
+  auto sim = compileRun(R"(
+int A[10];
+int main() {
+  printf("%d %d %d", sizeof(int), sizeof(A) / sizeof(int), -5);
+  return 0;
+}
+)", SimMode::kFunctional);
+  EXPECT_EQ(sim->output(), "4 10 -5");
+}
+
+TEST(CompilerSerial, IncDecSemantics) {
+  expectGlobal(R"(
+int R;
+int main() {
+  int i = 5;
+  int a = i++;
+  int b = ++i;
+  int c = i--;
+  int d = --i;
+  R = a * 1000 + b * 100 + c * 10 + d;
+  return 0;
+}
+)", "R", 5 * 1000 + 7 * 100 + 7 * 10 + 5);
+}
+
+TEST(CompilerSerial, HaltCodeIsMainReturn) {
+  Program p = compileToProgram("int main() { return 41; }");
+  Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  EXPECT_EQ(sim.run().haltCode, 41);
+}
+
+// --- Parallel programs ------------------------------------------------------
+
+TEST(CompilerParallel, VectorAdd) {
+  const char* src = R"(
+int A[100];
+int B[100];
+int main() {
+  spawn(0, 99) {
+    B[$] = A[$] + 1;
+  }
+  return 0;
+}
+)";
+  Program p = compileToProgram(src);
+  for (SimMode mode : {SimMode::kFunctional, SimMode::kCycleAccurate}) {
+    Simulator sim(p, XmtConfig::fpga64(), mode);
+    std::vector<std::int32_t> a(100);
+    for (int i = 0; i < 100; ++i) a[static_cast<std::size_t>(i)] = 3 * i;
+    sim.setGlobalArray("A", a);
+    ASSERT_TRUE(sim.run().halted);
+    auto b = sim.getGlobalArray("B");
+    for (int i = 0; i < 100; ++i)
+      ASSERT_EQ(b[static_cast<std::size_t>(i)], 3 * i + 1) << i;
+  }
+}
+
+TEST(CompilerParallel, CompactionFig2a) {
+  // The paper's flagship example, verbatim modulo array sizes.
+  const char* src = R"(
+int A[100];
+int B[100];
+psBaseReg base = 0;
+int count;
+int main() {
+  spawn(0, 99) {
+    int inc = 1;
+    if (A[$] != 0) {
+      ps(inc, base);
+      B[inc] = A[$];
+    }
+  }
+  count = base;
+  return 0;
+}
+)";
+  Program p = compileToProgram(src);
+  for (SimMode mode : {SimMode::kFunctional, SimMode::kCycleAccurate}) {
+    Simulator sim(p, XmtConfig::fpga64(), mode);
+    std::vector<std::int32_t> a(100, 0);
+    int nz = 0;
+    for (int i = 0; i < 100; i += 4) {
+      a[static_cast<std::size_t>(i)] = i + 1;
+      ++nz;
+    }
+    sim.setGlobalArray("A", a);
+    ASSERT_TRUE(sim.run().halted);
+    EXPECT_EQ(sim.getGlobal("count"), nz);
+    auto b = sim.getGlobalArray("B");
+    std::vector<std::int32_t> got(b.begin(), b.begin() + nz);
+    std::sort(got.begin(), got.end());
+    std::vector<std::int32_t> expect;
+    for (int i = 0; i < 100; i += 4) expect.push_back(i + 1);
+    EXPECT_EQ(got, expect);
+  }
+}
+
+TEST(CompilerParallel, PsmHistogram) {
+  const char* src = R"(
+int A[128];
+int H[8];
+int main() {
+  spawn(0, 127) {
+    int one = 1;
+    psm(one, H[A[$]]);
+  }
+  return 0;
+}
+)";
+  Program p = compileToProgram(src);
+  Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  std::vector<std::int32_t> a(128);
+  std::vector<std::int32_t> expect(8, 0);
+  for (int i = 0; i < 128; ++i) {
+    a[static_cast<std::size_t>(i)] = (i * 5) % 8;
+    ++expect[static_cast<std::size_t>((i * 5) % 8)];
+  }
+  sim.setGlobalArray("A", a);
+  ASSERT_TRUE(sim.run().halted);
+  EXPECT_EQ(sim.getGlobalArray("H"), expect);
+}
+
+TEST(CompilerParallel, CapturedLocalsByValueAndReference) {
+  // Fig. 8: `found` is written in the spawn block -> by reference; `n` is
+  // only read -> by value. The post-spawn read must see the update.
+  expectGlobal(R"(
+int A[64];
+int R;
+int main() {
+  int found = 0;
+  int n = 5;
+  A[17] = 1;
+  spawn(0, 63) {
+    if (A[$] != 0) found = 1;
+  }
+  if (found) R = n + 1;
+  return 0;
+}
+)", "R", 6);
+}
+
+TEST(CompilerParallel, UnsafeNoOutlineMiscompilesFig8) {
+  // With outlining disabled, `found` is promoted to a register; virtual
+  // threads update their TCU-local copy and the master reads a stale 0 —
+  // the exact illegal dataflow of Fig. 8.
+  const char* src = R"(
+int A[64];
+int R;
+int main() {
+  int found = 0;
+  A[17] = 1;
+  spawn(0, 63) {
+    if (A[$] != 0) found = 1;
+  }
+  R = found;
+  return 0;
+}
+)";
+  CompilerOptions good;
+  CompilerOptions unsafe;
+  unsafe.outline = false;
+  for (SimMode mode : {SimMode::kFunctional, SimMode::kCycleAccurate}) {
+    EXPECT_EQ(compileRun(src, mode, good)->getGlobal("R"), 1);
+    EXPECT_EQ(compileRun(src, mode, unsafe)->getGlobal("R"), 0)
+        << "expected the documented miscompile without outlining";
+  }
+}
+
+TEST(CompilerParallel, OutliningVisibleInTransformedSource) {
+  const char* src = R"(
+int A[10];
+int main() {
+  int found = 0;
+  spawn(0, 9) { if (A[$] != 0) found = 1; }
+  return found;
+}
+)";
+  CompileResult r = compileXmtc(src);
+  EXPECT_NE(r.transformedSource.find("__spawn0_main"), std::string::npos);
+  // The written capture is passed by address and dereferenced inside.
+  EXPECT_NE(r.transformedSource.find("(&found)"), std::string::npos);
+  EXPECT_NE(r.transformedSource.find("(*found)"), std::string::npos);
+}
+
+TEST(CompilerParallel, NestedSpawnSerialized) {
+  expectGlobal(R"(
+int M[16];
+int main() {
+  spawn(0, 3) {
+    int r = $;
+    spawn(0, 3) {       // serialized inner spawn
+      M[r * 4 + $] = r * 10 + $;
+    }
+  }
+  int s = 0;
+  for (int i = 0; i < 16; i++) s += M[i];
+  return 0;
+}
+int R;
+)", "M", 0);  // placeholder; real check below
+}
+
+TEST(CompilerParallel, NestedSpawnValues) {
+  const char* src = R"(
+int M[16];
+int main() {
+  spawn(0, 3) {
+    int r = $;
+    spawn(0, 3) {
+      M[r * 4 + $] = r * 10 + $;
+    }
+  }
+  return 0;
+}
+)";
+  Program p = compileToProgram(src);
+  for (SimMode mode : {SimMode::kFunctional, SimMode::kCycleAccurate}) {
+    Simulator sim(p, XmtConfig::fpga64(), mode);
+    ASSERT_TRUE(sim.run().halted);
+    auto m = sim.getGlobalArray("M");
+    for (int r = 0; r < 4; ++r)
+      for (int c = 0; c < 4; ++c)
+        EXPECT_EQ(m[static_cast<std::size_t>(r * 4 + c)], r * 10 + c);
+  }
+}
+
+TEST(CompilerParallel, InlinedCallsInSpawn) {
+  expectGlobal(R"(
+int mymax(int a, int b) { return a > b ? a : b; }
+int A[50];
+int B[50];
+int R;
+int main() {
+  spawn(0, 49) {
+    B[$] = mymax(A[$], 10);
+  }
+  int s = 0;
+  for (int i = 0; i < 50; i++) s += B[i];
+  R = s;
+  return 0;
+}
+)", "R", 500);
+}
+
+TEST(CompilerParallel, NonInlinableCallInSpawnRejected) {
+  const char* src = R"(
+int g;
+int impure(int a) { g = a; return a; }
+int main() {
+  spawn(0, 9) { int x = impure($); }
+  return 0;
+}
+)";
+  EXPECT_THROW(compileToProgram(src), CompileError);
+}
+
+TEST(CompilerParallel, SequenceOfSpawns) {
+  expectGlobal(R"(
+int A[64];
+int R;
+int main() {
+  spawn(0, 63) { A[$] = $; }
+  spawn(0, 63) { A[$] = A[$] * 2; }
+  spawn(0, 31) { A[$] = A[$] + A[$ + 32]; }
+  int s = 0;
+  for (int i = 0; i < 32; i++) s += A[i];
+  R = s;
+  return 0;
+}
+)", "R", [] {
+    int a[64];
+    for (int i = 0; i < 64; ++i) a[i] = i * 2;
+    int s = 0;
+    for (int i = 0; i < 32; ++i) s += a[i] + a[i + 32];
+    return s;
+  }());
+}
+
+TEST(CompilerParallel, ClusteringPreservesSemantics) {
+  const char* src = R"(
+int A[500];
+int main() {
+  spawn(0, 499) { A[$] = $ * 3; }
+  return 0;
+}
+)";
+  CompilerOptions opts;
+  opts.clusterThreads = true;
+  opts.clusterCount = 64;
+  Program p = compileToProgram(src, opts);
+  for (SimMode mode : {SimMode::kFunctional, SimMode::kCycleAccurate}) {
+    Simulator sim(p, XmtConfig::fpga64(), mode);
+    ASSERT_TRUE(sim.run().halted);
+    // Clustering coarsens 500 virtual threads into at most 64.
+    if (mode == SimMode::kCycleAccurate)
+      EXPECT_LE(sim.stats().virtualThreads, 64u);
+    auto a = sim.getGlobalArray("A");
+    for (int i = 0; i < 500; ++i)
+      ASSERT_EQ(a[static_cast<std::size_t>(i)], i * 3) << i;
+  }
+}
+
+TEST(CompilerParallel, BroadcastLiveInsSurviveRedispatch) {
+  // Regression: TCU registers are snapshot from the master once per spawn,
+  // NOT once per virtual thread. A value captured by the spawn block must
+  // keep its register for the whole region, or the second virtual thread
+  // dispatched to a TCU reads a clobbered value. 512 threads on 64 TCUs
+  // forces 8 redispatches per TCU.
+  const char* src = R"(
+int A[512];
+int main() {
+  int scale = 3;
+  int offset = 100;
+  spawn(0, 511) {
+    int t0 = $ * 7;        // churn through scratch registers
+    int t1 = t0 + $;
+    int t2 = t1 ^ 21;
+    A[$] = $ * scale + offset + (t2 - t2);
+  }
+  return 0;
+}
+)";
+  Program p = compileToProgram(src);
+  Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  ASSERT_TRUE(sim.run().halted);
+  auto a = sim.getGlobalArray("A");
+  for (int i = 0; i < 512; ++i)
+    ASSERT_EQ(a[static_cast<std::size_t>(i)], i * 3 + 100) << i;
+}
+
+TEST(CompilerParallel, ClusteredRedispatchCorrectness) {
+  // The same hazard through the clustering transform: chunk bounds are
+  // broadcast live-ins consumed across the coarsened thread's loop.
+  const char* src = R"(
+int A[4096];
+int main() {
+  spawn(0, 4095) { A[$] = A[$] * 3 + 1; }
+  return 0;
+}
+)";
+  CompilerOptions opts;
+  opts.clusterThreads = true;
+  opts.clusterCount = 128;  // 2 coarsened threads per TCU on fpga64
+  Program p = compileToProgram(src, opts);
+  Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  std::vector<std::int32_t> a(4096);
+  for (int i = 0; i < 4096; ++i) a[static_cast<std::size_t>(i)] = i;
+  sim.setGlobalArray("A", a);
+  ASSERT_TRUE(sim.run().halted);
+  auto out = sim.getGlobalArray("A");
+  for (int i = 0; i < 4096; ++i)
+    ASSERT_EQ(out[static_cast<std::size_t>(i)], i * 3 + 1) << i;
+  EXPECT_LE(sim.stats().virtualThreads, 128u);
+}
+
+TEST(CompilerParallel, RegisterSpillInSpawnIsError) {
+  // Far too many live scalars inside the spawn block.
+  std::string src = "int A[8];\nint main() {\n  spawn(0, 7) {\n";
+  for (int i = 0; i < 30; ++i)
+    src += "    int v" + std::to_string(i) + " = A[$] + " +
+           std::to_string(i) + ";\n";
+  src += "    int acc = 0;\n";
+  // Use them all after defining them all, forcing simultaneous liveness.
+  for (int i = 0; i < 30; ++i)
+    src += "    acc = acc * 2 + v" + std::to_string(i) + ";\n";
+  src += "    A[$] = acc;\n  }\n  return 0;\n}\n";
+  EXPECT_THROW(compileToProgram(src), CompileError);
+}
+
+TEST(CompilerParallel, SpillInSerialCodeWorks) {
+  // The same pressure in serial code spills to the stack and works.
+  std::string src = "int A[8];\nint R;\nint main() {\n";
+  for (int i = 0; i < 30; ++i)
+    src += "  int v" + std::to_string(i) + " = " + std::to_string(i * 3) +
+           ";\n";
+  src += "  int acc = 0;\n";
+  for (int i = 0; i < 30; ++i)
+    src += "  acc = acc + v" + std::to_string(i) + ";\n";
+  src += "  R = acc;\n  return 0;\n}\n";
+  int expect = 0;
+  for (int i = 0; i < 30; ++i) expect += i * 3;
+  expectGlobal(src, "R", expect);
+}
+
+TEST(CompilerParallel, FencesEmittedBeforePs) {
+  CompileResult r = compileXmtc(R"(
+psBaseReg base = 0;
+int A[10];
+int main() {
+  spawn(0, 9) {
+    int one = 1;
+    A[$] = $;
+    ps(one, base);
+  }
+  return 0;
+}
+)");
+  // A fence must separate the store from the prefix-sum (Section IV-A).
+  auto fencePos = r.asmText.find("fence");
+  auto psPos = r.asmText.find("\n  ps ");
+  ASSERT_NE(fencePos, std::string::npos);
+  ASSERT_NE(psPos, std::string::npos);
+  EXPECT_LT(fencePos, psPos);
+}
+
+TEST(CompilerParallel, VolatileSuppressesNonBlockingStores) {
+  CompileResult v = compileXmtc(R"(
+volatile int flag;
+int main() { flag = 1; return 0; }
+)");
+  // The volatile store stays a blocking sw.
+  EXPECT_NE(v.asmText.find("  sw "), std::string::npos);
+  CompileResult nv = compileXmtc(R"(
+int flag;
+int main() { flag = 1; return 0; }
+)");
+  EXPECT_NE(nv.asmText.find("  swnb "), std::string::npos);
+}
+
+TEST(CompilerParallel, PrefetchesInsertedForLoadGroups) {
+  CompilerOptions with;
+  CompilerOptions without;
+  without.prefetch = false;
+  const char* src = R"(
+int A[100];
+int B[100];
+int C[100];
+int main() {
+  spawn(0, 99) {
+    C[$] = A[$] + B[$];
+  }
+  return 0;
+}
+)";
+  CompileResult r1 = compileXmtc(src, with);
+  CompileResult r0 = compileXmtc(src, without);
+  EXPECT_NE(r1.asmText.find("pref"), std::string::npos);
+  EXPECT_EQ(r0.asmText.find("pref"), std::string::npos);
+  // Both produce correct results.
+  for (const CompilerOptions& o : {with, without}) {
+    Program p = compileToProgram(src, o);
+    Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+    std::vector<std::int32_t> a(100, 2), b(100, 3);
+    sim.setGlobalArray("A", a);
+    sim.setGlobalArray("B", b);
+    ASSERT_TRUE(sim.run().halted);
+    for (auto v : sim.getGlobalArray("C")) ASSERT_EQ(v, 5);
+  }
+}
+
+TEST(CompilerPostPass, LayoutQuirkIsRepaired) {
+  const char* src = R"(
+int A[64];
+int B[64];
+int main() {
+  spawn(0, 63) {
+    if (A[$] > 10) {
+      B[$] = A[$] * 2;
+    } else {
+      B[$] = A[$] + 1;
+    }
+  }
+  return 0;
+}
+)";
+  CompilerOptions quirk;
+  quirk.layoutQuirk = true;
+  CompileResult r = compileXmtc(src, quirk);
+  EXPECT_GE(r.relocatedBlocks, 1) << "the Fig. 9 repair should have fired";
+  // The repaired program runs correctly (a mislaid block would trap in the
+  // simulator's broadcast-region check).
+  Program p = assemble(r.asmText);
+  Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  std::vector<std::int32_t> a(64);
+  for (int i = 0; i < 64; ++i) a[static_cast<std::size_t>(i)] = i;
+  sim.setGlobalArray("A", a);
+  ASSERT_TRUE(sim.run().halted);
+  auto b = sim.getGlobalArray("B");
+  for (int i = 0; i < 64; ++i)
+    ASSERT_EQ(b[static_cast<std::size_t>(i)], i > 10 ? i * 2 : i + 1) << i;
+}
+
+TEST(CompilerPostPass, UnrepairedQuirkTrapsInSimulator) {
+  const char* src = R"(
+int A[64];
+int B[64];
+int main() {
+  spawn(0, 63) {
+    if (A[$] > 10) {
+      B[$] = A[$] * 2;
+    } else {
+      B[$] = A[$] + 1;
+    }
+  }
+  return 0;
+}
+)";
+  CompilerOptions quirkNoFix;
+  quirkNoFix.layoutQuirk = true;
+  quirkNoFix.postPass = false;
+  CompileResult r = compileXmtc(src, quirkNoFix);
+  Program p = assemble(r.asmText);
+  Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  std::vector<std::int32_t> a(64, 50);
+  sim.setGlobalArray("A", a);
+  EXPECT_THROW(sim.run(), SimError);
+}
+
+// --- Diagnostics ------------------------------------------------------------
+
+TEST(CompilerErrors, Syntax) {
+  EXPECT_THROW(compileToProgram("int main() { int x = ; }"), CompileError);
+  EXPECT_THROW(compileToProgram("int main() { if }"), CompileError);
+  EXPECT_THROW(compileToProgram("int main( { }"), CompileError);
+}
+
+TEST(CompilerErrors, Sema) {
+  EXPECT_THROW(compileToProgram("int main() { return undeclared; }"),
+               CompileError);
+  EXPECT_THROW(compileToProgram("int main() { $ = 1; return 0; }"),
+               CompileError);
+  EXPECT_THROW(compileToProgram("int main() { int x = $; return 0; }"),
+               CompileError);  // $ outside spawn
+  EXPECT_THROW(compileToProgram("int f(); int main() { return 0; }"),
+               CompileError);  // prototype-only unsupported syntax
+  EXPECT_THROW(compileToProgram("int x; int x; int main() { return 0; }"),
+               CompileError);
+  EXPECT_THROW(compileToProgram("int main() { break; }"), CompileError);
+  EXPECT_THROW(compileToProgram("int f(int a) { return a; }"),
+               CompileError);  // no main
+  EXPECT_THROW(compileToProgram(
+                   "int main() { spawn(0, 3) { return 1; } return 0; }"),
+               CompileError);
+  EXPECT_THROW(compileToProgram("int M[2][2]; int main() { return 0; }"),
+               CompileError);
+}
+
+TEST(CompilerErrors, PsRules) {
+  EXPECT_THROW(compileToProgram(R"(
+int notGr;
+int main() { int i = 1; spawn(0,1){ ps(i, notGr); } return 0; }
+)"), CompileError);
+  EXPECT_THROW(compileToProgram(R"(
+psBaseReg b = 0;
+int main() { spawn(0,1){ ps(3, b); } return 0; }
+)"), CompileError);  // first arg must be an lvalue
+  EXPECT_THROW(compileToProgram(R"(
+psBaseReg b = 0;
+int main() { spawn(0,1){ b = 3; } return 0; }
+)"), CompileError);  // direct write in parallel mode
+  EXPECT_THROW(compileToProgram(R"(
+psBaseReg a=0, b=0, c=0, d=0, e=0, f=0, g=0;
+int main() { return 0; }
+)"), CompileError);  // only 6 psBaseReg registers
+}
+
+TEST(CompilerErrors, NoParallelStack) {
+  EXPECT_THROW(compileToProgram(R"(
+int main() { spawn(0,1){ int buf[4]; buf[0]=1; } return 0; }
+)"), CompileError);
+}
+
+TEST(CompilerSerial, CharArrayGlobalWithInitializer) {
+  auto sim = compileRun(R"(
+char tab[6] = {'h', 'e', 'l', 'l', 'o'};
+int R;
+int main() {
+  int s = 0;
+  for (int i = 0; tab[i] != 0; i++) s += tab[i];
+  R = s;
+  printf("%s!", tab);
+  return 0;
+}
+)", SimMode::kCycleAccurate);
+  EXPECT_EQ(sim->getGlobal("R"), 'h' + 'e' + 'l' + 'l' + 'o');
+  EXPECT_EQ(sim->output(), "hello!");
+}
+
+TEST(CompilerSerial, CharPointerWalk) {
+  expectGlobal(R"(
+char buf[8];
+int R;
+int main() {
+  char *p = buf;
+  *p++ = 3;
+  *p++ = 4;
+  *p = 5;
+  char *q = buf;
+  R = q[0] * 100 + q[1] * 10 + q[2];
+  return 0;
+}
+)", "R", 345);
+}
+
+TEST(CompilerParallel, VolatileFlagSpinAcrossThreads) {
+  // The paper: "the programmer must still declare the variables that may be
+  // modified by other virtual threads as volatile" — the volatile load is
+  // never prefetched or cached in a register, so the spin loop observes the
+  // other thread's psm.
+  const char* src = R"(
+volatile int flag;
+int witness;
+int main() {
+  spawn(0, 1) {
+    if ($ == 0) {
+      int one = 1;
+      psm(one, flag);
+    } else {
+      while (flag == 0) { }
+      witness = 7;
+    }
+  }
+  return 0;
+}
+)";
+  Program p = compileToProgram(src);
+  Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  ASSERT_TRUE(sim.run().halted);
+  EXPECT_EQ(sim.getGlobal("witness"), 7);
+}
+
+TEST(CompilerSerial, GlobalPointerVariables) {
+  expectGlobal(R"(
+int A[8];
+int *cursor;
+int R;
+int main() {
+  cursor = A;
+  for (int i = 0; i < 8; i++) { *cursor = i * i; cursor = cursor + 1; }
+  R = A[7];
+  return 0;
+}
+)", "R", 49);
+}
+
+TEST(CompilerSerial, WhileWithComplexCondition) {
+  expectGlobal(R"(
+int R;
+int main() {
+  int i = 0, j = 20;
+  while (i < 10 && j > 12 || i == 0) {
+    i++;
+    j--;
+  }
+  R = i * 100 + j;
+  return 0;
+}
+)", "R", [] {
+    int i = 0, j = 20;
+    while ((i < 10 && j > 12) || i == 0) {
+      i++;
+      j--;
+    }
+    return i * 100 + j;
+  }());
+}
+
+TEST(CompilerSerial, PsBaseRegInSerialCode) {
+  expectGlobal(R"(
+psBaseReg base = 10;
+int R;
+int main() {
+  int inc = 5;
+  ps(inc, base);      // serial ps: inc gets 10, base becomes 15
+  R = inc * 100 + base;
+  return 0;
+}
+)", "R", 10 * 100 + 15);
+}
+
+TEST(CompilerSerial, PsmInSerialCode) {
+  expectGlobal(R"(
+int cell = 7;
+int R;
+int main() {
+  int inc = 2;
+  psm(inc, cell);
+  R = inc * 100 + cell;
+  return 0;
+}
+)", "R", 700 + 9);
+}
+
+}  // namespace
+}  // namespace xmt

@@ -1,0 +1,194 @@
+// Property-based compiler tests: randomly generated integer expression
+// trees are compiled and executed on the simulator, and the result is
+// checked against an independent host evaluation of the same tree — in a
+// serial context and inside a spawn block (parallel codegen).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/core/toolchain.h"
+
+namespace xmt {
+namespace {
+
+// Expression tree with explicit evaluation semantics (two's-complement
+// wrap, masked shift counts) matching both C on the host and XMT.
+struct Node {
+  enum Kind { kConst, kVar, kBin, kUn, kTern } kind;
+  char op = 0;          // + - * & | ^ l(shl) r(shr-arith) < > e(==) n(!=)
+  std::int32_t value = 0;
+  int var = 0;
+  std::unique_ptr<Node> a, b, c;
+};
+
+std::unique_ptr<Node> genExpr(Rng& rng, int depth, int numVars) {
+  auto node = std::make_unique<Node>();
+  if (depth <= 0 || rng.chance(0.25)) {
+    if (rng.chance(0.5)) {
+      node->kind = Node::kConst;
+      node->value = static_cast<std::int32_t>(rng.range(-1000, 1000));
+    } else {
+      node->kind = Node::kVar;
+      node->var = static_cast<int>(rng.below(static_cast<std::uint64_t>(numVars)));
+    }
+    return node;
+  }
+  double roll = rng.uniform();
+  if (roll < 0.08) {
+    node->kind = Node::kUn;
+    node->op = rng.chance(0.5) ? '-' : '~';
+    node->a = genExpr(rng, depth - 1, numVars);
+  } else if (roll < 0.16) {
+    node->kind = Node::kTern;
+    node->c = genExpr(rng, depth - 1, numVars);
+    node->a = genExpr(rng, depth - 1, numVars);
+    node->b = genExpr(rng, depth - 1, numVars);
+  } else {
+    node->kind = Node::kBin;
+    static const char ops[] = {'+', '-', '*', '&', '|', '^',
+                               'l', 'r', '<', '>', 'e', 'n'};
+    node->op = ops[rng.below(sizeof(ops))];
+    node->a = genExpr(rng, depth - 1, numVars);
+    if (node->op == 'l' || node->op == 'r') {
+      // Shift by a small literal so host and target agree trivially.
+      node->b = std::make_unique<Node>();
+      node->b->kind = Node::kConst;
+      node->b->value = static_cast<std::int32_t>(rng.below(8));
+    } else {
+      node->b = genExpr(rng, depth - 1, numVars);
+    }
+  }
+  return node;
+}
+
+std::int32_t evalHost(const Node& n, const std::vector<std::int32_t>& vars) {
+  auto asU = [](std::int32_t v) { return static_cast<std::uint32_t>(v); };
+  switch (n.kind) {
+    case Node::kConst: return n.value;
+    case Node::kVar: return vars[static_cast<std::size_t>(n.var)];
+    case Node::kUn: {
+      std::int32_t a = evalHost(*n.a, vars);
+      return n.op == '-' ? static_cast<std::int32_t>(-asU(a)) : ~a;
+    }
+    case Node::kTern:
+      return evalHost(*n.c, vars) != 0 ? evalHost(*n.a, vars)
+                                       : evalHost(*n.b, vars);
+    case Node::kBin: {
+      std::int32_t a = evalHost(*n.a, vars);
+      std::int32_t b = evalHost(*n.b, vars);
+      switch (n.op) {
+        case '+': return static_cast<std::int32_t>(asU(a) + asU(b));
+        case '-': return static_cast<std::int32_t>(asU(a) - asU(b));
+        case '*': return static_cast<std::int32_t>(asU(a) * asU(b));
+        case '&': return a & b;
+        case '|': return a | b;
+        case '^': return a ^ b;
+        case 'l': return static_cast<std::int32_t>(asU(a) << (b & 31));
+        case 'r': return a >> (b & 31);
+        case '<': return a < b ? 1 : 0;
+        case '>': return a > b ? 1 : 0;
+        case 'e': return a == b ? 1 : 0;
+        case 'n': return a != b ? 1 : 0;
+      }
+      return 0;
+    }
+  }
+  return 0;
+}
+
+std::string render(const Node& n, const std::vector<std::string>& varNames) {
+  switch (n.kind) {
+    case Node::kConst:
+      return n.value < 0 ? "(0 - " + std::to_string(-static_cast<std::int64_t>(n.value)) + ")"
+                         : std::to_string(n.value);
+    case Node::kVar:
+      return varNames[static_cast<std::size_t>(n.var)];
+    case Node::kUn:
+      return std::string("(") + n.op + render(*n.a, varNames) + ")";
+    case Node::kTern:
+      return "(" + render(*n.c, varNames) + " ? " + render(*n.a, varNames) +
+             " : " + render(*n.b, varNames) + ")";
+    case Node::kBin: {
+      std::string op;
+      switch (n.op) {
+        case 'l': op = "<<"; break;
+        case 'r': op = ">>"; break;
+        case 'e': op = "=="; break;
+        case 'n': op = "!="; break;
+        default: op = std::string(1, n.op); break;
+      }
+      return "(" + render(*n.a, varNames) + " " + op + " " +
+             render(*n.b, varNames) + ")";
+    }
+  }
+  return "0";
+}
+
+class CompilerFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompilerFuzz, SerialExpressionsMatchHost) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  const std::vector<std::string> names = {"va", "vb", "vc", "vd"};
+  Toolchain tc;
+  tc.options().mode = SimMode::kFunctional;
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<std::int32_t> vals;
+    std::string src = "int R;\nint main() {\n";
+    for (const auto& nm : names) {
+      std::int32_t v = static_cast<std::int32_t>(rng.range(-500, 500));
+      vals.push_back(v);
+      src += "  int " + nm + " = " +
+             (v < 0 ? "(0 - " + std::to_string(-v) + ")" : std::to_string(v)) +
+             ";\n";
+    }
+    auto tree = genExpr(rng, 5, static_cast<int>(names.size()));
+    src += "  R = " + render(*tree, names) + ";\n  return 0;\n}\n";
+    SCOPED_TRACE(src);
+    auto e = tc.run(src);
+    ASSERT_TRUE(e.result.halted);
+    EXPECT_EQ(e.sim->getGlobal("R"), evalHost(*tree, vals));
+  }
+}
+
+TEST_P(CompilerFuzz, ParallelExpressionsMatchHost) {
+  Rng rng(9000 + static_cast<std::uint64_t>(GetParam()));
+  const std::vector<std::string> names = {"x", "i"};
+  Toolchain tc;
+  constexpr int kN = 32;
+  for (int trial = 0; trial < 2; ++trial) {
+    auto tree = genExpr(rng, 4, 2);
+    std::string src =
+        "int A[" + std::to_string(kN) + "];\n"
+        "int B[" + std::to_string(kN) + "];\n"
+        "int main() {\n"
+        "  spawn(0, " + std::to_string(kN - 1) + ") {\n"
+        "    int x = A[$];\n"
+        "    int i = $;\n"
+        "    B[$] = " + render(*tree, names) + ";\n"
+        "  }\n"
+        "  return 0;\n"
+        "}\n";
+    SCOPED_TRACE(src);
+    auto sim = tc.makeSimulator(src);
+    std::vector<std::int32_t> a(kN);
+    for (int i = 0; i < kN; ++i)
+      a[static_cast<std::size_t>(i)] =
+          static_cast<std::int32_t>(rng.range(-300, 300));
+    sim->setGlobalArray("A", a);
+    ASSERT_TRUE(sim->run().halted);
+    auto b = sim->getGlobalArray("B");
+    for (int i = 0; i < kN; ++i) {
+      std::vector<std::int32_t> vars = {a[static_cast<std::size_t>(i)], i};
+      ASSERT_EQ(b[static_cast<std::size_t>(i)], evalHost(*tree, vars))
+          << "element " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CompilerFuzz, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace xmt

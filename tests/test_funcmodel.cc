@@ -1,0 +1,162 @@
+// Direct unit tests of the functional model: instruction classification,
+// operational semantics, syscalls, the register broadcast at spawn onset,
+// and architectural-state snapshots.
+#include <gtest/gtest.h>
+
+#include "src/assembler/assembler.h"
+#include "src/common/error.h"
+#include "src/common/rng.h"
+#include "src/core/toolchain.h"
+#include "src/sim/funcmodel.h"
+#include "src/sim/semantics.h"
+#include "src/workloads/kernels.h"
+
+namespace xmt {
+namespace {
+
+Program tinyProgram() {
+  return assemble(".data\nG: .word 9\n.global G\n.text\nmain: halt\n");
+}
+
+TEST(FuncModel, Classification) {
+  using SC = FuncModel::StepClass;
+  auto cls = [](Op op) {
+    Instruction in;
+    in.op = op;
+    return FuncModel::classify(in);
+  };
+  EXPECT_EQ(cls(Op::kAdd), SC::kSimple);
+  EXPECT_EQ(cls(Op::kMul), SC::kSimple);
+  EXPECT_EQ(cls(Op::kBeq), SC::kSimple);
+  EXPECT_EQ(cls(Op::kMtgr), SC::kSimple);
+  EXPECT_EQ(cls(Op::kLw), SC::kMemory);
+  EXPECT_EQ(cls(Op::kSwnb), SC::kMemory);
+  EXPECT_EQ(cls(Op::kFence), SC::kMemory);
+  EXPECT_EQ(cls(Op::kPs), SC::kPs);
+  EXPECT_EQ(cls(Op::kPsm), SC::kPsm);
+  EXPECT_EQ(cls(Op::kSpawn), SC::kSpawn);
+  EXPECT_EQ(cls(Op::kJoin), SC::kJoin);
+  EXPECT_EQ(cls(Op::kHalt), SC::kHalt);
+}
+
+TEST(FuncModel, ExecSimpleAluAndBranch) {
+  FuncModel fm(tinyProgram());
+  Context ctx;
+  ctx.pc = kTextBase;
+  Instruction li{.op = Op::kLi, .rd = kT0, .imm = 41};
+  fm.execSimple(ctx, li);
+  EXPECT_EQ(ctx.reg(kT0), 41u);
+  EXPECT_EQ(ctx.pc, kTextBase + 4);
+  Instruction addi{.op = Op::kAddi, .rd = kT1, .rs = kT0, .imm = 1};
+  fm.execSimple(ctx, addi);
+  EXPECT_EQ(ctx.reg(kT1), 42u);
+  // Taken branch rewrites pc to the absolute target.
+  Instruction beq{.op = Op::kBeq, .rs = kT1, .rt = kT1,
+                  .imm = static_cast<std::int32_t>(kTextBase + 100)};
+  fm.execSimple(ctx, beq);
+  EXPECT_EQ(ctx.pc, kTextBase + 100);
+  // Writes to r0 are discarded.
+  Instruction z{.op = Op::kLi, .rd = kZero, .imm = 7};
+  fm.execSimple(ctx, z);
+  EXPECT_EQ(ctx.reg(kZero), 0u);
+}
+
+TEST(FuncModel, JalRecordsReturnAddress) {
+  FuncModel fm(tinyProgram());
+  Context ctx;
+  ctx.pc = kTextBase + 8;
+  Instruction jal{.op = Op::kJal,
+                  .imm = static_cast<std::int32_t>(kTextBase + 40)};
+  fm.execSimple(ctx, jal);
+  EXPECT_EQ(ctx.reg(kRa), kTextBase + 12);
+  EXPECT_EQ(ctx.pc, kTextBase + 40);
+  Instruction jr{.op = Op::kJr, .rs = kRa};
+  fm.execSimple(ctx, jr);
+  EXPECT_EQ(ctx.pc, kTextBase + 12);
+}
+
+TEST(FuncModel, SyscallsProduceOutput) {
+  FuncModel fm(tinyProgram());
+  Context ctx;
+  ctx.setReg(kA0, static_cast<std::uint32_t>(-17));
+  fm.doSyscall(ctx, 1);
+  ctx.setReg(kA0, '!');
+  fm.doSyscall(ctx, 2);
+  EXPECT_EQ(fm.output(), "-17!");
+  EXPECT_THROW(fm.doSyscall(ctx, 99), SimError);
+}
+
+TEST(FuncModel, ThreadContextInheritsMasterRegisters) {
+  FuncModel fm(tinyProgram());
+  Context master;
+  master.setReg(kS0, 1234);
+  master.setReg(kSp, kStackTop);
+  Context t = fm.makeThreadContext(master, kTextBase + 20, 7);
+  EXPECT_EQ(t.reg(kS0), 1234u);   // broadcast snapshot
+  EXPECT_EQ(t.reg(kSp), kStackTop);
+  EXPECT_EQ(t.reg(kTid), 7u);
+  EXPECT_EQ(t.pc, kTextBase + 20);
+}
+
+TEST(FuncModel, PsFetchAddOnGlobalRegisters) {
+  FuncModel fm(tinyProgram());
+  EXPECT_EQ(fm.psFetchAdd(0, 5), 0u);
+  EXPECT_EQ(fm.psFetchAdd(0, 3), 5u);
+  EXPECT_EQ(fm.globalRegs()[0], 8u);
+}
+
+TEST(FuncModel, ArchStateRoundTrip) {
+  FuncModel fm(tinyProgram());
+  fm.setGlobal("G", 77);
+  fm.psFetchAdd(2, 9);
+  fm.mutableOutput() = "hello";
+  auto snap = fm.saveArchState();
+
+  FuncModel fm2(tinyProgram());
+  fm2.restoreArchState(snap);
+  EXPECT_EQ(fm2.getGlobal("G"), 77u);
+  EXPECT_EQ(fm2.globalRegs()[2], 9u);
+  EXPECT_EQ(fm2.output(), "hello");
+}
+
+TEST(Semantics, UsesImmediateTable) {
+  EXPECT_TRUE(usesImmediate(Op::kAddi));
+  EXPECT_TRUE(usesImmediate(Op::kSll));
+  EXPECT_FALSE(usesImmediate(Op::kAdd));
+  EXPECT_FALSE(usesImmediate(Op::kSllv));
+}
+
+TEST(Semantics, EvalAluEdgeCases) {
+  EXPECT_EQ(evalAlu(Op::kDiv, static_cast<std::uint32_t>(INT32_MIN),
+                    static_cast<std::uint32_t>(-1)),
+            static_cast<std::uint32_t>(INT32_MIN));
+  EXPECT_EQ(evalAlu(Op::kRem, static_cast<std::uint32_t>(INT32_MIN),
+                    static_cast<std::uint32_t>(-1)),
+            0u);
+  EXPECT_EQ(evalAlu(Op::kSra, 0x80000000u, 31), 0xffffffffu);
+  EXPECT_EQ(evalAlu(Op::kSrl, 0x80000000u, 31), 1u);
+  EXPECT_EQ(evalAlu(Op::kSltu, 1u, 0xffffffffu), 1u);
+  EXPECT_EQ(evalAlu(Op::kSlt, 1u, 0xffffffffu), 0u);  // signed: 1 > -1
+  EXPECT_THROW(evalAlu(Op::kDiv, 1, 0), SimError);
+}
+
+TEST(WorkloadKernels, MatmulMatchesHost) {
+  constexpr int kN = 12;
+  Rng rng(3);
+  std::vector<std::int32_t> a(kN * kN), b(kN * kN);
+  for (auto& v : a) v = static_cast<std::int32_t>(rng.range(-9, 9));
+  for (auto& v : b) v = static_cast<std::int32_t>(rng.range(-9, 9));
+  auto ref = workloads::hostMatmul(a, b, kN);
+  Toolchain tc;
+  for (SimMode mode : {SimMode::kFunctional, SimMode::kCycleAccurate}) {
+    tc.options().mode = mode;
+    auto sim2 = tc.makeSimulator(workloads::matmulSource(kN));
+    sim2->setGlobalArray("A", a);
+    sim2->setGlobalArray("B", b);
+    ASSERT_TRUE(sim2->run().halted);
+    EXPECT_EQ(sim2->getGlobalArray("C"), ref);
+  }
+}
+
+}  // namespace
+}  // namespace xmt

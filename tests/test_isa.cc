@@ -1,0 +1,98 @@
+// Unit tests for the ISA tables: lookup, register parsing, disassembly.
+#include <gtest/gtest.h>
+
+#include "src/isa/isa.h"
+
+namespace xmt {
+namespace {
+
+TEST(Isa, OpTableIsConsistent) {
+  for (int i = 0; i < kNumOps; ++i) {
+    Op op = static_cast<Op>(i);
+    const OpInfo& info = opInfo(op);
+    EXPECT_FALSE(info.name.empty());
+    EXPECT_EQ(opByName(info.name), op) << info.name;
+  }
+  EXPECT_EQ(opByName("bogus"), Op::kOpCount);
+}
+
+TEST(Isa, RegisterNamesRoundTrip) {
+  for (int r = 0; r < kNumRegs; ++r) {
+    EXPECT_EQ(parseReg(regName(r)), r);
+    EXPECT_EQ(parseReg("$" + std::string(regName(r))), r);
+    EXPECT_EQ(parseReg("$" + std::to_string(r)), r);
+  }
+  EXPECT_EQ(parseReg("$32"), -1);
+  EXPECT_EQ(parseReg("bogus"), -1);
+  EXPECT_EQ(parseReg(""), -1);
+  EXPECT_EQ(parseReg("$"), -1);
+}
+
+TEST(Isa, WellKnownRegisterAliases) {
+  EXPECT_EQ(parseReg("zero"), 0);
+  EXPECT_EQ(parseReg("sp"), 29);
+  EXPECT_EQ(parseReg("ra"), 31);
+  EXPECT_EQ(parseReg("tid"), 26);
+}
+
+TEST(Isa, Classification) {
+  Instruction lw{.op = Op::kLw};
+  EXPECT_TRUE(lw.isMemory());
+  EXPECT_TRUE(lw.isLoad());
+  EXPECT_FALSE(lw.isStore());
+
+  Instruction swnb{.op = Op::kSwnb};
+  EXPECT_TRUE(swnb.isStore());
+  EXPECT_TRUE(swnb.isMemory());
+
+  Instruction psm{.op = Op::kPsm};
+  EXPECT_TRUE(psm.isMemory());
+
+  Instruction beq{.op = Op::kBeq};
+  EXPECT_TRUE(beq.isBranch());
+  EXPECT_FALSE(beq.isMemory());
+
+  Instruction add{.op = Op::kAdd};
+  EXPECT_FALSE(add.isMemory());
+  EXPECT_FALSE(add.isBranch());
+}
+
+TEST(Isa, FunctionalUnitAssignment) {
+  EXPECT_EQ(opInfo(Op::kAdd).fu, FuKind::kAlu);
+  EXPECT_EQ(opInfo(Op::kSll).fu, FuKind::kShift);
+  EXPECT_EQ(opInfo(Op::kMul).fu, FuKind::kMdu);
+  EXPECT_EQ(opInfo(Op::kFadd).fu, FuKind::kFpu);
+  EXPECT_EQ(opInfo(Op::kBeq).fu, FuKind::kBranch);
+  EXPECT_EQ(opInfo(Op::kLw).fu, FuKind::kMem);
+  EXPECT_EQ(opInfo(Op::kPs).fu, FuKind::kPs);
+  EXPECT_EQ(opInfo(Op::kSpawn).fu, FuKind::kControl);
+}
+
+TEST(Isa, Disassembly) {
+  Instruction in;
+  in.op = Op::kAddi;
+  in.rd = kT0;
+  in.rs = kT1;
+  in.imm = 4;
+  EXPECT_EQ(disassemble(in), "addi t0, t1, 4");
+
+  Instruction mem;
+  mem.op = Op::kLw;
+  mem.rt = kA0;
+  mem.rs = kSp;
+  mem.imm = -8;
+  EXPECT_EQ(disassemble(mem), "lw a0, -8(sp)");
+
+  Instruction ps;
+  ps.op = Op::kPs;
+  ps.rd = kT2;
+  ps.rt = 3;
+  EXPECT_EQ(disassemble(ps), "ps t2, gr3");
+
+  Instruction join;
+  join.op = Op::kJoin;
+  EXPECT_EQ(disassemble(join), "join");
+}
+
+}  // namespace
+}  // namespace xmt

@@ -1,0 +1,144 @@
+// Unit tests for the memory-system building blocks: tag caches and the
+// LS-unit address hashing.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "src/common/error.h"
+#include "src/memsys/cache.h"
+#include "src/memsys/hashing.h"
+#include "src/sim/memory.h"
+
+namespace xmt {
+namespace {
+
+TEST(TagCache, HitAfterInstall) {
+  TagCache c(64, 4, 32);
+  EXPECT_FALSE(c.lookup(0x1000));
+  c.install(0x1000);
+  EXPECT_TRUE(c.lookup(0x1000));
+  EXPECT_TRUE(c.lookup(0x101c));  // same 32-byte line
+  EXPECT_FALSE(c.lookup(0x1020)); // next line
+  EXPECT_EQ(c.hits, 2u);
+  EXPECT_EQ(c.misses, 2u);
+}
+
+TEST(TagCache, LruEvictionWithinSet) {
+  // Direct-mapped-on-sets: 8 lines, 2-way => 4 sets. Lines that share a set
+  // differ by multiples of 4 lines (128 bytes).
+  TagCache c(8, 2, 32);
+  c.install(0 * 128);      // set 0, way A
+  c.install(1 * 128 + 0);  // hmm: line 4 -> set 0? line = addr/32.
+  // Use explicit same-set addresses: lines 0, 4, 8 all map to set 0.
+  TagCache d(8, 2, 32);
+  d.install(0 * 32);   // line 0
+  d.install(4 * 32);   // line 4 (same set)
+  EXPECT_TRUE(d.lookup(0));
+  d.install(8 * 32);   // line 8: evicts LRU (line 4, since line 0 just hit)
+  EXPECT_TRUE(d.lookup(0));
+  EXPECT_FALSE(d.lookup(4 * 32));
+  EXPECT_TRUE(d.lookup(8 * 32));
+}
+
+TEST(TagCache, InvalidateAll) {
+  TagCache c(16, 4, 32);
+  c.install(0x40);
+  EXPECT_TRUE(c.lookup(0x40));
+  c.invalidateAll();
+  EXPECT_FALSE(c.lookup(0x40));
+}
+
+TEST(TagCache, AssocClampedToLines) {
+  TagCache c(2, 8, 32);  // assoc > lines: clamps, no crash
+  c.install(0);
+  c.install(64);
+  EXPECT_TRUE(c.lookup(0));
+  EXPECT_TRUE(c.lookup(64));
+}
+
+TEST(Hashing, DisabledIsRoundRobin) {
+  for (std::uint64_t line = 0; line < 1000; ++line)
+    EXPECT_EQ(hashLineToModule(line, 128, false),
+              static_cast<int>(line % 128));
+}
+
+TEST(Hashing, SpreadsStridedTraffic) {
+  // Stride equal to the module count is the pathological pattern: without
+  // hashing everything lands on one module; with hashing it spreads.
+  constexpr int kModules = 128;
+  std::set<int> unhashed, hashed;
+  for (int i = 0; i < 256; ++i) {
+    unhashed.insert(hashLineToModule(
+        static_cast<std::uint64_t>(i) * kModules, kModules, false));
+    hashed.insert(hashLineToModule(
+        static_cast<std::uint64_t>(i) * kModules, kModules, true));
+  }
+  EXPECT_EQ(unhashed.size(), 1u);
+  EXPECT_GT(hashed.size(), 64u);
+}
+
+TEST(Hashing, RoughlyBalancedOnSequentialLines) {
+  constexpr int kModules = 64;
+  std::map<int, int> counts;
+  constexpr int kN = 64 * 200;
+  for (int i = 0; i < kN; ++i)
+    ++counts[hashLineToModule(static_cast<std::uint64_t>(i), kModules, true)];
+  for (const auto& [m, n] : counts) {
+    EXPECT_GT(n, kN / kModules / 2) << "module " << m;
+    EXPECT_LT(n, kN / kModules * 2) << "module " << m;
+  }
+}
+
+TEST(SparseMemory, ReadWriteRoundTrip) {
+  SparseMemory m;
+  EXPECT_EQ(m.readWord(0x10000000), 0u);  // untouched memory reads zero
+  m.writeWord(0x10000000, 0xdeadbeef);
+  EXPECT_EQ(m.readWord(0x10000000), 0xdeadbeefu);
+  m.writeByte(0x10000001, 0x42);
+  EXPECT_EQ(m.readByte(0x10000001), 0x42);
+  EXPECT_EQ(m.readWord(0x10000000) & 0xff, 0xefu);  // other bytes intact
+}
+
+TEST(SparseMemory, UnalignedWordAccessTraps) {
+  SparseMemory m;
+  EXPECT_THROW(m.readWord(2), SimError);
+  EXPECT_THROW(m.writeWord(0x1001, 1), SimError);
+}
+
+TEST(SparseMemory, FetchAddIsReadModifyWrite) {
+  SparseMemory m;
+  m.writeWord(0x100, 40);
+  EXPECT_EQ(m.fetchAdd(0x100, 2), 40u);
+  EXPECT_EQ(m.readWord(0x100), 42u);
+  EXPECT_EQ(m.fetchAdd(0x100, static_cast<std::uint32_t>(-2)), 42u);
+  EXPECT_EQ(m.readWord(0x100), 40u);
+}
+
+TEST(SparseMemory, BlockWriteSpansPages) {
+  SparseMemory m;
+  std::vector<std::uint8_t> data(10000);
+  for (std::size_t i = 0; i < data.size(); ++i)
+    data[i] = static_cast<std::uint8_t>(i);
+  std::uint32_t base = 0x10000ff0;  // crosses page boundaries
+  m.writeBlock(base, data.data(), data.size());
+  for (std::size_t i = 0; i < data.size(); i += 997)
+    EXPECT_EQ(m.readByte(base + static_cast<std::uint32_t>(i)),
+              static_cast<std::uint8_t>(i));
+  EXPECT_GE(m.residentPages(), 3u);
+}
+
+TEST(SparseMemory, SnapshotRestoreRoundTrip) {
+  SparseMemory m;
+  m.writeWord(0x1000, 1);
+  m.writeWord(0x90000000, 2);
+  auto snap = m.snapshot();
+  SparseMemory m2;
+  m2.restore(snap);
+  EXPECT_EQ(m2.readWord(0x1000), 1u);
+  EXPECT_EQ(m2.readWord(0x90000000), 2u);
+  EXPECT_EQ(m2.residentPages(), m.residentPages());
+}
+
+}  // namespace
+}  // namespace xmt

@@ -1,0 +1,109 @@
+// Tests for phase detection and phase-sampling estimation (Section III-F).
+#include <gtest/gtest.h>
+
+#include "src/core/toolchain.h"
+#include "src/sim/phase.h"
+
+namespace xmt {
+namespace {
+
+// A program with two clearly different repeated phases: a compute-bound
+// stretch (register arithmetic) then a memory-bound stretch, twice.
+const char* kPhasedProgram = R"(
+int DATA[65536];
+int OUT[4];
+int main() {
+  int acc = 0;
+  for (int rep = 0; rep < 2; rep++) {
+    int a = 1;
+    for (int i = 0; i < 6000; i++) {
+      a = a * 5 + 3;
+      a = a ^ (a >> 4);
+    }
+    acc += a;
+    int idx = 7;
+    for (int i = 0; i < 1500; i++) {
+      acc += DATA[idx] + DATA[(idx + 32768) & 65535];
+      idx = (idx + 8209) & 65535;
+    }
+  }
+  OUT[0] = acc;
+  return 0;
+}
+)";
+
+TEST(PhaseProfiler, DetectsDistinctPhases) {
+  Toolchain tc;
+  auto sim = tc.makeSimulator(kPhasedProgram);
+  auto* prof = dynamic_cast<PhaseProfiler*>(
+      sim->addActivityPlugin(std::make_unique<PhaseProfiler>(), 500));
+  ASSERT_TRUE(sim->run().halted);
+  ASSERT_GE(prof->samples().size(), 8u);
+  EXPECT_GE(prof->phaseCount(), 2);
+  EXPECT_LE(prof->phaseCount(), 6);
+  // The memory phase has a lower IPC than the compute phase.
+  double minIpc = 1e9, maxIpc = 0;
+  for (const auto& s : prof->samples()) {
+    minIpc = std::min(minIpc, s.ipc);
+    maxIpc = std::max(maxIpc, s.ipc);
+  }
+  EXPECT_GT(maxIpc, 2 * minIpc);
+  std::string rep = prof->report();
+  EXPECT_NE(rep.find("phase timeline"), std::string::npos);
+  EXPECT_NE(rep.find("avg IPC"), std::string::npos);
+}
+
+TEST(PhaseProfiler, SamplingEstimateIsAccurate) {
+  Toolchain tc;
+  auto sim = tc.makeSimulator(kPhasedProgram);
+  auto* prof = dynamic_cast<PhaseProfiler*>(
+      sim->addActivityPlugin(std::make_unique<PhaseProfiler>(), 500));
+  auto r = sim->run();
+  ASSERT_TRUE(r.halted);
+  double actual = 0;
+  for (const auto& s : prof->samples())
+    actual += static_cast<double>(s.cycleDelta);
+  double frac = 1.0;
+  double estimate = PhaseProfiler::estimateCycles(prof->samples(), 3, &frac);
+  // A few detailed intervals per phase predict the total within 15%.
+  EXPECT_LT(std::abs(estimate - actual) / actual, 0.15)
+      << "estimate " << estimate << " vs actual " << actual;
+  // And most of the run was fast-forwarded.
+  EXPECT_LT(frac, 0.8);
+}
+
+TEST(PhaseProfiler, EstimateDegradesGracefullyWithOneInterval) {
+  Toolchain tc;
+  auto sim = tc.makeSimulator(kPhasedProgram);
+  auto* prof = dynamic_cast<PhaseProfiler*>(
+      sim->addActivityPlugin(std::make_unique<PhaseProfiler>(), 500));
+  ASSERT_TRUE(sim->run().halted);
+  double actual = 0;
+  for (const auto& s : prof->samples())
+    actual += static_cast<double>(s.cycleDelta);
+  double estimate = PhaseProfiler::estimateCycles(prof->samples(), 1);
+  EXPECT_GT(estimate, 0.3 * actual);
+  EXPECT_LT(estimate, 3.0 * actual);
+}
+
+TEST(PhaseProfiler, UniformProgramIsOnePhase) {
+  const char* uniform = R"(
+int OUT[1];
+int main() {
+  int a = 1;
+  for (int i = 0; i < 20000; i++) a = a * 5 + 3;
+  OUT[0] = a;
+  return 0;
+}
+)";
+  Toolchain tc;
+  auto sim = tc.makeSimulator(uniform);
+  auto* prof = dynamic_cast<PhaseProfiler*>(
+      sim->addActivityPlugin(std::make_unique<PhaseProfiler>(), 500));
+  ASSERT_TRUE(sim->run().halted);
+  ASSERT_GE(prof->samples().size(), 4u);
+  EXPECT_EQ(prof->phaseCount(), 1);
+}
+
+}  // namespace
+}  // namespace xmt

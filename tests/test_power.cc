@@ -1,0 +1,135 @@
+// Power, thermal and DVFS tests (paper Sections III-B and III-F).
+#include <gtest/gtest.h>
+
+#include "src/core/toolchain.h"
+#include "src/power/dvfs.h"
+#include "src/power/floorviz.h"
+#include "src/power/power.h"
+#include "src/power/thermal.h"
+#include "src/workloads/kernels.h"
+
+namespace xmt {
+namespace {
+
+TEST(Thermal, HeatsTowardSteadyStateAndCools) {
+  ThermalModel tm(2, 2);
+  std::vector<double> p(4, 2.0);  // 2 W per cell
+  for (int i = 0; i < 10000; ++i) tm.step(p, 1e-4);
+  double hot = tm.maxTemp();
+  EXPECT_GT(hot, 48.0);  // well above 45 C ambient
+  // Below isolated steady state (lateral spreading can only help when all
+  // equal, so approximately equal here).
+  EXPECT_LE(hot, tm.isolatedSteadyState(2.0) + 0.5);
+  // Power off: cools back toward ambient.
+  std::vector<double> off(4, 0.0);
+  for (int i = 0; i < 20000; ++i) tm.step(off, 1e-4);
+  EXPECT_NEAR(tm.maxTemp(), 45.0, 0.5);
+}
+
+TEST(Thermal, LateralSpreadingFlattensHotspot) {
+  ThermalModel tm(3, 3);
+  std::vector<double> p(9, 0.0);
+  p[4] = 5.0;  // hot center
+  for (int i = 0; i < 20000; ++i) tm.step(p, 1e-4);
+  double center = tm.cellTemp(1, 1);
+  double corner = tm.cellTemp(0, 0);
+  EXPECT_GT(center, corner);          // hotspot
+  EXPECT_GT(corner, 45.1);            // but neighbours warmed laterally
+  EXPECT_LT(center, tm.isolatedSteadyState(5.0));  // spreading helped
+}
+
+TEST(Thermal, StableUnderLargeTimeStep) {
+  ThermalModel tm(4, 4);
+  std::vector<double> p(16, 3.0);
+  tm.step(p, 10.0);  // one huge step: substepping must keep it stable
+  EXPECT_LT(tm.maxTemp(), 200.0);
+  EXPECT_GT(tm.maxTemp(), 45.0);
+}
+
+TEST(Power, ComputeScalesWithActivity) {
+  PowerParams params;
+  ActivitySnapshot before, after;
+  before.perCluster.resize(4);
+  after.perCluster.resize(4);
+  after.perCluster[0].aluOps = 1'000'000;
+  after.perCluster[1].aluOps = 2'000'000;
+  std::vector<double> ghz(4, 1.0);
+  auto pb = computePower(params, before, after, 1e-3, ghz, 1.0);
+  EXPECT_GT(pb.clusterWatts[1], pb.clusterWatts[0]);
+  EXPECT_GT(pb.clusterWatts[0], pb.clusterWatts[2]);  // idle has only static
+  EXPECT_NEAR(pb.clusterWatts[2], pb.clusterWatts[3], 1e-9);
+  EXPECT_GT(pb.totalWatts, pb.uncoreWatts);
+}
+
+TEST(Power, FloorplanDims) {
+  int r, c;
+  floorplanDims(64, r, c);
+  EXPECT_EQ(r, 8);
+  EXPECT_EQ(c, 8);
+  floorplanDims(8, r, c);
+  EXPECT_EQ(r * c >= 8, true);
+  floorplanDims(1, r, c);
+  EXPECT_EQ(r * c, 1);
+}
+
+TEST(Power, TracePluginRecordsProfile) {
+  Toolchain tc;
+  auto sim = tc.makeSimulator(workloads::parCompSource(64, 100));
+  auto* trace = dynamic_cast<PowerTracePlugin*>(sim->addActivityPlugin(
+      std::make_unique<PowerTracePlugin>(), 200));
+  ASSERT_TRUE(sim->run().halted);
+  ASSERT_GT(trace->samples().size(), 2u);
+  // Power is positive and temperature rose above ambient during the run.
+  bool sawBusy = false;
+  for (const auto& s : trace->samples()) {
+    EXPECT_GT(s.totalWatts, 0.0);
+    if (s.instructionsDelta > 100) sawBusy = true;
+  }
+  EXPECT_TRUE(sawBusy);
+  EXPECT_GT(trace->peakTempC(), 45.0);
+}
+
+TEST(Power, DvfsKeepsTemperatureNearCap) {
+  // Use an aggressive power model so the uncapped run clearly exceeds the
+  // cap within simulated milliseconds.
+  PowerParams hotParams;
+  hotParams.pjAluOp = 2000.0;
+  hotParams.wattsPerGhzCluster = 3.0;
+  ThermalParams tp;
+  tp.heatCapacity = 0.0004;  // fast thermal response for a short run
+
+  Toolchain tc;
+  auto baseline = tc.makeSimulator(workloads::parCompSource(64, 4000));
+  auto* base = dynamic_cast<PowerTracePlugin*>(baseline->addActivityPlugin(
+      std::make_unique<PowerTracePlugin>(hotParams, tp), 500));
+  ASSERT_TRUE(baseline->run().halted);
+  double uncappedPeak = base->peakTempC();
+
+  double cap = 45.0 + (uncappedPeak - 45.0) * 0.6;
+  auto managed = tc.makeSimulator(workloads::parCompSource(64, 4000));
+  auto* dvfs = dynamic_cast<DvfsThermalPlugin*>(managed->addActivityPlugin(
+      std::make_unique<DvfsThermalPlugin>(cap, 0.075, 0.01, hotParams, tp),
+      500));
+  auto rManaged = managed->run();
+  ASSERT_TRUE(rManaged.halted);
+  EXPECT_GT(dvfs->throttleActions(), 0);
+  EXPECT_LT(dvfs->peakTempC(), uncappedPeak);
+}
+
+TEST(FloorViz, RendersGridWithScale) {
+  std::vector<double> v(16);
+  for (int i = 0; i < 16; ++i) v[static_cast<std::size_t>(i)] = i;
+  std::string s = renderFloorplan(v, 4, 4, "temp");
+  EXPECT_NE(s.find("temp"), std::string::npos);
+  EXPECT_NE(s.find("scale:"), std::string::npos);
+  // Coolest cell renders as spaces, hottest as '@'.
+  EXPECT_NE(s.find("@@"), std::string::npos);
+  // 4 grid rows + frame + legend.
+  int lines = 0;
+  for (char c : s)
+    if (c == '\n') ++lines;
+  EXPECT_EQ(lines, 7);
+}
+
+}  // namespace
+}  // namespace xmt

@@ -1,0 +1,247 @@
+// Behavioural tests of the cycle-accurate memory system: shared-cache
+// hit/miss accounting, MSHR merging, DRAM channel bandwidth, read-only
+// caches, and prefetch-buffer replacement policies.
+#include <gtest/gtest.h>
+
+#include "tests/sim_test_util.h"
+
+namespace xmt {
+namespace {
+
+using testutil::makeSim;
+
+TEST(MemSystem, RepeatLoadsOfOneLineCostOneDramFill) {
+  // The master loads the same word many times: one shared-cache miss, the
+  // rest are master-cache hits; exactly one DRAM request.
+  const char* src = R"(
+.data
+X: .word 7
+.text
+main:
+  la s0, X
+  li t0, 50
+L:
+  lw t1, 0(s0)
+  addi t0, t0, -1
+  bnez t0, L
+  halt
+)";
+  auto sim = makeSim(src, SimMode::kCycleAccurate);
+  ASSERT_TRUE(sim->run().halted);
+  EXPECT_EQ(sim->stats().dramRequests, 1u);
+  EXPECT_GE(sim->stats().masterCacheHits, 48u);
+}
+
+TEST(MemSystem, DistinctLinesEachMiss) {
+  // 32 loads with 32-byte stride touch 32 lines: 32 DRAM fills.
+  const char* src = R"(
+.data
+A: .space 1024
+.text
+main:
+  la s0, A
+  li t0, 32
+L:
+  lw t1, 0(s0)
+  addi s0, s0, 32
+  addi t0, t0, -1
+  bnez t0, L
+  halt
+)";
+  auto sim = makeSim(src, SimMode::kCycleAccurate);
+  ASSERT_TRUE(sim->run().halted);
+  EXPECT_EQ(sim->stats().dramRequests, 32u);
+}
+
+TEST(MemSystem, MshrMergesConcurrentMissesToOneLine) {
+  // All 64 TCUs load the same line concurrently: the module allocates one
+  // MSHR and a single DRAM fill serves every waiter.
+  const char* src = R"(
+.data
+X: .word 5
+S: .word 0
+.global S
+.text
+main:
+  li t0, 0
+  mtgr t0, gr6
+  li t1, 63
+  mtgr t1, gr7
+  la s0, X
+  spawn Ls, Le
+Ls:
+  lw t2, 0(s0)
+  psm t2, S
+  join
+Le:
+  halt
+)";
+  auto sim = makeSim(src, SimMode::kCycleAccurate);
+  ASSERT_TRUE(sim->run().halted);
+  // X and S share no line only if laid out apart; X's line fill is 1 and
+  // S's (psm target) is 1: at most 2 fills despite 64 loads + 64 psm.
+  EXPECT_LE(sim->stats().dramRequests, 2u);
+  EXPECT_EQ(sim->getGlobal("S"), 64 * 5);
+}
+
+TEST(MemSystem, DramChannelCountAffectsBandwidth) {
+  auto cyclesWithChannels = [&](int channels) {
+    XmtConfig cfg = XmtConfig::fpga64();
+    cfg.dramChannels = channels;
+    cfg.dramServiceInterval = 16;  // make bandwidth the bottleneck
+    const char* src = R"(
+.data
+A: .space 8192
+.text
+main:
+  li t0, 0
+  mtgr t0, gr6
+  li t1, 63
+  mtgr t1, gr7
+  la s0, A
+  spawn Ls, Le
+Ls:
+  sll t2, tid, 5
+  add t2, s0, t2
+  lw t3, 0(t2)
+  lw t4, 4096(t2)
+  join
+Le:
+  halt
+)";
+    auto sim = makeSim(src, SimMode::kCycleAccurate, cfg);
+    auto r = sim->run();
+    EXPECT_TRUE(r.halted);
+    return r.cycles;
+  };
+  std::uint64_t one = cyclesWithChannels(1);
+  std::uint64_t four = cyclesWithChannels(4);
+  EXPECT_GT(one, four);
+}
+
+TEST(MemSystem, ReadOnlyCacheHitsOnRepeatedConstant) {
+  // rolw through the cluster read-only cache: first access fills the line,
+  // later accesses (from any TCU in the cluster) hit.
+  const char* src = R"(
+.data
+K: .word 21
+S: .word 0
+.global S
+.text
+main:
+  li t0, 0
+  mtgr t0, gr6
+  li t1, 63
+  mtgr t1, gr7
+  la s0, K
+  spawn Ls, Le
+Ls:
+  rolw t2, 0(s0)
+  rolw t3, 0(s0)    # the second read hits the now-filled cluster RO cache
+  add t2, t2, t3
+  psm t2, S
+  join
+Le:
+  halt
+)";
+  auto sim = makeSim(src, SimMode::kCycleAccurate);
+  ASSERT_TRUE(sim->run().halted);
+  EXPECT_EQ(sim->getGlobal("S"), 64 * 21 * 2);
+  // Every TCU's second rolw hits; first rolws may all miss concurrently
+  // (they race before the first fill lands), but never more than one miss
+  // per rolw executed.
+  EXPECT_GE(sim->stats().roCacheHits, 64u);
+  EXPECT_GT(sim->stats().roCacheMisses, 0u);
+  EXPECT_LE(sim->stats().roCacheMisses, 64u);
+}
+
+TEST(MemSystem, CacheHitRatioImprovesWithSize) {
+  auto missesWithKb = [&](int kb) {
+    XmtConfig cfg = XmtConfig::fpga64();
+    cfg.cacheModuleKB = kb;
+    // Stream twice over a footprint that fits in the big config only.
+    const char* src = R"(
+.data
+A: .space 65536
+.text
+main:
+  li t5, 2
+Louter:
+  la s0, A
+  li t0, 2048
+L:
+  lw t1, 0(s0)
+  addi s0, s0, 32
+  addi t0, t0, -1
+  bnez t0, L
+  addi t5, t5, -1
+  bnez t5, Louter
+  halt
+)";
+    XmtConfig c = cfg;
+    c.masterCacheKB = 1;  // keep the master cache out of the picture
+    auto sim = makeSim(src, SimMode::kCycleAccurate, c);
+    EXPECT_TRUE(sim->run().halted);
+    return sim->stats().cacheMisses;
+  };
+  EXPECT_LT(missesWithKb(64), missesWithKb(4));
+}
+
+TEST(MemSystem, PrefetchPolicyChangesVictims) {
+  // With 2 entries and the access pattern pref A, pref B, use A, pref C:
+  // FIFO evicts A (oldest alloc) before its use; LRU evicts B. Observable
+  // through the prefetch-buffer hit counter.
+  const char* src = R"(
+.data
+A: .space 256
+.text
+main:
+  li t0, 0
+  mtgr t0, gr6
+  li t1, 0
+  mtgr t1, gr7
+  la s0, A
+  spawn Ls, Le
+Ls:
+  pref 0(s0)
+  pref 64(s0)
+  lw t2, 0(s0)      # hit under both policies (nothing evicted yet)
+  pref 128(s0)
+  lw t3, 64(s0)
+  lw t4, 128(s0)
+  join
+Le:
+  halt
+)";
+  for (const char* policy : {"fifo", "lru"}) {
+    XmtConfig cfg = XmtConfig::fpga64();
+    cfg.prefetchEntries = 2;
+    cfg.prefetchPolicy = policy;
+    auto sim = makeSim(src, SimMode::kCycleAccurate, cfg);
+    ASSERT_TRUE(sim->run().halted);
+    EXPECT_GE(sim->stats().prefetchBufferHits, 1u) << policy;
+  }
+}
+
+TEST(MemSystem, IcnPacketAccountingMatchesTraffic) {
+  const char* src = R"(
+.data
+A: .space 64
+.text
+main:
+  la s0, A
+  lw t0, 0(s0)
+  sw t0, 4(s0)
+  swnb t0, 8(s0)
+  fence
+  halt
+)";
+  auto sim = makeSim(src, SimMode::kCycleAccurate);
+  ASSERT_TRUE(sim->run().halted);
+  // Exactly 3 packages crossed the network (1 load + 2 stores).
+  EXPECT_EQ(sim->stats().icnPackets, 3u);
+  EXPECT_EQ(sim->stats().nonBlockingStores, 1u);
+}
+
+}  // namespace
+}  // namespace xmt
