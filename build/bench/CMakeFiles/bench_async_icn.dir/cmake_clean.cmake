@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_async_icn.dir/bench_async_icn.cc.o"
+  "CMakeFiles/bench_async_icn.dir/bench_async_icn.cc.o.d"
+  "bench_async_icn"
+  "bench_async_icn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_async_icn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clustering_ablation.dir/bench_clustering_ablation.cc.o"
+  "CMakeFiles/bench_clustering_ablation.dir/bench_clustering_ablation.cc.o.d"
+  "bench_clustering_ablation"
+  "bench_clustering_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clustering_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_de_vs_dt.dir/bench_fig5_de_vs_dt.cc.o"
+  "CMakeFiles/bench_fig5_de_vs_dt.dir/bench_fig5_de_vs_dt.cc.o.d"
+  "bench_fig5_de_vs_dt"
+  "bench_fig5_de_vs_dt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_de_vs_dt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_functional_vs_cycle.dir/bench_functional_vs_cycle.cc.o"
+  "CMakeFiles/bench_functional_vs_cycle.dir/bench_functional_vs_cycle.cc.o.d"
+  "bench_functional_vs_cycle"
+  "bench_functional_vs_cycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_functional_vs_cycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_icn.dir/bench_icn.cc.o"
+  "CMakeFiles/bench_icn.dir/bench_icn.cc.o.d"
+  "bench_icn"
+  "bench_icn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_icn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

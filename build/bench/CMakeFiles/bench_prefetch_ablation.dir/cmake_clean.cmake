@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_prefetch_ablation.dir/bench_prefetch_ablation.cc.o"
+  "CMakeFiles/bench_prefetch_ablation.dir/bench_prefetch_ablation.cc.o.d"
+  "bench_prefetch_ablation"
+  "bench_prefetch_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_prefetch_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ps_vs_psm.dir/bench_ps_vs_psm.cc.o"
+  "CMakeFiles/bench_ps_vs_psm.dir/bench_ps_vs_psm.cc.o.d"
+  "bench_ps_vs_psm"
+  "bench_ps_vs_psm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ps_vs_psm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

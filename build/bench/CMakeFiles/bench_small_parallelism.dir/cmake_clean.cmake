@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_small_parallelism.dir/bench_small_parallelism.cc.o"
+  "CMakeFiles/bench_small_parallelism.dir/bench_small_parallelism.cc.o.d"
+  "bench_small_parallelism"
+  "bench_small_parallelism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_small_parallelism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fft_spectrum.dir/fft_spectrum.cpp.o"
+  "CMakeFiles/fft_spectrum.dir/fft_spectrum.cpp.o.d"
+  "fft_spectrum"
+  "fft_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fft_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/profile_and_dvfs.dir/profile_and_dvfs.cpp.o"
+  "CMakeFiles/profile_and_dvfs.dir/profile_and_dvfs.cpp.o.d"
+  "profile_and_dvfs"
+  "profile_and_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/profile_and_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmtcc.dir/xmtcc.cpp.o"
+  "CMakeFiles/xmtcc.dir/xmtcc.cpp.o.d"
+  "xmtcc"
+  "xmtcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmtcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

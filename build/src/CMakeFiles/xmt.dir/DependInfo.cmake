@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembler/assembler.cc" "src/CMakeFiles/xmt.dir/assembler/assembler.cc.o" "gcc" "src/CMakeFiles/xmt.dir/assembler/assembler.cc.o.d"
+  "/root/repo/src/assembler/memorymap.cc" "src/CMakeFiles/xmt.dir/assembler/memorymap.cc.o" "gcc" "src/CMakeFiles/xmt.dir/assembler/memorymap.cc.o.d"
+  "/root/repo/src/common/config.cc" "src/CMakeFiles/xmt.dir/common/config.cc.o" "gcc" "src/CMakeFiles/xmt.dir/common/config.cc.o.d"
+  "/root/repo/src/compiler/astprint.cc" "src/CMakeFiles/xmt.dir/compiler/astprint.cc.o" "gcc" "src/CMakeFiles/xmt.dir/compiler/astprint.cc.o.d"
+  "/root/repo/src/compiler/driver.cc" "src/CMakeFiles/xmt.dir/compiler/driver.cc.o" "gcc" "src/CMakeFiles/xmt.dir/compiler/driver.cc.o.d"
+  "/root/repo/src/compiler/emit.cc" "src/CMakeFiles/xmt.dir/compiler/emit.cc.o" "gcc" "src/CMakeFiles/xmt.dir/compiler/emit.cc.o.d"
+  "/root/repo/src/compiler/lexer.cc" "src/CMakeFiles/xmt.dir/compiler/lexer.cc.o" "gcc" "src/CMakeFiles/xmt.dir/compiler/lexer.cc.o.d"
+  "/root/repo/src/compiler/lower.cc" "src/CMakeFiles/xmt.dir/compiler/lower.cc.o" "gcc" "src/CMakeFiles/xmt.dir/compiler/lower.cc.o.d"
+  "/root/repo/src/compiler/opt.cc" "src/CMakeFiles/xmt.dir/compiler/opt.cc.o" "gcc" "src/CMakeFiles/xmt.dir/compiler/opt.cc.o.d"
+  "/root/repo/src/compiler/parser.cc" "src/CMakeFiles/xmt.dir/compiler/parser.cc.o" "gcc" "src/CMakeFiles/xmt.dir/compiler/parser.cc.o.d"
+  "/root/repo/src/compiler/postpass.cc" "src/CMakeFiles/xmt.dir/compiler/postpass.cc.o" "gcc" "src/CMakeFiles/xmt.dir/compiler/postpass.cc.o.d"
+  "/root/repo/src/compiler/regalloc.cc" "src/CMakeFiles/xmt.dir/compiler/regalloc.cc.o" "gcc" "src/CMakeFiles/xmt.dir/compiler/regalloc.cc.o.d"
+  "/root/repo/src/compiler/sema.cc" "src/CMakeFiles/xmt.dir/compiler/sema.cc.o" "gcc" "src/CMakeFiles/xmt.dir/compiler/sema.cc.o.d"
+  "/root/repo/src/compiler/transforms.cc" "src/CMakeFiles/xmt.dir/compiler/transforms.cc.o" "gcc" "src/CMakeFiles/xmt.dir/compiler/transforms.cc.o.d"
+  "/root/repo/src/desim/clockdomain.cc" "src/CMakeFiles/xmt.dir/desim/clockdomain.cc.o" "gcc" "src/CMakeFiles/xmt.dir/desim/clockdomain.cc.o.d"
+  "/root/repo/src/desim/scheduler.cc" "src/CMakeFiles/xmt.dir/desim/scheduler.cc.o" "gcc" "src/CMakeFiles/xmt.dir/desim/scheduler.cc.o.d"
+  "/root/repo/src/isa/isa.cc" "src/CMakeFiles/xmt.dir/isa/isa.cc.o" "gcc" "src/CMakeFiles/xmt.dir/isa/isa.cc.o.d"
+  "/root/repo/src/memsys/cache.cc" "src/CMakeFiles/xmt.dir/memsys/cache.cc.o" "gcc" "src/CMakeFiles/xmt.dir/memsys/cache.cc.o.d"
+  "/root/repo/src/power/dvfs.cc" "src/CMakeFiles/xmt.dir/power/dvfs.cc.o" "gcc" "src/CMakeFiles/xmt.dir/power/dvfs.cc.o.d"
+  "/root/repo/src/power/floorviz.cc" "src/CMakeFiles/xmt.dir/power/floorviz.cc.o" "gcc" "src/CMakeFiles/xmt.dir/power/floorviz.cc.o.d"
+  "/root/repo/src/power/power.cc" "src/CMakeFiles/xmt.dir/power/power.cc.o" "gcc" "src/CMakeFiles/xmt.dir/power/power.cc.o.d"
+  "/root/repo/src/power/thermal.cc" "src/CMakeFiles/xmt.dir/power/thermal.cc.o" "gcc" "src/CMakeFiles/xmt.dir/power/thermal.cc.o.d"
+  "/root/repo/src/sim/checkpoint.cc" "src/CMakeFiles/xmt.dir/sim/checkpoint.cc.o" "gcc" "src/CMakeFiles/xmt.dir/sim/checkpoint.cc.o.d"
+  "/root/repo/src/sim/config.cc" "src/CMakeFiles/xmt.dir/sim/config.cc.o" "gcc" "src/CMakeFiles/xmt.dir/sim/config.cc.o.d"
+  "/root/repo/src/sim/cyclemodel.cc" "src/CMakeFiles/xmt.dir/sim/cyclemodel.cc.o" "gcc" "src/CMakeFiles/xmt.dir/sim/cyclemodel.cc.o.d"
+  "/root/repo/src/sim/funcmodel.cc" "src/CMakeFiles/xmt.dir/sim/funcmodel.cc.o" "gcc" "src/CMakeFiles/xmt.dir/sim/funcmodel.cc.o.d"
+  "/root/repo/src/sim/memory.cc" "src/CMakeFiles/xmt.dir/sim/memory.cc.o" "gcc" "src/CMakeFiles/xmt.dir/sim/memory.cc.o.d"
+  "/root/repo/src/sim/phase.cc" "src/CMakeFiles/xmt.dir/sim/phase.cc.o" "gcc" "src/CMakeFiles/xmt.dir/sim/phase.cc.o.d"
+  "/root/repo/src/sim/plugins.cc" "src/CMakeFiles/xmt.dir/sim/plugins.cc.o" "gcc" "src/CMakeFiles/xmt.dir/sim/plugins.cc.o.d"
+  "/root/repo/src/sim/semantics.cc" "src/CMakeFiles/xmt.dir/sim/semantics.cc.o" "gcc" "src/CMakeFiles/xmt.dir/sim/semantics.cc.o.d"
+  "/root/repo/src/sim/simulator.cc" "src/CMakeFiles/xmt.dir/sim/simulator.cc.o" "gcc" "src/CMakeFiles/xmt.dir/sim/simulator.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/xmt.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/xmt.dir/sim/stats.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/CMakeFiles/xmt.dir/sim/trace.cc.o" "gcc" "src/CMakeFiles/xmt.dir/sim/trace.cc.o.d"
+  "/root/repo/src/workloads/graphs.cc" "src/CMakeFiles/xmt.dir/workloads/graphs.cc.o" "gcc" "src/CMakeFiles/xmt.dir/workloads/graphs.cc.o.d"
+  "/root/repo/src/workloads/kernels.cc" "src/CMakeFiles/xmt.dir/workloads/kernels.cc.o" "gcc" "src/CMakeFiles/xmt.dir/workloads/kernels.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

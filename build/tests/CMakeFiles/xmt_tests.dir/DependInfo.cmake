@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cc" "tests/CMakeFiles/xmt_tests.dir/test_assembler.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_assembler.cc.o.d"
+  "/root/repo/tests/test_async_icn.cc" "tests/CMakeFiles/xmt_tests.dir/test_async_icn.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_async_icn.cc.o.d"
+  "/root/repo/tests/test_checkpoint.cc" "tests/CMakeFiles/xmt_tests.dir/test_checkpoint.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_checkpoint.cc.o.d"
+  "/root/repo/tests/test_common.cc" "tests/CMakeFiles/xmt_tests.dir/test_common.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_common.cc.o.d"
+  "/root/repo/tests/test_compiler.cc" "tests/CMakeFiles/xmt_tests.dir/test_compiler.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_compiler.cc.o.d"
+  "/root/repo/tests/test_compiler_fuzz.cc" "tests/CMakeFiles/xmt_tests.dir/test_compiler_fuzz.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_compiler_fuzz.cc.o.d"
+  "/root/repo/tests/test_configs.cc" "tests/CMakeFiles/xmt_tests.dir/test_configs.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_configs.cc.o.d"
+  "/root/repo/tests/test_desim.cc" "tests/CMakeFiles/xmt_tests.dir/test_desim.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_desim.cc.o.d"
+  "/root/repo/tests/test_funcmodel.cc" "tests/CMakeFiles/xmt_tests.dir/test_funcmodel.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_funcmodel.cc.o.d"
+  "/root/repo/tests/test_isa.cc" "tests/CMakeFiles/xmt_tests.dir/test_isa.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_isa.cc.o.d"
+  "/root/repo/tests/test_memory_model.cc" "tests/CMakeFiles/xmt_tests.dir/test_memory_model.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_memory_model.cc.o.d"
+  "/root/repo/tests/test_memsys.cc" "tests/CMakeFiles/xmt_tests.dir/test_memsys.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_memsys.cc.o.d"
+  "/root/repo/tests/test_optlevels.cc" "tests/CMakeFiles/xmt_tests.dir/test_optlevels.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_optlevels.cc.o.d"
+  "/root/repo/tests/test_phase.cc" "tests/CMakeFiles/xmt_tests.dir/test_phase.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_phase.cc.o.d"
+  "/root/repo/tests/test_plugins_trace.cc" "tests/CMakeFiles/xmt_tests.dir/test_plugins_trace.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_plugins_trace.cc.o.d"
+  "/root/repo/tests/test_postpass.cc" "tests/CMakeFiles/xmt_tests.dir/test_postpass.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_postpass.cc.o.d"
+  "/root/repo/tests/test_power.cc" "tests/CMakeFiles/xmt_tests.dir/test_power.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_power.cc.o.d"
+  "/root/repo/tests/test_sim.cc" "tests/CMakeFiles/xmt_tests.dir/test_sim.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_sim.cc.o.d"
+  "/root/repo/tests/test_sim_memsys.cc" "tests/CMakeFiles/xmt_tests.dir/test_sim_memsys.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_sim_memsys.cc.o.d"
+  "/root/repo/tests/test_toolchain.cc" "tests/CMakeFiles/xmt_tests.dir/test_toolchain.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_toolchain.cc.o.d"
+  "/root/repo/tests/test_workloads.cc" "tests/CMakeFiles/xmt_tests.dir/test_workloads.cc.o" "gcc" "tests/CMakeFiles/xmt_tests.dir/test_workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/xmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
