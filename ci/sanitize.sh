@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Build and run the full test suite under AddressSanitizer + UBSan.
+# Uses a separate build tree so the normal build/ stays untouched.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build-sanitize -S . -DXMT_SANITIZE=ON \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-sanitize -j "$(nproc)"
+ctest --test-dir build-sanitize --output-on-failure -j "$(nproc)"

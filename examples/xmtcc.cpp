@@ -20,6 +20,13 @@
 //   --stats                             print full simulation statistics
 //   --hotmem                            enable the hottest-memory filter
 //   --trace <functional|cycle>          print an execution trace
+//   --analyze                           run the static race lint and exit
+//                                       (exit 1 when races are found)
+//   -Wxmt-race                          warn about spawn-region races while
+//                                       compiling normally
+//   -Werror-race                        promote race findings to errors
+//   --race-check                        run the dynamic race checker
+//                                       (forces functional mode)
 //   --no-opt --no-prefetch --no-nbstores --no-outline --no-postpass
 //   --cluster <N>                       coarsen spawns to N virtual threads
 #include <cstdio>
@@ -53,7 +60,7 @@ int main(int argc, char** argv) {
   std::string sourcePath, mapPath, configName = "fpga64";
   std::vector<std::string> overrides, dumps;
   bool emitAsm = false, emitTransformed = false, wantStats = false,
-       hotmem = false;
+       hotmem = false, analyzeOnly = false, raceCheck = false;
   std::string traceLevel;
   xmt::ToolchainOptions opts;
 
@@ -79,6 +86,16 @@ int main(int argc, char** argv) {
     else if (arg == "--stats") wantStats = true;
     else if (arg == "--hotmem") hotmem = true;
     else if (arg == "--trace") traceLevel = next();
+    else if (arg == "--analyze") {
+      analyzeOnly = true;
+      opts.compiler.analyzeRaces = true;
+    } else if (arg == "-Wxmt-race") opts.compiler.analyzeRaces = true;
+    else if (arg == "-Werror-race") {
+      opts.compiler.analyzeRaces = true;
+      opts.compiler.werrorRace = true;
+    } else if (arg == "--race-check") {
+      raceCheck = true;
+    }
     else if (arg == "--no-opt") opts.compiler.optLevel = 0;
     else if (arg == "--no-prefetch") opts.compiler.prefetch = false;
     else if (arg == "--no-nbstores") opts.compiler.nonBlockingStores = false;
@@ -97,6 +114,9 @@ int main(int argc, char** argv) {
     }
   }
   if (sourcePath.empty()) return usage();
+  // Shadow-memory checking needs the functional model's access events,
+  // regardless of where --mode appeared on the command line.
+  if (raceCheck) opts.mode = xmt::SimMode::kFunctional;
 
   try {
     xmt::ConfigMap cm;
@@ -107,15 +127,32 @@ int main(int argc, char** argv) {
     xmt::Toolchain tc(opts);
     std::string source = readFile(sourcePath);
 
-    if (emitTransformed || emitAsm) {
+    if (analyzeOnly) {
       auto r = tc.compile(source);
+      for (const auto& d : r.diagnostics)
+        std::printf("%s\n", xmt::formatDiagnostic(d).c_str());
+      if (r.diagnostics.empty())
+        std::printf("no races detected\n");
+      return r.diagnostics.empty() ? 0 : 1;
+    }
+
+    if (emitTransformed || emitAsm || opts.compiler.analyzeRaces) {
+      auto r = tc.compile(source);
+      for (const auto& d : r.diagnostics)
+        std::fprintf(stderr, "%s\n", xmt::formatDiagnostic(d).c_str());
       if (emitTransformed)
         std::printf("%s\n", r.transformedSource.c_str());
       if (emitAsm) std::printf("%s\n", r.asmText.c_str());
-      return 0;
+      if (emitTransformed || emitAsm) return 0;
     }
 
     auto sim = tc.makeSimulator(source);
+    xmt::RaceCheckPlugin* racePlugin = nullptr;
+    if (raceCheck) {
+      auto plugin = std::make_unique<xmt::RaceCheckPlugin>();
+      racePlugin = plugin.get();
+      sim->addFilterPlugin(std::move(plugin));
+    }
     if (!mapPath.empty())
       sim->applyMemoryMap(xmt::MemoryMap::parse(readFile(mapPath)));
     if (hotmem)
@@ -135,6 +172,7 @@ int main(int argc, char** argv) {
       std::printf("\n");
     }
     if (hotmem) std::fputs(sim->filterReports().c_str(), stdout);
+    if (racePlugin) std::fputs(racePlugin->report().c_str(), stdout);
     if (wantStats) {
       std::fputs(sim->stats().report().c_str(), stdout);
     } else {

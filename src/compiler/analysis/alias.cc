@@ -1,0 +1,237 @@
+#include "src/compiler/analysis/alias.h"
+
+#include <cstdlib>
+#include <map>
+
+#include "src/isa/isa.h"
+
+namespace xmt::analysis {
+
+void AbsVal::meetWith(const AbsVal& o) {
+  if (o.kind == Kind::kBottom) return;
+  if (kind == Kind::kBottom) {
+    *this = o;
+    return;
+  }
+  if (!(*this == o)) *this = unknown();
+}
+
+namespace {
+
+// Addition of two abstract values; representable sums keep their base and
+// unique term, anything else degrades to Unknown.
+AbsVal addVals(const AbsVal& a, const AbsVal& b) {
+  if (!a.isValue() || !b.isValue()) return AbsVal::unknown();
+  if (a.base != AbsVal::Base::kNone && b.base != AbsVal::Base::kNone)
+    return AbsVal::unknown();
+  AbsVal r = a.base != AbsVal::Base::kNone ? a : b;
+  const AbsVal& other = a.base != AbsVal::Base::kNone ? b : a;
+  r.c = a.c + b.c;
+  if (a.origin != kOriginNone && b.origin != kOriginNone) {
+    if (a.origin != b.origin) return AbsVal::unknown();
+    r.origin = a.origin;
+    r.scale = a.scale + b.scale;
+  } else if (other.origin != kOriginNone) {
+    r.origin = other.origin;
+    r.scale = other.scale;
+  }
+  if (r.origin != kOriginNone && r.scale == 0) r.origin = kOriginNone;
+  return r;
+}
+
+AbsVal negate(const AbsVal& a) {
+  if (!a.isValue() || a.base != AbsVal::Base::kNone) return AbsVal::unknown();
+  AbsVal r = a;
+  r.scale = -r.scale;
+  r.c = -r.c;
+  return r;
+}
+
+AbsVal mulByConst(const AbsVal& a, std::int64_t k) {
+  if (!a.isValue() || a.base != AbsVal::Base::kNone) return AbsVal::unknown();
+  AbsVal r = a;
+  r.scale *= k;
+  r.c *= k;
+  if (r.scale == 0) r.origin = kOriginNone;
+  return r;
+}
+
+}  // namespace
+
+ValueResolver::ValueResolver(const IrFunc& fn, AnalysisManager& am) {
+  const Cfg& cfg = am.cfg(fn);
+  const ReachingDefsResult& rd = am.reachingDefs(fn);
+  defVals_.assign(rd.sites.size(), AbsVal{});
+
+  // Site id lookup per (block, instr).
+  std::map<std::pair<int, int>, int> siteAt;
+  for (std::size_t s = 0; s < rd.sites.size(); ++s)
+    siteAt[{rd.sites[s].block, rd.sites[s].instr}] = static_cast<int>(s);
+
+  // Operand lookup against the current per-vreg value map. Physical
+  // registers are transient staging (clobbered by calls and conventions) —
+  // always Unknown, except the architectural zero register.
+  auto operandVal = [&](const std::map<int, AbsVal>& vals,
+                        int reg) -> AbsVal {
+    if (reg == 0) return AbsVal::constant(0);
+    if (reg < kNumRegs) return AbsVal::unknown();
+    auto it = vals.find(reg);
+    return it == vals.end() ? AbsVal::unknown() : it->second;
+  };
+
+  auto evalDef = [&](const std::map<int, AbsVal>& vals, const IrInstr& in,
+                     int siteId) -> AbsVal {
+    switch (in.op) {
+      case IOp::kLi:
+        return AbsVal::constant(in.imm);
+      case IOp::kLa: {
+        AbsVal r;
+        r.kind = AbsVal::Kind::kValue;
+        r.base = AbsVal::Base::kSym;
+        r.sym = in.sym;
+        r.c = in.imm;
+        return r;
+      }
+      case IOp::kGetTid: {
+        AbsVal r;
+        r.kind = AbsVal::Kind::kValue;
+        r.origin = kOriginTid;
+        r.scale = 1;
+        return r;
+      }
+      case IOp::kFrameAddr: {
+        AbsVal r;
+        r.kind = AbsVal::Kind::kValue;
+        r.base = AbsVal::Base::kFrame;
+        r.c = in.imm;
+        return r;
+      }
+      case IOp::kCopy:
+        return operandVal(vals, in.a);
+      case IOp::kAdd:
+        return addVals(operandVal(vals, in.a), operandVal(vals, in.b));
+      case IOp::kAddi:
+        return addVals(operandVal(vals, in.a), AbsVal::constant(in.imm));
+      case IOp::kSub:
+        return addVals(operandVal(vals, in.a),
+                       negate(operandVal(vals, in.b)));
+      case IOp::kMul: {
+        AbsVal a = operandVal(vals, in.a), b = operandVal(vals, in.b);
+        if (a.isConst()) return mulByConst(b, a.c);
+        if (b.isConst()) return mulByConst(a, b.c);
+        return AbsVal::unknown();
+      }
+      case IOp::kSll:
+        if (in.imm >= 0 && in.imm < 32)
+          return mulByConst(operandVal(vals, in.a),
+                            std::int64_t{1} << in.imm);
+        return AbsVal::unknown();
+      case IOp::kSllv: {
+        AbsVal b = operandVal(vals, in.b);
+        if (b.isConst() && b.c >= 0 && b.c < 32)
+          return mulByConst(operandVal(vals, in.a), std::int64_t{1} << b.c);
+        return AbsVal::unknown();
+      }
+      case IOp::kPs:
+      case IOp::kPsm: {
+        // The returned fetch-add base is distinct per execution when the
+        // increment is a provably positive constant — the classifier's
+        // "ps-mediated index" class (array compaction, queue allocation).
+        AbsVal inc = operandVal(vals, in.op == IOp::kPs ? in.a : in.b);
+        if (inc.isConst() && inc.c > 0) {
+          AbsVal r;
+          r.kind = AbsVal::Kind::kValue;
+          r.origin = siteId;
+          r.scale = 1;
+          return r;
+        }
+        return AbsVal::unknown();
+      }
+      default:
+        return AbsVal::unknown();
+    }
+  };
+
+  // Fixed point: seed block-entry vreg values from the meet over reaching
+  // definition sites, then walk each block linearly. Values only descend
+  // (Bottom -> value -> Unknown), so this converges in a few sweeps.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b : cfg.rpo) {
+      auto bi = static_cast<std::size_t>(b);
+      std::map<int, AbsVal> vals;
+      rd.flow.in[bi].forEach([&](std::size_t s) {
+        const DefSite& site = rd.sites[s];
+        auto [it, fresh] = vals.try_emplace(site.vreg, defVals_[s]);
+        if (!fresh) it->second.meetWith(defVals_[s]);
+      });
+      const IrBlock& blk = fn.blocks[bi];
+      for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+        const IrInstr& in = blk.instrs[i];
+        if (in.dst < 0) continue;
+        int siteId = siteAt.at({b, static_cast<int>(i)});
+        AbsVal v = evalDef(vals, in, siteId);
+        AbsVal& slot = defVals_[static_cast<std::size_t>(siteId)];
+        AbsVal merged = slot;
+        merged.meetWith(v);
+        if (!(merged == slot)) {
+          slot = merged;
+          changed = true;
+        }
+        vals[in.dst] = slot;
+      }
+    }
+  }
+
+  // Final sweep: collect memory sites with resolved effective addresses.
+  for (int b : cfg.rpo) {
+    auto bi = static_cast<std::size_t>(b);
+    std::map<int, AbsVal> vals;
+    rd.flow.in[bi].forEach([&](std::size_t s) {
+      const DefSite& site = rd.sites[s];
+      auto [it, fresh] = vals.try_emplace(site.vreg, defVals_[s]);
+      if (!fresh) it->second.meetWith(defVals_[s]);
+    });
+    const IrBlock& blk = fn.blocks[bi];
+    for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+      const IrInstr& in = blk.instrs[i];
+      bool isLoad = in.op == IOp::kLoadW || in.op == IOp::kLoadB;
+      bool isStore = in.op == IOp::kStoreW || in.op == IOp::kStoreB;
+      bool isPsm = in.op == IOp::kPsm;
+      if (isLoad || isStore || isPsm) {
+        MemSite m;
+        m.block = b;
+        m.instr = static_cast<int>(i);
+        m.op = in.op;
+        m.read = isLoad || isPsm;
+        m.write = isStore || isPsm;
+        m.atomic = isPsm;
+        m.sizeBytes =
+            (in.op == IOp::kLoadB || in.op == IOp::kStoreB) ? 1 : 4;
+        m.srcLine = in.srcLine;
+        m.addr = addVals(operandVal(vals, in.a), AbsVal::constant(in.imm));
+        if (!m.addr.isValue()) {
+          m.cls = AddrClass::kUnknown;
+        } else if (m.addr.base == AbsVal::Base::kSym) {
+          m.cls = m.addr.origin != kOriginNone ? AddrClass::kTidIndexed
+                                               : AddrClass::kGlobal;
+        } else if (m.addr.base == AbsVal::Base::kFrame) {
+          m.cls = AddrClass::kFrameLocal;
+        } else {
+          m.cls = m.addr.origin != kOriginNone ? AddrClass::kTidIndexed
+                                               : AddrClass::kUnknown;
+        }
+        m.threadPrivate = m.addr.isValue() && m.addr.origin != kOriginNone &&
+                          std::abs(m.addr.scale) >= m.sizeBytes;
+        memSites_.push_back(std::move(m));
+      }
+      if (in.dst >= 0) {
+        int siteId = siteAt.at({b, static_cast<int>(i)});
+        vals[in.dst] = defVals_[static_cast<std::size_t>(siteId)];
+      }
+    }
+  }
+}
+
+}  // namespace xmt::analysis

@@ -1,0 +1,107 @@
+// Lightweight address/alias classification for the race detector.
+//
+// Every definition site in a function is assigned an abstract value of the
+// form  base + scale*unique + offset  where `base` is a global symbol or the
+// (shared) stack frame, and `unique` is a per-virtual-thread-distinct source:
+// the thread ID ($ / kGetTid) or the result of a prefix-sum whose increment
+// is a provably positive constant (ps hands out distinct indices — the
+// paper's sanctioned concurrent-update idiom, e.g. Fig. 2a compaction).
+// Values are resolved with a reaching-definitions-driven fixed point: at a
+// block entry each vreg's value is the meet over its reaching definitions,
+// so a serial value broadcast into a spawn region keeps its classification,
+// while multiply-defined loop carriers conservatively degrade to Unknown.
+//
+// Memory operations are then bucketed into the four address classes the
+// detector reasons about: global-symbol, TID-indexed (provably
+// thread-private), frame-local (shared — all virtual threads broadcast the
+// master's stack pointer), and unknown.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/compiler/analysis/dataflow.h"
+#include "src/compiler/ir.h"
+
+namespace xmt::analysis {
+
+inline constexpr int kOriginNone = -1;
+/// Distinguished `unique` source: the virtual thread ID.
+inline constexpr int kOriginTid = -2;
+// Origins >= 0 are definition-site ids of kPs/kPsm results.
+
+struct AbsVal {
+  enum class Kind : std::uint8_t { kBottom, kValue, kUnknown };
+  enum class Base : std::uint8_t { kNone, kSym, kFrame };
+
+  Kind kind = Kind::kBottom;
+  Base base = Base::kNone;
+  std::string sym;       // when base == kSym
+  int origin = kOriginNone;
+  std::int64_t scale = 0;  // coefficient of the unique term (0 iff no origin)
+  std::int64_t c = 0;      // constant offset (the value itself for constants)
+
+  static AbsVal unknown() { return {Kind::kUnknown}; }
+  static AbsVal constant(std::int64_t v) {
+    AbsVal r;
+    r.kind = Kind::kValue;
+    r.c = v;
+    return r;
+  }
+  bool isValue() const { return kind == Kind::kValue; }
+  bool isConst() const {
+    return isValue() && base == Base::kNone && origin == kOriginNone;
+  }
+  bool operator==(const AbsVal& o) const {
+    return kind == o.kind && base == o.base && sym == o.sym &&
+           origin == o.origin && scale == o.scale && c == o.c;
+  }
+
+  /// Lattice meet (kBottom is the identity; unequal values go to kUnknown).
+  void meetWith(const AbsVal& o);
+};
+
+enum class AddrClass : std::uint8_t {
+  kGlobal,      // global symbol at a fixed offset (same address every thread)
+  kTidIndexed,  // offset carries a unique per-thread term ($- or ps-derived)
+  kFrameLocal,  // master stack frame (shared by all virtual threads!)
+  kUnknown,
+};
+
+/// One load/store/psm instruction with its resolved address.
+struct MemSite {
+  int block = 0;
+  int instr = 0;
+  IOp op = IOp::kLoadW;
+  bool write = false;   // store or psm
+  bool read = false;    // load or psm
+  bool atomic = false;  // kPsm
+  int sizeBytes = 4;
+  int srcLine = 0;
+  AbsVal addr;          // effective address (instruction imm folded in)
+  AddrClass cls = AddrClass::kUnknown;
+  /// Provably distinct across virtual threads (|scale| >= access size on a
+  /// unique origin): no two threads can touch the same bytes through it.
+  bool threadPrivate = false;
+};
+
+/// Resolves abstract values for all definition sites of `fn` and extracts
+/// its memory sites. Uses (and populates) the manager's cached CFG and
+/// reaching-definitions solutions.
+class ValueResolver {
+ public:
+  ValueResolver(const IrFunc& fn, AnalysisManager& am);
+
+  const std::vector<MemSite>& memorySites() const { return memSites_; }
+  /// Abstract value of definition site `siteId` (reaching-defs numbering).
+  const AbsVal& valueOfDef(int siteId) const {
+    return defVals_[static_cast<std::size_t>(siteId)];
+  }
+
+ private:
+  std::vector<AbsVal> defVals_;
+  std::vector<MemSite> memSites_;
+};
+
+}  // namespace xmt::analysis

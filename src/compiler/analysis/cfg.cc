@@ -1,0 +1,65 @@
+#include "src/compiler/analysis/cfg.h"
+
+#include <algorithm>
+
+namespace xmt::analysis {
+
+std::vector<int> successors(const IrBlock& b) {
+  if (b.instrs.empty()) return {};
+  const IrInstr& t = b.instrs.back();
+  switch (t.op) {
+    case IOp::kBr: return {t.t1, t.t2};
+    case IOp::kJmp: return {t.t1};
+    case IOp::kSpawn: return {t.t1, t.t2};
+    default: return {};
+  }
+}
+
+namespace {
+
+// Iterative DFS postorder (linear block chains can be deep; no recursion).
+void postorder(const std::vector<std::vector<int>>& succ, int entry,
+               std::vector<bool>& seen, std::vector<int>& out) {
+  std::vector<std::pair<int, std::size_t>> stack{{entry, 0}};
+  seen[static_cast<std::size_t>(entry)] = true;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    const auto& ss = succ[static_cast<std::size_t>(b)];
+    if (next < ss.size()) {
+      int s = ss[next++];
+      if (!seen[static_cast<std::size_t>(s)]) {
+        seen[static_cast<std::size_t>(s)] = true;
+        stack.emplace_back(s, 0);
+      }
+    } else {
+      out.push_back(b);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+Cfg buildCfg(const IrFunc& fn) {
+  Cfg cfg;
+  std::size_t n = fn.blocks.size();
+  cfg.succ.resize(n);
+  cfg.pred.resize(n);
+  cfg.reachable.assign(n, false);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int s : successors(fn.blocks[i])) {
+      if (s < 0 || static_cast<std::size_t>(s) >= n) continue;
+      cfg.succ[i].push_back(s);
+      cfg.pred[static_cast<std::size_t>(s)].push_back(static_cast<int>(i));
+    }
+  }
+  if (n != 0) {
+    std::vector<int> po;
+    po.reserve(n);
+    postorder(cfg.succ, 0, cfg.reachable, po);
+    cfg.rpo.assign(po.rbegin(), po.rend());
+  }
+  return cfg;
+}
+
+}  // namespace xmt::analysis

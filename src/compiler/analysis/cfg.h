@@ -1,0 +1,30 @@
+// Control-flow-graph utilities over the IrFunc block structure.
+//
+// Blocks already carry their successor links in their terminators (kBr /
+// kJmp / kSpawn); this module materializes predecessor lists and a reverse
+// post-order so analyses do not each rebuild them. A kSpawn instruction has
+// two successors: the parallel body entry (t1) and the serial continuation
+// (t2) — both are control-reachable and both must be analyzed.
+#pragma once
+
+#include <vector>
+
+#include "src/compiler/ir.h"
+
+namespace xmt::analysis {
+
+/// Successor block ids of `b` (empty for kRet/kJoin/kHalt/empty blocks).
+std::vector<int> successors(const IrBlock& b);
+
+struct Cfg {
+  std::vector<std::vector<int>> succ;  // per block id
+  std::vector<std::vector<int>> pred;
+  std::vector<int> rpo;                // reverse post-order from block 0
+  std::vector<bool> reachable;         // from block 0
+
+  std::size_t numBlocks() const { return succ.size(); }
+};
+
+Cfg buildCfg(const IrFunc& fn);
+
+}  // namespace xmt::analysis

@@ -1,0 +1,174 @@
+#include "src/compiler/analysis/racecheck.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "src/compiler/analysis/alias.h"
+
+namespace xmt::analysis {
+
+namespace {
+
+/// Blocks of the spawn region whose body entry is `entry`: everything
+/// reachable from it while the `parallel` flag holds.
+std::vector<int> regionBlocks(const IrFunc& fn, const Cfg& cfg, int entry) {
+  std::vector<int> blocks;
+  if (entry < 0 || static_cast<std::size_t>(entry) >= fn.blocks.size())
+    return blocks;
+  if (!fn.blocks[static_cast<std::size_t>(entry)].parallel) return blocks;
+  std::vector<bool> seen(fn.blocks.size(), false);
+  std::vector<int> work{entry};
+  seen[static_cast<std::size_t>(entry)] = true;
+  while (!work.empty()) {
+    int b = work.back();
+    work.pop_back();
+    blocks.push_back(b);
+    for (int s : cfg.succ[static_cast<std::size_t>(b)]) {
+      auto si = static_cast<std::size_t>(s);
+      if (!seen[si] && fn.blocks[si].parallel) {
+        seen[si] = true;
+        work.push_back(s);
+      }
+    }
+  }
+  return blocks;
+}
+
+/// Bucket key: the symbolic base two accesses must share to be comparable.
+std::string bucketKey(const AbsVal& addr) {
+  switch (addr.base) {
+    case AbsVal::Base::kSym: return addr.sym;
+    case AbsVal::Base::kFrame: return "<frame>";
+    case AbsVal::Base::kNone: return "<absolute>";
+  }
+  return "<absolute>";
+}
+
+/// True when the two sites (possibly the same site, executed by two
+/// distinct virtual threads) can touch overlapping bytes.
+bool mayOverlapAcrossThreads(const MemSite& x, const MemSite& y) {
+  const AbsVal& a = x.addr;
+  const AbsVal& b = y.addr;
+  if (a.origin == b.origin && a.scale == b.scale) {
+    std::int64_t delta = a.c > b.c ? a.c - b.c : b.c - a.c;
+    if (a.origin != kOriginNone && a.scale != 0) {
+      // base + s*u + c with distinct u: starts differ by s*(u-u') + delta,
+      // and |s*(u-u')| >= |s|, so |s| >= maxSize + delta rules overlap out.
+      std::int64_t maxSize = std::max(x.sizeBytes, y.sizeBytes);
+      return std::abs(a.scale) < maxSize + delta;
+    }
+    // Same fixed address in every thread: byte-interval test.
+    return a.c < b.c + y.sizeBytes && b.c < a.c + x.sizeBytes;
+  }
+  // Different unique origins (or only one side scaled): the index spaces
+  // are unrelated, assume they can collide.
+  return true;
+}
+
+struct Reporter {
+  std::vector<Diagnostic>& out;
+  std::set<std::pair<std::string, DiagCode>> emitted;
+
+  void report(DiagCode code, const std::string& symbol, int line,
+              int otherLine, std::string message) {
+    if (!emitted.insert({symbol, code}).second) return;
+    Diagnostic d;
+    d.code = code;
+    d.severity = Severity::kWarning;
+    d.line = line;
+    d.otherLine = otherLine;
+    d.symbol = symbol;
+    d.message = std::move(message);
+    out.push_back(std::move(d));
+  }
+};
+
+void checkRegion(const std::vector<MemSite>& sites, Reporter& rep) {
+  std::map<std::string, std::vector<const MemSite*>> buckets;
+  for (const MemSite& m : sites) {
+    if (!m.addr.isValue()) {
+      if (m.write && !m.atomic)
+        rep.report(DiagCode::kRaceUnknownAddress, "<unknown>", m.srcLine,
+                   -1,
+                   "write through unresolved address inside spawn region "
+                   "may race");
+      // Unresolved reads are ignored (see header).
+      continue;
+    }
+    buckets[bucketKey(m.addr)].push_back(&m);
+  }
+
+  for (auto& [sym, v] : buckets) {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (std::size_t j = i; j < v.size(); ++j) {
+        const MemSite& a = *v[i];
+        const MemSite& b = *v[j];
+        if (!a.write && !b.write) continue;     // read/read never races
+        if (a.atomic && b.atomic) continue;     // ps-mediated updates
+        if (!mayOverlapAcrossThreads(a, b)) continue;
+        bool ww = a.write && b.write;
+        std::string what = sym == "<frame>" ? "shared stack location"
+                                            : "'" + sym + "'";
+        if (ww) {
+          rep.report(DiagCode::kRaceWriteWrite, sym, a.srcLine, b.srcLine,
+                     "concurrent virtual threads may write " + what +
+                         " at the same address");
+        } else {
+          const MemSite& w = a.write ? a : b;
+          const MemSite& r = a.write ? b : a;
+          rep.report(DiagCode::kRaceReadWrite, sym, r.srcLine, w.srcLine,
+                     "read of " + what +
+                         " may race with a concurrent write");
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void analyzeFunctionRaces(const IrFunc& fn, AnalysisManager& am,
+                          std::vector<Diagnostic>& out) {
+  // Collect spawn body entries first; skip the whole analysis otherwise.
+  std::vector<int> entries;
+  for (const IrBlock& b : fn.blocks)
+    if (!b.instrs.empty() && b.instrs.back().op == IOp::kSpawn)
+      entries.push_back(b.instrs.back().t1);
+  if (entries.empty()) return;
+
+  const Cfg& cfg = am.cfg(fn);
+  ValueResolver resolver(fn, am);
+
+  // Index the function's memory sites by block for region filtering.
+  std::map<int, std::vector<const MemSite*>> sitesByBlock;
+  for (const MemSite& m : resolver.memorySites())
+    sitesByBlock[m.block].push_back(&m);
+
+  Reporter rep{out, {}};
+  for (int entry : entries) {
+    std::vector<MemSite> regionSites;
+    for (int b : regionBlocks(fn, cfg, entry)) {
+      auto it = sitesByBlock.find(b);
+      if (it == sitesByBlock.end()) continue;
+      for (const MemSite* m : it->second) regionSites.push_back(*m);
+    }
+    checkRegion(regionSites, rep);
+  }
+}
+
+std::vector<Diagnostic> analyzeModuleRaces(const IrModule& mod) {
+  std::vector<Diagnostic> diags;
+  AnalysisManager am;
+  for (const IrFunc& fn : mod.funcs) analyzeFunctionRaces(fn, am, diags);
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return a.line < b.line;
+            });
+  return diags;
+}
+
+}  // namespace xmt::analysis

@@ -1,0 +1,42 @@
+// Spawn-region race detector.
+//
+// For every spawn region (blocks reachable from a kSpawn body entry while
+// `parallel` holds) the detector buckets the region's memory operations by
+// symbolic base and checks each pair — including a site against a second
+// virtual thread executing the same site — for cross-thread overlap using
+// the AbsVal algebra from alias.h:
+//
+//   * two accesses at  base + s*u + c1  and  base + s*u + c2  on the same
+//     unique origin are disjoint across threads iff |s| >= size + |c1 - c2|;
+//   * scale-free accesses hit the same address in every thread, so they
+//     conflict exactly when their byte intervals overlap;
+//   * psm-to-psm pairs are exempt (the paper's sanctioned concurrent
+//     update); psm against a plain access is still a race;
+//   * a non-atomic write through an unresolved address is reported as a
+//     separate "unknown address" warning; unresolved *reads* are deliberately
+//     ignored — the documented imprecision that keeps the detector free of
+//     false positives on patterns like S[$ - d] with a loop-carried d.
+//
+// Frame-local accesses are checked like a shared symbol ("<frame>"): the
+// functional model broadcasts the master's stack pointer to every virtual
+// thread, so spawn-body writes through it are genuinely shared.
+#pragma once
+
+#include <vector>
+
+#include "src/compiler/analysis/dataflow.h"
+#include "src/compiler/diag.h"
+#include "src/compiler/ir.h"
+
+namespace xmt::analysis {
+
+/// Runs the detector over one function (no-op unless it spawns).
+/// Diagnostics are appended with Severity::kWarning; the caller decides
+/// whether warnings are fatal.
+void analyzeFunctionRaces(const IrFunc& fn, AnalysisManager& am,
+                          std::vector<Diagnostic>& out);
+
+/// Runs the detector over every function of the module.
+std::vector<Diagnostic> analyzeModuleRaces(const IrModule& mod);
+
+}  // namespace xmt::analysis

@@ -1,0 +1,34 @@
+#include "src/compiler/diag.h"
+
+namespace xmt {
+
+const char* diagCodeTag(DiagCode code) {
+  switch (code) {
+    case DiagCode::kDollarOutsideSpawn: return "xmt-dollar-outside-spawn";
+    case DiagCode::kRaceWriteWrite: return "xmt-race-ww";
+    case DiagCode::kRaceReadWrite: return "xmt-race-rw";
+    case DiagCode::kRaceUnknownAddress: return "xmt-race-unknown";
+  }
+  return "xmt-diag";
+}
+
+std::string formatDiagnostic(const Diagnostic& d) {
+  const char* sev = d.severity == Severity::kError     ? "error"
+                    : d.severity == Severity::kWarning ? "warning"
+                                                       : "note";
+  std::string out = std::string(sev) + ": line " + std::to_string(d.line) +
+                    ": " + d.message;
+  if (d.otherLine >= 0 && d.otherLine != d.line)
+    out += " (conflicts with access at line " + std::to_string(d.otherLine) +
+           ")";
+  out += " [" + std::string(diagCodeTag(d.code)) + "]";
+  return out;
+}
+
+bool isRaceDiag(const Diagnostic& d) {
+  return d.code == DiagCode::kRaceWriteWrite ||
+         d.code == DiagCode::kRaceReadWrite ||
+         d.code == DiagCode::kRaceUnknownAddress;
+}
+
+}  // namespace xmt

@@ -1,0 +1,61 @@
+// Structured compiler diagnostics.
+//
+// The race detector and the XMT-specific semantic checks report findings as
+// Diagnostic values carrying a stable machine-readable code, a severity, and
+// the source location — so tests can assert on the exact finding and drivers
+// can render, count, or promote them (-Werror-race) uniformly instead of
+// string-matching free-form error text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+enum class Severity : std::uint8_t { kNote, kWarning, kError };
+
+enum class DiagCode : std::uint8_t {
+  // XMT semantic rules.
+  kDollarOutsideSpawn,   // '$' used outside a spawn body
+  // Spawn-region concurrency lint.
+  kRaceWriteWrite,       // unsynchronized concurrent writes to one location
+  kRaceReadWrite,        // concurrent read/write conflict
+  kRaceUnknownAddress,   // write through an unresolvable address (may race)
+};
+
+/// Stable short tag for a code ("xmt-race-ww", ...), shown in brackets after
+/// the rendered message, GCC -W style.
+const char* diagCodeTag(DiagCode code);
+
+struct Diagnostic {
+  DiagCode code;
+  Severity severity = Severity::kWarning;
+  int line = 0;           // XMTC source line of the primary access
+  int otherLine = -1;     // conflicting access, when there is one
+  std::string symbol;     // location name: global symbol, "<stack>", "<unknown>"
+  std::string message;
+};
+
+/// "warning: line 4: concurrent writes ... [xmt-race-ww]"
+std::string formatDiagnostic(const Diagnostic& d);
+
+/// True if `d` is one of the race-lint findings (as opposed to a semantic
+/// diagnostic).
+bool isRaceDiag(const Diagnostic& d);
+
+/// A diagnostic promoted to a hard failure. Derives CompileError so existing
+/// catch sites and tests keep working; carries the structured finding.
+class DiagnosticError : public CompileError {
+ public:
+  explicit DiagnosticError(Diagnostic d)
+      : CompileError(d.line, formatDiagnostic(d)), diag_(std::move(d)) {}
+  const Diagnostic& diag() const { return diag_; }
+  DiagCode code() const { return diag_.code; }
+
+ private:
+  Diagnostic diag_;
+};
+
+}  // namespace xmt

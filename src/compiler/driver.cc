@@ -1,6 +1,7 @@
 #include "src/compiler/driver.h"
 
 #include "src/assembler/assembler.h"
+#include "src/compiler/analysis/racecheck.h"
 #include "src/compiler/emit.h"
 #include "src/compiler/lower.h"
 #include "src/compiler/opt.h"
@@ -24,6 +25,27 @@ CompileResult compileXmtc(const std::string& source,
 
   CompileResult res;
   res.transformedSource = printAst(*tu);
+
+  if (opts.analyzeRaces) {
+    // The lint runs on a fresh, un-clustered, un-outlined lowering:
+    // clustering rewrites $ into a loop variable and outlining hides frame
+    // accesses behind pointer parameters, both of which would degrade the
+    // address classification to Unknown. The IR is left unoptimized so
+    // source lines map 1:1 onto accesses.
+    auto lintTu = parse(source);
+    analyze(*lintTu);
+    if (opts.inlineParallel) inlineParallelCalls(*lintTu);
+    IrModule lintMod = lowerToIr(*lintTu);
+    res.diagnostics = analysis::analyzeModuleRaces(lintMod);
+    if (opts.werrorRace) {
+      for (const Diagnostic& d : res.diagnostics) {
+        if (!isRaceDiag(d)) continue;
+        Diagnostic err = d;
+        err.severity = Severity::kError;
+        throw DiagnosticError(std::move(err));
+      }
+    }
+  }
 
   // Core pass.
   IrModule mod = lowerToIr(*tu);

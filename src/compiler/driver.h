@@ -5,8 +5,10 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "src/assembler/program.h"
+#include "src/compiler/diag.h"
 
 namespace xmt {
 
@@ -23,12 +25,15 @@ struct CompilerOptions {
                                   // dataflow (Fig. 8) — unsafe!
   bool layoutQuirk = false;       // mimic GCC's Fig. 9a layout bug
   bool postPass = true;           // verification + layout repair
+  bool analyzeRaces = false;      // static spawn-region race lint (--analyze)
+  bool werrorRace = false;        // promote race findings to CompileError
 };
 
 struct CompileResult {
   std::string asmText;
   std::string transformedSource;  // XMTC after the source-to-source passes
   int relocatedBlocks = 0;        // post-pass Fig. 9 repairs performed
+  std::vector<Diagnostic> diagnostics;  // race-lint findings (analyzeRaces)
 };
 
 /// Compiles XMTC source to XMT assembly. Throws CompileError / AsmError.

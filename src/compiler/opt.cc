@@ -5,8 +5,12 @@
 #include <set>
 
 #include "src/common/error.h"
+#include "src/compiler/analysis/dataflow.h"
 
 namespace xmt {
+
+using analysis::collectUses;
+using analysis::successors;
 
 namespace {
 
@@ -38,40 +42,10 @@ bool isRemovableIfDead(const IrInstr& in) {
   return false;
 }
 
-void collectUses(const IrInstr& in, std::vector<int>& out) {
-  if (in.a >= 0) out.push_back(in.a);
-  if (in.b >= 0) out.push_back(in.b);
-  for (int v : in.args) out.push_back(v);
-}
-
-std::vector<int> successors(const IrBlock& b) {
-  if (b.instrs.empty()) return {};
-  const IrInstr& t = b.instrs.back();
-  switch (t.op) {
-    case IOp::kBr: return {t.t1, t.t2};
-    case IOp::kJmp: return {t.t1};
-    case IOp::kSpawn: return {t.t1, t.t2};
-    default: return {};
-  }
-}
-
 void removeUnreachable(IrFunc& fn) {
-  std::vector<bool> seen(fn.blocks.size(), false);
-  std::vector<int> work{0};
-  seen[0] = true;
-  while (!work.empty()) {
-    int b = work.back();
-    work.pop_back();
-    // kSpawn is mid-block in lowering? No: spawn terminates its block.
-    for (int s : successors(fn.blocks[static_cast<std::size_t>(b)])) {
-      if (s >= 0 && !seen[static_cast<std::size_t>(s)]) {
-        seen[static_cast<std::size_t>(s)] = true;
-        work.push_back(s);
-      }
-    }
-  }
+  analysis::Cfg cfg = analysis::buildCfg(fn);
   for (std::size_t i = 0; i < fn.blocks.size(); ++i)
-    if (!seen[i]) fn.blocks[i].instrs.clear();
+    if (!cfg.reachable[i]) fn.blocks[i].instrs.clear();
 }
 
 std::int32_t foldAlu(IOp op, std::int32_t a, std::int32_t b, bool& ok) {
@@ -232,58 +206,29 @@ void localValueNumbering(IrFunc& fn) {
 }
 
 void deadCodeElim(IrFunc& fn) {
-  // Backward liveness over vregs (including physical for safety).
-  std::size_t nb = fn.blocks.size();
-  std::vector<std::set<int>> liveIn(nb), liveOut(nb);
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    for (std::size_t bi = nb; bi-- > 0;) {
-      const IrBlock& b = fn.blocks[bi];
-      std::set<int> out;
-      for (int s : successors(b))
-        if (s >= 0)
-          out.insert(liveIn[static_cast<std::size_t>(s)].begin(),
-                     liveIn[static_cast<std::size_t>(s)].end());
-      std::set<int> in = out;
-      for (std::size_t i = b.instrs.size(); i-- > 0;) {
-        const IrInstr& ins = b.instrs[i];
-        if (ins.dst >= 0) in.erase(ins.dst);
-        std::vector<int> uses;
-        collectUses(ins, uses);
-        for (int u : uses) in.insert(u);
-        // Calls read all argument registers (already in args) and sys reads
-        // a0 (already operand a). Physical register conventions: returns
-        // read v0.
-        if (ins.op == IOp::kRet) in.insert(kV0);
-      }
-      if (out != liveOut[bi]) {
-        liveOut[bi] = std::move(out);
-        changed = true;
-      }
-      if (in != liveIn[bi]) {
-        liveIn[bi] = std::move(in);
-        changed = true;
-      }
-    }
-  }
-  // Remove dead pure instructions, iterating within each block.
-  for (std::size_t bi = 0; bi < nb; ++bi) {
+  // Backward liveness over vregs (including physical for safety), solved by
+  // the shared dataflow engine.
+  analysis::Cfg cfg = analysis::buildCfg(fn);
+  analysis::LivenessResult live = analysis::computeLiveness(fn, cfg);
+  // Remove dead pure instructions, iterating within each block so a removed
+  // instruction can in turn kill the instructions feeding it.
+  for (std::size_t bi = 0; bi < fn.blocks.size(); ++bi) {
     IrBlock& b = fn.blocks[bi];
-    std::set<int> live = liveOut[bi];
+    analysis::BitSet liveNow = live.flow.out[bi];
     std::vector<IrInstr> kept;
     kept.reserve(b.instrs.size());
+    std::vector<int> uses;
     for (std::size_t i = b.instrs.size(); i-- > 0;) {
       IrInstr& ins = b.instrs[i];
-      bool dead = ins.dst >= 32 && live.count(ins.dst) == 0 &&
+      bool dead = ins.dst >= 32 &&
+                  !liveNow.test(static_cast<std::size_t>(ins.dst)) &&
                   isRemovableIfDead(ins);
       if (dead) continue;
       if (ins.op == IOp::kCopy && ins.dst == ins.a) continue;
-      if (ins.dst >= 0) live.erase(ins.dst);
-      std::vector<int> uses;
+      if (ins.dst >= 0) liveNow.reset(static_cast<std::size_t>(ins.dst));
+      uses.clear();
       collectUses(ins, uses);
-      for (int u : uses) live.insert(u);
-      if (ins.op == IOp::kRet) live.insert(kV0);
+      for (int u : uses) liveNow.set(static_cast<std::size_t>(u));
       kept.push_back(std::move(ins));
     }
     std::reverse(kept.begin(), kept.end());

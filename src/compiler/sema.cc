@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "src/common/error.h"
+#include "src/compiler/diag.h"
 #include "src/compiler/lexer.h"
 #include "src/isa/isa.h"
 
@@ -262,8 +263,16 @@ class Sema {
         break;
       }
       case ExprKind::kDollar:
-        if (spawnDepth_ == 0)
-          fail(e.line, "'$' used outside a spawn block");
+        if (spawnDepth_ == 0) {
+          Diagnostic d;
+          d.code = DiagCode::kDollarOutsideSpawn;
+          d.severity = Severity::kError;
+          d.line = e.line;
+          d.message =
+              "'$' (the virtual thread ID) is only defined inside a spawn "
+              "block";
+          throw DiagnosticError(std::move(d));
+        }
         e.type = TypeRef::Int();
         break;
       case ExprKind::kUnary: {

@@ -211,6 +211,8 @@ bool FuncModel::runContextSerial(Context& ctx, bool isMaster,
         break;
       case StepClass::kMemory: {
         memAddr = effectiveAddr(ctx, in);
+        bool isWrite = false, touches = true;
+        std::uint32_t size = 4;
         switch (in.op) {
           case Op::kLw:
           case Op::kRolw:
@@ -218,21 +220,30 @@ bool FuncModel::runContextSerial(Context& ctx, bool isMaster,
             break;
           case Op::kLbu:
             ctx.setReg(in.rt, memory_.readByte(memAddr));
+            size = 1;
             break;
           case Op::kSw:
           case Op::kSwnb:
             memory_.writeWord(memAddr, ctx.reg(in.rt));
+            isWrite = true;
             break;
           case Op::kSb:
             memory_.writeByte(memAddr,
                               static_cast<std::uint8_t>(ctx.reg(in.rt)));
+            isWrite = true;
+            size = 1;
             break;
           case Op::kPref:
           case Op::kFence:
-            break;  // timing-only in functional mode
+            touches = false;  // timing-only in functional mode
+            break;
           default:
             throw InternalError("bad memory op");
         }
+        if (observer && touches)
+          observer->onMemAccess({isMaster ? 0 : spawnSeq_, ctx.reg(kTid),
+                                 !isMaster, isWrite, false, memAddr, size,
+                                 in.srcLine});
         ctx.pc += 4;
         break;
       }
@@ -248,6 +259,10 @@ bool FuncModel::runContextSerial(Context& ctx, bool isMaster,
         memAddr = effectiveAddr(ctx, in);
         std::uint32_t old = memory_.fetchAdd(memAddr, ctx.reg(in.rt));
         ctx.setReg(in.rt, old);
+        if (observer)
+          observer->onMemAccess({isMaster ? 0 : spawnSeq_, ctx.reg(kTid),
+                                 !isMaster, true, true, memAddr, 4,
+                                 in.srcLine});
         ctx.pc += 4;
         break;
       }
@@ -256,6 +271,7 @@ bool FuncModel::runContextSerial(Context& ctx, bool isMaster,
           throw SimError("nested spawn reached hardware (the compiler "
                          "serializes nested spawns)");
         if (stats) ++stats->spawns;
+        ++spawnSeq_;
         std::uint32_t low = gr_[kGrNextId];
         std::uint32_t high = gr_[kGrHigh];
         auto startPc = static_cast<std::uint32_t>(in.imm);

@@ -121,6 +121,7 @@ class FuncModel {
   SparseMemory memory_;
   std::array<std::uint32_t, kNumGlobalRegs> gr_{};
   std::string output_;
+  std::uint64_t spawnSeq_ = 0;  // spawn regions executed (labels MemAccess)
 };
 
 }  // namespace xmt

@@ -10,9 +10,11 @@
 
 #include <cstdint>
 #include <map>
+#include <set>
 #include <string>
 #include <vector>
 
+#include "src/assembler/program.h"
 #include "src/desim/scheduler.h"
 #include "src/isa/isa.h"
 #include "src/sim/config.h"
@@ -56,6 +58,8 @@ class FilterPlugin {
   virtual ~FilterPlugin() = default;
   virtual void onCommit(int cluster, int tcu, const Instruction& in,
                         std::uint32_t pc, std::uint32_t memAddr) = 0;
+  /// Architectural memory access (functional mode). Default: ignored.
+  virtual void onMemAccess(const MemAccess& access) { (void)access; }
   virtual std::string report() const = 0;
 };
 
@@ -93,6 +97,50 @@ class HotLineFilter : public FilterPlugin {
  private:
   int topN_;
   std::map<std::int32_t, std::uint64_t> counts_;
+};
+
+/// Dynamic race checker for functional-mode runs. Functional mode serializes
+/// the virtual threads of a spawn region, so true interleaving bugs cannot
+/// manifest — instead this plug-in shadow-tags every byte accessed inside a
+/// spawn region with the last accessing virtual thread and flags accesses
+/// that conflict with a *different* thread's earlier access to the same byte
+/// in the same region. psm-to-psm accesses are exempt (the sanctioned
+/// concurrent-update primitive); psm against a plain access still races.
+/// This is the dynamic cross-check for the compiler's static race lint.
+class RaceCheckPlugin : public FilterPlugin {
+ public:
+  struct DynRace {
+    std::uint32_t addr = 0;
+    bool writeWrite = false;       // else read/write
+    std::uint32_t tidA = 0, tidB = 0;
+    std::int32_t srcLine = 0;      // line of the second (racing) access
+  };
+
+  void onCommit(int, int, const Instruction&, std::uint32_t,
+                std::uint32_t) override {}
+  void onMemAccess(const MemAccess& access) override;
+  std::string report() const override;
+
+  const std::vector<DynRace>& races() const { return races_; }
+  bool clean() const { return races_.empty(); }
+
+  /// Data-symbol names covering the racy addresses, for comparison with the
+  /// static lint's per-symbol findings. Addresses inside no data symbol map
+  /// to "<stack>" (near the master stack) or "<unknown>".
+  std::set<std::string> racySymbols(const Program& prog) const;
+
+ private:
+  struct Shadow {
+    std::uint64_t spawnSeq = 0;
+    bool hasWrite = false, writeAtomic = false;
+    std::uint32_t writerTid = 0;
+    bool hasRead = false, readAtomic = true;  // all reads so far atomic
+    std::uint32_t readerTid = 0;
+    bool multiReader = false;  // reads from more than one thread
+  };
+
+  std::map<std::uint32_t, Shadow> shadow_;  // per byte
+  std::vector<DynRace> races_;
 };
 
 }  // namespace xmt

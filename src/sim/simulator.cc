@@ -87,6 +87,10 @@ void Simulator::onCommit(int cluster, int tcu, const Instruction& in,
   }
 }
 
+void Simulator::onMemAccess(const MemAccess& access) {
+  for (const auto& f : filters_) f->onMemAccess(access);
+}
+
 void Simulator::ensureCycleModel() {
   if (cycle_) return;
   cycle_ = std::make_unique<CycleModel>(*func_, config_, stats_);

@@ -104,6 +104,7 @@ class Simulator : private CommitObserver {
  private:
   void onCommit(int cluster, int tcu, const Instruction& in,
                 std::uint32_t pc, std::uint32_t memAddr) override;
+  void onMemAccess(const MemAccess& access) override;
   void ensureCycleModel();
   RunResult finishCycleResult(const CycleRunResult& r);
 
