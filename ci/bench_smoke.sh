@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Smoke-run the event-engine benchmark: build bench_scheduler and execute
+# one short repetition of every workload. This is a build/run canary, not a
+# performance gate — timings on shared CI machines are too noisy to assert
+# on. The committed reference numbers live in BENCH_scheduler.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$(nproc)" --target bench_scheduler
+./build/bench/bench_scheduler --benchmark_min_time=0.05

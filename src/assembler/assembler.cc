@@ -490,9 +490,18 @@ class AssemblerImpl {
         const std::string& g = ops[1];
         if (g.size() < 3 || g.compare(0, 2, "gr") != 0)
           throw AsmError(line.number, "expected global register grN");
-        int n = std::atoi(g.c_str() + 2);
-        if (n < 0 || n >= kNumGlobalRegs)
-          throw AsmError(line.number, "global register out of range");
+        // The suffix must be fully numeric: atoi would quietly turn "grx"
+        // into gr0 and "gr1junk" into gr1.
+        int n = 0;
+        for (std::size_t i = 2; i < g.size(); ++i) {
+          char c = g[i];
+          if (!std::isdigit(static_cast<unsigned char>(c)))
+            throw AsmError(line.number,
+                           "bad global register '" + g + "': expected grN");
+          n = n * 10 + (c - '0');
+          if (n >= kNumGlobalRegs)
+            throw AsmError(line.number, "global register out of range");
+        }
         in.rt = static_cast<std::uint8_t>(n);
         break;
       }

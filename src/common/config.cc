@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -102,9 +103,12 @@ std::int64_t ConfigMap::getInt(const std::string& key,
   if (!v) return dflt;
   const char* s = v->c_str();
   char* end = nullptr;
+  errno = 0;
   long long r = std::strtoll(s, &end, 0);
   if (end == s || *end != '\0')
     throw ConfigError("key '" + key + "': '" + *v + "' is not an integer");
+  if (errno == ERANGE)
+    throw ConfigError("key '" + key + "': '" + *v + "' is out of range");
   return static_cast<std::int64_t>(r);
 }
 

@@ -1,6 +1,7 @@
 #include "src/compiler/lexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 
@@ -57,6 +58,19 @@ class Lexer {
   }
   [[noreturn]] void fail(const std::string& msg) const {
     throw CompileError(line_, msg);
+  }
+
+  /// Converts an integer literal, diagnosing out-of-range values instead of
+  /// silently saturating to LLONG_MAX the way bare strtoll would.
+  std::int64_t parseIntLit(const std::string& num, int base) {
+    errno = 0;
+    char* end = nullptr;
+    long long v = std::strtoll(num.c_str(), &end, base);
+    if (end != num.c_str() + num.size())
+      fail("malformed integer literal '" + num + "'");
+    if (errno == ERANGE)
+      fail("integer literal '" + num + "' out of range");
+    return v;
   }
 
   void skipWhitespaceAndComments() {
@@ -132,7 +146,7 @@ class Lexer {
         while (std::isxdigit(static_cast<unsigned char>(peek())))
           num += get();
         t.kind = Tok::kIntLit;
-        t.intVal = std::strtoll(num.c_str(), nullptr, 16);
+        t.intVal = parseIntLit(num, 16);
         return t;
       }
       while (std::isdigit(static_cast<unsigned char>(peek()))) num += get();
@@ -156,7 +170,7 @@ class Lexer {
         t.floatVal = std::strtod(num.c_str(), nullptr);
       } else {
         t.kind = Tok::kIntLit;
-        t.intVal = std::strtoll(num.c_str(), nullptr, 10);
+        t.intVal = parseIntLit(num, 10);
       }
       return t;
     }

@@ -25,9 +25,16 @@ void ClockDomain::rebase(SimTime now) {
 }
 
 void ClockDomain::setFrequency(double freqGhz, SimTime now) {
+  if (!enabled_) {
+    // A gated domain keeps crawling at the gated period; the new frequency
+    // only takes effect when the domain is re-enabled. Overwriting period_
+    // here would silently un-gate the domain.
+    savedPeriod_ = periodFromGhz(freqGhz);
+    return;
+  }
   rebase(now);
   period_ = periodFromGhz(freqGhz);
-  if (enabled_) savedPeriod_ = period_;
+  savedPeriod_ = period_;
 }
 
 void ClockDomain::setEnabled(bool enabled, SimTime now) {

@@ -1,0 +1,193 @@
+// Bucketed event queue for the discrete-event scheduler.
+//
+// XMTSim's event population is near-monotone: almost every event lands on
+// the current timestamp (the two-phase clock cycle being processed) or a
+// handful of future clock edges. A binary heap pays O(log n) per push/pop
+// and gives no credit for that structure. This queue does: events live in
+// per-timestamp buckets, each bucket holding one FIFO lane per phase
+// priority, so the dominant "same time, next phase" case is an O(1) vector
+// append / cursor bump. Buckets for distinct future times sit in a sorted
+// map whose size is the number of *distinct* pending timestamps (typically
+// a few clock-domain edges), not the number of pending events.
+//
+// Determinism contract: pop() returns events in exactly ascending
+// (time, priority, insertion-seq) order — the same total order the seed
+// priority_queue produced. Time order comes from the sorted bucket map,
+// priority order from scanning lanes 0..N within a bucket, and seq order
+// for free: pushes append to a lane in insertion order, so the lane cursor
+// replays them FIFO. Lanes are rescanned from 0 on every pop because an
+// actor fired at (T, p) may push a new event at (T, p' < p) — it must still
+// fire before pending (T, p) events, and it does.
+//
+// Events are cancellable: push() returns a Handle the owner may later pass
+// to cancel(), which tombstones the item in place; pop() skips tombstones.
+// Stale handles (already fired, already cancelled, or pointing into a
+// recycled bucket) are detected via a per-activation stamp and rejected, so
+// callers need no fired-vs-pending bookkeeping of their own.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+class Actor;
+
+/// Simulated time in picoseconds.
+using SimTime = std::int64_t;
+
+/// Event priorities within one timestamp (smaller runs first).
+inline constexpr int kPhaseNegotiate = 0;
+inline constexpr int kPhaseTransfer = 1;
+inline constexpr int kPhaseRetire = 2;
+
+/// Internal lane for stop events; sorts after every phase at equal time.
+inline constexpr int kLaneStop = kPhaseRetire + 1;
+inline constexpr int kNumEventLanes = kLaneStop + 1;
+
+class EventQueue {
+ public:
+  struct Fired {
+    SimTime time;
+    Actor* actor;  // nullptr == stop event
+  };
+
+  /// Position of a scheduled event, for cancel(). Default-constructed or
+  /// stale handles are safely rejected.
+  struct Handle {
+    SimTime time = -1;
+    std::uint64_t stamp = 0;
+    std::uint32_t index = 0;
+    std::uint8_t lane = 0;
+  };
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  bool empty() const { return live_ == 0; }
+  std::size_t size() const { return live_; }
+
+  /// Inserts an event; lane must be in [0, kNumEventLanes).
+  Handle push(SimTime time, int lane, Actor* actor) {
+    Bucket* b = bucketFor(time);
+    auto& items = b->lanes[lane];
+    items.push_back(Item{actor, false});
+    ++live_;
+    return Handle{time, b->stamp, static_cast<std::uint32_t>(items.size() - 1),
+                  static_cast<std::uint8_t>(lane)};
+  }
+
+  /// Cancels a not-yet-fired event. Returns false (and does nothing) if the
+  /// handle is stale: default, already fired, already cancelled, or from a
+  /// recycled bucket.
+  bool cancel(const Handle& h) {
+    if (h.time < 0) return false;
+    auto it = buckets_.find(h.time);
+    if (it == buckets_.end()) return false;
+    Bucket* b = it->second.get();
+    if (b->stamp != h.stamp) return false;       // bucket was recycled
+    if (h.index < b->heads[h.lane]) return false;  // already fired
+    Item& item = b->lanes[h.lane][h.index];
+    if (item.cancelled) return false;
+    item.cancelled = true;
+    --live_;
+    return true;
+  }
+
+  /// Earliest live event time. Queue must not be empty.
+  SimTime headTime() { return front()->time; }
+
+  /// Removes and returns the earliest event: smallest (time, lane), FIFO
+  /// within a lane. Queue must not be empty.
+  Fired pop() {
+    Bucket* b = front();
+    for (int lane = 0; lane < kNumEventLanes; ++lane) {
+      auto& items = b->lanes[lane];
+      std::uint32_t& head = b->heads[lane];
+      while (head < items.size() && items[head].cancelled) ++head;
+      if (head < items.size()) {
+        Actor* actor = items[head].actor;
+        ++head;
+        --live_;
+        return Fired{b->time, actor};
+      }
+    }
+    // front() guarantees a live item.
+    throw InternalError("EventQueue bucket lost its live item");
+  }
+
+ private:
+  struct Item {
+    Actor* actor;
+    bool cancelled;
+  };
+  struct Bucket {
+    SimTime time = 0;
+    std::uint64_t stamp = 0;
+    std::array<std::vector<Item>, kNumEventLanes> lanes;
+    std::array<std::uint32_t, kNumEventLanes> heads{};
+  };
+
+  static bool hasLive(Bucket* b) {
+    for (int lane = 0; lane < kNumEventLanes; ++lane) {
+      auto& items = b->lanes[lane];
+      std::uint32_t& head = b->heads[lane];
+      while (head < items.size() && items[head].cancelled) ++head;
+      if (head < items.size()) return true;
+    }
+    return false;
+  }
+
+  Bucket* bucketFor(SimTime time) {
+    if (cachedFront_ != nullptr && cachedFront_->time == time)
+      return cachedFront_;
+    auto [it, inserted] = buckets_.try_emplace(time);
+    if (inserted) {
+      if (!free_.empty()) {
+        it->second = std::move(free_.back());
+        free_.pop_back();
+        for (auto& lane : it->second->lanes) lane.clear();
+        it->second->heads.fill(0);
+      } else {
+        it->second = std::make_unique<Bucket>();
+      }
+      it->second->time = time;
+      it->second->stamp = ++stampSeq_;
+    }
+    Bucket* b = it->second.get();
+    if (cachedFront_ == nullptr || time < cachedFront_->time) cachedFront_ = b;
+    return b;
+  }
+
+  /// The earliest bucket holding a live event, pruning fully-drained
+  /// buckets along the way. Queue must not be empty.
+  Bucket* front() {
+    XMT_CHECK(live_ > 0);
+    if (cachedFront_ != nullptr && hasLive(cachedFront_)) return cachedFront_;
+    for (;;) {
+      auto it = buckets_.begin();
+      Bucket* b = it->second.get();
+      if (hasLive(b)) {
+        cachedFront_ = b;
+        return b;
+      }
+      if (cachedFront_ == b) cachedFront_ = nullptr;
+      free_.push_back(std::move(it->second));
+      buckets_.erase(it);
+    }
+  }
+
+  std::map<SimTime, std::unique_ptr<Bucket>> buckets_;
+  std::vector<std::unique_ptr<Bucket>> free_;  // recycled bucket storage
+  Bucket* cachedFront_ = nullptr;  // earliest bucket, when known
+  std::uint64_t stampSeq_ = 0;
+  std::size_t live_ = 0;  // pushed, not yet fired or cancelled
+};
+
+}  // namespace xmt

@@ -5,19 +5,32 @@ namespace xmt {
 void Scheduler::schedule(Actor* actor, SimTime time, int priority) {
   XMT_CHECK(actor != nullptr);
   XMT_CHECK(time >= now_);
-  events_.push(Event{time, priority, seq_++, actor});
+  XMT_CHECK(priority >= 0 && priority < kLaneStop);
+  events_.push(time, priority, actor);
+}
+
+EventQueue::Handle Scheduler::scheduleCancellable(Actor* actor, SimTime time,
+                                                 int priority) {
+  XMT_CHECK(actor != nullptr);
+  XMT_CHECK(time >= now_);
+  XMT_CHECK(priority >= 0 && priority < kLaneStop);
+  return events_.push(time, priority, actor);
 }
 
 void Scheduler::scheduleStop(SimTime time) {
   XMT_CHECK(time >= now_);
   // Stop events sort after all same-time phases so the cycle completes.
-  events_.push(Event{time, kPhaseRetire + 1, seq_++, nullptr});
+  stops_.push_back(events_.push(time, kLaneStop, nullptr));
+}
+
+void Scheduler::cancelStops() {
+  for (const EventQueue::Handle& h : stops_) events_.cancel(h);
+  stops_.clear();
 }
 
 bool Scheduler::step() {
   if (events_.empty()) return false;
-  Event e = events_.top();
-  events_.pop();
+  EventQueue::Fired e = events_.pop();
   now_ = e.time;
   if (e.actor == nullptr) return false;  // stop event
   ++processed_;
@@ -27,27 +40,23 @@ bool Scheduler::step() {
 
 bool Scheduler::run() {
   while (!events_.empty()) {
-    Event e = events_.top();
-    if (e.actor == nullptr) {
-      events_.pop();
-      now_ = e.time;
-      return true;
-    }
-    step();
+    EventQueue::Fired e = events_.pop();
+    now_ = e.time;
+    if (e.actor == nullptr) return true;  // stop event
+    ++processed_;
+    e.actor->notify(now_);
   }
   return false;
 }
 
 bool Scheduler::runUntil(SimTime limit) {
   while (!events_.empty()) {
-    Event e = events_.top();
-    if (e.time > limit) return false;
-    if (e.actor == nullptr) {
-      events_.pop();
-      now_ = e.time;
-      return true;
-    }
-    step();
+    if (events_.headTime() > limit) return false;
+    EventQueue::Fired e = events_.pop();
+    now_ = e.time;
+    if (e.actor == nullptr) return true;  // stop event
+    ++processed_;
+    e.actor->notify(now_);
   }
   return false;
 }

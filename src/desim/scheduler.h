@@ -10,25 +10,19 @@
 // Priorities implement the paper's two-phase clock-cycle scheme: within one
 // timestamp, kPhaseNegotiate events run before kPhaseTransfer events, which
 // run before kPhaseRetire events; ties break by insertion order, making
-// simulation fully deterministic.
+// simulation fully deterministic. The event list itself is a bucketed
+// EventQueue (see eventqueue.h) that exploits the near-monotone timestamp
+// distribution while preserving exactly that (time, priority, seq) order.
 #pragma once
 
 #include <cstdint>
-#include <queue>
 #include <string>
 #include <vector>
 
 #include "src/common/error.h"
+#include "src/desim/eventqueue.h"
 
 namespace xmt {
-
-/// Simulated time in picoseconds.
-using SimTime = std::int64_t;
-
-/// Event priorities within one timestamp (smaller runs first).
-inline constexpr int kPhaseNegotiate = 0;
-inline constexpr int kPhaseTransfer = 1;
-inline constexpr int kPhaseRetire = 2;
 
 /// An object that can schedule events and is notified when they fire.
 class Actor {
@@ -56,11 +50,26 @@ class Scheduler {
   /// priority. `time` must be >= now().
   void schedule(Actor* actor, SimTime time, int priority = kPhaseTransfer);
 
+  /// Like schedule(), but returns a handle the caller may pass to cancel()
+  /// to withdraw the event before it fires.
+  EventQueue::Handle scheduleCancellable(Actor* actor, SimTime time,
+                                         int priority = kPhaseTransfer);
+
+  /// Cancels a pending event. Stale handles (fired, cancelled, default) are
+  /// ignored; returns whether an event was actually withdrawn.
+  bool cancel(const EventQueue::Handle& handle) {
+    return events_.cancel(handle);
+  }
+
   /// Schedules the special stop event; run() returns when it is reached.
   void scheduleStop(SimTime time);
 
   /// Requests an immediate stop (stop event at the current time).
   void requestStop() { scheduleStop(now_); }
+
+  /// Withdraws all pending stop events (already-consumed ones are ignored),
+  /// so a finished run's unreached stop cannot leak into a resumed run.
+  void cancelStops();
 
   /// Processes events until the stop event fires or the list drains.
   /// Returns true if stopped by a stop event, false if the list drained.
@@ -79,21 +88,9 @@ class Scheduler {
   std::uint64_t eventsProcessed() const { return processed_; }
 
  private:
-  struct Event {
-    SimTime time;
-    int priority;
-    std::uint64_t seq;
-    Actor* actor;  // nullptr == stop event
-    bool operator>(const Event& o) const {
-      if (time != o.time) return time > o.time;
-      if (priority != o.priority) return priority > o.priority;
-      return seq > o.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> events_;
+  EventQueue events_;
+  std::vector<EventQueue::Handle> stops_;  // pending (or consumed) stops
   SimTime now_ = 0;
-  std::uint64_t seq_ = 0;
   std::uint64_t processed_ = 0;
 };
 

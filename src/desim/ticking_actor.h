@@ -9,7 +9,13 @@
 //
 // Spurious notifications are possible when an earlier wake supersedes a
 // later one already in the event list; tick() implementations must be
-// work-conserving (safe to call with nothing to do).
+// work-conserving (safe to call with nothing to do). Superseded events are
+// deliberately NOT cancelled: the cycle models treat every effective tick
+// (including ones fired by a stale wake while dormant) as a real cycle —
+// e.g. the cluster's round-robin issue pointer advances — so removing them
+// would change the timing model. The determinism contract (bit-identical
+// Stats across engine changes, see tests/test_golden_stats.cc) pins this
+// behavior down.
 #pragma once
 
 #include "src/desim/clockdomain.h"

@@ -1491,6 +1491,10 @@ CycleRunResult CycleModel::run(std::uint64_t maxCycles) {
     m.master->start();
     for (auto& s : m.samplers) s->wakeAt(1);
   }
+  // A previous run()'s cycle-budget stop may still sit in the event list if
+  // that run ended early on a halt or checkpoint stop; withdraw it so it
+  // cannot cut this run short.
+  m.sched.cancelStops();
   if (maxCycles > 0) {
     std::int64_t target =
         m.masterClk.cyclesAt(m.sched.now()) +

@@ -140,6 +140,17 @@ TEST(Assembler, GlobalMarksSymbols) {
   EXPECT_TRUE(p.symbol("A").isGlobal);
 }
 
+TEST(Assembler, GrOperandRequiresFullyNumericSuffix) {
+  // Regression: atoi parsing silently turned "grx" into gr0 and "gr1junk"
+  // into gr1.
+  EXPECT_THROW(assemble(".text\nmain: mtgr t0, grx\n"), AsmError);
+  EXPECT_THROW(assemble(".text\nmain: mtgr t0, gr1junk\n"), AsmError);
+  EXPECT_THROW(assemble(".text\nmain: mtgr t0, gr-1\n"), AsmError);
+  EXPECT_THROW(assemble(".text\nmain: mtgr t0, gr99999999999\n"), AsmError);
+  Program p = assemble(".text\nmain: mtgr t0, gr7\n");
+  EXPECT_EQ(p.text[0].rt, 7);
+}
+
 TEST(Assembler, Errors) {
   EXPECT_THROW(assemble(".text\nmain: frobnicate t0\n"), AsmError);
   EXPECT_THROW(assemble(".text\nmain: j nowhere\n"), AsmError);

@@ -3,7 +3,10 @@
 // architectural results.
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "src/common/error.h"
+#include "src/sim/plugins.h"
 #include "tests/sim_test_util.h"
 
 namespace xmt {
@@ -137,6 +140,44 @@ TEST(Checkpoint, CyclesAccumulateAcrossResume) {
                  static_cast<double>(rs.cycles);
   EXPECT_GT(ratio, 0.9);
   EXPECT_LT(ratio, 1.2);
+}
+
+// Requests a single early stop, like a convergence-detection plug-in would.
+class StopOncePlugin : public ActivityPlugin {
+ public:
+  void onInterval(RuntimeControl& rc) override {
+    if (fired) return;
+    fired = true;
+    rc.requestStop();
+  }
+  bool fired = false;
+};
+
+TEST(Checkpoint, StaleCycleBudgetStopDoesNotLeakIntoNextRun) {
+  // Regression: run(maxCycles) schedules a stop event at the cycle budget.
+  // If the run ends early (here: a plug-in stop), the budget stop used to
+  // survive in the event list and cut the *next* run short with
+  // halted == false. A new run must withdraw stale stops.
+  Program p = assemble(kPhased);
+
+  Simulator straight(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  auto rs = straight.run();
+  ASSERT_TRUE(rs.halted);
+  ASSERT_GT(rs.cycles, 200u);
+
+  Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+  sim.addActivityPlugin(std::make_unique<StopOncePlugin>(), 50);
+  // The plug-in stops the run around cycle 50, well before the budget.
+  auto r1 = sim.run(rs.cycles / 2);
+  ASSERT_FALSE(r1.halted);
+  ASSERT_LT(r1.cycles, rs.cycles / 2);
+
+  // Continue with no budget: must run to halt, not stop at the stale budget
+  // stop from the first run.
+  auto r2 = sim.run();
+  EXPECT_TRUE(r2.halted);
+  EXPECT_EQ(r2.haltCode, rs.haltCode);
+  EXPECT_EQ(sim.getGlobal("S"), straight.getGlobal("S"));
 }
 
 TEST(Checkpoint, DeserializeRejectsGarbage) {

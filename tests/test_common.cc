@@ -41,6 +41,17 @@ TEST(Config, RejectsWrongTypes) {
   EXPECT_THROW(cfg.getBool("a", false), ConfigError);
 }
 
+TEST(Config, RejectsOutOfRangeInt) {
+  // Regression: values past INT64 range used to saturate silently.
+  auto cfg = ConfigMap::fromText(
+      "big = 99999999999999999999\n"
+      "neg = -99999999999999999999\n"
+      "ok = 9223372036854775807\n");
+  EXPECT_THROW(cfg.getInt("big", 0), ConfigError);
+  EXPECT_THROW(cfg.getInt("neg", 0), ConfigError);
+  EXPECT_EQ(cfg.getInt("ok", 0), 9223372036854775807LL);
+}
+
 TEST(Config, OverridesReplaceFileValues) {
   auto cfg = ConfigMap::fromText("clusters = 8\n");
   cfg.applyOverride("clusters=64");

@@ -808,6 +808,20 @@ TEST(CompilerErrors, Syntax) {
   EXPECT_THROW(compileToProgram("int main( { }"), CompileError);
 }
 
+TEST(CompilerErrors, IntegerLiteralOverflow) {
+  // Regression: out-of-range literals used to saturate to LLONG_MAX
+  // silently instead of being diagnosed.
+  EXPECT_THROW(
+      compileToProgram("int main() { return 99999999999999999999; }"),
+      CompileError);
+  EXPECT_THROW(
+      compileToProgram("int main() { return 0xffffffffffffffffff; }"),
+      CompileError);
+  // Literals in range still lex.
+  compileToProgram("int main() { return 2147483647; }");
+  compileToProgram("int x; int main() { x = 0x7fffffff; return 0; }");
+}
+
 TEST(CompilerErrors, Sema) {
   EXPECT_THROW(compileToProgram("int main() { return undeclared; }"),
                CompileError);

@@ -1,6 +1,9 @@
 // Unit and property tests for the discrete-event engine.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+#include <queue>
 #include <vector>
 
 #include "src/common/rng.h"
@@ -213,6 +216,135 @@ TEST(TickingActor, RedundantWakesAreSafe) {
   sched.run();
   ASSERT_EQ(d.processed.size(), 1u);
   EXPECT_EQ(d.processed[0].second, 7);
+}
+
+TEST(ClockDomain, SetFrequencyWhileGatedStaysAtCrawl) {
+  // Regression: changing frequency on a gated domain used to overwrite the
+  // crawl period (silently un-gating it) and lose the requested frequency
+  // for re-enable.
+  ClockDomain clk("core", 1.0);
+  clk.setEnabled(false, 1000);
+  SimTime crawl = clk.period();
+  EXPECT_GT(crawl, 100000);
+  clk.setFrequency(2.0, 2000000);
+  EXPECT_FALSE(clk.enabled());
+  EXPECT_EQ(clk.period(), crawl);  // still gated, still crawling
+  clk.setEnabled(true, 5000000);
+  EXPECT_EQ(clk.period(), 500);  // the 2 GHz request applies on re-enable
+}
+
+TEST(Scheduler, CancelledEventDoesNotFire) {
+  Scheduler s;
+  RecordingActor a("a"), b("b");
+  EventQueue::Handle h = s.scheduleCancellable(&a, 10);
+  s.schedule(&b, 10);
+  EXPECT_EQ(s.pendingEvents(), 2u);
+  EXPECT_TRUE(s.cancel(h));
+  EXPECT_EQ(s.pendingEvents(), 1u);
+  EXPECT_FALSE(s.run());
+  EXPECT_TRUE(a.times.empty());
+  ASSERT_EQ(b.times.size(), 1u);
+  EXPECT_EQ(b.times[0], 10);
+}
+
+TEST(Scheduler, StaleCancelHandlesAreRejected) {
+  Scheduler s;
+  RecordingActor a("a");
+  EXPECT_FALSE(s.cancel(EventQueue::Handle{}));  // default handle
+  EventQueue::Handle h = s.scheduleCancellable(&a, 10);
+  s.run();
+  EXPECT_FALSE(s.cancel(h));  // already fired
+  ASSERT_EQ(a.times.size(), 1u);
+  EventQueue::Handle h2 = s.scheduleCancellable(&a, 20);
+  EXPECT_TRUE(s.cancel(h2));
+  EXPECT_FALSE(s.cancel(h2));  // already cancelled
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, CancelStopsWithdrawsPendingStops) {
+  // Regression: a stop event surviving a finished run used to cut the next
+  // run short (CycleModel::run's cycle budget leaking into a resumed run).
+  Scheduler s;
+  RecordingActor a("a");
+  s.schedule(&a, 10);
+  s.scheduleStop(5);
+  s.scheduleStop(15);
+  EXPECT_TRUE(s.run());  // consumes the stop at 5
+  EXPECT_EQ(s.now(), 5);
+  s.cancelStops();  // withdraws the stop at 15; stop at 5 is stale
+  EXPECT_FALSE(s.run());  // drains instead of stopping at 15
+  ASSERT_EQ(a.times.size(), 1u);
+  EXPECT_EQ(a.times[0], 10);
+}
+
+TEST(Scheduler, NormalEventBeatsStopAtSameTime) {
+  Scheduler s;
+  RecordingActor a("a");
+  s.scheduleStop(10);
+  s.schedule(&a, 10, kPhaseRetire);
+  EXPECT_TRUE(s.run());
+  // The retire-phase event at t=10 completes before the stop fires.
+  ASSERT_EQ(a.times.size(), 1u);
+}
+
+// Property: the bucketed EventQueue agrees with a reference heap ordered by
+// (time, priority, seq) under random interleaved pushes, cancels and pops.
+TEST(SchedulerProperty, EventQueueMatchesReferenceHeap) {
+  struct Ref {
+    SimTime time;
+    int prio;
+    std::uint64_t seq;
+    Actor* actor;
+    bool operator>(const Ref& o) const {
+      if (time != o.time) return time > o.time;
+      if (prio != o.prio) return prio > o.prio;
+      return seq > o.seq;
+    }
+  };
+  Rng rng(1234);
+  for (int trial = 0; trial < 10; ++trial) {
+    EventQueue q;
+    std::priority_queue<Ref, std::vector<Ref>, std::greater<Ref>> ref;
+    std::vector<EventQueue::Handle> handles;
+    std::vector<std::uint64_t> handleSeqs;
+    std::vector<std::unique_ptr<RecordingActor>> actors;
+    std::vector<std::uint64_t> cancelled;
+    std::uint64_t seq = 0;
+    SimTime now = 0;
+    for (int step = 0; step < 2000; ++step) {
+      double roll = rng.uniform();
+      if (roll < 0.5 || q.empty()) {
+        SimTime t = now + static_cast<SimTime>(rng.below(8));
+        int prio = static_cast<int>(rng.below(kNumEventLanes));
+        actors.push_back(std::make_unique<RecordingActor>("x"));
+        Actor* a = actors.back().get();
+        handles.push_back(q.push(t, prio, a));
+        handleSeqs.push_back(seq);
+        ref.push(Ref{t, prio, seq++, a});
+      } else if (roll < 0.6 && !handles.empty()) {
+        std::size_t i = rng.below(handles.size());
+        if (q.cancel(handles[i])) cancelled.push_back(handleSeqs[i]);
+      } else {
+        // Pop from the reference, skipping cancelled entries.
+        while (!ref.empty() &&
+               std::count(cancelled.begin(), cancelled.end(),
+                          ref.top().seq) != 0)
+          ref.pop();
+        if (ref.empty()) {
+          EXPECT_TRUE(q.empty());
+          continue;
+        }
+        Ref expect = ref.top();
+        ref.pop();
+        ASSERT_FALSE(q.empty());
+        EXPECT_EQ(q.headTime(), expect.time);
+        EventQueue::Fired got = q.pop();
+        EXPECT_EQ(got.time, expect.time);
+        EXPECT_EQ(got.actor, expect.actor);
+        now = got.time;
+      }
+    }
+  }
 }
 
 TEST(TimedQueue, FifoWithinSameReadyTime) {

@@ -1,0 +1,263 @@
+// Golden-stats determinism suite for the discrete-event engine.
+//
+// The event queue's ordering contract — events fire in exact
+// (time, priority, insertion-seq) order — is what makes XMTSim fully
+// deterministic. These tests pin that contract down: each workload kernel
+// runs cycle-accurately and every Stats field must match, bit for bit, the
+// values recorded from the seed engine (the std::priority_queue scheduler
+// the repository started with). Any event-queue change that reorders events
+// shifts cycle counts or activity counters and fails here.
+//
+// To regenerate the golden values after an *intentional* timing-model
+// change, run:
+//   XMT_PRINT_GOLDEN=1 ./xmt_tests --gtest_filter='GoldenStats.*'
+// and paste the printed blocks below.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/toolchain.h"
+#include "src/workloads/kernels.h"
+
+namespace xmt {
+namespace {
+
+// FNV-1a over the per-cluster activity vector: keeps the golden blocks
+// readable while still detecting any change to any per-cluster counter.
+std::uint64_t perClusterHash(const Stats& s) {
+  std::uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (const auto& c : s.perCluster) {
+    mix(c.instructions);
+    mix(c.aluOps);
+    mix(c.mduOps);
+    mix(c.fpuOps);
+    mix(c.memOps);
+    mix(c.activeCycles);
+  }
+  return h;
+}
+
+// Canonical dump of every Stats field (plus halt state). Per-cluster data
+// is folded into sums + an order-sensitive hash.
+std::string canonicalStats(const RunResult& r, const Stats& s) {
+  std::ostringstream ss;
+  ss << "halted=" << r.halted << " code=" << r.haltCode << "\n";
+  ss << "instructions=" << s.instructions << " spawns=" << s.spawns
+     << " vthreads=" << s.virtualThreads << "\n";
+  ss << "cycles=" << s.cycles << " simTime=" << s.simTime << "\n";
+  ss << "cache=" << s.cacheHits << "/" << s.cacheMisses
+     << " dram=" << s.dramRequests << " master=" << s.masterCacheHits << "/"
+     << s.masterCacheMisses << " ro=" << s.roCacheHits << "/"
+     << s.roCacheMisses << " pb=" << s.prefetchBufferHits << "\n";
+  ss << "icn=" << s.icnPackets << " memWait=" << s.memWaitCycles
+     << " ps=" << s.psRequests << " psm=" << s.psmRequests
+     << " swnb=" << s.nonBlockingStores << "\n";
+  ss << "op:";
+  for (std::size_t i = 0; i < s.opCount.size(); ++i)
+    if (s.opCount[i] != 0) ss << " " << i << ":" << s.opCount[i];
+  ss << "\n";
+  ss << "fu:";
+  for (std::size_t i = 0; i < s.fuCount.size(); ++i)
+    if (s.fuCount[i] != 0) ss << " " << i << ":" << s.fuCount[i];
+  ss << "\n";
+  std::uint64_t ci = 0, ca = 0, cm = 0, cf = 0, cmem = 0, cact = 0;
+  for (const auto& c : s.perCluster) {
+    ci += c.instructions;
+    ca += c.aluOps;
+    cm += c.mduOps;
+    cf += c.fpuOps;
+    cmem += c.memOps;
+    cact += c.activeCycles;
+  }
+  ss << "clusters=" << s.perCluster.size() << " sum=" << ci << "/" << ca
+     << "/" << cm << "/" << cf << "/" << cmem << "/" << cact << " hash=0x"
+     << std::hex << perClusterHash(s) << std::dec << "\n";
+  return ss.str();
+}
+
+struct GoldenCase {
+  const char* name;
+  const char* configName;  // "fpga64" or "chip1024"
+  std::string source;
+  // Deterministic input arrays, applied before the run.
+  std::vector<std::pair<std::string, std::vector<std::int32_t>>> inputs;
+  const char* expected;
+};
+
+std::vector<std::int32_t> ramp(int n, int mul, int add) {
+  std::vector<std::int32_t> v(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i)
+    v[static_cast<std::size_t>(i)] = i * mul + add;
+  return v;
+}
+
+const std::vector<GoldenCase>& goldenCases();
+
+class GoldenStats : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenStats, MatchesSeedEngine) {
+  const GoldenCase& gc =
+      goldenCases()[static_cast<std::size_t>(GetParam())];
+  ToolchainOptions opts;
+  opts.config = XmtConfig::byName(gc.configName);
+  opts.mode = SimMode::kCycleAccurate;
+  Toolchain tc(opts);
+  auto sim = tc.makeSimulator(gc.source);
+  for (const auto& [name, data] : gc.inputs) sim->setGlobalArray(name, data);
+  RunResult r = sim->run();
+  std::string dump = canonicalStats(r, sim->stats());
+  if (std::getenv("XMT_PRINT_GOLDEN") != nullptr) {
+    printf("=== GOLDEN %s ===\n%s=== END %s ===\n", gc.name, dump.c_str(),
+           gc.name);
+    fflush(stdout);
+    return;
+  }
+  EXPECT_EQ(dump, gc.expected) << "kernel " << gc.name
+                               << ": event ordering or timing model changed";
+}
+
+// Determinism within one binary: two identical runs, identical stats.
+TEST(GoldenStats, RepeatRunIsBitIdentical) {
+  Toolchain tc;
+  std::string src = workloads::histogramSource(96, 8);
+  auto in = ramp(96, 5, 3);
+  for (auto& v : in) v &= 7;
+  std::string first;
+  for (int i = 0; i < 2; ++i) {
+    auto sim = tc.makeSimulator(src);
+    sim->setGlobalArray("A", in);
+    RunResult r = sim->run();
+    std::string dump = canonicalStats(r, sim->stats());
+    if (i == 0)
+      first = dump;
+    else
+      EXPECT_EQ(dump, first);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kernels, GoldenStats,
+    ::testing::Range(0, static_cast<int>(goldenCases().size())),
+    [](const ::testing::TestParamInfo<int>& info) {
+      return std::string(
+          goldenCases()[static_cast<std::size_t>(info.param)].name);
+    });
+
+const std::vector<GoldenCase>& goldenCases() {
+  static const std::vector<GoldenCase> kCases = [] {
+    std::vector<GoldenCase> cases;
+    cases.push_back({"vectorAdd96", "fpga64", workloads::vectorAddSource(96),
+                     {{"A", ramp(96, 3, 1)}},
+                     R"gold(halted=1 code=0
+instructions=1163 spawns=1 vthreads=96
+cycles=212 simTime=2826596
+cache=0/12 dram=12 master=0/0 ro=0/0 pb=0
+icn=193 memWait=6393 ps=0 psm=0 swnb=96
+op: 0:288 1:1 13:97 14:192 15:97 16:192 41:1 42:1 44:96 45:1 46:96 51:1 54:2 56:1 57:96 58:1
+fu: 0:675 1:192 2:2 5:194 6:2 7:98
+clusters=8 sum=1152/864/0/0/192/288 hash=0x9e817b6e91bdccfb
+)gold"});
+    auto histIn = ramp(128, 7, 0);
+    for (auto& v : histIn) v &= 7;
+    cases.push_back({"histogram128", "fpga64",
+                     workloads::histogramSource(128, 8),
+                     {{"A", histIn}},
+                     R"gold(halted=1 code=0
+instructions=1674 spawns=1 vthreads=128
+cycles=278 simTime=3706574
+cache=108/17 dram=17 master=0/0 ro=0/0 pb=0
+icn=257 memWait=10839 ps=0 psm=128 swnb=0
+op: 0:256 1:1 13:129 14:256 15:385 16:256 41:1 42:1 44:128 45:1 53:128 54:2 56:1 57:128 58:1
+fu: 0:1027 1:256 2:2 5:129 6:130 7:130
+clusters=8 sum=1664/1280/0/0/256/486 hash=0x6d5fe9b86c4fe80f
+)gold"});
+    cases.push_back({"parallelSum64", "fpga64",
+                     workloads::parallelSumSource(64),
+                     {{"A", ramp(64, 1, 0)}},
+                     R"gold(halted=1 code=0
+instructions=522 spawns=1 vthreads=64
+cycles=179 simTime=2386607
+cache=44/9 dram=9 master=0/0 ro=0/0 pb=0
+icn=129 memWait=6019 ps=0 psm=64 swnb=0
+op: 0:64 1:1 13:1 14:128 15:65 16:64 41:1 42:1 44:64 45:1 53:64 54:2 56:1 57:64 58:1
+fu: 0:259 1:64 2:2 5:65 6:66 7:66
+clusters=8 sum=512/320/0/0/128/157 hash=0xd4c8c9b21417e164
+)gold"});
+    auto compIn = ramp(48, 1, 0);
+    for (std::size_t i = 0; i < compIn.size(); i += 3) compIn[i] = 0;
+    cases.push_back({"compaction48", "fpga64",
+                     workloads::compactionSource(48),
+                     {{"A", compIn}},
+                     R"gold(halted=1 code=0
+instructions=736 spawns=1 vthreads=48
+cycles=193 simTime=2573269
+cache=32/6 dram=6 master=0/0 ro=0/0 pb=0
+icn=114 memWait=3536 ps=32 psm=0 swnb=33
+op: 0:112 1:1 13:50 14:113 15:49 16:112 35:48 40:16 41:1 42:1 44:80 45:1 46:33 51:33 52:32 54:3 55:1 56:1 57:48 58:1
+fu: 0:325 1:112 2:66 5:147 6:36 7:50
+clusters=8 sum=720/496/0/0/112/188 hash=0xec338d10ae66103
+)gold"});
+    cases.push_back({"matmul6", "fpga64", workloads::matmulSource(6),
+                     {{"A", ramp(36, 2, 1)}, {"B", ramp(36, 1, 2)}},
+                     R"gold(halted=1 code=0
+instructions=5591 spawns=1 vthreads=36
+cycles=577 simTime=7693141
+cache=330/9 dram=9 master=0/0 ro=0/0 pb=216
+icn=469 memWait=7413 ps=0 psm=0 swnb=36
+op: 0:1116 1:217 2:36 13:829 14:468 15:505 16:468 22:684 23:36 36:252 40:252 41:1 42:1 44:432 45:1 46:36 49:216 51:1 54:2 56:1 57:36 58:1
+fu: 0:3171 1:468 2:506 3:720 5:686 6:2 7:38
+clusters=8 sum=5580/4140/720/0/468/2035 hash=0x5797219686e2a2f0
+)gold"});
+    cases.push_back({"psCounter16x4", "fpga64",
+                     workloads::psCounterSource(16, 4),
+                     {},
+                     R"gold(halted=1 code=0
+instructions=543 spawns=1 vthreads=16
+cycles=119 simTime=1586627
+cache=0/0 dram=0 master=0/0 ro=0/0 pb=0
+icn=2 memWait=20 ps=64 psm=0 swnb=1
+op: 1:65 13:162 14:1 15:65 36:80 40:80 41:1 42:1 45:1 46:1 52:64 54:3 55:1 56:1 57:16 58:1
+fu: 0:293 2:162 5:2 6:68 7:18
+clusters=8 sum=528/448/0/0/0/66 hash=0x3c8d43af70c5c45f
+)gold"});
+    cases.push_back({"prefixSum32", "fpga64",
+                     workloads::prefixSumSource(32),
+                     {{"A", ramp(32, 3, 2)}},
+                     R"gold(halted=1 code=0
+instructions=4771 spawns=11 vthreads=352
+cycles=1289 simTime=17186237
+cache=363/12 dram=12 master=0/0 ro=0/0 pb=129
+icn=835 memWait=17594 ps=0 psm=0 swnb=352
+op: 0:962 1:1 2:129 13:23 14:833 15:368 16:833 22:5 36:6 39:160 40:68 41:11 42:11 44:481 45:2 46:352 49:129 51:11 54:22 56:11 57:352 58:1
+fu: 0:2316 1:833 2:256 3:5 5:975 6:22 7:364
+clusters=8 sum=4645/3331/0/0/833/1209 hash=0x5edb1e08d1e5341b
+)gold"});
+    cases.push_back({"vectorAddChip1024", "chip1024",
+                     workloads::vectorAddSource(128),
+                     {{"A", ramp(128, 2, 7)}},
+                     R"gold(halted=1 code=0
+instructions=1547 spawns=1 vthreads=128
+cycles=296 simTime=227624
+cache=0/16 dram=16 master=0/0 ro=0/0 pb=0
+icn=257 memWait=26228 ps=0 psm=0 swnb=128
+op: 0:384 1:1 13:129 14:256 15:129 16:256 41:1 42:1 44:128 45:1 46:128 51:1 54:2 56:1 57:128 58:1
+fu: 0:899 1:256 2:2 5:258 6:2 7:130
+clusters=64 sum=1536/1152/0/0/256/218 hash=0xe81dcf5743f3ef41
+)gold"});
+    return cases;
+  }();
+  return kCases;
+}
+
+}  // namespace
+}  // namespace xmt
