@@ -1,0 +1,129 @@
+// Campaign engine throughput: how fast the design-space-exploration
+// subsystem turns a sweep spec into persisted results, and how that
+// scales with worker threads.
+//
+// Three measurements:
+//
+//   - CampaignSweep/workers:N — a fixed 8-point functional-mode sweep run
+//     end to end (expand, simulate on the work-stealing pool, persist
+//     JSONL/CSV/summary), at 1/2/4 workers. points/sec is the headline
+//     number; on a multi-core host the 4-worker rate should approach 4x
+//     the 1-worker rate because the points are independent simulators.
+//   - CampaignResume — the same sweep re-invoked over a directory where
+//     every point is already done: pure manifest-load + skip + rewrite
+//     overhead, the fixed cost a resumed campaign pays before any
+//     simulation starts.
+//   - RecordSerialization — building and dumping one result record
+//     (config + result + full Stats including per-cluster activity) from
+//     a completed simulation: the per-point serialization tax.
+//
+// Determinism of the results themselves (bit-identical across worker
+// counts) is pinned by tests/test_campaign.cc, not here.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "src/campaign/runner.h"
+#include "src/campaign/spec.h"
+#include "src/core/toolchain.h"
+#include "src/sim/statsjson.h"
+#include "src/workloads/kernels.h"
+
+namespace {
+
+using xmt::campaign::CampaignOptions;
+using xmt::campaign::CampaignSpec;
+
+const char* kSweepText =
+    "campaign = bench\n"
+    "base = fpga64\n"
+    "sweep.clusters = 1,2,4,8\n"
+    "sweep.tcus_per_cluster = 2,4\n"
+    "workload = vadd\n"
+    "workload.n = 64\n"
+    "mode = functional\n";
+
+std::string benchDir(const std::string& tag) {
+  auto d = std::filesystem::temp_directory_path() /
+           ("xmt_bench_campaign_" + tag);
+  std::filesystem::remove_all(d);
+  return d.string();
+}
+
+void campaignSweep(benchmark::State& state) {
+  CampaignSpec spec = CampaignSpec::fromText(kSweepText);
+  const std::size_t points = spec.pointCount();
+  std::string dir = benchDir("w" + std::to_string(state.range(0)));
+  CampaignOptions opts;
+  opts.outDir = dir;
+  opts.workers = static_cast<int>(state.range(0));
+  opts.fresh = true;  // every iteration runs all points from scratch
+  for (auto _ : state) {
+    auto res = xmt::campaign::runCampaign(spec, opts);
+    if (res.executed != points || res.failed != 0)
+      state.SkipWithError("campaign run failed");
+    benchmark::DoNotOptimize(res.records.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(points) *
+                          state.iterations());
+  state.counters["points_per_sec"] = benchmark::Counter(
+      static_cast<double>(points) * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(campaignSweep)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->ArgName("workers")
+    ->Unit(benchmark::kMillisecond);
+
+void campaignResume(benchmark::State& state) {
+  CampaignSpec spec = CampaignSpec::fromText(kSweepText);
+  std::string dir = benchDir("resume");
+  CampaignOptions opts;
+  opts.outDir = dir;
+  opts.workers = 2;
+  xmt::campaign::runCampaign(spec, opts);  // populate: all points done
+  opts.fresh = false;
+  for (auto _ : state) {
+    auto res = xmt::campaign::runCampaign(spec, opts);
+    if (res.skipped != spec.pointCount())
+      state.SkipWithError("resume re-ran points");
+    benchmark::DoNotOptimize(res.summary.data());
+  }
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(campaignResume)->Unit(benchmark::kMillisecond);
+
+void recordSerialization(benchmark::State& state) {
+  xmt::Toolchain tc;
+  auto sim = tc.makeSimulator(xmt::workloads::histogramSource(128, 8));
+  std::vector<std::int32_t> a(128);
+  for (int i = 0; i < 128; ++i) a[static_cast<std::size_t>(i)] = i % 8;
+  sim->setGlobalArray("A", a);
+  auto r = sim->run();
+  if (!r.halted) {
+    state.SkipWithError("simulation did not halt");
+    return;
+  }
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::string line =
+        xmt::runRecordJson(sim->config(), xmt::SimMode::kCycleAccurate, r,
+                           sim->stats())
+            .dump();
+    bytes = line.size();
+    benchmark::DoNotOptimize(line.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(static_cast<std::int64_t>(bytes) *
+                          state.iterations());
+}
+BENCHMARK(recordSerialization);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -18,6 +18,9 @@
 //   --dump <symbol>                     print a global array after the run
 //                                       (repeatable)
 //   --stats                             print full simulation statistics
+//   --stats-json <path>                 write config + result + stats as a
+//                                       JSON record ("-" for stdout); same
+//                                       schema as campaign results.jsonl
 //   --hotmem                            enable the hottest-memory filter
 //   --trace <functional|cycle>          print an execution trace
 //   --analyze                           run the static race lint and exit
@@ -37,6 +40,7 @@
 #include "src/assembler/memorymap.h"
 #include "src/common/error.h"
 #include "src/core/toolchain.h"
+#include "src/sim/statsjson.h"
 
 namespace {
 
@@ -61,7 +65,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> overrides, dumps;
   bool emitAsm = false, emitTransformed = false, wantStats = false,
        hotmem = false, analyzeOnly = false, raceCheck = false;
-  std::string traceLevel;
+  std::string traceLevel, statsJsonPath;
   xmt::ToolchainOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -84,6 +88,7 @@ int main(int argc, char** argv) {
     else if (arg == "--emit-transformed") emitTransformed = true;
     else if (arg == "--dump") dumps.push_back(next());
     else if (arg == "--stats") wantStats = true;
+    else if (arg == "--stats-json") statsJsonPath = next();
     else if (arg == "--hotmem") hotmem = true;
     else if (arg == "--trace") traceLevel = next();
     else if (arg == "--analyze") {
@@ -173,6 +178,19 @@ int main(int argc, char** argv) {
     }
     if (hotmem) std::fputs(sim->filterReports().c_str(), stdout);
     if (racePlugin) std::fputs(racePlugin->report().c_str(), stdout);
+    if (!statsJsonPath.empty()) {
+      std::string record =
+          xmt::runRecordJson(sim->config(), opts.mode, r, sim->stats())
+              .dump() +
+          "\n";
+      if (statsJsonPath == "-") {
+        std::fputs(record.c_str(), stdout);
+      } else {
+        std::ofstream out(statsJsonPath, std::ios::trunc);
+        if (!out) throw xmt::Error("cannot write '" + statsJsonPath + "'");
+        out << record;
+      }
+    }
     if (wantStats) {
       std::fputs(sim->stats().report().c_str(), stdout);
     } else {

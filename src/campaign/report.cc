@@ -1,0 +1,117 @@
+#include "src/campaign/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace xmt::campaign {
+
+namespace {
+
+std::string fmtDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.3f", v);
+  return buf;
+}
+
+/// Signature of the dimensions NOT pinned by the baseline selector — the
+/// grouping key for groupwise speedups.
+std::string groupSignature(
+    const PointRecord& r,
+    const std::vector<std::pair<std::string, std::string>>& baseline) {
+  std::string sig;
+  for (const auto& [name, value] : r.dims) {
+    bool pinned = std::any_of(
+        baseline.begin(), baseline.end(),
+        [&, n = name](const auto& b) { return b.first == n; });
+    if (pinned) continue;
+    if (!sig.empty()) sig += ' ';
+    sig += name + "=" + value;
+  }
+  return sig;
+}
+
+bool isBaseline(
+    const PointRecord& r,
+    const std::vector<std::pair<std::string, std::string>>& baseline) {
+  for (const auto& [name, value] : baseline) {
+    bool match = std::any_of(r.dims.begin(), r.dims.end(),
+                             [&, n = name, v = value](const auto& d) {
+                               return d.first == n && d.second == v;
+                             });
+    if (!match) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint64_t pointMetric(const PointRecord& r) {
+  if (r.mode == "functional") return r.instructions;
+  return r.simTimePs != 0 ? r.simTimePs : r.cycles;
+}
+
+std::string campaignReport(const CampaignSpec& spec,
+                           const std::vector<PointRecord>& records,
+                           std::size_t rankLimit) {
+  std::ostringstream out;
+  std::vector<const PointRecord*> ok;
+  std::vector<const PointRecord*> failed;
+  for (const auto& r : records) (r.ok ? ok : failed).push_back(&r);
+
+  out << "=== campaign '" << spec.name() << "' ===\n";
+  out << "points: " << spec.pointCount() << " total, " << ok.size()
+      << " ok, " << failed.size() << " failed, "
+      << (spec.pointCount() - ok.size() - failed.size()) << " pending\n";
+
+  if (!ok.empty()) {
+    std::vector<const PointRecord*> ranked = ok;
+    std::stable_sort(ranked.begin(), ranked.end(),
+                     [](const PointRecord* a, const PointRecord* b) {
+                       return pointMetric(*a) < pointMetric(*b);
+                     });
+    out << "\nbest configurations (metric: sim-ps for cycle mode, "
+           "instructions for functional):\n";
+    std::size_t n = std::min(rankLimit, ranked.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const PointRecord& r = *ranked[i];
+      out << "  " << (i + 1) << ". [" << r.key << "] metric="
+          << pointMetric(r) << " cycles=" << r.cycles
+          << " instructions=" << r.instructions << "\n";
+    }
+  }
+
+  if (!spec.baseline().empty() && !ok.empty()) {
+    std::map<std::string, const PointRecord*> baselines;
+    for (const PointRecord* r : ok)
+      if (isBaseline(*r, spec.baseline()))
+        baselines[groupSignature(*r, spec.baseline())] = r;
+    out << "\nspeedup vs baseline [";
+    for (std::size_t i = 0; i < spec.baseline().size(); ++i) {
+      if (i) out << ' ';
+      out << spec.baseline()[i].first << '=' << spec.baseline()[i].second;
+    }
+    out << "]:\n";
+    for (const PointRecord* r : ok) {
+      auto it = baselines.find(groupSignature(*r, spec.baseline()));
+      if (it == baselines.end()) {
+        out << "  [" << r->key << "] baseline missing\n";
+        continue;
+      }
+      double num = static_cast<double>(pointMetric(*it->second));
+      double den = static_cast<double>(pointMetric(*r));
+      out << "  [" << r->key << "] speedup="
+          << (den > 0 ? fmtDouble(num / den) : "inf") << "\n";
+    }
+  }
+
+  if (!failed.empty()) {
+    out << "\nfailed points:\n";
+    for (const PointRecord* r : failed)
+      out << "  [" << r->key << "] " << r->error << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace xmt::campaign

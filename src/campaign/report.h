@@ -1,0 +1,38 @@
+// Campaign summary report: best-config ranking and baseline speedups.
+//
+// Turns a finished (or partially finished) campaign into the table a
+// design-space study actually wants: which configuration won, and how
+// much faster each point is than the spec's named baseline. The metric is
+// per-mode: cycle-accurate points compare by simulated time (picoseconds
+// — comparable across clock-frequency sweeps), functional points by
+// instruction count.
+//
+// When the spec's `baseline` selector pins only a subset of the swept
+// dimensions, speedups are computed groupwise: each point is normalized
+// to the point that shares all its un-pinned dimension values and carries
+// the pinned baseline values — e.g. `baseline = clusters=2` in a
+// clusters x workload sweep normalizes every workload against its own
+// 2-cluster run, which is exactly the paper's speedup-table shape.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/campaign/resultstore.h"
+#include "src/campaign/spec.h"
+
+namespace xmt::campaign {
+
+/// The ranking/speedup metric for one successful record (lower is
+/// better): simulated picoseconds in cycle mode (falling back to cycles
+/// when no time was recorded), instruction count in functional mode.
+std::uint64_t pointMetric(const PointRecord& r);
+
+/// Human-readable report: status counts, best-config ranking (up to
+/// `rankLimit` rows), the baseline speedup table when the spec names a
+/// baseline, and any failed points with their errors.
+std::string campaignReport(const CampaignSpec& spec,
+                           const std::vector<PointRecord>& records,
+                           std::size_t rankLimit = 10);
+
+}  // namespace xmt::campaign

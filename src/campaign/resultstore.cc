@@ -1,0 +1,239 @@
+#include "src/campaign/resultstore.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/error.h"
+#include "src/common/json.h"
+
+namespace xmt::campaign {
+
+namespace {
+
+std::string fingerprintHex(std::uint64_t fp) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, fp);
+  return buf;
+}
+
+std::string csvField(const std::string& s) {
+  if (s.find(',') == std::string::npos && s.find('"') == std::string::npos)
+    return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+PointRecord parseRecordLine(const std::string& line) {
+  Json j = Json::parse(line);
+  PointRecord r;
+  r.index = static_cast<int>(j.at("point").asInt());
+  r.key = j.at("key").asString();
+  for (const auto& [k, v] : j.at("dims").fields())
+    r.dims.emplace_back(k, v.asString());
+  r.ok = true;
+  r.recordJson = line;
+  r.mode = j.at("mode").asString();
+  r.workload = j.at("workload").at("key").asString();
+  const Json& stats = j.at("stats");
+  r.instructions = static_cast<std::uint64_t>(stats.at("instructions").asInt());
+  r.cycles = static_cast<std::uint64_t>(stats.at("cycles").asInt());
+  r.simTimePs = static_cast<std::uint64_t>(stats.at("sim_time_ps").asInt());
+  return r;
+}
+
+ResultStore::ResultStore(std::string dir, const CampaignSpec& spec, bool fresh)
+    : dir_(std::move(dir)), spec_(spec) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec)
+    throw ConfigError("cannot create campaign directory '" + dir_ +
+                      "': " + ec.message());
+  manifestPath_ = dir_ + "/manifest.jsonl";
+  resultsPath_ = dir_ + "/results.jsonl";
+  csvPath_ = dir_ + "/results.csv";
+  summaryPath_ = dir_ + "/summary.txt";
+  done_.assign(spec_.pointCount(), false);
+  if (!fresh) loadExisting();
+  openAppend();
+}
+
+ResultStore::~ResultStore() {
+  if (manifest_) std::fclose(manifest_);
+  if (results_) std::fclose(results_);
+}
+
+void ResultStore::loadExisting() {
+  std::ifstream mf(manifestPath_);
+  if (!mf) return;  // nothing to resume from
+
+  std::string line;
+  if (!std::getline(mf, line) || line.empty()) return;
+  Json header;
+  try {
+    header = Json::parse(line);
+  } catch (const Error&) {
+    return;  // unreadable header: treat as no previous campaign
+  }
+  std::string fp = header.at("fingerprint").asString();
+  if (fp != fingerprintHex(spec_.fingerprint()))
+    throw ConfigError(
+        "campaign directory '" + dir_ +
+        "' holds results for a different spec (fingerprint " + fp +
+        "); rerun with a fresh directory or pass --fresh");
+
+  // Manifest statuses: last line per point wins; a truncated tail line
+  // (killed campaign) simply ends the scan.
+  std::vector<int> status(spec_.pointCount(), -1);  // -1 none, 0 failed, 1 ok
+  while (std::getline(mf, line)) {
+    if (line.empty()) continue;
+    Json j;
+    try {
+      j = Json::parse(line);
+    } catch (const Error&) {
+      break;
+    }
+    std::int64_t idx = j.at("point").asInt();
+    if (idx < 0 || static_cast<std::size_t>(idx) >= status.size()) continue;
+    status[static_cast<std::size_t>(idx)] =
+        j.at("status").asString() == "ok" ? 1 : 0;
+  }
+
+  // Records for manifest-ok points. Only a point whose record parses is
+  // kept as done — anything else re-runs.
+  std::ifstream rf(resultsPath_);
+  if (rf) {
+    while (std::getline(rf, line)) {
+      if (line.empty()) continue;
+      PointRecord r;
+      try {
+        r = parseRecordLine(line);
+      } catch (const Error&) {
+        continue;  // partial/corrupt line from a killed run
+      }
+      std::size_t idx = static_cast<std::size_t>(r.index);
+      if (r.index < 0 || idx >= done_.size() || status[idx] != 1 ||
+          done_[idx])
+        continue;
+      done_[idx] = true;
+      records_.push_back(std::move(r));
+    }
+  }
+}
+
+void ResultStore::openAppend() {
+  // Rewrite both files from the loaded state so stale tails from a killed
+  // run never precede fresh appends, then keep appending.
+  std::sort(records_.begin(), records_.end(),
+            [](const PointRecord& a, const PointRecord& b) {
+              return a.index < b.index;
+            });
+  manifest_ = std::fopen(manifestPath_.c_str(), "w");
+  results_ = std::fopen(resultsPath_.c_str(), "w");
+  if (!manifest_ || !results_)
+    throw ConfigError("cannot write campaign files in '" + dir_ + "'");
+  writeHeader();
+  for (const auto& r : records_) {
+    std::fprintf(results_, "%s\n", r.recordJson.c_str());
+    Json m = Json::object();
+    m.set("point", Json::number(static_cast<std::int64_t>(r.index)));
+    m.set("key", Json::str(r.key));
+    m.set("status", Json::str("ok"));
+    std::fprintf(manifest_, "%s\n", m.dump().c_str());
+  }
+  std::fflush(results_);
+  std::fflush(manifest_);
+}
+
+void ResultStore::writeHeader() {
+  Json h = Json::object();
+  h.set("campaign", Json::str(spec_.name()));
+  h.set("fingerprint", Json::str(fingerprintHex(spec_.fingerprint())));
+  h.set("points", Json::number(static_cast<std::int64_t>(spec_.pointCount())));
+  std::fprintf(manifest_, "%s\n", h.dump().c_str());
+}
+
+bool ResultStore::isDone(int index) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index >= 0 && static_cast<std::size_t>(index) < done_.size() &&
+         done_[static_cast<std::size_t>(index)];
+}
+
+std::size_t ResultStore::doneCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::size_t>(
+      std::count(done_.begin(), done_.end(), true));
+}
+
+void ResultStore::record(PointRecord r) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Record line first, then the manifest status: a crash between the two
+  // re-runs the point, never trusts a status without data.
+  if (r.ok) {
+    std::fprintf(results_, "%s\n", r.recordJson.c_str());
+    std::fflush(results_);
+    done_[static_cast<std::size_t>(r.index)] = true;
+  }
+  Json m = Json::object();
+  m.set("point", Json::number(static_cast<std::int64_t>(r.index)));
+  m.set("key", Json::str(r.key));
+  m.set("status", Json::str(r.ok ? "ok" : "failed"));
+  if (!r.ok) m.set("error", Json::str(r.error));
+  std::fprintf(manifest_, "%s\n", m.dump().c_str());
+  std::fflush(manifest_);
+  records_.push_back(std::move(r));
+}
+
+std::vector<PointRecord> ResultStore::sortedRecords() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PointRecord> out = records_;
+  std::sort(out.begin(), out.end(),
+            [](const PointRecord& a, const PointRecord& b) {
+              return a.index < b.index;
+            });
+  return out;
+}
+
+void ResultStore::finalize(const std::string& summary) {
+  std::vector<PointRecord> sorted = sortedRecords();
+  std::lock_guard<std::mutex> lock(mu_);
+
+  // results.jsonl in point order: a resumed campaign ends up byte-equal
+  // to a clean one.
+  std::freopen(resultsPath_.c_str(), "w", results_);
+  for (const auto& r : sorted)
+    if (r.ok) std::fprintf(results_, "%s\n", r.recordJson.c_str());
+  std::fflush(results_);
+
+  std::ofstream csv(csvPath_, std::ios::trunc);
+  // Dimension columns get a "dim." prefix so a swept "mode" or "workload"
+  // doesn't collide with the fixed columns of the same name.
+  csv << "point,key,workload,mode";
+  for (const auto& d : spec_.dimensions())
+    csv << ",dim." << csvField(d.name);
+  csv << ",instructions,cycles,sim_time_ps\n";
+  for (const auto& r : sorted) {
+    if (!r.ok) continue;
+    csv << r.index << ',' << csvField(r.key) << ',' << csvField(r.workload)
+        << ',' << r.mode;
+    for (const auto& [name, value] : r.dims) {
+      (void)name;
+      csv << ',' << csvField(value);
+    }
+    csv << ',' << r.instructions << ',' << r.cycles << ',' << r.simTimePs
+        << '\n';
+  }
+
+  std::ofstream sum(summaryPath_, std::ios::trunc);
+  sum << summary;
+}
+
+}  // namespace xmt::campaign

@@ -1,0 +1,96 @@
+// On-disk campaign result store: JSON-lines records, a resume manifest,
+// and a CSV aggregate.
+//
+// Layout of the output directory:
+//   manifest.jsonl — line 1: the campaign header (name, spec fingerprint,
+//                    point count); then one status line per finished point
+//                    ({"point","key","status","error"?}). Append-only
+//                    during a run; the completion order is whatever the
+//                    worker pool produced.
+//   results.jsonl  — one full record per successful point ({"point",
+//                    "key","dims","workload","config","mode","result",
+//                    "stats"}). Appended as points finish, rewritten in
+//                    point order by finalize() so a resumed campaign's
+//                    merged file is byte-identical to a clean run's.
+//   results.csv    — finalize(): one row per successful point (dims +
+//                    headline counters), for spreadsheets/plotting.
+//   summary.txt    — finalize(): the human-readable report.
+//
+// Resumability: a record line is flushed before its manifest status line,
+// so every point the manifest claims is done has a parseable record. On
+// load, the header fingerprint must match the spec (else ConfigError —
+// pass fresh=true to wipe); "ok" points are skipped by the runner,
+// "failed" and missing points re-run.
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/campaign/spec.h"
+
+namespace xmt::campaign {
+
+/// Outcome of one campaign point, as persisted.
+struct PointRecord {
+  int index = 0;
+  std::string key;
+  std::vector<std::pair<std::string, std::string>> dims;
+  bool ok = false;
+  std::string error;      // set when !ok
+  std::string recordJson; // full results.jsonl line (without '\n'); ok only
+  // Headline metrics (mirrored out of recordJson for ranking/CSV).
+  std::uint64_t instructions = 0;
+  std::uint64_t cycles = 0;
+  std::uint64_t simTimePs = 0;
+  std::string mode;       // "cycle" or "functional"
+  std::string workload;   // workload instance key
+};
+
+class ResultStore {
+ public:
+  /// Opens (creating the directory if needed) and, unless `fresh`, loads
+  /// any existing manifest + records for this spec.
+  ResultStore(std::string dir, const CampaignSpec& spec, bool fresh);
+  ~ResultStore();
+
+  ResultStore(const ResultStore&) = delete;
+  ResultStore& operator=(const ResultStore&) = delete;
+
+  /// True when the manifest already has a successful record for `index`.
+  bool isDone(int index) const;
+  std::size_t doneCount() const;
+
+  /// Persists one finished point (thread-safe, crash-safe append order).
+  void record(PointRecord r);
+
+  /// All records (loaded + new), sorted by point index.
+  std::vector<PointRecord> sortedRecords() const;
+
+  /// Rewrites results.jsonl in point order, writes results.csv and
+  /// summary.txt. Call once, after the run loop.
+  void finalize(const std::string& summary);
+
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void openAppend();
+  void writeHeader();
+  void loadExisting();
+
+  std::string dir_;
+  std::string manifestPath_, resultsPath_, csvPath_, summaryPath_;
+  const CampaignSpec& spec_;
+  mutable std::mutex mu_;
+  std::vector<PointRecord> records_;  // completed (ok or failed)
+  std::vector<bool> done_;            // ok per point index
+  std::FILE* manifest_ = nullptr;
+  std::FILE* results_ = nullptr;
+};
+
+/// Parses one results.jsonl line back into a PointRecord (ok=true).
+/// Throws ConfigError on malformed input.
+PointRecord parseRecordLine(const std::string& line);
+
+}  // namespace xmt::campaign

@@ -1,0 +1,104 @@
+#include "src/campaign/runner.h"
+
+#include <atomic>
+
+#include "src/campaign/report.h"
+#include "src/common/error.h"
+#include "src/common/threadpool.h"
+#include "src/core/toolchain.h"
+#include "src/sim/statsjson.h"
+
+namespace xmt::campaign {
+
+PointRecord runPoint(const CampaignPoint& point) {
+  PointRecord rec;
+  rec.index = point.index;
+  rec.key = point.key;
+  rec.dims = point.dims;
+  rec.mode = simModeName(point.mode);
+  rec.workload = point.workload.key();
+  try {
+    ToolchainOptions opts;
+    opts.config = point.config;
+    opts.mode = point.mode;
+    Toolchain tc(opts);
+    auto sim = tc.makeSimulator(workloads::instanceSource(point.workload));
+    workloads::instancePrepare(point.workload, *sim);
+    RunResult result = sim->run();
+    if (!result.halted)
+      throw SimError("program did not halt (instruction budget exhausted?)");
+
+    Json j = Json::object();
+    j.set("point", Json::number(static_cast<std::int64_t>(point.index)));
+    j.set("key", Json::str(point.key));
+    Json dims = Json::object();
+    for (const auto& [name, value] : point.dims)
+      dims.set(name, Json::str(value));
+    j.set("dims", std::move(dims));
+    Json w = Json::object();
+    w.set("name", Json::str(point.workload.name));
+    Json params = Json::object();
+    for (const auto& k : point.workload.params.keys())
+      params.set(k, Json::str(point.workload.params.getString(k, "")));
+    w.set("params", std::move(params));
+    w.set("key", Json::str(rec.workload));
+    j.set("workload", std::move(w));
+    Json run = runRecordJson(point.config, point.mode, result, sim->stats());
+    for (const auto& [k, v] : run.fields()) j.set(k, v);
+
+    rec.recordJson = j.dump();
+    rec.instructions = sim->stats().instructions;
+    rec.cycles = sim->stats().cycles;
+    rec.simTimePs = static_cast<std::uint64_t>(sim->stats().simTime);
+    rec.ok = true;
+  } catch (const Error& e) {
+    rec.ok = false;
+    rec.error = e.what();
+  }
+  return rec;
+}
+
+CampaignResult runCampaign(const CampaignSpec& spec,
+                           const CampaignOptions& opts) {
+  if (opts.outDir.empty())
+    throw ConfigError("campaign output directory not set");
+
+  std::vector<CampaignPoint> points = spec.expand();
+  ResultStore store(opts.outDir, spec, opts.fresh);
+
+  std::vector<const CampaignPoint*> pending;
+  for (const auto& p : points)
+    if (!store.isDone(p.index)) pending.push_back(&p);
+
+  CampaignResult res;
+  res.totalPoints = points.size();
+  res.skipped = points.size() - pending.size();
+  std::size_t toRun = pending.size();
+  if (opts.limitPoints > 0 && opts.limitPoints < toRun)
+    toRun = opts.limitPoints;
+  res.executed = toRun;
+  res.remaining = pending.size() - toRun;
+
+  std::atomic<std::size_t> failed{0};
+  {
+    ThreadPool pool(opts.workers);
+    for (std::size_t i = 0; i < toRun; ++i) {
+      const CampaignPoint* p = pending[i];
+      pool.submit([p, &store, &failed, &opts] {
+        PointRecord rec = runPoint(*p);
+        if (!rec.ok) failed.fetch_add(1, std::memory_order_relaxed);
+        store.record(rec);
+        if (opts.onPoint) opts.onPoint(rec);
+      });
+    }
+    pool.wait();
+  }
+  res.failed = failed.load();
+
+  res.records = store.sortedRecords();
+  res.summary = campaignReport(spec, res.records);
+  store.finalize(res.summary);
+  return res;
+}
+
+}  // namespace xmt::campaign

@@ -1,0 +1,57 @@
+// Campaign runner: executes a sweep grid on the work-stealing pool.
+//
+// Each grid point is an independent compile + simulate pipeline (the
+// Toolchain and Simulator share no mutable state between instances), so
+// points parallelize perfectly across workers; the result store
+// serializes only the final append of each record. Determinism contract:
+// a point's persisted record is a pure function of the spec — bit
+// identical regardless of worker count, completion order, or whether the
+// campaign was resumed.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/campaign/resultstore.h"
+#include "src/campaign/spec.h"
+
+namespace xmt::campaign {
+
+struct CampaignOptions {
+  /// Output directory for manifest/results/summary (required).
+  std::string outDir;
+  /// Worker threads; <= 0 selects the hardware concurrency.
+  int workers = 0;
+  /// Discard any previous results in outDir instead of resuming.
+  bool fresh = false;
+  /// When > 0, run at most this many pending points (in grid order) and
+  /// stop — the building block of the resume tests and of incremental
+  /// "run a bit more of the sweep" workflows.
+  std::size_t limitPoints = 0;
+  /// Progress callback, invoked from worker threads as each point lands.
+  std::function<void(const PointRecord&)> onPoint;
+};
+
+struct CampaignResult {
+  std::size_t totalPoints = 0;
+  std::size_t skipped = 0;   // already done in the store (resume)
+  std::size_t executed = 0;  // run by this invocation
+  std::size_t failed = 0;    // of the executed points
+  std::size_t remaining = 0; // still pending (limitPoints cut)
+  std::string summary;       // campaignReport(), also in summary.txt
+  std::vector<PointRecord> records;  // all store records, by point index
+};
+
+/// Runs one resolved point: compile, prepare inputs, simulate, serialize.
+/// Never throws — failures come back as ok=false records.
+PointRecord runPoint(const CampaignPoint& point);
+
+/// Expands the spec, skips points already in the store, runs the rest on
+/// the pool, then finalizes the store (sorted results.jsonl, results.csv,
+/// summary.txt).
+CampaignResult runCampaign(const CampaignSpec& spec,
+                           const CampaignOptions& opts);
+
+}  // namespace xmt::campaign

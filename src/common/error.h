@@ -37,11 +37,21 @@ class AsmError : public Error {
       : Error("asm error (line " + std::to_string(line) + "): " + what) {}
 };
 
-/// Invalid simulator configuration or API misuse.
+/// Invalid simulator configuration or API misuse. When the failure is
+/// attributable to one configuration key, `field()` names it so callers
+/// (e.g. the campaign spec validator) can report which sweep dimension is
+/// broken instead of a free-form string.
 class ConfigError : public Error {
  public:
   explicit ConfigError(const std::string& what)
       : Error("config error: " + what) {}
+  ConfigError(std::string field, const std::string& what)
+      : Error("config error: " + field + ": " + what),
+        field_(std::move(field)) {}
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string field_;
 };
 
 /// A simulated program performed an illegal operation (bad address, division

@@ -1,0 +1,372 @@
+#include "src/common/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.kind_ = Kind::kBool;
+  j.bool_ = b;
+  return j;
+}
+
+Json Json::number(std::int64_t v) {
+  Json j;
+  j.kind_ = Kind::kInt;
+  j.int_ = v;
+  return j;
+}
+
+Json Json::number(std::uint64_t v) {
+  if (v > static_cast<std::uint64_t>(INT64_MAX))
+    throw ConfigError("json integer out of range");
+  return number(static_cast<std::int64_t>(v));
+}
+
+Json Json::real(double v) {
+  if (!std::isfinite(v))
+    throw ConfigError("json numbers must be finite");
+  Json j;
+  j.kind_ = Kind::kDouble;
+  j.double_ = v;
+  return j;
+}
+
+Json Json::str(std::string s) {
+  Json j;
+  j.kind_ = Kind::kString;
+  j.string_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.kind_ = Kind::kArray;
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.kind_ = Kind::kObject;
+  return j;
+}
+
+bool Json::asBool() const {
+  if (kind_ != Kind::kBool) throw ConfigError("json value is not a bool");
+  return bool_;
+}
+
+std::int64_t Json::asInt() const {
+  if (kind_ != Kind::kInt) throw ConfigError("json value is not an integer");
+  return int_;
+}
+
+double Json::asDouble() const {
+  if (kind_ == Kind::kInt) return static_cast<double>(int_);
+  if (kind_ != Kind::kDouble) throw ConfigError("json value is not a number");
+  return double_;
+}
+
+const std::string& Json::asString() const {
+  if (kind_ != Kind::kString) throw ConfigError("json value is not a string");
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (kind_ != Kind::kArray) throw ConfigError("json value is not an array");
+  return items_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : fields_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const Json* v = find(key);
+  if (!v) throw ConfigError("json object has no field '" + key + "'");
+  return *v;
+}
+
+void Json::push(Json v) {
+  if (kind_ != Kind::kArray) throw ConfigError("json push on non-array");
+  items_.push_back(std::move(v));
+}
+
+void Json::set(const std::string& key, Json v) {
+  if (kind_ != Kind::kObject) throw ConfigError("json set on non-object");
+  for (auto& [k, existing] : fields_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  fields_.emplace_back(key, std::move(v));
+}
+
+namespace {
+
+void appendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+void Json::dumpTo(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; return;
+    case Kind::kBool: out += bool_ ? "true" : "false"; return;
+    case Kind::kInt: out += std::to_string(int_); return;
+    case Kind::kDouble: {
+      char buf[32];
+      auto [p, ec] = std::to_chars(buf, buf + sizeof buf, double_);
+      (void)ec;
+      out.append(buf, p);
+      return;
+    }
+    case Kind::kString: appendEscaped(out, string_); return;
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < items_.size(); ++i) {
+        if (i) out += ',';
+        items_[i].dumpTo(out);
+      }
+      out += ']';
+      return;
+    }
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < fields_.size(); ++i) {
+        if (i) out += ',';
+        appendEscaped(out, fields_[i].first);
+        out += ':';
+        fields_[i].second.dumpTo(out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dumpTo(out);
+  return out;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : s_(text) {}
+
+  Json document() {
+    Json v = value();
+    skipWs();
+    if (pos_ != s_.size()) fail("trailing characters after json document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) {
+    throw ConfigError("json parse error at offset " + std::to_string(pos_) +
+                      ": " + why);
+  }
+
+  void skipWs() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' ||
+            s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consumeWord(const char* w) {
+    std::size_t n = std::string(w).size();
+    if (s_.compare(pos_, n, w) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Json value() {
+    skipWs();
+    char c = peek();
+    if (c == '{') return objectValue();
+    if (c == '[') return arrayValue();
+    if (c == '"') return Json::str(stringValue());
+    if (consumeWord("null")) return Json::null();
+    if (consumeWord("true")) return Json::boolean(true);
+    if (consumeWord("false")) return Json::boolean(false);
+    return numberValue();
+  }
+
+  Json objectValue() {
+    expect('{');
+    Json obj = Json::object();
+    skipWs();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skipWs();
+      std::string key = stringValue();
+      skipWs();
+      expect(':');
+      obj.set(key, value());
+      skipWs();
+      char c = peek();
+      ++pos_;
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json arrayValue() {
+    expect('[');
+    Json arr = Json::array();
+    skipWs();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push(value());
+      skipWs();
+      char c = peek();
+      ++pos_;
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string stringValue() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Only the escapes the writer emits (< 0x20) plus plain ASCII are
+          // expected; encode anything else as UTF-8.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default: fail("unknown escape");
+      }
+    }
+  }
+
+  Json numberValue() {
+    std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    bool isDouble = false;
+    while (pos_ < s_.size()) {
+      char c = s_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        isDouble = true;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected a value");
+    std::string tok = s_.substr(start, pos_ - start);
+    if (!isDouble) {
+      std::int64_t v = 0;
+      auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+      if (ec != std::errc() || p != tok.data() + tok.size())
+        fail("bad integer '" + tok + "'");
+      return Json::number(v);
+    }
+    double v = 0;
+    auto [p, ec] = std::from_chars(tok.data(), tok.data() + tok.size(), v);
+    if (ec != std::errc() || p != tok.data() + tok.size())
+      fail("bad number '" + tok + "'");
+    return Json::real(v);
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) { return Parser(text).document(); }
+
+}  // namespace xmt

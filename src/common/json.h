@@ -1,0 +1,82 @@
+// Minimal JSON document model with deterministic serialization.
+//
+// The campaign engine persists every simulation point as one JSON record
+// (JSON-lines), and resumability requires that re-serializing the same
+// Stats yields byte-identical text. Hence: object keys keep insertion
+// order, integers print exactly, and doubles print via shortest
+// round-trip (std::to_chars). The parser accepts the full subset this
+// writer emits (and standard JSON in general) so result stores can be
+// read back for merging, ranking and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace xmt {
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+  Json() = default;
+
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json number(std::int64_t v);
+  static Json number(std::uint64_t v);
+  static Json number(int v) { return number(static_cast<std::int64_t>(v)); }
+  static Json real(double v);
+  static Json str(std::string s);
+  static Json array();
+  static Json object();
+
+  Kind kind() const { return kind_; }
+  bool isNull() const { return kind_ == Kind::kNull; }
+  bool isObject() const { return kind_ == Kind::kObject; }
+  bool isArray() const { return kind_ == Kind::kArray; }
+
+  // Accessors throw ConfigError on kind mismatch (JSON here is always
+  // configuration/result data, so the config error domain fits).
+  bool asBool() const;
+  std::int64_t asInt() const;
+  double asDouble() const;  // accepts kInt too
+  const std::string& asString() const;
+  const std::vector<Json>& items() const;  // array elements
+
+  /// Object field access; returns nullptr when absent (or not an object).
+  const Json* find(const std::string& key) const;
+  /// Object field access; throws ConfigError when absent.
+  const Json& at(const std::string& key) const;
+
+  /// Array append.
+  void push(Json v);
+  /// Object field set (appends; keeps insertion order, last set wins on
+  /// lookup but duplicate keys are never produced by set()).
+  void set(const std::string& key, Json v);
+
+  const std::vector<std::pair<std::string, Json>>& fields() const {
+    return fields_;
+  }
+
+  /// Serializes compactly (no whitespace). Deterministic.
+  std::string dump() const;
+
+  /// Parses a complete JSON document. Throws ConfigError on syntax errors
+  /// or trailing garbage.
+  static Json parse(const std::string& text);
+
+ private:
+  void dumpTo(std::string& out) const;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::vector<std::pair<std::string, Json>> fields_;
+};
+
+}  // namespace xmt

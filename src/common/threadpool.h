@@ -1,0 +1,149 @@
+// Work-stealing thread pool for the campaign engine.
+//
+// Campaign points are wildly unequal in cost — a functional-mode point can
+// finish 100x faster than a chip1024 cycle-accurate point — so a static
+// partition of points over workers leaves most threads idle behind the
+// slowest shard. Instead every worker owns a deque: submit() deals tasks
+// round-robin, a worker drains its own deque LIFO (cache-warm), and an
+// idle worker steals the oldest task (FIFO) from a sibling, so the big
+// points migrate to whoever is free.
+//
+// Tasks may submit() further tasks. wait() blocks until every task
+// submitted so far has completed; the destructor drains outstanding work
+// before joining.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace xmt {
+
+class ThreadPool {
+ public:
+  /// `workers` <= 0 selects hardwareWorkers().
+  explicit ThreadPool(int workers = 0) {
+    int n = workers > 0 ? workers : hardwareWorkers();
+    queues_.resize(static_cast<std::size_t>(n));
+    for (auto& q : queues_) q = std::make_unique<WorkerQueue>();
+    threads_.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+      threads_.emplace_back([this, i] { workerLoop(static_cast<std::size_t>(i)); });
+  }
+
+  ~ThreadPool() {
+    wait();
+    {
+      std::lock_guard<std::mutex> lock(wakeMu_);
+      stop_ = true;
+    }
+    workCv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Schedules a task. Thread-safe; callable from worker threads.
+  void submit(std::function<void()> task) {
+    std::size_t slot = next_.fetch_add(1, std::memory_order_relaxed) %
+                       queues_.size();
+    pending_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> lock(queues_[slot]->mu);
+      queues_[slot]->tasks.push_back(std::move(task));
+    }
+    {
+      // Publish under wakeMu_ so a worker between its predicate check and
+      // its block cannot miss the notification.
+      std::lock_guard<std::mutex> lock(wakeMu_);
+      queued_.fetch_add(1, std::memory_order_release);
+    }
+    workCv_.notify_one();
+  }
+
+  /// Blocks until all tasks submitted so far (including tasks they spawn)
+  /// have finished.
+  void wait() {
+    std::unique_lock<std::mutex> lock(doneMu_);
+    doneCv_.wait(lock,
+                 [this] { return pending_.load(std::memory_order_acquire) == 0; });
+  }
+
+  int workerCount() const { return static_cast<int>(threads_.size()); }
+
+  static int hardwareWorkers() {
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : static_cast<int>(n);
+  }
+
+ private:
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool tryPop(std::size_t self, std::function<void()>& out) {
+    // Own queue: newest first (LIFO) — better locality for task trees.
+    {
+      WorkerQueue& q = *queues_[self];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.tasks.empty()) {
+        out = std::move(q.tasks.back());
+        q.tasks.pop_back();
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    // Steal sweep: oldest first (FIFO) from each sibling in turn.
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+      WorkerQueue& q = *queues_[(self + k) % queues_.size()];
+      std::lock_guard<std::mutex> lock(q.mu);
+      if (!q.tasks.empty()) {
+        out = std::move(q.tasks.front());
+        q.tasks.pop_front();
+        queued_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void workerLoop(std::size_t self) {
+    std::function<void()> task;
+    while (true) {
+      if (tryPop(self, task)) {
+        task();
+        task = nullptr;
+        if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard<std::mutex> lock(doneMu_);
+          doneCv_.notify_all();
+        }
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(wakeMu_);
+      workCv_.wait(lock, [this] {
+        return stop_ || queued_.load(std::memory_order_acquire) > 0;
+      });
+      if (stop_ && queued_.load(std::memory_order_acquire) == 0) return;
+    }
+  }
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::atomic<std::size_t> next_{0};
+  std::atomic<std::size_t> pending_{0};  // submitted, not yet finished
+  std::atomic<std::size_t> queued_{0};   // sitting in a deque
+  std::mutex wakeMu_;
+  std::condition_variable workCv_;
+  std::mutex doneMu_;
+  std::condition_variable doneCv_;
+  bool stop_ = false;
+};
+
+}  // namespace xmt

@@ -27,7 +27,7 @@ int XmtConfig::effectiveIcnReturnLatency() const {
 void XmtConfig::validate() const {
   auto positive = [](std::int64_t v, const char* what) {
     if (v <= 0)
-      throw ConfigError(std::string(what) + " must be positive");
+      throw ConfigError(std::string(what), "must be positive");
   };
   positive(clusters, "clusters");
   positive(tcusPerCluster, "tcus_per_cluster");
@@ -52,15 +52,21 @@ void XmtConfig::validate() const {
   positive(spawnBroadcastBase, "spawn_broadcast_base");
   positive(broadcastInstrPerCycle, "broadcast_instr_per_cycle");
   if (prefetchEntries < 0)
-    throw ConfigError("prefetch_entries must be >= 0");
-  if (coreGhz <= 0 || icnGhz <= 0 || cacheGhz <= 0 || dramGhz <= 0)
-    throw ConfigError("clock frequencies must be positive");
+    throw ConfigError("prefetch_entries", "must be >= 0");
+  auto positiveGhz = [](double v, const char* what) {
+    if (!(v > 0))
+      throw ConfigError(std::string(what), "clock frequency must be positive");
+  };
+  positiveGhz(coreGhz, "core_ghz");
+  positiveGhz(icnGhz, "icn_ghz");
+  positiveGhz(cacheGhz, "cache_ghz");
+  positiveGhz(dramGhz, "dram_ghz");
   if ((cacheLineBytes & (cacheLineBytes - 1)) != 0)
-    throw ConfigError("cache_line_bytes must be a power of two");
+    throw ConfigError("cache_line_bytes", "must be a power of two");
   if (prefetchPolicy != "fifo" && prefetchPolicy != "lru")
-    throw ConfigError("prefetch_policy must be 'fifo' or 'lru'");
+    throw ConfigError("prefetch_policy", "must be 'fifo' or 'lru'");
   if (icnAsyncJitter < 0.0 || icnAsyncJitter >= 1.0)
-    throw ConfigError("icn_async_jitter must be in [0, 1)");
+    throw ConfigError("icn_async_jitter", "must be in [0, 1)");
 }
 
 XmtConfig XmtConfig::fpga64() {

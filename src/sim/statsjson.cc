@@ -1,0 +1,122 @@
+#include "src/sim/statsjson.h"
+
+#include <charconv>
+
+#include "src/common/error.h"
+
+namespace xmt {
+
+const char* simModeName(SimMode mode) {
+  return mode == SimMode::kFunctional ? "functional" : "cycle";
+}
+
+SimMode simModeByName(const std::string& name) {
+  if (name == "cycle" || name == "cycle-accurate")
+    return SimMode::kCycleAccurate;
+  if (name == "functional") return SimMode::kFunctional;
+  throw ConfigError("mode", "unknown simulation mode '" + name +
+                                "' (use 'cycle' or 'functional')");
+}
+
+Json toJson(const Stats& s) {
+  Json j = Json::object();
+  j.set("instructions", Json::number(s.instructions));
+  j.set("spawns", Json::number(s.spawns));
+  j.set("virtual_threads", Json::number(s.virtualThreads));
+  j.set("cycles", Json::number(s.cycles));
+  j.set("sim_time_ps", Json::number(static_cast<std::uint64_t>(s.simTime)));
+  j.set("cache_hits", Json::number(s.cacheHits));
+  j.set("cache_misses", Json::number(s.cacheMisses));
+  j.set("dram_requests", Json::number(s.dramRequests));
+  j.set("master_cache_hits", Json::number(s.masterCacheHits));
+  j.set("master_cache_misses", Json::number(s.masterCacheMisses));
+  j.set("ro_cache_hits", Json::number(s.roCacheHits));
+  j.set("ro_cache_misses", Json::number(s.roCacheMisses));
+  j.set("prefetch_buffer_hits", Json::number(s.prefetchBufferHits));
+  j.set("icn_packets", Json::number(s.icnPackets));
+  j.set("mem_wait_cycles", Json::number(s.memWaitCycles));
+  j.set("ps_requests", Json::number(s.psRequests));
+  j.set("psm_requests", Json::number(s.psmRequests));
+  j.set("non_blocking_stores", Json::number(s.nonBlockingStores));
+
+  static const char* kFuNames[] = {"alu", "shift", "branch", "mdu",
+                                   "fpu", "mem",   "ps",     "control"};
+  Json fu = Json::object();
+  for (std::size_t i = 0; i < s.fuCount.size(); ++i)
+    if (s.fuCount[i] != 0) fu.set(kFuNames[i], Json::number(s.fuCount[i]));
+  j.set("fu_count", std::move(fu));
+
+  Json ops = Json::object();
+  for (int i = 0; i < kNumOps; ++i) {
+    std::size_t idx = static_cast<std::size_t>(i);
+    if (s.opCount[idx] != 0)
+      ops.set(std::string(opInfo(static_cast<Op>(i)).name),
+              Json::number(s.opCount[idx]));
+  }
+  j.set("op_count", std::move(ops));
+
+  Json clusters = Json::array();
+  for (const auto& c : s.perCluster) {
+    Json cj = Json::object();
+    cj.set("instructions", Json::number(c.instructions));
+    cj.set("alu_ops", Json::number(c.aluOps));
+    cj.set("mdu_ops", Json::number(c.mduOps));
+    cj.set("fpu_ops", Json::number(c.fpuOps));
+    cj.set("mem_ops", Json::number(c.memOps));
+    cj.set("active_cycles", Json::number(c.activeCycles));
+    clusters.push(std::move(cj));
+  }
+  j.set("per_cluster", std::move(clusters));
+  return j;
+}
+
+Json toJson(const RunResult& r) {
+  Json j = Json::object();
+  j.set("halted", Json::boolean(r.halted));
+  j.set("halt_code", Json::number(static_cast<std::int64_t>(r.haltCode)));
+  j.set("instructions", Json::number(r.instructions));
+  j.set("cycles", Json::number(r.cycles));
+  j.set("sim_time_ps", Json::number(static_cast<std::uint64_t>(r.simTimePs)));
+  j.set("output", Json::str(r.output));
+  return j;
+}
+
+Json toJson(const XmtConfig& cfg) {
+  // Reuse the canonical ConfigMap key set; re-type each value so the JSON
+  // carries numbers and booleans rather than strings.
+  ConfigMap m = cfg.toConfigMap();
+  Json j = Json::object();
+  for (const auto& key : m.keys()) {
+    std::string v = m.getString(key, "");
+    if (v == "true" || v == "false") {
+      j.set(key, Json::boolean(v == "true"));
+      continue;
+    }
+    std::int64_t iv = 0;
+    auto [ip, iec] = std::from_chars(v.data(), v.data() + v.size(), iv);
+    if (iec == std::errc() && ip == v.data() + v.size()) {
+      j.set(key, Json::number(iv));
+      continue;
+    }
+    double dv = 0;
+    auto [dp, dec] = std::from_chars(v.data(), v.data() + v.size(), dv);
+    if (dec == std::errc() && dp == v.data() + v.size()) {
+      j.set(key, Json::real(dv));
+      continue;
+    }
+    j.set(key, Json::str(v));
+  }
+  return j;
+}
+
+Json runRecordJson(const XmtConfig& cfg, SimMode mode, const RunResult& r,
+                   const Stats& s) {
+  Json j = Json::object();
+  j.set("config", toJson(cfg));
+  j.set("mode", Json::str(simModeName(mode)));
+  j.set("result", toJson(r));
+  j.set("stats", toJson(s));
+  return j;
+}
+
+}  // namespace xmt

@@ -1,0 +1,39 @@
+// JSON serialization of simulation outputs.
+//
+// One run = one JSON record: the resolved configuration, the simulation
+// mode, the RunResult and the full Stats (every counter, including the
+// per-cluster activity the power model consumes). The schema is shared
+// between `xmtcc --stats-json` (single runs) and the campaign result
+// store (thousands of runs), so downstream analysis never needs two
+// parsers. Serialization is deterministic: identical Stats produce
+// byte-identical text — the property the campaign resume test relies on.
+#pragma once
+
+#include <string>
+
+#include "src/common/json.h"
+#include "src/sim/simulator.h"
+#include "src/sim/stats.h"
+
+namespace xmt {
+
+/// "cycle" or "functional".
+const char* simModeName(SimMode mode);
+/// Inverse of simModeName; throws ConfigError on anything else.
+SimMode simModeByName(const std::string& name);
+
+/// Every counter of Stats, including per-op / per-FU breakdowns (non-zero
+/// entries only) and the perCluster activity array.
+Json toJson(const Stats& s);
+
+/// RunResult: halt state, instruction/cycle totals and program output.
+Json toJson(const RunResult& r);
+
+/// XmtConfig as a typed JSON object (ints/doubles/bools, not strings).
+Json toJson(const XmtConfig& cfg);
+
+/// The shared single-run record schema: {config, mode, result, stats}.
+Json runRecordJson(const XmtConfig& cfg, SimMode mode, const RunResult& r,
+                   const Stats& s);
+
+}  // namespace xmt

@@ -1,0 +1,400 @@
+// Campaign engine tests: spec parsing and grid expansion, JSON
+// serialization, worker-count invariance of results (the determinism
+// contract), resume-after-kill semantics, and the thread-safety
+// regression guard for concurrent independent simulators.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#include "src/campaign/report.h"
+#include "src/campaign/runner.h"
+#include "src/campaign/spec.h"
+#include "src/common/error.h"
+#include "src/common/json.h"
+#include "src/common/threadpool.h"
+#include "src/core/toolchain.h"
+#include "src/sim/statsjson.h"
+#include "src/workloads/kernels.h"
+#include "src/workloads/registry.h"
+
+namespace xmt {
+namespace {
+
+using campaign::CampaignOptions;
+using campaign::CampaignSpec;
+
+std::string uniqueDir(const std::string& name) {
+  std::string d = ::testing::TempDir() + "/xmt_campaign_" + name;
+  std::filesystem::remove_all(d);
+  return d;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream f(path);
+  EXPECT_TRUE(static_cast<bool>(f)) << "cannot open " << path;
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+// --- spec parsing and expansion ---
+
+TEST(CampaignSpec, ExpandsCanonicalGrid) {
+  auto spec = CampaignSpec::fromText(
+      "campaign = grid\n"
+      "base = fpga64\n"
+      "sweep.clusters = 2,4\n"
+      "sweep.tcus_per_cluster = 1,2,4\n"
+      "workload = vadd\n"
+      "workload.n = 32\n"
+      "mode = functional\n");
+  EXPECT_EQ(spec.name(), "grid");
+  ASSERT_EQ(spec.pointCount(), 6u);
+  auto points = spec.expand();
+  ASSERT_EQ(points.size(), 6u);
+  // Dimensions sorted by name; the last one advances fastest.
+  EXPECT_EQ(points[0].key, "clusters=2 tcus_per_cluster=1");
+  EXPECT_EQ(points[1].key, "clusters=2 tcus_per_cluster=2");
+  EXPECT_EQ(points[3].key, "clusters=4 tcus_per_cluster=1");
+  EXPECT_EQ(points[5].config.clusters, 4);
+  EXPECT_EQ(points[5].config.tcusPerCluster, 4);
+  EXPECT_EQ(points[5].index, 5);
+  EXPECT_EQ(points[0].mode, SimMode::kFunctional);
+  EXPECT_EQ(points[0].workload.key(), "vadd[n=32]");
+  // The preset base still fills un-swept fields.
+  EXPECT_DOUBLE_EQ(points[0].config.coreGhz, 0.075);
+}
+
+TEST(CampaignSpec, SweepsModeWorkloadAndParams) {
+  auto spec = CampaignSpec::fromText(
+      "sweep.mode = cycle,functional\n"
+      "sweep.workload = vadd,histogram\n"
+      "sweep.workload.n = 16,32\n");
+  EXPECT_EQ(spec.pointCount(), 8u);
+  auto points = spec.expand();
+  // mode < workload < workload.n alphabetically.
+  EXPECT_EQ(points[0].key, "mode=cycle workload=vadd workload.n=16");
+  EXPECT_EQ(points[7].key, "mode=functional workload=histogram workload.n=32");
+  EXPECT_EQ(points[7].mode, SimMode::kFunctional);
+  EXPECT_EQ(points[7].workload.name, "histogram");
+}
+
+TEST(CampaignSpec, FingerprintIdentifiesSpec) {
+  auto a = CampaignSpec::fromText("workload = vadd\nsweep.clusters = 1,2\n");
+  auto b = CampaignSpec::fromText("sweep.clusters = 1,2\nworkload = vadd\n");
+  auto c = CampaignSpec::fromText("workload = vadd\nsweep.clusters = 1,4\n");
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());  // canonical (sorted) text
+  EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(CampaignSpec, RejectsBadSpecsWithStructuredErrors) {
+  auto field = [](const std::string& text) {
+    try {
+      CampaignSpec::fromText(text);
+    } catch (const ConfigError& e) {
+      return e.field();
+    }
+    return std::string("<no error>");
+  };
+  EXPECT_EQ(field("bogus_key = 1\nworkload = vadd\n"), "bogus_key");
+  EXPECT_EQ(field("sweep.not_a_param = 1,2\nworkload = vadd\n"),
+            "sweep.not_a_param");
+  EXPECT_EQ(field("config.not_a_param = 1\nworkload = vadd\n"),
+            "config.not_a_param");
+  EXPECT_EQ(field("workload = nope\n"), "workload");
+  EXPECT_EQ(field("workload = vadd\nworkload.iters = 3\n"), "workload.iters");
+  EXPECT_EQ(field("workload = vadd\nsweep.clusters = 2,2\n"),
+            "sweep.clusters");
+  EXPECT_EQ(field("workload = vadd\nsweep.clusters = 1,2\n"
+                  "config.clusters = 4\n"),
+            "sweep.clusters");  // fixed and swept at once
+  EXPECT_EQ(field(""), "workload");  // no workload selected
+  EXPECT_EQ(field("workload = vadd\nbaseline = clusters=1\n"), "baseline");
+  EXPECT_EQ(field("workload = vadd\nsweep.clusters = 1,2\n"
+                  "baseline = clusters=3\n"),
+            "baseline");
+  EXPECT_EQ(field("workload = vadd\nmode = warp\n"), "mode");
+}
+
+TEST(CampaignSpec, InvalidSweptConfigNamesThePoint) {
+  auto spec = CampaignSpec::fromText(
+      "workload = vadd\nsweep.cache_line_bytes = 32,24\n");
+  try {
+    spec.expand();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("cache_line_bytes=24"),
+              std::string::npos);
+  }
+}
+
+// --- JSON ---
+
+TEST(Json, DumpParseRoundTrip) {
+  Json obj = Json::object();
+  obj.set("int", Json::number(std::int64_t{-42}));
+  obj.set("big", Json::number(std::uint64_t{1} << 62));
+  obj.set("real", Json::real(0.075));
+  obj.set("flag", Json::boolean(true));
+  obj.set("text", Json::str("line\n\"quoted\"\ttab"));
+  Json arr = Json::array();
+  arr.push(Json::number(1));
+  arr.push(Json::null());
+  obj.set("arr", std::move(arr));
+  std::string text = obj.dump();
+  Json back = Json::parse(text);
+  EXPECT_EQ(back.dump(), text);  // byte-stable round trip
+  EXPECT_EQ(back.at("int").asInt(), -42);
+  EXPECT_EQ(back.at("big").asInt(), std::int64_t{1} << 62);
+  EXPECT_DOUBLE_EQ(back.at("real").asDouble(), 0.075);
+  EXPECT_TRUE(back.at("flag").asBool());
+  EXPECT_EQ(back.at("text").asString(), "line\n\"quoted\"\ttab");
+  EXPECT_EQ(back.at("arr").items().size(), 2u);
+  EXPECT_TRUE(back.at("arr").items()[1].isNull());
+}
+
+TEST(Json, ParseRejectsGarbage) {
+  EXPECT_THROW(Json::parse("{"), ConfigError);
+  EXPECT_THROW(Json::parse("{} trailing"), ConfigError);
+  EXPECT_THROW(Json::parse("{\"a\":}"), ConfigError);
+  EXPECT_THROW(Json::parse("nulll"), ConfigError);
+}
+
+TEST(StatsJson, SerializesEveryCounterGroup) {
+  Toolchain tc;
+  auto sim = tc.makeSimulator(workloads::histogramSource(64, 4));
+  std::vector<std::int32_t> a(64);
+  for (int i = 0; i < 64; ++i) a[static_cast<std::size_t>(i)] = i % 4;
+  sim->setGlobalArray("A", a);
+  auto r = sim->run();
+  ASSERT_TRUE(r.halted);
+
+  Json j = toJson(sim->stats());
+  EXPECT_GT(j.at("instructions").asInt(), 0);
+  EXPECT_GT(j.at("cycles").asInt(), 0);
+  EXPECT_GT(j.at("psm_requests").asInt(), 0);
+  EXPECT_GT(j.at("fu_count").at("mem").asInt(), 0);
+  EXPECT_FALSE(j.at("op_count").fields().empty());
+  // Per-cluster activity: one entry per cluster, totals consistent.
+  ASSERT_EQ(j.at("per_cluster").items().size(),
+            static_cast<std::size_t>(sim->config().clusters));
+  std::int64_t clusterInstr = 0;
+  for (const auto& c : j.at("per_cluster").items())
+    clusterInstr += c.at("instructions").asInt();
+  EXPECT_GT(clusterInstr, 0);
+
+  Json rec = runRecordJson(sim->config(), SimMode::kCycleAccurate, r,
+                           sim->stats());
+  EXPECT_EQ(rec.at("mode").asString(), "cycle");
+  EXPECT_EQ(rec.at("config").at("clusters").asInt(), sim->config().clusters);
+  EXPECT_TRUE(rec.at("result").at("halted").asBool());
+  EXPECT_EQ(rec.at("stats").at("instructions").asInt(),
+            j.at("instructions").asInt());
+}
+
+// --- campaign runs ---
+
+const char* kSmallSweep =
+    "campaign = small\n"
+    "base = fpga64\n"
+    "sweep.clusters = 1,2\n"
+    "sweep.tcus_per_cluster = 2,4\n"
+    "workload = vadd\n"
+    "workload.n = 48\n"
+    "workload.seed = 3\n"
+    "mode = cycle\n"
+    "baseline = clusters=1,tcus_per_cluster=2\n";
+
+TEST(Campaign, ResultsAreBitIdenticalAcrossWorkerCounts) {
+  auto spec = CampaignSpec::fromText(kSmallSweep);
+  std::string d1 = uniqueDir("workers1");
+  std::string d4 = uniqueDir("workers4");
+  CampaignOptions o1;
+  o1.outDir = d1;
+  o1.workers = 1;
+  CampaignOptions o4;
+  o4.outDir = d4;
+  o4.workers = 4;
+  auto r1 = campaign::runCampaign(spec, o1);
+  auto r4 = campaign::runCampaign(spec, o4);
+  EXPECT_EQ(r1.executed, 4u);
+  EXPECT_EQ(r4.executed, 4u);
+  EXPECT_EQ(r1.failed, 0u);
+  EXPECT_EQ(r4.failed, 0u);
+  // The determinism contract: every point's serialized Stats is a pure
+  // function of the spec, independent of worker count and finish order.
+  EXPECT_EQ(readFile(d1 + "/results.jsonl"), readFile(d4 + "/results.jsonl"));
+  EXPECT_EQ(readFile(d1 + "/results.csv"), readFile(d4 + "/results.csv"));
+  EXPECT_EQ(r1.summary, r4.summary);
+  EXPECT_NE(r1.summary.find("speedup vs baseline"), std::string::npos);
+}
+
+TEST(Campaign, ResumeRunsExactlyTheMissingPoints) {
+  auto spec = CampaignSpec::fromText(kSmallSweep);
+  std::string clean = uniqueDir("resume_clean");
+  std::string resumed = uniqueDir("resume_killed");
+
+  CampaignOptions full;
+  full.outDir = clean;
+  full.workers = 2;
+  auto cleanRun = campaign::runCampaign(spec, full);
+  EXPECT_EQ(cleanRun.executed, 4u);
+
+  // "Kill" the campaign after 2 of 4 points...
+  CampaignOptions partial;
+  partial.outDir = resumed;
+  partial.workers = 2;
+  partial.limitPoints = 2;
+  auto first = campaign::runCampaign(spec, partial);
+  EXPECT_EQ(first.executed, 2u);
+  EXPECT_EQ(first.remaining, 2u);
+
+  // ...then re-invoke the same spec: exactly the missing M-K points run.
+  std::size_t rerunCount = 0;
+  CampaignOptions rest;
+  rest.outDir = resumed;
+  rest.workers = 2;
+  rest.onPoint = [&rerunCount](const campaign::PointRecord&) {
+    ++rerunCount;
+  };
+  auto second = campaign::runCampaign(spec, rest);
+  EXPECT_EQ(second.skipped, 2u);
+  EXPECT_EQ(second.executed, 2u);
+  EXPECT_EQ(rerunCount, 2u);
+  EXPECT_EQ(second.remaining, 0u);
+
+  // Merged outputs equal the clean run's, byte for byte.
+  EXPECT_EQ(readFile(resumed + "/results.jsonl"),
+            readFile(clean + "/results.jsonl"));
+  EXPECT_EQ(readFile(resumed + "/results.csv"),
+            readFile(clean + "/results.csv"));
+  EXPECT_EQ(second.summary, cleanRun.summary);
+}
+
+TEST(Campaign, ResumeRefusesADifferentSpec) {
+  std::string dir = uniqueDir("fingerprint");
+  auto specA = CampaignSpec::fromText("workload = vadd\nworkload.n = 16\n"
+                                      "mode = functional\n");
+  CampaignOptions opts;
+  opts.outDir = dir;
+  campaign::runCampaign(specA, opts);
+  auto specB = CampaignSpec::fromText("workload = vadd\nworkload.n = 32\n"
+                                      "mode = functional\n");
+  EXPECT_THROW(campaign::runCampaign(specB, opts), ConfigError);
+  opts.fresh = true;  // explicit restart is allowed
+  auto r = campaign::runCampaign(specB, opts);
+  EXPECT_EQ(r.executed, 1u);
+}
+
+TEST(Campaign, FailedPointsAreReportedAndRetried) {
+  // max_instructions=10 starves the run; the point fails but is recorded,
+  // and a re-invocation retries exactly the failed point.
+  auto spec = CampaignSpec::fromText(
+      "workload = vadd\nworkload.n = 16\nmode = functional\n"
+      "sweep.max_instructions = 10,1000000\n");
+  std::string dir = uniqueDir("failures");
+  CampaignOptions opts;
+  opts.outDir = dir;
+  auto r = campaign::runCampaign(spec, opts);
+  EXPECT_EQ(r.executed, 2u);
+  EXPECT_EQ(r.failed, 1u);
+  EXPECT_NE(r.summary.find("failed points"), std::string::npos);
+
+  auto retry = campaign::runCampaign(spec, opts);
+  EXPECT_EQ(retry.skipped, 1u);   // the successful point
+  EXPECT_EQ(retry.executed, 1u);  // the failed one runs again
+  EXPECT_EQ(retry.failed, 1u);
+}
+
+TEST(Campaign, ReportRanksBestConfigurationFirst) {
+  auto spec = CampaignSpec::fromText(kSmallSweep);
+  std::string dir = uniqueDir("report");
+  CampaignOptions opts;
+  opts.outDir = dir;
+  opts.workers = 2;
+  auto res = campaign::runCampaign(spec, opts);
+  ASSERT_EQ(res.records.size(), 4u);
+  // More TCUs -> fewer simulated picoseconds; the 2x4 machine must rank
+  // first and the 1x2 baseline last.
+  EXPECT_NE(res.summary.find("1. [clusters=2 tcus_per_cluster=4]"),
+            std::string::npos);
+  auto summaryFile = readFile(dir + "/summary.txt");
+  EXPECT_EQ(summaryFile, res.summary);
+}
+
+// --- thread-safety regression (satellite): no hidden shared state ---
+
+TEST(Campaign, ConcurrentSimulatorsMatchSequentialStats) {
+  // The same program+config run as N independent simulators must produce
+  // bit-identical Stats whether the N runs are sequential or concurrent —
+  // guards against hidden shared mutable state (PRNGs, counters, caches).
+  constexpr int kN = 4;
+  const std::string source = workloads::histogramSource(96, 8);
+  auto makeInput = [] {
+    std::vector<std::int32_t> a(96);
+    for (int i = 0; i < 96; ++i) a[static_cast<std::size_t>(i)] = (i * 7) % 8;
+    return a;
+  };
+  auto runOnce = [&]() -> std::string {
+    Toolchain tc;
+    auto sim = tc.makeSimulator(source);
+    sim->setGlobalArray("A", makeInput());
+    RunResult r = sim->run();
+    EXPECT_TRUE(r.halted);
+    return runRecordJson(sim->config(), SimMode::kCycleAccurate, r,
+                         sim->stats())
+        .dump();
+  };
+
+  std::vector<std::string> sequential(kN);
+  for (int i = 0; i < kN; ++i) sequential[static_cast<std::size_t>(i)] = runOnce();
+
+  std::vector<std::string> concurrent(kN);
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < kN; ++i)
+      threads.emplace_back([&concurrent, &runOnce, i] {
+        concurrent[static_cast<std::size_t>(i)] = runOnce();
+      });
+    for (auto& t : threads) t.join();
+  }
+
+  for (int i = 0; i < kN; ++i) {
+    EXPECT_EQ(concurrent[static_cast<std::size_t>(i)],
+              sequential[static_cast<std::size_t>(i)])
+        << "simulator " << i << " diverged under concurrency";
+    EXPECT_EQ(sequential[static_cast<std::size_t>(i)], sequential[0]);
+  }
+}
+
+TEST(WorkloadRegistry, EveryEntryCompilesAndRuns) {
+  // Tiny functional-mode instantiation of every registered workload: the
+  // campaign engine must be able to run any named kernel out of the box.
+  for (const auto& entry : workloads::workloadRegistry()) {
+    workloads::WorkloadInstance w;
+    w.name = entry.name;
+    // Small sizes so the full registry sweep stays fast.
+    for (const auto& p : entry.params) {
+      if (p == "n") w.params.set(p, std::int64_t{16});
+      else if (p == "threads") w.params.set(p, std::int64_t{4});
+      else if (p == "iters") w.params.set(p, std::int64_t{4});
+      else if (p == "buckets") w.params.set(p, std::int64_t{4});
+      else if (p == "degree") w.params.set(p, std::int64_t{2});
+      else if (p == "seed") w.params.set(p, std::int64_t{7});
+    }
+    ToolchainOptions opts;
+    opts.mode = SimMode::kFunctional;
+    Toolchain tc(opts);
+    auto sim = tc.makeSimulator(workloads::instanceSource(w));
+    workloads::instancePrepare(w, *sim);
+    RunResult r = sim->run();
+    EXPECT_TRUE(r.halted) << "workload " << entry.name;
+    EXPECT_EQ(r.haltCode, 0) << "workload " << entry.name;
+  }
+}
+
+}  // namespace
+}  // namespace xmt

@@ -76,6 +76,56 @@ TEST(Configs, ValidationCatchesBadValues) {
   EXPECT_THROW(c.validate(), ConfigError);
 }
 
+TEST(Configs, ValidationErrorsNameTheOffendingField) {
+  // ConfigError carries the config key so campaign reports and CLI
+  // diagnostics can point at the exact parameter, not just a message.
+  auto fieldOf = [](XmtConfig c) {
+    try {
+      c.validate();
+    } catch (const ConfigError& e) {
+      return e.field();
+    }
+    return std::string("<no error>");
+  };
+  XmtConfig c;
+  c.clusters = -2;
+  EXPECT_EQ(fieldOf(c), "clusters");
+  c = XmtConfig{};
+  c.tcusPerCluster = 0;
+  EXPECT_EQ(fieldOf(c), "tcus_per_cluster");
+  c = XmtConfig{};
+  c.cacheLineBytes = 24;
+  EXPECT_EQ(fieldOf(c), "cache_line_bytes");
+  c = XmtConfig{};
+  c.coreGhz = 0.0;
+  EXPECT_EQ(fieldOf(c), "core_ghz");
+  c = XmtConfig{};
+  c.dramGhz = -0.5;
+  EXPECT_EQ(fieldOf(c), "dram_ghz");
+  c = XmtConfig{};
+  c.prefetchPolicy = "random";
+  EXPECT_EQ(fieldOf(c), "prefetch_policy");
+  // The message still mentions the field for humans reading what().
+  c = XmtConfig{};
+  c.clusters = 0;
+  try {
+    c.validate();
+    FAIL() << "expected ConfigError";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("clusters"), std::string::npos);
+  }
+}
+
+TEST(Configs, InvalidConfigIsRejectedBeforeSimulatorConstruction) {
+  // A bad config must fail fast at construction, not mid-simulation.
+  XmtConfig bad;
+  bad.cacheModules = 0;
+  ToolchainOptions opts;
+  opts.config = bad;
+  Toolchain tc(opts);
+  EXPECT_THROW(tc.makeSimulator(workloads::vectorAddSource(8)), ConfigError);
+}
+
 struct SweepParam {
   int clusters;
   int tcus;

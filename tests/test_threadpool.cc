@@ -1,0 +1,105 @@
+// Tests for the work-stealing thread pool the campaign engine runs on.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "src/common/threadpool.h"
+
+namespace xmt {
+namespace {
+
+TEST(ThreadPool, RunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 1000; ++i)
+    pool.submit([&count] { count.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait();
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, WaitWithNoTasksReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.wait();
+  SUCCEED();
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&count] { count.fetch_add(1); });
+    pool.wait();
+    EXPECT_EQ(count.load(), (wave + 1) * 50);
+  }
+}
+
+TEST(ThreadPool, TasksMaySubmitTasks) {
+  // A task tree three levels deep: wait() must cover transitively
+  // spawned work, which is how campaign follow-up tasks behave.
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&pool, &count] {
+      count.fetch_add(1);
+      for (int j = 0; j < 4; ++j) {
+        pool.submit([&pool, &count] {
+          count.fetch_add(1);
+          pool.submit([&count] { count.fetch_add(1); });
+        });
+      }
+    });
+  }
+  pool.wait();
+  EXPECT_EQ(count.load(), 8 + 8 * 4 + 8 * 4);
+}
+
+TEST(ThreadPool, UsesMultipleWorkerThreads) {
+  ThreadPool pool(4);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int i = 0; i < 64; ++i) {
+    pool.submit([&] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      std::lock_guard<std::mutex> lock(mu);
+      ids.insert(std::this_thread::get_id());
+    });
+  }
+  pool.wait();
+  // All four workers exist; with 64 sleeping tasks at least two of them
+  // must have picked up work even on a single hardware core.
+  EXPECT_EQ(pool.workerCount(), 4);
+  EXPECT_GE(ids.size(), 2u);
+}
+
+TEST(ThreadPool, UnbalancedWorkIsStolen) {
+  // Two workers, one long task occupying one of them, many short tasks:
+  // everything still finishes (the short tasks dealt to the busy worker's
+  // deque get stolen by the idle one).
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::atomic<bool> release{false};
+  pool.submit([&release] {
+    while (!release.load(std::memory_order_acquire))
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  });
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&count, &release] {
+      if (count.fetch_add(1) + 1 == 100) release.store(true);
+    });
+  pool.wait();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DefaultWorkerCountIsHardware) {
+  ThreadPool pool;
+  EXPECT_EQ(pool.workerCount(), ThreadPool::hardwareWorkers());
+  EXPECT_GE(ThreadPool::hardwareWorkers(), 1);
+}
+
+}  // namespace
+}  // namespace xmt
