@@ -25,18 +25,25 @@
 //   --trace <functional|cycle>          print an execution trace
 //   --analyze                           run the static race lint and exit
 //                                       (exit 1 when races are found)
+//   --diag-json <path>                  write all compiler diagnostics
+//                                       (race lint + asm verifier) as JSON
+//                                       ("-" for stdout)
 //   -Wxmt-race                          warn about spawn-region races while
 //                                       compiling normally
 //   -Werror-race                        promote race findings to errors
 //   --race-check                        run the dynamic race checker
 //                                       (forces functional mode)
+//   -Werror-asm                         promote asm-verifier findings to
+//                                       errors
 //   --no-opt --no-prefetch --no-nbstores --no-outline --no-postpass
+//   --no-verify-asm                     skip the assembly-level verifier
 //   --cluster <N>                       coarsen spawns to N virtual threads
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <sstream>
 
+#include "src/assembler/assembler.h"
 #include "src/assembler/memorymap.h"
 #include "src/common/error.h"
 #include "src/core/toolchain.h"
@@ -65,7 +72,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> overrides, dumps;
   bool emitAsm = false, emitTransformed = false, wantStats = false,
        hotmem = false, analyzeOnly = false, raceCheck = false;
-  std::string traceLevel, statsJsonPath;
+  std::string traceLevel, statsJsonPath, diagJsonPath;
   xmt::ToolchainOptions opts;
 
   for (int i = 1; i < argc; ++i) {
@@ -100,7 +107,9 @@ int main(int argc, char** argv) {
       opts.compiler.werrorRace = true;
     } else if (arg == "--race-check") {
       raceCheck = true;
-    }
+    } else if (arg == "--diag-json") diagJsonPath = next();
+    else if (arg == "-Werror-asm") opts.compiler.werrorAsm = true;
+    else if (arg == "--no-verify-asm") opts.compiler.verifyAsm = false;
     else if (arg == "--no-opt") opts.compiler.optLevel = 0;
     else if (arg == "--no-prefetch") opts.compiler.prefetch = false;
     else if (arg == "--no-nbstores") opts.compiler.nonBlockingStores = false;
@@ -123,6 +132,18 @@ int main(int argc, char** argv) {
   // regardless of where --mode appeared on the command line.
   if (raceCheck) opts.mode = xmt::SimMode::kFunctional;
 
+  auto writeDiagJson = [&](const std::vector<xmt::Diagnostic>& ds) {
+    if (diagJsonPath.empty()) return;
+    std::string record = xmt::diagnosticsJson(ds) + "\n";
+    if (diagJsonPath == "-") {
+      std::fputs(record.c_str(), stdout);
+    } else {
+      std::ofstream out(diagJsonPath, std::ios::trunc);
+      if (!out) throw xmt::Error("cannot write '" + diagJsonPath + "'");
+      out << record;
+    }
+  };
+
   try {
     xmt::ConfigMap cm;
     cm.set("base", configName);
@@ -134,6 +155,7 @@ int main(int argc, char** argv) {
 
     if (analyzeOnly) {
       auto r = tc.compile(source);
+      writeDiagJson(r.diagnostics);
       for (const auto& d : r.diagnostics)
         std::printf("%s\n", xmt::formatDiagnostic(d).c_str());
       if (r.diagnostics.empty())
@@ -141,17 +163,27 @@ int main(int argc, char** argv) {
       return r.diagnostics.empty() ? 0 : 1;
     }
 
-    if (emitTransformed || emitAsm || opts.compiler.analyzeRaces) {
-      auto r = tc.compile(source);
-      for (const auto& d : r.diagnostics)
-        std::fprintf(stderr, "%s\n", xmt::formatDiagnostic(d).c_str());
+    // Compile once: diagnostics (race lint + asm verifier) always reach
+    // stderr and --diag-json, whether we emit, simulate, or fail.
+    xmt::CompileResult cr;
+    try {
+      cr = tc.compile(source);
+    } catch (const xmt::DiagnosticError& e) {
+      writeDiagJson({e.diag()});
+      throw;
+    }
+    writeDiagJson(cr.diagnostics);
+    for (const auto& d : cr.diagnostics)
+      std::fprintf(stderr, "%s\n", xmt::formatDiagnostic(d).c_str());
+    if (emitTransformed || emitAsm) {
       if (emitTransformed)
-        std::printf("%s\n", r.transformedSource.c_str());
-      if (emitAsm) std::printf("%s\n", r.asmText.c_str());
-      if (emitTransformed || emitAsm) return 0;
+        std::printf("%s\n", cr.transformedSource.c_str());
+      if (emitAsm) std::printf("%s\n", cr.asmText.c_str());
+      return 0;
     }
 
-    auto sim = tc.makeSimulator(source);
+    auto sim = std::make_unique<xmt::Simulator>(xmt::assemble(cr.asmText),
+                                                opts.config, opts.mode);
     xmt::RaceCheckPlugin* racePlugin = nullptr;
     if (raceCheck) {
       auto plugin = std::make_unique<xmt::RaceCheckPlugin>();

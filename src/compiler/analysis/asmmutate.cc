@@ -1,0 +1,238 @@
+#include "src/compiler/analysis/asmmutate.h"
+
+#include <cctype>
+#include <set>
+#include <sstream>
+
+namespace xmt::analysis {
+
+namespace {
+
+struct Line {
+  std::string raw;        // original text, re-emitted verbatim
+  std::string label;      // "X" for a pure label line "X:"
+  std::string mnemonic;   // first token of an instruction line
+  std::vector<std::string> operands;
+};
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::vector<Line> parseLines(const std::string& text) {
+  std::vector<Line> out;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    Line l;
+    l.raw = raw;
+    std::string s = raw;
+    std::size_t hash = s.find('#');
+    if (hash != std::string::npos && s.find('"') == std::string::npos)
+      s = s.substr(0, hash);
+    s = trim(s);
+    if (!s.empty() && s.back() == ':' && s.find(' ') == std::string::npos) {
+      l.label = s.substr(0, s.size() - 1);
+    } else if (!s.empty() && s[0] != '.') {
+      std::size_t sp = s.find_first_of(" \t");
+      if (sp == std::string::npos) {
+        l.mnemonic = s;
+      } else {
+        l.mnemonic = s.substr(0, sp);
+        std::string rest = s.substr(sp + 1), tok;
+        std::istringstream rs(rest);
+        while (std::getline(rs, tok, ',')) {
+          tok = trim(tok);
+          if (!tok.empty()) l.operands.push_back(tok);
+        }
+      }
+    }
+    out.push_back(std::move(l));
+  }
+  return out;
+}
+
+std::string render(const std::vector<Line>& lines) {
+  std::string out;
+  for (const Line& l : lines) {
+    out += l.raw;
+    out += '\n';
+  }
+  return out;
+}
+
+bool isControlFlow(const std::string& m) {
+  return m == "beq" || m == "bne" || m == "blt" || m == "ble" || m == "bgt" ||
+         m == "bge" || m == "beqz" || m == "bnez" || m == "b" || m == "j" ||
+         m == "jal" || m == "jalr" || m == "jr" || m == "spawn" ||
+         m == "join" || m == "halt";
+}
+
+bool drains(const std::string& m) {
+  return m == "fence" || m == "join" || m == "halt";
+}
+
+}  // namespace
+
+const char* mutantClassName(MutantClass c) {
+  switch (c) {
+    case MutantClass::kDropFence: return "drop-fence";
+    case MutantClass::kHoistStoreAcrossPs: return "hoist-store-across-ps";
+    case MutantClass::kBlockOutOfRegion: return "block-out-of-region";
+    case MutantClass::kInRegionSpill: return "in-region-spill";
+    case MutantClass::kUndefSpawnReg: return "undef-spawn-reg";
+  }
+  return "?";
+}
+
+std::vector<Mutant> generateMutants(const std::string& asmText) {
+  std::vector<Mutant> out;
+  const std::vector<Line> lines = parseLines(asmText);
+  const std::size_t n = lines.size();
+
+  auto emit = [&](MutantClass cls, std::string desc, std::vector<Line> body) {
+    out.push_back({cls, std::move(desc), render(body)});
+  };
+
+  // --- Fence mutants: straight-line swnb → fence → ps/psm chains. A label
+  // or any control transfer resets the chain (the path is no longer
+  // provably unique), and a second fence makes a single drop harmless.
+  {
+    std::ptrdiff_t swnbAt = -1, fenceAt = -1;
+    int fencesSinceStore = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const Line& l = lines[i];
+      if (!l.label.empty() || isControlFlow(l.mnemonic)) {
+        swnbAt = -1;
+        fenceAt = -1;
+        fencesSinceStore = 0;
+        continue;
+      }
+      if (l.mnemonic == "fence") {
+        fenceAt = static_cast<std::ptrdiff_t>(i);
+        ++fencesSinceStore;
+        continue;
+      }
+      if (l.mnemonic == "swnb") {
+        swnbAt = static_cast<std::ptrdiff_t>(i);
+        fenceAt = -1;
+        fencesSinceStore = 0;
+        continue;
+      }
+      if ((l.mnemonic == "ps" || l.mnemonic == "psm") && swnbAt >= 0 &&
+          fenceAt >= 0 && fencesSinceStore == 1) {
+        std::vector<Line> body(lines);
+        body.erase(body.begin() + fenceAt);
+        emit(MutantClass::kDropFence,
+             "dropped fence (line " + std::to_string(fenceAt + 1) +
+                 ") guarding '" + l.mnemonic + "'",
+             std::move(body));
+
+        body = lines;
+        Line store = body[static_cast<std::size_t>(swnbAt)];
+        body.erase(body.begin() + swnbAt);
+        body.insert(body.begin() + fenceAt, store);  // now after the fence
+        emit(MutantClass::kHoistStoreAcrossPs,
+             "hoisted swnb (line " + std::to_string(swnbAt + 1) +
+                 ") across its fence, adjacent to '" + l.mnemonic + "'",
+             std::move(body));
+        swnbAt = -1;  // one mutant pair per chain
+      }
+    }
+  }
+
+  // --- Region mutants: operate on each spawn region.
+  for (std::size_t si = 0; si < n; ++si) {
+    if (lines[si].mnemonic != "spawn" || lines[si].operands.size() != 2)
+      continue;
+    std::ptrdiff_t start = -1, end = -1;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (lines[i].label == lines[si].operands[0])
+        start = static_cast<std::ptrdiff_t>(i);
+      if (lines[i].label == lines[si].operands[1])
+        end = static_cast<std::ptrdiff_t>(i);
+    }
+    if (start < 0 || end < 0 || start >= end) continue;
+    const std::string tag = std::to_string(out.size());
+
+    // Relocate the first plain in-region instruction past the region —
+    // Fig. 9a reproduced at the text level. The relocated copy jumps back
+    // so the mutant differs from the original only in layout.
+    for (std::ptrdiff_t i = start + 1; i < end; ++i) {
+      const Line& l = lines[static_cast<std::size_t>(i)];
+      if (l.mnemonic.empty() || isControlFlow(l.mnemonic) ||
+          drains(l.mnemonic))
+        continue;
+      std::vector<Line> body(lines);
+      Line moved = body[static_cast<std::size_t>(i)];
+      Line jumpOut;
+      jumpOut.raw = "  j __mut_blk" + tag;
+      jumpOut.mnemonic = "j";
+      Line retLbl;
+      retLbl.raw = "__mut_ret" + tag + ":";
+      retLbl.label = "__mut_ret" + tag;
+      body[static_cast<std::size_t>(i)] = jumpOut;
+      body.insert(body.begin() + i + 1, retLbl);
+      Line outLbl;
+      outLbl.raw = "__mut_blk" + tag + ":";
+      Line jumpBack;
+      jumpBack.raw = "  j __mut_ret" + tag;
+      body.push_back(outLbl);
+      body.push_back(moved);
+      body.push_back(jumpBack);
+      emit(MutantClass::kBlockOutOfRegion,
+           "moved in-region instruction '" + trim(moved.raw) +
+               "' past the region (Fig. 9a layout)",
+           std::move(body));
+      break;
+    }
+
+    // Insert an sp-relative spill at the region entry.
+    {
+      std::vector<Line> body(lines);
+      Line spill;
+      spill.raw = "  sw t4, 0(sp)";
+      spill.mnemonic = "sw";
+      body.insert(body.begin() + start + 1, spill);
+      emit(MutantClass::kInRegionSpill,
+           "inserted 'sw t4, 0(sp)' at region entry (no parallel stack)",
+           std::move(body));
+    }
+
+    // Read a register the program never mentions at the region entry: it
+    // cannot be locally defined or a meaningful broadcast value.
+    {
+      static const char* kCandidates[] = {"t9", "t8", "t7", "t6", "s7",
+                                          "s6", "s5", "s4", "s3", "s2"};
+      std::string unused;
+      for (const char* cand : kCandidates) {
+        bool mentioned = false;
+        for (const Line& l : lines)
+          for (const std::string& op : l.operands)
+            if (op == cand || op.find(std::string(cand) + ")") !=
+                                  std::string::npos)
+              mentioned = true;
+        if (!mentioned) {
+          unused = cand;
+          break;
+        }
+      }
+      if (!unused.empty()) {
+        std::vector<Line> body(lines);
+        Line read;
+        read.raw = "  add " + unused + ", " + unused + ", " + unused;
+        read.mnemonic = "add";
+        body.insert(body.begin() + start + 1, read);
+        emit(MutantClass::kUndefSpawnReg,
+             "read of never-defined register " + unused + " at region entry",
+             std::move(body));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace xmt::analysis

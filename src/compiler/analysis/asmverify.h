@@ -1,0 +1,63 @@
+// Assembly-level XMT legality and memory-model verifier.
+//
+// The paper's post-pass (Section IV-B) is supposed to *verify* that emitted
+// assembly complies with XMT semantics; runPostPass only repairs basic-block
+// layout. This pass closes the gap: it assembles the post-pass output into
+// decoded Instruction records (reusing the assembler's front-end rather than
+// pattern-matching text), builds a machine-code CFG over the text segment,
+// and runs dataflow over *physical* registers to check the rules of
+// Section IV-A at the level the hardware sees:
+//
+//   1. Every path to a `ps`/`psm` with an outstanding non-blocking store
+//      carries a `fence` (the prefix-sum unit does not order against the
+//      store queue). `sw`/`sb` block until acknowledged and never go dirty;
+//      `join` and `halt` drain the store queue and act as implicit fences —
+//      exactly the cycle model's behaviour. The paper-strict reading (no
+//      swnb outstanding at join/spawn either) is available behind
+//      AsmVerifyOptions::strictJoinFence.
+//   2. All control flow of a spawn region stays inside [start, end): every
+//      branch target and every fall-through of a reachable in-region
+//      instruction must land in the region, and each path must end at a
+//      `join`. This is an independent oracle for the Fig. 9 layout repair —
+//      the TCUs fetch only the broadcast range and trap outside it.
+//   3. No spawn/halt/jal/jalr/jr inside a region (no nesting, no calls, no
+//      parallel-mode halt) and no reference to `sp` (there is no parallel
+//      stack; spills inside regions are illegal).
+//   4. Every register read inside a region is locally defined on all paths,
+//      a master-defined broadcast value (the spawn hardware copies the
+//      master register file to every TCU), or a TCU-local special
+//      (tid/zero).
+//   5. No register written inside a region is consumed by the serial
+//      continuation: TCU register files are discarded at join, so such a
+//      write is the Fig. 8 lost-update bug (caught at the machine level,
+//      which covers `outline=false` compilations that bypass the IR check).
+//
+// The verifier only reports; it never mutates the assembly. It must accept
+// every program the driver accepts (meta-oracle: all registry workloads at
+// every opt level/option combo, plus the fuzz corpus, verify clean) and
+// flag every class of the asmmutate fault-injection harness.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/compiler/diag.h"
+
+namespace xmt::analysis {
+
+struct AsmVerifyOptions {
+  // Paper-strict Section IV-A: also require the store queue to be empty at
+  // `join` and `spawn`. The hardware drains outstanding swnb at both, so
+  // the relaxed default matches the cycle model (and the compiler, which
+  // relies on the implicit drain at join).
+  bool strictJoinFence = false;
+};
+
+/// Verifies assembly text. Returns one Diagnostic per finding (severity
+/// kWarning; callers promote under -Werror-asm). Never throws on malformed
+/// input: text that does not assemble yields a single kAsmUnassemblable
+/// finding. Diagnostic::line is the assembly source line.
+std::vector<Diagnostic> verifyAssembly(const std::string& asmText,
+                                       const AsmVerifyOptions& opts = {});
+
+}  // namespace xmt::analysis

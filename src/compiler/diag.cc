@@ -1,5 +1,7 @@
 #include "src/compiler/diag.h"
 
+#include "src/common/json.h"
+
 namespace xmt {
 
 const char* diagCodeTag(DiagCode code) {
@@ -8,6 +10,23 @@ const char* diagCodeTag(DiagCode code) {
     case DiagCode::kRaceWriteWrite: return "xmt-race-ww";
     case DiagCode::kRaceReadWrite: return "xmt-race-rw";
     case DiagCode::kRaceUnknownAddress: return "xmt-race-unknown";
+    case DiagCode::kPostPassBadSpawn: return "xmt-pp-bad-spawn";
+    case DiagCode::kPostPassNestedSpawn: return "xmt-pp-nested-spawn";
+    case DiagCode::kPostPassHaltInRegion: return "xmt-pp-halt-in-region";
+    case DiagCode::kPostPassCallInRegion: return "xmt-pp-call-in-region";
+    case DiagCode::kPostPassUnknownLabel: return "xmt-pp-unknown-label";
+    case DiagCode::kPostPassMissingJoin: return "xmt-pp-missing-join";
+    case DiagCode::kPostPassLayout: return "xmt-pp-layout";
+    case DiagCode::kAsmUnassemblable: return "xmt-asm-unassemblable";
+    case DiagCode::kAsmBadRegion: return "xmt-asm-bad-region";
+    case DiagCode::kAsmMissingFence: return "xmt-asm-missing-fence";
+    case DiagCode::kAsmSwnbAtJoin: return "xmt-asm-swnb-at-join";
+    case DiagCode::kAsmRegionEscape: return "xmt-asm-region-escape";
+    case DiagCode::kAsmMissingJoin: return "xmt-asm-missing-join";
+    case DiagCode::kAsmIllegalInRegion: return "xmt-asm-illegal-in-region";
+    case DiagCode::kAsmParallelStack: return "xmt-asm-parallel-stack";
+    case DiagCode::kAsmUndefSpawnReg: return "xmt-asm-undef-spawn-reg";
+    case DiagCode::kAsmRegionDataflow: return "xmt-asm-region-dataflow";
   }
   return "xmt-diag";
 }
@@ -29,6 +48,31 @@ bool isRaceDiag(const Diagnostic& d) {
   return d.code == DiagCode::kRaceWriteWrite ||
          d.code == DiagCode::kRaceReadWrite ||
          d.code == DiagCode::kRaceUnknownAddress;
+}
+
+bool isAsmDiag(const Diagnostic& d) {
+  return d.code >= DiagCode::kAsmUnassemblable &&
+         d.code <= DiagCode::kAsmRegionDataflow;
+}
+
+std::string diagnosticsJson(const std::vector<Diagnostic>& ds) {
+  Json root = Json::object();
+  Json arr = Json::array();
+  for (const Diagnostic& d : ds) {
+    Json j = Json::object();
+    j.set("code", Json::str(diagCodeTag(d.code)));
+    j.set("severity", Json::str(d.severity == Severity::kError     ? "error"
+                                : d.severity == Severity::kWarning ? "warning"
+                                                                   : "note"));
+    j.set("line", Json::number(d.line));
+    j.set("other_line", Json::number(d.otherLine));
+    j.set("symbol", Json::str(d.symbol));
+    j.set("message", Json::str(d.message));
+    arr.push(std::move(j));
+  }
+  root.set("count", Json::number(static_cast<std::int64_t>(ds.size())));
+  root.set("diagnostics", std::move(arr));
+  return root.dump();
 }
 
 }  // namespace xmt

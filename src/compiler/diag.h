@@ -23,6 +23,25 @@ enum class DiagCode : std::uint8_t {
   kRaceWriteWrite,       // unsynchronized concurrent writes to one location
   kRaceReadWrite,        // concurrent read/write conflict
   kRaceUnknownAddress,   // write through an unresolvable address (may race)
+  // Post-pass structural verification (Section IV-B layout rules).
+  kPostPassBadSpawn,     // malformed spawn operands / unknown / inverted labels
+  kPostPassNestedSpawn,  // spawn reachable inside a spawn region
+  kPostPassHaltInRegion, // halt reachable inside a spawn region
+  kPostPassCallInRegion, // jr reachable inside a spawn region
+  kPostPassUnknownLabel, // branch to a label that is never defined
+  kPostPassMissingJoin,  // spawn region with no join to relocate around
+  kPostPassLayout,       // layout cannot be repaired (Fig. 9)
+  // Assembly-level legality verifier (asmverify, Section IV-A rules).
+  kAsmUnassemblable,     // verifier input does not assemble
+  kAsmBadRegion,         // spawn bounds are not a valid text range
+  kAsmMissingFence,      // path reaches ps/psm with an outstanding swnb
+  kAsmSwnbAtJoin,        // strict mode: swnb outstanding at join/spawn
+  kAsmRegionEscape,      // control flow leaves the spawn region (Fig. 9 oracle)
+  kAsmMissingJoin,       // no reachable join terminates the region
+  kAsmIllegalInRegion,   // spawn/halt/call/return inside a region
+  kAsmParallelStack,     // sp referenced inside a region (no parallel stack)
+  kAsmUndefSpawnReg,     // in-region read of a never-defined register
+  kAsmRegionDataflow,    // Fig. 8: TCU-local write read by serial code
 };
 
 /// Stable short tag for a code ("xmt-race-ww", ...), shown in brackets after
@@ -44,6 +63,14 @@ std::string formatDiagnostic(const Diagnostic& d);
 /// True if `d` is one of the race-lint findings (as opposed to a semantic
 /// diagnostic).
 bool isRaceDiag(const Diagnostic& d);
+
+/// True if `d` was produced by the assembly-level verifier (asmverify).
+bool isAsmDiag(const Diagnostic& d);
+
+/// Machine-readable serialization of a diagnostic list (for --diag-json):
+/// {"diagnostics":[{"code":...,"severity":...,"line":...,"other_line":...,
+/// "symbol":...,"message":...}]}. Deterministic via src/common/json.
+std::string diagnosticsJson(const std::vector<Diagnostic>& ds);
 
 /// A diagnostic promoted to a hard failure. Derives CompileError so existing
 /// catch sites and tests keep working; carries the structured finding.

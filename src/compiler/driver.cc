@@ -1,6 +1,9 @@
 #include "src/compiler/driver.h"
 
+#include <iterator>
+
 #include "src/assembler/assembler.h"
+#include "src/compiler/analysis/asmverify.h"
 #include "src/compiler/analysis/racecheck.h"
 #include "src/compiler/emit.h"
 #include "src/compiler/lower.h"
@@ -65,6 +68,20 @@ CompileResult compileXmtc(const std::string& source,
     PostPassReport rep = runPostPass(res.asmText);
     res.asmText = std::move(rep.asmText);
     res.relocatedBlocks = rep.relocatedBlocks;
+  }
+
+  // Assembly-level legality verifier: checks the final text, after any
+  // layout repair, against the Section IV-A machine rules.
+  if (opts.verifyAsm) {
+    std::vector<Diagnostic> vds = analysis::verifyAssembly(res.asmText);
+    if (opts.werrorAsm && !vds.empty()) {
+      Diagnostic err = vds.front();
+      err.severity = Severity::kError;
+      throw DiagnosticError(std::move(err));
+    }
+    res.diagnostics.insert(res.diagnostics.end(),
+                           std::make_move_iterator(vds.begin()),
+                           std::make_move_iterator(vds.end()));
   }
   return res;
 }

@@ -27,13 +27,16 @@ struct CompilerOptions {
   bool postPass = true;           // verification + layout repair
   bool analyzeRaces = false;      // static spawn-region race lint (--analyze)
   bool werrorRace = false;        // promote race findings to CompileError
+  bool verifyAsm = true;          // assembly-level legality verifier
+                                  // (asmverify) on the final assembly
+  bool werrorAsm = false;         // promote verifier findings to errors
 };
 
 struct CompileResult {
   std::string asmText;
   std::string transformedSource;  // XMTC after the source-to-source passes
   int relocatedBlocks = 0;        // post-pass Fig. 9 repairs performed
-  std::vector<Diagnostic> diagnostics;  // race-lint findings (analyzeRaces)
+  std::vector<Diagnostic> diagnostics;  // race-lint + asm-verifier findings
 };
 
 /// Compiles XMTC source to XMT assembly. Throws CompileError / AsmError.

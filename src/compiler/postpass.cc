@@ -17,6 +17,7 @@ struct AsmLine {
   std::vector<std::string> labels;
   std::string mnemonic;                 // empty for label-only / directives
   std::vector<std::string> operands;
+  int srcLine = 0;                      // 1-based line in the input text
 };
 
 std::string trim(const std::string& s) {
@@ -52,11 +53,13 @@ ParsedAsm parseAsm(const std::string& text) {
   std::istringstream in(text);
   std::string raw;
   std::vector<std::string> pendingLabels;
+  int srcLine = 0;
   auto isIdent = [](char c) {
     return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
            c == '.' || c == '$';
   };
   while (std::getline(in, raw)) {
+    ++srcLine;
     // Strip comments (no string literals contain '#' in our output except
     // .asciiz — handle by skipping inside quotes).
     std::string s;
@@ -88,6 +91,7 @@ ParsedAsm parseAsm(const std::string& text) {
     }
     if (s.empty()) continue;
     AsmLine line;
+    line.srcLine = srcLine;
     line.labels = std::move(pendingLabels);
     pendingLabels.clear();
     std::size_t sp = s.find_first_of(" \t");
@@ -145,6 +149,18 @@ std::string targetOf(const AsmLine& l) {
   return {};
 }
 
+[[noreturn]] void fail(DiagCode code, int line, const std::string& msg,
+                       std::string symbol = {}, int otherLine = -1) {
+  Diagnostic d;
+  d.code = code;
+  d.severity = Severity::kError;
+  d.line = line;
+  d.otherLine = otherLine;
+  d.symbol = std::move(symbol);
+  d.message = "post-pass: " + msg;
+  throw PostPassError(std::move(d));
+}
+
 }  // namespace
 
 PostPassReport runPostPass(const std::string& asmText) {
@@ -155,15 +171,23 @@ PostPassReport runPostPass(const std::string& asmText) {
   for (std::size_t si = 0; si < p.lines.size(); ++si) {
     if (p.lines[si].mnemonic != "spawn") continue;
     ++report.regionsChecked;
+    const int spawnLine = p.lines[si].srcLine;
     if (p.lines[si].operands.size() != 2)
-      throw AsmError("post-pass: spawn needs two label operands");
+      fail(DiagCode::kPostPassBadSpawn, spawnLine,
+           "spawn needs two label operands");
+    const std::string regionLbl = p.lines[si].operands[0];
     auto s = p.labelAt.find(p.lines[si].operands[0]);
     auto e = p.labelAt.find(p.lines[si].operands[1]);
     if (s == p.labelAt.end() || e == p.labelAt.end())
-      throw AsmError("post-pass: spawn references unknown label");
+      fail(DiagCode::kPostPassUnknownLabel, spawnLine,
+           "spawn references unknown label",
+           s == p.labelAt.end() ? p.lines[si].operands[0]
+                                : p.lines[si].operands[1]);
     std::size_t start = s->second;
     std::size_t end = e->second;
-    if (start > end) throw AsmError("post-pass: inverted spawn region");
+    if (start > end)
+      fail(DiagCode::kPostPassBadSpawn, spawnLine, "inverted spawn region",
+           regionLbl);
 
     for (int attempt = 0; attempt < 8; ++attempt) {
       // Reachability from the region entry.
@@ -175,17 +199,21 @@ PostPassReport runPostPass(const std::string& asmText) {
         if (i >= p.lines.size() || !visited.insert(i).second) continue;
         const AsmLine& l = p.lines[i];
         if (l.mnemonic == "spawn")
-          throw AsmError("post-pass: nested spawn inside a spawn region");
+          fail(DiagCode::kPostPassNestedSpawn, l.srcLine,
+               "nested spawn inside a spawn region", regionLbl, spawnLine);
         if (l.mnemonic == "halt")
-          throw AsmError("post-pass: halt inside a spawn region");
+          fail(DiagCode::kPostPassHaltInRegion, l.srcLine,
+               "halt inside a spawn region", regionLbl, spawnLine);
         if (l.mnemonic == "jr")
-          throw AsmError("post-pass: jr inside a spawn region (no calls in "
-                         "parallel code)");
+          fail(DiagCode::kPostPassCallInRegion, l.srcLine,
+               "jr inside a spawn region (no calls in parallel code)",
+               regionLbl, spawnLine);
         std::string tgt = targetOf(l);
         if (!tgt.empty()) {
           auto t = p.labelAt.find(tgt);
           if (t == p.labelAt.end())
-            throw AsmError("post-pass: branch to unknown label " + tgt);
+            fail(DiagCode::kPostPassUnknownLabel, l.srcLine,
+                 "branch to unknown label " + tgt, tgt);
           work.push_back(t->second);
         }
         if (!endsFlow(l.mnemonic)) work.push_back(i + 1);
@@ -196,7 +224,8 @@ PostPassReport runPostPass(const std::string& asmText) {
         if (i < start || i >= end) misplaced.push_back(i);
       if (misplaced.empty()) break;
       if (attempt == 7)
-        throw AsmError("post-pass: could not repair spawn-region layout");
+        fail(DiagCode::kPostPassLayout, spawnLine,
+             "could not repair spawn-region layout", regionLbl);
 
       // Take the first contiguous misplaced run.
       std::sort(misplaced.begin(), misplaced.end());
@@ -215,7 +244,8 @@ PostPassReport runPostPass(const std::string& asmText) {
       if (!endsFlow(chunk.back().mnemonic)) {
         std::size_t succ = runEnd + 1;
         if (succ >= p.lines.size())
-          throw AsmError("post-pass: misplaced block falls off the end");
+          fail(DiagCode::kPostPassLayout, chunk.back().srcLine,
+               "misplaced block falls off the end", regionLbl, spawnLine);
         std::string lbl;
         if (!p.lines[succ].labels.empty()) {
           lbl = p.lines[succ].labels[0];
@@ -235,7 +265,8 @@ PostPassReport runPostPass(const std::string& asmText) {
       for (std::size_t i = start; i < end; ++i)
         if (p.lines[i].mnemonic == "join") joinIdx = i;
       if (joinIdx == end)
-        throw AsmError("post-pass: spawn region without a join");
+        fail(DiagCode::kPostPassMissingJoin, spawnLine,
+             "spawn region without a join", regionLbl);
 
       // Give the join a label and make the preceding fall-through explicit.
       std::string joinLbl;

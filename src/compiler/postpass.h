@@ -12,6 +12,8 @@
 
 #include <string>
 
+#include "src/compiler/diag.h"
+
 namespace xmt {
 
 struct PostPassReport {
@@ -20,7 +22,24 @@ struct PostPassReport {
   int regionsChecked = 0;
 };
 
-/// Verifies and repairs assembly text. Throws AsmError when the layout
+/// A post-pass verification failure carrying the structured finding:
+/// Diagnostic::line is the assembly line of the offending instruction and
+/// Diagnostic::symbol names the spawn-region start label when the failure
+/// is attributable to one region. Derives AsmError so existing catch sites
+/// keep working.
+class PostPassError : public AsmError {
+ public:
+  explicit PostPassError(Diagnostic d)
+      : AsmError(d.line, d.message + " [" + diagCodeTag(d.code) + "]"),
+        diag_(std::move(d)) {}
+  const Diagnostic& diag() const { return diag_; }
+  DiagCode code() const { return diag_.code; }
+
+ private:
+  Diagnostic diag_;
+};
+
+/// Verifies and repairs assembly text. Throws PostPassError when the layout
 /// cannot be repaired or other XMT rules are violated (nested spawn inside
 /// a region, missing join, halt inside a region).
 PostPassReport runPostPass(const std::string& asmText);

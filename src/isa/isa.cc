@@ -133,6 +133,84 @@ bool Instruction::isLoad() const {
   return op == Op::kLw || op == Op::kLbu || op == Op::kRolw;
 }
 
+int regDef(const Instruction& in) {
+  switch (opInfo(in.op).format) {
+    case OpFormat::kR3:
+    case OpFormat::kR2I:
+    case OpFormat::kRI:
+    case OpFormat::kRL:
+    case OpFormat::kR2:
+      return in.rd;
+    case OpFormat::kMem:
+      // Loads write rt; psm writes the old memory value into rt. Stores and
+      // pref write no register.
+      if (in.isLoad() || in.op == Op::kPsm) return in.rt;
+      return -1;
+    case OpFormat::kJump:
+      return in.op == Op::kJal ? kRa : -1;
+    case OpFormat::kR1:
+      return in.op == Op::kJalr ? kRa : -1;
+    case OpFormat::kGr:
+      // ps rd, grN returns the old global-register value in rd; mfgr reads
+      // a global register into rd; mtgr only writes the global register.
+      return in.op == Op::kMtgr ? -1 : in.rd;
+    default:
+      return -1;
+  }
+}
+
+int regUses(const Instruction& in, int out[3]) {
+  int n = 0;
+  switch (opInfo(in.op).format) {
+    case OpFormat::kR3:
+      out[n++] = in.rs;
+      out[n++] = in.rt;
+      break;
+    case OpFormat::kR2I:
+    case OpFormat::kR2:
+      out[n++] = in.rs;
+      break;
+    case OpFormat::kMem:
+      out[n++] = in.rs;  // address base
+      if (in.isStore() || in.op == Op::kPsm) out[n++] = in.rt;
+      break;
+    case OpFormat::kBr2:
+      out[n++] = in.rs;
+      out[n++] = in.rt;
+      break;
+    case OpFormat::kR1:
+      out[n++] = in.rs;
+      break;
+    case OpFormat::kGr:
+      // ps reads rd as the increment; mtgr reads rd as the source.
+      if (in.op != Op::kMfgr) out[n++] = in.rd;
+      break;
+    case OpFormat::kImm:
+      if (in.op == Op::kSys) out[n++] = kA0;
+      break;
+    case OpFormat::kNone:
+      if (in.op == Op::kHalt) out[n++] = kV0;
+      break;
+    default:
+      break;
+  }
+  return n;
+}
+
+bool isNonBlockingStore(const Instruction& in) { return in.op == Op::kSwnb; }
+
+bool isPrefixSum(const Instruction& in) {
+  return in.op == Op::kPs || in.op == Op::kPsm;
+}
+
+bool isCall(const Instruction& in) {
+  return in.op == Op::kJal || in.op == Op::kJalr;
+}
+
+bool drainsStores(const Instruction& in) {
+  return in.op == Op::kFence || in.op == Op::kJoin || in.op == Op::kHalt;
+}
+
 std::string disassemble(const Instruction& in) {
   const OpInfo& info = opInfo(in.op);
   std::ostringstream ss;

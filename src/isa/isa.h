@@ -137,4 +137,34 @@ int parseReg(std::string_view text);
 /// Human-readable disassembly, e.g. "addi t0, t1, 4".
 std::string disassemble(const Instruction& in);
 
+// --- Register use/def model and instruction-class predicates -------------
+//
+// Used by the assembly-level verifier (src/compiler/analysis/asmverify) to
+// run dataflow over physical registers. The model covers the implicit
+// operands the functional model honours: `jal`/`jalr` define ra, `ps` both
+// reads and writes rd, `psm` reads rs+rt and writes rt (the old value),
+// `sys` reads a0 and `halt` reads v0 (the halt code).
+
+/// The general register written by `in`, or -1 when it writes none.
+int regDef(const Instruction& in);
+
+/// Collects the general registers read by `in` into `out` (capacity >= 3);
+/// returns how many were written. Duplicates are possible (e.g. add r, x, x).
+int regUses(const Instruction& in, int out[3]);
+
+/// True for the non-blocking store `swnb` — the only store the memory
+/// system acknowledges before completion.
+bool isNonBlockingStore(const Instruction& in);
+
+/// True for the prefix-sum primitives `ps` / `psm`.
+bool isPrefixSum(const Instruction& in);
+
+/// True for `jal` / `jalr` (function calls).
+bool isCall(const Instruction& in);
+
+/// True for ops that drain outstanding non-blocking stores before
+/// completing: `fence` itself, plus `join` and `halt` (the cycle model
+/// waits for the store queue to empty at both).
+bool drainsStores(const Instruction& in);
+
 }  // namespace xmt

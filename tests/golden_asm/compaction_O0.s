@@ -1,0 +1,58 @@
+  .data
+A:
+  .space 1024
+  .global A
+B:
+  .space 1024
+  .global B
+count:
+  .space 4
+  .global count
+  .text
+main:
+  addi sp, sp, -4
+  sw ra, 0(sp)
+L0_0:
+  li t4, 0
+  mtgr t4, gr0
+  jal fn___spawn0_main
+  move t4, v0
+  mfgr t4, gr0
+  la t5, count
+  swnb t4, 0(t5)
+  move v0, zero
+L0_1:
+  halt
+fn___spawn0_main:
+L1_0:
+  li t4, 255
+  mtgr zero, gr6
+  mtgr t4, gr7
+  fence
+  spawn L1_1, L1_4
+L1_1:
+  move t4, tid
+  li t5, 1
+  la t6, A
+  sll t7, t4, 2
+  add t6, t6, t7
+  lw t6, 0(t6)
+  bne t6, zero, L1_2
+  j L1_3
+L1_2:
+  fence
+  move t6, t5
+  ps t6, gr0
+  move t5, t6
+  la t6, A
+  sll t4, t4, 2
+  add t4, t6, t4
+  lw t4, 0(t4)
+  la t6, B
+  sll t5, t5, 2
+  add t5, t6, t5
+  swnb t4, 0(t5)
+L1_3:
+  join
+L1_4:
+  jr ra

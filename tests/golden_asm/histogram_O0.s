@@ -1,0 +1,40 @@
+  .data
+A:
+  .space 1024
+  .global A
+H:
+  .space 32
+  .global H
+  .text
+main:
+  addi sp, sp, -4
+  sw ra, 0(sp)
+L0_0:
+  jal fn___spawn0_main
+  move t4, v0
+  move v0, zero
+L0_1:
+  halt
+fn___spawn0_main:
+L1_0:
+  li t4, 255
+  mtgr zero, gr6
+  mtgr t4, gr7
+  spawn L1_1, L1_2
+L1_1:
+  move t4, tid
+  li t5, 1
+  la t6, H
+  la t7, A
+  sll t4, t4, 2
+  add t4, t7, t4
+  lw t4, 0(t4)
+  sll t4, t4, 2
+  add t4, t6, t4
+  move at, t4
+  move t4, t5
+  psm t4, 0(at)
+  move t5, t4
+  join
+L1_2:
+  jr ra

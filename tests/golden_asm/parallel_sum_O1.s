@@ -1,0 +1,33 @@
+  .data
+A:
+  .space 1024
+  .global A
+total:
+  .space 4
+  .global total
+  .text
+main:
+  addi sp, sp, -4
+  sw ra, 0(sp)
+L0_0:
+  jal fn___spawn0_main
+  move v0, zero
+L0_1:
+  halt
+fn___spawn0_main:
+L1_0:
+  li t4, 255
+  mtgr zero, gr6
+  mtgr t4, gr7
+  spawn L1_1, L1_2
+L1_1:
+  move t4, tid
+  la t5, A
+  sll t4, t4, 2
+  add t4, t5, t4
+  lw t4, 0(t4)
+  la t5, total
+  psm t4, 0(t5)
+  join
+L1_2:
+  jr ra

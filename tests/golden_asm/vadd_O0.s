@@ -1,0 +1,39 @@
+  .data
+A:
+  .space 1024
+  .global A
+B:
+  .space 1024
+  .global B
+  .text
+main:
+  addi sp, sp, -4
+  sw ra, 0(sp)
+L0_0:
+  jal fn___spawn0_main
+  move t4, v0
+  move v0, zero
+L0_1:
+  halt
+fn___spawn0_main:
+L1_0:
+  li t4, 255
+  mtgr zero, gr6
+  mtgr t4, gr7
+  fence
+  spawn L1_1, L1_2
+L1_1:
+  move t4, tid
+  la t5, A
+  sll t6, t4, 2
+  add t5, t5, t6
+  lw t5, 0(t5)
+  li t6, 1
+  add t5, t5, t6
+  la t6, B
+  sll t4, t4, 2
+  add t4, t6, t4
+  swnb t5, 0(t4)
+  join
+L1_2:
+  jr ra

@@ -1,0 +1,448 @@
+// Tests for the assembly-level XMT legality verifier (asmverify): per-rule
+// unit tests on hand-written assembly, driver integration (default-on,
+// -Werror-asm, outline=false Fig. 8 detection, layoutQuirk Fig. 9 oracle),
+// a meta-oracle subset (full sweep lives in ci/verify_smoke.sh), and the
+// mutation harness cross-checked against the simulator's dynamic
+// enforcement.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/assembler/assembler.h"
+#include "src/common/error.h"
+#include "src/compiler/analysis/asmmutate.h"
+#include "src/compiler/analysis/asmverify.h"
+#include "src/compiler/driver.h"
+#include "src/sim/simulator.h"
+#include "src/workloads/registry.h"
+
+namespace xmt {
+namespace {
+
+using analysis::AsmVerifyOptions;
+using analysis::generateMutants;
+using analysis::Mutant;
+using analysis::MutantClass;
+using analysis::verifyAssembly;
+
+bool hasCode(const std::vector<Diagnostic>& ds, DiagCode code) {
+  for (const auto& d : ds)
+    if (d.code == code) return true;
+  return false;
+}
+
+std::string joinDiags(const std::vector<Diagnostic>& ds) {
+  std::string out;
+  for (const auto& d : ds) out += formatDiagnostic(d) + "\n";
+  return out;
+}
+
+// A legal program exercising the full shape the verifier models: broadcast
+// setup (s0/s1 defined by the master), a spawn region reading tid and the
+// broadcast registers, a non-blocking store drained by join, and a serial
+// continuation. Everything but the strict-mode check accepts it.
+const char* kCleanRegion = R"(
+.data
+A: .space 256
+B: .space 256
+.global A
+.global B
+.text
+main:
+  li t0, 0
+  mtgr t0, gr6
+  li t1, 63
+  mtgr t1, gr7
+  la s0, A
+  la s1, B
+  spawn Lstart, Lend
+Lstart:
+  sll t2, tid, 2
+  add t3, s0, t2
+  lw t4, 0(t3)
+  add t6, s1, t2
+  swnb t4, 0(t6)
+  join
+Lend:
+  halt
+)";
+
+TEST(AsmVerify, AcceptsCleanRegion) {
+  auto ds = verifyAssembly(kCleanRegion);
+  EXPECT_TRUE(ds.empty()) << joinDiags(ds);
+}
+
+TEST(AsmVerify, StrictModeFlagsSwnbAtJoin) {
+  // The relaxed default matches the cycle model (join drains the store
+  // queue); the paper-strict reading requires an explicit fence.
+  AsmVerifyOptions strict;
+  strict.strictJoinFence = true;
+  auto ds = verifyAssembly(kCleanRegion, strict);
+  EXPECT_TRUE(hasCode(ds, DiagCode::kAsmSwnbAtJoin)) << joinDiags(ds);
+
+  std::string fenced = kCleanRegion;
+  auto pos = fenced.find("  join");
+  ASSERT_NE(pos, std::string::npos);
+  fenced.insert(pos, "  fence\n");
+  ds = verifyAssembly(fenced, strict);
+  EXPECT_TRUE(ds.empty()) << joinDiags(ds);
+}
+
+TEST(AsmVerify, FlagsPrefixSumWithOutstandingSwnb) {
+  const char* src = R"(
+.data
+A: .space 16
+.global A
+.text
+main:
+  la s0, A
+  li t0, 1
+  swnb t0, 0(s0)
+  li t1, 1
+  psm t1, 4(s0)
+  halt
+)";
+  auto ds = verifyAssembly(src);
+  ASSERT_TRUE(hasCode(ds, DiagCode::kAsmMissingFence)) << joinDiags(ds);
+
+  std::string fenced = src;
+  auto pos = fenced.find("  li t1");
+  ASSERT_NE(pos, std::string::npos);
+  fenced.insert(pos, "  fence\n");
+  ds = verifyAssembly(fenced);
+  EXPECT_TRUE(ds.empty()) << joinDiags(ds);
+}
+
+TEST(AsmVerify, BlockingStoreNeedsNoFence) {
+  // sw blocks until acknowledged; only swnb leaves the store queue dirty.
+  const char* src = R"(
+.data
+A: .space 16
+.global A
+.text
+main:
+  la s0, A
+  li t0, 1
+  sw t0, 0(s0)
+  li t1, 1
+  psm t1, 4(s0)
+  halt
+)";
+  auto ds = verifyAssembly(src);
+  EXPECT_TRUE(ds.empty()) << joinDiags(ds);
+}
+
+TEST(AsmVerify, FlagsRegionEscape) {
+  // An in-region branch targeting code after the region end: the Fig. 9
+  // scenario the post-pass repairs, caught here as an independent oracle.
+  std::string src = kCleanRegion;
+  auto pos = src.find("  add t6");
+  ASSERT_NE(pos, std::string::npos);
+  src.insert(pos, "  beqz t4, Lout\n");
+  src += "Lout:\n  j Lout\n";
+  auto ds = verifyAssembly(src);
+  EXPECT_TRUE(hasCode(ds, DiagCode::kAsmRegionEscape)) << joinDiags(ds);
+}
+
+TEST(AsmVerify, FlagsMissingJoin) {
+  const char* src = R"(
+.text
+main:
+  spawn Lstart, Lend
+Lstart:
+  j Lstart
+Lend:
+  halt
+)";
+  auto ds = verifyAssembly(src);
+  EXPECT_TRUE(hasCode(ds, DiagCode::kAsmMissingJoin)) << joinDiags(ds);
+  EXPECT_FALSE(hasCode(ds, DiagCode::kAsmRegionEscape)) << joinDiags(ds);
+}
+
+TEST(AsmVerify, FlagsFallthroughPastRegionEnd) {
+  // Falling off the region end is an escape: the TCU would fetch the first
+  // instruction after the broadcast range.
+  const char* src = R"(
+.text
+main:
+  spawn Lstart, Lend
+Lstart:
+  sll t2, tid, 2
+Lend:
+  halt
+)";
+  auto ds = verifyAssembly(src);
+  EXPECT_TRUE(hasCode(ds, DiagCode::kAsmRegionEscape)) << joinDiags(ds);
+}
+
+TEST(AsmVerify, FlagsCallInRegion) {
+  std::string src = kCleanRegion;
+  auto pos = src.find("  swnb t4");
+  ASSERT_NE(pos, std::string::npos);
+  src.insert(pos, "  jal helper\n");
+  src += "helper:\n  jr ra\n";
+  auto ds = verifyAssembly(src);
+  EXPECT_TRUE(hasCode(ds, DiagCode::kAsmIllegalInRegion)) << joinDiags(ds);
+}
+
+TEST(AsmVerify, FlagsParallelStackUse) {
+  std::string src = kCleanRegion;
+  auto pos = src.find("  swnb t4");
+  ASSERT_NE(pos, std::string::npos);
+  src.insert(pos, "  sw t4, 0(sp)\n");
+  auto ds = verifyAssembly(src);
+  EXPECT_TRUE(hasCode(ds, DiagCode::kAsmParallelStack)) << joinDiags(ds);
+}
+
+TEST(AsmVerify, FlagsUndefinedSpawnRegister) {
+  // s5 is neither locally defined, nor master-defined at the spawn, nor a
+  // TCU special — its TCU-side value is garbage.
+  std::string src = kCleanRegion;
+  auto pos = src.find("  swnb t4");
+  ASSERT_NE(pos, std::string::npos);
+  src.insert(pos, "  add t4, t4, s5\n");
+  auto ds = verifyAssembly(src);
+  ASSERT_TRUE(hasCode(ds, DiagCode::kAsmUndefSpawnReg)) << joinDiags(ds);
+  for (const auto& d : ds) {
+    if (d.code == DiagCode::kAsmUndefSpawnReg) {
+      EXPECT_EQ(d.symbol, "Lstart");
+    }
+  }
+}
+
+TEST(AsmVerify, BroadcastValuesAreDefined) {
+  // s0/s1 in kCleanRegion are only legal because the master defines them on
+  // every path to the spawn; drop one definition and the read is flagged.
+  std::string src = kCleanRegion;
+  auto pos = src.find("  la s1, B\n");
+  ASSERT_NE(pos, std::string::npos);
+  src.erase(pos, std::string("  la s1, B\n").size());
+  auto ds = verifyAssembly(src);
+  EXPECT_TRUE(hasCode(ds, DiagCode::kAsmUndefSpawnReg)) << joinDiags(ds);
+}
+
+TEST(AsmVerify, FlagsFig8RegionToContinuationDataflow) {
+  // The machine-level Fig. 8: the region writes t8, the continuation reads
+  // it — but TCU register files are discarded at join.
+  const char* src = R"(
+.data
+R: .space 4
+.global R
+.text
+main:
+  la s0, R
+  spawn Lstart, Lend
+Lstart:
+  li t8, 1
+  join
+Lend:
+  sw t8, 0(s0)
+  halt
+)";
+  auto ds = verifyAssembly(src);
+  ASSERT_TRUE(hasCode(ds, DiagCode::kAsmRegionDataflow)) << joinDiags(ds);
+  for (const auto& d : ds) {
+    if (d.code == DiagCode::kAsmRegionDataflow) {
+      EXPECT_EQ(d.symbol, "t8");
+    }
+  }
+}
+
+TEST(AsmVerify, FlagsBadRegionBounds) {
+  const char* src = R"(
+.text
+main:
+  spawn Lend, Lstart
+Lstart:
+  join
+Lend:
+  halt
+)";
+  auto ds = verifyAssembly(src);
+  EXPECT_TRUE(hasCode(ds, DiagCode::kAsmBadRegion)) << joinDiags(ds);
+}
+
+TEST(AsmVerify, UnassemblableInputReportsNotThrows) {
+  auto ds = verifyAssembly("this is not assembly at all\n");
+  ASSERT_EQ(ds.size(), 1u);
+  EXPECT_EQ(ds[0].code, DiagCode::kAsmUnassemblable);
+}
+
+// --- Driver integration -------------------------------------------------
+
+const char* kFig8Source = R"(
+int A[64];
+int R;
+int main() {
+  int found = 0;
+  A[17] = 1;
+  spawn(0, 63) {
+    if (A[$] != 0) found = 1;
+  }
+  R = found;
+  return 0;
+}
+)";
+
+TEST(AsmVerifyDriver, DefaultCompilationIsClean) {
+  CompileResult r = compileXmtc(kFig8Source);
+  for (const auto& d : r.diagnostics)
+    EXPECT_FALSE(isAsmDiag(d)) << formatDiagnostic(d);
+}
+
+TEST(AsmVerifyDriver, CatchesFig8WhenOutliningDisabled) {
+  // outline=false bypasses the IR-level verifyParallelDataflow check; the
+  // asm verifier catches the miscompile at the machine level. At -O1 the
+  // IR DCE deletes the dead in-region write, so the lost update is only
+  // visible in the -O0 assembly (see DESIGN.md).
+  CompilerOptions unsafe;
+  unsafe.outline = false;
+  unsafe.optLevel = 0;
+  CompileResult r = compileXmtc(kFig8Source, unsafe);
+  EXPECT_TRUE(hasCode(r.diagnostics, DiagCode::kAsmRegionDataflow))
+      << joinDiags(r.diagnostics);
+}
+
+TEST(AsmVerifyDriver, WerrorAsmPromotesToError) {
+  CompilerOptions unsafe;
+  unsafe.outline = false;
+  unsafe.optLevel = 0;
+  unsafe.werrorAsm = true;
+  try {
+    compileXmtc(kFig8Source, unsafe);
+    FAIL() << "expected DiagnosticError";
+  } catch (const DiagnosticError& e) {
+    EXPECT_EQ(e.code(), DiagCode::kAsmRegionDataflow) << e.what();
+    EXPECT_EQ(e.diag().severity, Severity::kError);
+  }
+}
+
+TEST(AsmVerifyDriver, NoVerifyAsmSkipsTheCheck) {
+  CompilerOptions unsafe;
+  unsafe.outline = false;
+  unsafe.optLevel = 0;
+  unsafe.verifyAsm = false;
+  CompileResult r = compileXmtc(kFig8Source, unsafe);
+  for (const auto& d : r.diagnostics)
+    EXPECT_FALSE(isAsmDiag(d)) << formatDiagnostic(d);
+}
+
+TEST(AsmVerifyDriver, LayoutQuirkOracleMatchesPostPass) {
+  // The same program the post-pass repair test uses: with the quirk on and
+  // the post-pass off, the emitted layout breaks Fig. 9 and the verifier
+  // reports the escape; with the post-pass on, the repaired text is clean.
+  const char* src = R"(
+int A[64];
+int B[64];
+int main() {
+  spawn(0, 63) {
+    if (A[$] > 10) {
+      B[$] = A[$] * 2;
+    } else {
+      B[$] = A[$] + 1;
+    }
+  }
+  return 0;
+}
+)";
+  CompilerOptions broken;
+  broken.layoutQuirk = true;
+  broken.postPass = false;
+  broken.verifyAsm = false;
+  auto ds = verifyAssembly(compileXmtc(src, broken).asmText);
+  EXPECT_TRUE(hasCode(ds, DiagCode::kAsmRegionEscape)) << joinDiags(ds);
+
+  CompilerOptions repaired;
+  repaired.layoutQuirk = true;
+  CompileResult r = compileXmtc(src, repaired);
+  EXPECT_GE(r.relocatedBlocks, 1);
+  for (const auto& d : r.diagnostics)
+    EXPECT_FALSE(isAsmDiag(d)) << formatDiagnostic(d);
+}
+
+// --- Meta-oracle subset (full sweep: ci/verify_smoke.sh) ----------------
+
+TEST(AsmVerifyOracle, RegistryWorkloadsVerifyClean) {
+  for (const char* name : {"vadd", "parallel_sum", "histogram"}) {
+    std::string src = workloads::instanceSource({name, ConfigMap()});
+    for (int opt = 0; opt <= 2; ++opt) {
+      CompilerOptions co;
+      co.optLevel = opt;
+      CompileResult r = compileXmtc(src, co);
+      for (const auto& d : r.diagnostics)
+        EXPECT_FALSE(isAsmDiag(d))
+            << name << " -O" << opt << ": " << formatDiagnostic(d);
+    }
+  }
+}
+
+// --- Mutation harness ---------------------------------------------------
+
+TEST(AsmVerifyMutation, AllMutantsKilled) {
+  // The swnb → fence → psm chain guarantees fence-class mutants; vadd and
+  // histogram cover the region classes. Every generated mutant must be
+  // flagged, and all five classes must occur across the corpus.
+  const char* kChain = R"(
+int A[64];
+int total;
+int main() {
+  spawn(0, 63) {
+    A[$] = $;
+    int v = 1;
+    psm(v, total);
+  }
+  return 0;
+}
+)";
+  std::vector<std::string> corpus = {
+      kChain, workloads::instanceSource({"vadd", ConfigMap()}),
+      workloads::instanceSource({"histogram", ConfigMap()})};
+  std::set<MutantClass> seen;
+  for (const auto& src : corpus) {
+    CompilerOptions co;
+    co.verifyAsm = false;
+    std::string asmText = compileXmtc(src, co).asmText;
+    ASSERT_TRUE(verifyAssembly(asmText).empty()) << "baseline not clean";
+    for (const Mutant& m : generateMutants(asmText)) {
+      seen.insert(m.cls);
+      auto ds = verifyAssembly(m.asmText);
+      EXPECT_FALSE(ds.empty())
+          << "mutant survived: " << m.description << " ("
+          << analysis::mutantClassName(m.cls) << ")";
+    }
+  }
+  for (auto cls :
+       {MutantClass::kDropFence, MutantClass::kHoistStoreAcrossPs,
+        MutantClass::kBlockOutOfRegion, MutantClass::kInRegionSpill,
+        MutantClass::kUndefSpawnReg})
+    EXPECT_TRUE(seen.count(cls))
+        << "class never generated: " << analysis::mutantClassName(cls);
+}
+
+TEST(AsmVerifyMutation, RegionEscapeMutantTrapsDynamically) {
+  // Cross-validation against the simulator: the block-out-of-region mutant
+  // the verifier flags statically is the same program the cycle model traps
+  // on at run time (out-of-broadcast-range fetch), mirroring
+  // PostPass.RepairsFig9Layout.
+  std::string src = workloads::instanceSource({"vadd", ConfigMap()});
+  CompilerOptions co;
+  co.verifyAsm = false;
+  std::string asmText = compileXmtc(src, co).asmText;
+  bool found = false;
+  for (const Mutant& m : generateMutants(asmText)) {
+    if (m.cls != MutantClass::kBlockOutOfRegion) continue;
+    found = true;
+    EXPECT_TRUE(hasCode(verifyAssembly(m.asmText), DiagCode::kAsmRegionEscape))
+        << m.description;
+    Program p = assemble(m.asmText);
+    Simulator sim(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+    EXPECT_THROW(sim.run(), SimError) << m.description;
+    break;
+  }
+  EXPECT_TRUE(found) << "vadd produced no block-out-of-region mutant";
+}
+
+}  // namespace
+}  // namespace xmt

@@ -1,7 +1,10 @@
 // Property-based compiler tests: randomly generated integer expression
 // trees are compiled and executed on the simulator, and the result is
 // checked against an independent host evaluation of the same tree — in a
-// serial context and inside a spawn block (parallel codegen).
+// serial context and inside a spawn block (parallel codegen). Every
+// fuzz-accepted program is also pushed through the assembly-level verifier
+// (asmverify meta-oracle: whatever the driver accepts must verify clean,
+// at every opt level).
 #include <gtest/gtest.h>
 
 #include <cstdint>
@@ -9,6 +12,8 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/compiler/analysis/asmverify.h"
+#include "src/compiler/driver.h"
 #include "src/core/toolchain.h"
 
 namespace xmt {
@@ -127,6 +132,19 @@ std::string render(const Node& n, const std::vector<std::string>& varNames) {
   return "0";
 }
 
+// Meta-oracle leg of the fuzz property: the asm verifier must accept (and
+// must not crash on) every generated program the compiler accepts.
+void expectVerifiesClean(const std::string& src) {
+  for (int opt = 0; opt <= 2; ++opt) {
+    CompilerOptions co;
+    co.optLevel = opt;
+    co.verifyAsm = false;
+    auto ds = analysis::verifyAssembly(compileXmtc(src, co).asmText);
+    for (const auto& d : ds)
+      ADD_FAILURE() << "-O" << opt << ": " << formatDiagnostic(d);
+  }
+}
+
 class CompilerFuzz : public ::testing::TestWithParam<int> {};
 
 TEST_P(CompilerFuzz, SerialExpressionsMatchHost) {
@@ -150,6 +168,7 @@ TEST_P(CompilerFuzz, SerialExpressionsMatchHost) {
     auto e = tc.run(src);
     ASSERT_TRUE(e.result.halted);
     EXPECT_EQ(e.sim->getGlobal("R"), evalHost(*tree, vals));
+    expectVerifiesClean(src);
   }
 }
 
@@ -172,6 +191,7 @@ TEST_P(CompilerFuzz, ParallelExpressionsMatchHost) {
         "  return 0;\n"
         "}\n";
     SCOPED_TRACE(src);
+    expectVerifiesClean(src);
     auto sim = tc.makeSimulator(src);
     std::vector<std::int32_t> a(kN);
     for (int i = 0; i < kN; ++i)

@@ -1,0 +1,81 @@
+// Golden-assembly snapshot tests: pin the exact post-pass output of a few
+// registry kernels at every opt level, so codegen changes show up as a
+// reviewable diff instead of a silent behaviour change. The snapshots are
+// also a fixed corpus for the asm verifier: every golden must verify clean.
+//
+// To regenerate after an intentional codegen change:
+//   XMT_REGEN_GOLDEN=1 ./build/tests/xmt_tests --gtest_filter='GoldenAsm*'
+// then review the diff under tests/golden_asm/ and commit it.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/compiler/analysis/asmverify.h"
+#include "src/compiler/driver.h"
+#include "src/workloads/registry.h"
+
+namespace xmt {
+namespace {
+
+const char* kKernels[] = {"vadd", "parallel_sum", "histogram", "compaction"};
+
+std::filesystem::path goldenDir() {
+  return std::filesystem::path(__FILE__).parent_path() / "golden_asm";
+}
+
+std::string compileKernel(const std::string& name, int opt) {
+  std::string src = workloads::instanceSource({name, ConfigMap()});
+  CompilerOptions co;
+  co.optLevel = opt;
+  co.verifyAsm = false;  // GoldenAsm.SnapshotsVerifyClean checks explicitly
+  return compileXmtc(src, co).asmText;
+}
+
+TEST(GoldenAsm, SnapshotsMatch) {
+  const bool regen = std::getenv("XMT_REGEN_GOLDEN") != nullptr;
+  for (const char* name : kKernels) {
+    for (int opt = 0; opt <= 2; ++opt) {
+      std::filesystem::path file =
+          goldenDir() / (std::string(name) + "_O" + std::to_string(opt) + ".s");
+      std::string got = compileKernel(name, opt);
+      if (regen) {
+        std::ofstream out(file);
+        ASSERT_TRUE(out.good()) << "cannot write " << file;
+        out << got;
+        continue;
+      }
+      std::ifstream in(file);
+      ASSERT_TRUE(in.good())
+          << file << " missing — regenerate with XMT_REGEN_GOLDEN=1";
+      std::ostringstream want;
+      want << in.rdbuf();
+      EXPECT_EQ(got, want.str())
+          << name << " -O" << opt << " drifted from its snapshot; if the "
+          << "codegen change is intentional, rerun with XMT_REGEN_GOLDEN=1 "
+          << "and commit the diff";
+    }
+  }
+}
+
+TEST(GoldenAsm, SnapshotsAreDeterministic) {
+  // The snapshot contract requires bit-identical recompiles.
+  for (const char* name : kKernels)
+    EXPECT_EQ(compileKernel(name, 2), compileKernel(name, 2)) << name;
+}
+
+TEST(GoldenAsm, SnapshotsVerifyClean) {
+  for (const char* name : kKernels) {
+    for (int opt = 0; opt <= 2; ++opt) {
+      auto ds = analysis::verifyAssembly(compileKernel(name, opt));
+      for (const auto& d : ds)
+        ADD_FAILURE() << name << " -O" << opt << ": " << formatDiagnostic(d);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace xmt

@@ -149,6 +149,37 @@ Le:
   EXPECT_THROW(runPostPass(src), AsmError);
 }
 
+TEST(PostPass, FailuresCarryStructuredDiagnostics) {
+  // PostPassError derives AsmError (so the legacy EXPECT_THROW tests above
+  // keep passing) but also carries the machine-readable finding: code, the
+  // offending assembly line, the spawn-region label, and the spawn line.
+  const char* src = R"(
+.text
+main:
+  spawn Ls, Le
+Ls:
+  spawn Ls2, Le2
+Ls2:
+  join
+Le2:
+  join
+Le:
+  halt
+)";
+  try {
+    runPostPass(src);
+    FAIL() << "expected PostPassError";
+  } catch (const PostPassError& e) {
+    EXPECT_EQ(e.code(), DiagCode::kPostPassNestedSpawn);
+    EXPECT_EQ(e.diag().symbol, "Ls");
+    EXPECT_EQ(e.diag().line, 6) << "line of the nested spawn";
+    EXPECT_EQ(e.diag().otherLine, 4) << "line of the outer spawn";
+    EXPECT_NE(std::string(e.what()).find("xmt-pp-nested-spawn"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(PostPass, RejectsHaltInRegion) {
   const char* src = R"(
 .text
