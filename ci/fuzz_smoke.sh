@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Smoke-run the differential fuzzer (xmtsmith + three-way oracle) end to end:
+#   1. clean sweep — a fixed seed range must produce zero mismatches between
+#      the host reference interpreter, the functional simulator and the
+#      cycle-accurate simulator, at -O0/1/2, across the sampled machine grid;
+#   2. self-validation — with a fault injected into the compiler post-pass
+#      (every psm duplicated), the oracle must catch it AND the reducer must
+#      shrink it to a small reproducer, proving the harness can actually
+#      detect and localize a miscompile;
+#   3. corpus replay — the checked-in golden reproducers replay clean via
+#      the unit-test binary.
+#
+# This is the time-boxed (~60 s) CI gate. The nightly long-run is the same
+# driver with a wider seed range and reduction enabled:
+#
+#   ./build/examples/xmtfuzz --seed $(date +%Y%m%d)000 --count 20000 \
+#       --reduce --corpus-dir tests/corpus
+#
+# plus a soak of the timing-sensitive injection mode, which today's
+# outlined codegen masks (see DESIGN.md section 8.5):
+#
+#   XMT_XMTSMITH_INJECT=drop-fence ./build/examples/xmtfuzz \
+#       --seed 1 --count 20000
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$(nproc)" --target xmtfuzz xmt_tests
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+echo "== clean sweep (500 seeds x -O0/1/2 x machine grid) =="
+./build/examples/xmtfuzz --seed 1 --count 500 | tee "$out/sweep.log"
+grep -Eq '^\[summary\] 500 programs, [0-9]+ oracle legs, 0 mismatches$' \
+  "$out/sweep.log"
+
+echo "== self-validation (injected psm duplication caught and reduced) =="
+if XMT_XMTSMITH_INJECT=dup-psm ./build/examples/xmtfuzz \
+    --seed 1 --count 10 --opt 0 --reduce > "$out/inject.log" 2>&1; then
+  echo "injected miscompile was NOT caught by the oracle" >&2
+  exit 1
+fi
+grep -q '^\[MISMATCH\] seed' "$out/inject.log"
+grep -q -- '----- reduced program -----' "$out/inject.log"
+# The reducer must land at a genuinely small reproducer.
+reduced=$(grep -Eo '^  reduced: [0-9]+ lines' "$out/inject.log" \
+  | head -1 | grep -Eo '[0-9]+')
+test "$reduced" -le 25 || {
+  echo "reducer left a $reduced-line reproducer (> 25)" >&2; exit 1; }
+
+echo "== corpus replay (golden reproducers, three-way oracle) =="
+./build/tests/xmt_tests \
+  --gtest_filter='Corpus*.*:Xmtsmith.*' > "$out/corpus.log" 2>&1 \
+  || { tail -40 "$out/corpus.log" >&2; exit 1; }
+grep -q '\[  PASSED  \]' "$out/corpus.log"
+
+echo "fuzz smoke OK"

@@ -1,0 +1,191 @@
+// xmtfuzz — differential fuzzing driver for the XMT toolchain.
+//
+// Generates seeded whole-program XMTC test cases (xmtsmith), runs each one
+// through the three-way oracle (host reference vs functional vs
+// cycle-accurate, at every opt level, across sampled machine
+// configurations), and on mismatch optionally shrinks the program to a
+// minimal reproducer and saves it to the regression corpus.
+//
+//   xmtfuzz --seed 1 --count 200                    # the CI smoke sweep
+//   xmtfuzz --seed 7 --count 1 --opt 1 --reduce     # reproduce + shrink
+//   xmtfuzz --seed 1 --count 5 --emit-corpus DIR    # write golden programs
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/testing/diffrun.h"
+#include "src/testing/reduce.h"
+#include "src/testing/xmtsmith.h"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [options]\n"
+               "  --seed N          first seed (default 1)\n"
+               "  --count N         number of seeds to run (default 100)\n"
+               "  --opt LIST        opt levels, e.g. 0,1,2 (default all)\n"
+               "  --configs FILE    campaign sweep spec for the sampled\n"
+               "                    machine configurations (default: builtin\n"
+               "                    4-point fpga64 grid)\n"
+               "  --reduce          shrink each mismatch to a minimal\n"
+               "                    reproducer and print it\n"
+               "  --corpus-dir DIR  write reduced reproducers as corpus\n"
+               "                    .xmtc files into DIR\n"
+               "  --emit-corpus DIR write every (passing) program + oracle\n"
+               "                    as a corpus file into DIR (golden seeding)\n",
+               argv0);
+  std::exit(2);
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "xmtfuzz: cannot read %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+std::vector<int> parseOptList(const std::string& s) {
+  std::vector<int> opts;
+  std::istringstream is(s);
+  std::string tok;
+  while (std::getline(is, tok, ',')) {
+    if (tok != "0" && tok != "1" && tok != "2") {
+      std::fprintf(stderr, "xmtfuzz: bad --opt value '%s'\n", tok.c_str());
+      std::exit(2);
+    }
+    opts.push_back(tok[0] - '0');
+  }
+  if (opts.empty()) {
+    std::fprintf(stderr, "xmtfuzz: empty --opt list\n");
+    std::exit(2);
+  }
+  return opts;
+}
+
+std::string reproCommand(std::uint64_t seed, const std::string& optList,
+                         const std::string& configsFile) {
+  std::ostringstream os;
+  os << "xmtfuzz --seed " << seed << " --count 1";
+  if (!optList.empty()) os << " --opt " << optList;
+  if (!configsFile.empty()) os << " --configs " << configsFile;
+  os << " --reduce";
+  return os.str();
+}
+
+void writeCorpusFile(const std::filesystem::path& dir, std::uint64_t seed,
+                     const std::string& stem, const std::string& text) {
+  std::filesystem::create_directories(dir);
+  std::filesystem::path path = dir / (stem + std::to_string(seed) + ".xmtc");
+  std::ofstream out(path);
+  out << text;
+  std::printf("  wrote %s\n", path.string().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xmt::testing;
+
+  std::uint64_t seed = 1;
+  std::uint64_t count = 100;
+  std::string optList;
+  std::string configsFile;
+  std::string corpusDir;
+  std::string emitDir;
+  bool reduce = false;
+
+  auto needValue = [&](int& i) -> std::string {
+    if (i + 1 >= argc) usage(argv[0]);
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--seed") seed = std::strtoull(needValue(i).c_str(), nullptr, 10);
+    else if (a == "--count")
+      count = std::strtoull(needValue(i).c_str(), nullptr, 10);
+    else if (a == "--opt") optList = needValue(i);
+    else if (a == "--configs") configsFile = needValue(i);
+    else if (a == "--corpus-dir") corpusDir = needValue(i);
+    else if (a == "--emit-corpus") emitDir = needValue(i);
+    else if (a == "--reduce") reduce = true;
+    else usage(argv[0]);
+  }
+
+  DiffOptions opts;
+  if (!optList.empty()) opts.optLevels = parseOptList(optList);
+  if (!configsFile.empty())
+    opts.configs = configPointsFromSpec(readFile(configsFile));
+
+  std::printf("xmtfuzz: seeds [%llu, %llu), opt levels",
+              static_cast<unsigned long long>(seed),
+              static_cast<unsigned long long>(seed + count));
+  for (int o : opts.optLevels) std::printf(" -O%d", o);
+  std::printf(", %zu config points\n",
+              (opts.configs.empty() ? defaultConfigPoints() : opts.configs)
+                  .size());
+
+  std::uint64_t programs = 0;
+  std::uint64_t legs = 0;
+  std::uint64_t mismatched = 0;
+  for (std::uint64_t s = seed; s < seed + count; ++s) {
+    GenProgram prog = generate(s);
+    DiffOutcome outcome = runDiff(prog, opts);
+    ++programs;
+    legs += static_cast<std::uint64_t>(outcome.legsRun);
+
+    if (!emitDir.empty() && outcome.ok()) {
+      RefResult ref = interpret(prog);
+      Oracle oracle{ref.haltCode, ref.output, ref.globals};
+      writeCorpusFile(emitDir, s, "gen_seed_",
+                      renderCorpusFile(prog.render(), oracle,
+                                       reproCommand(s, optList, configsFile)));
+    }
+    if (outcome.ok()) continue;
+
+    ++mismatched;
+    std::printf("[MISMATCH] seed %llu (%d line program)\n%s",
+                static_cast<unsigned long long>(s), prog.lineCount(),
+                outcome.describe().c_str());
+    std::printf("  repro: %s\n",
+                reproCommand(s, optList, configsFile).c_str());
+
+    if (reduce) {
+      const Mismatch& m = outcome.mismatches.front();
+      ReduceResult red =
+          reduceProgram(prog, mismatchPredicate(m, opts), ReduceOptions{});
+      std::printf(
+          "  reduced: %d lines (%d probes), mismatch kind '%s' at -O%d%s%s\n",
+          red.program.lineCount(), red.probes, m.kind.c_str(), m.optLevel,
+          m.configName.empty() ? "" : " config ",
+          m.configName.c_str());
+      std::printf("----- reduced program -----\n%s---------------------------\n",
+                  red.program.render().c_str());
+      if (!corpusDir.empty()) {
+        RefResult ref = interpret(red.program);
+        Oracle oracle{ref.haltCode, ref.output, ref.globals};
+        writeCorpusFile(
+            corpusDir, s, "reduced_seed_",
+            renderCorpusFile(red.program.render(), oracle,
+                             reproCommand(s, optList, configsFile) + "  # " +
+                                 m.kind));
+      }
+    }
+  }
+
+  std::printf("[summary] %llu programs, %llu oracle legs, %llu mismatches\n",
+              static_cast<unsigned long long>(programs),
+              static_cast<unsigned long long>(legs),
+              static_cast<unsigned long long>(mismatched));
+  return mismatched == 0 ? 0 : 1;
+}

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <sstream>
@@ -315,6 +316,40 @@ PostPassReport runPostPass(const std::string& asmText) {
       start = p.labelAt.at(p.lines[si].operands[0]);
       end = p.labelAt.at(p.lines[si].operands[1]);
     }
+  }
+
+  // Hidden fault-injection hook for the differential-fuzzing harness: a
+  // deliberate miscompile reachable only through the environment, so the
+  // three-way oracle and the reducer can be tested against a known-real bug
+  // (DESIGN.md §8). Never set outside tests.
+  //   drop-fence — deletes every fence (timing-dependent store/spawn races)
+  //   dup-psm    — duplicates every psm (accumulators deterministically off)
+  if (const char* inject = std::getenv("XMT_XMTSMITH_INJECT")) {
+    const std::string kind = inject;
+    std::vector<AsmLine> out;
+    out.reserve(p.lines.size());
+    std::vector<std::string> carry;  // labels of deleted lines move forward
+    for (const auto& l : p.lines) {
+      if (kind == "drop-fence" && l.mnemonic == "fence") {
+        carry.insert(carry.end(), l.labels.begin(), l.labels.end());
+        continue;
+      }
+      out.push_back(l);
+      if (!carry.empty()) {
+        out.back().labels.insert(out.back().labels.begin(), carry.begin(),
+                                 carry.end());
+        carry.clear();
+      }
+      if (kind == "dup-psm" && l.mnemonic == "psm") {
+        AsmLine dup = l;
+        dup.labels.clear();
+        out.push_back(std::move(dup));
+      }
+    }
+    if (!carry.empty() && !out.empty())
+      out.back().labels.insert(out.back().labels.end(), carry.begin(),
+                               carry.end());
+    p.lines = std::move(out);
   }
 
   report.asmText = p.render();

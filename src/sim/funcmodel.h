@@ -57,6 +57,7 @@ class FuncModel {
   Program& program() { return program_; }
   const Program& program() const { return program_; }
   SparseMemory& memory() { return memory_; }
+  const SparseMemory& memory() const { return memory_; }
   std::array<std::uint32_t, kNumGlobalRegs>& globalRegs() { return gr_; }
 
   const Instruction& fetch(std::uint32_t pc) const;

@@ -179,6 +179,48 @@ std::unique_ptr<Simulator> Simulator::resume(Program program,
   return sim;
 }
 
+std::uint64_t Simulator::memoryDigest(
+    std::span<const std::string> excludeSymbols) const {
+  // Byte extents to mask out (order-dependent result placement).
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> skip;
+  for (const auto& name : excludeSymbols) {
+    if (!programCopy_.hasSymbol(name)) continue;
+    const Symbol& s = programCopy_.symbol(name);
+    skip.emplace_back(s.addr, s.addr + s.size);
+  }
+
+  std::uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a 64 offset basis
+  auto mix = [&h](std::uint8_t b) {
+    h ^= b;
+    h *= 0x100000001b3ull;
+  };
+
+  const SparseMemory& mem = func_->memory();
+  const auto end =
+      kDataBase + static_cast<std::uint32_t>(programCopy_.data.size());
+  for (std::uint32_t a = kDataBase; a < end; ++a) {
+    std::uint8_t b = mem.readByte(a);
+    for (const auto& [lo, hi] : skip)
+      if (a >= lo && a < hi) {
+        b = 0;
+        break;
+      }
+    mix(b);
+  }
+  // Directory of named data symbols (std::map: already name-sorted), so the
+  // digest is tied to the symbol layout it hashed, not just raw bytes.
+  for (const auto& [name, sym] : programCopy_.symbols) {
+    if (sym.isText) continue;
+    for (char c : name) mix(static_cast<std::uint8_t>(c));
+    mix(0);
+    for (int i = 0; i < 4; ++i)
+      mix(static_cast<std::uint8_t>(sym.addr >> (8 * i)));
+    for (int i = 0; i < 4; ++i)
+      mix(static_cast<std::uint8_t>(sym.size >> (8 * i)));
+  }
+  return h;
+}
+
 RuntimeControl* Simulator::runtimeControl() { return cycle_.get(); }
 
 }  // namespace xmt

@@ -92,6 +92,18 @@ class Simulator : private CommitObserver {
                                                SimMode::kCycleAccurate);
 
   // --- Results and internals ---
+  /// FNV-1a 64 digest of the final architectural memory: every byte of the
+  /// static data segment plus a directory of the named data symbols. Two
+  /// runs of the same program are architecturally equivalent iff their
+  /// digests match — the one-number oracle the differential fuzzing harness
+  /// compares across modes, opt levels and configurations.
+  ///
+  /// `excludeSymbols` masks the extents of the named globals to zero before
+  /// hashing, for workloads whose results are correct as a *set* but land at
+  /// thread-order-dependent positions (e.g. compaction's B).
+  std::uint64_t memoryDigest(
+      std::span<const std::string> excludeSymbols = {}) const;
+
   const Stats& stats() const { return stats_; }
   const std::string& output() const { return func_->output(); }
   const XmtConfig& config() const { return config_; }

@@ -1,0 +1,121 @@
+// diffrun: the three-way differential oracle around xmtsmith programs.
+//
+// One generated program is executed three ways — host reference interpreter,
+// SimMode::kFunctional, and SimMode::kCycleAccurate — at every requested
+// optimization level and across a sampled set of machine configurations
+// (reusing the campaign grid machinery for the sampling). Any disagreement
+// in halt code, printf output, named-global values, or (between the two
+// simulator modes) Simulator::memoryDigest() is a finding. The same oracle
+// replays corpus .xmtc files whose expectations are embedded as comments, so
+// reduced reproducers stay checked forever without carrying their generator
+// AST around.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/config.h"
+#include "src/testing/xmtsmith.h"
+
+namespace xmt::testing {
+
+// ---------------------------------------------------------------------------
+// Configuration sampling
+// ---------------------------------------------------------------------------
+
+struct DiffConfigPoint {
+  std::string name;  // canonical campaign point key
+  XmtConfig config;
+};
+
+/// Builds config points from a campaign sweep spec (only the machine
+/// dimensions matter; workload/mode fields are ignored).
+std::vector<DiffConfigPoint> configPointsFromSpec(const std::string& specText);
+
+/// The default sample: fpga64 swept over cluster count and DRAM latency
+/// (4 points — small/large machine, fast/slow memory).
+std::vector<DiffConfigPoint> defaultConfigPoints();
+
+// ---------------------------------------------------------------------------
+// Oracle
+// ---------------------------------------------------------------------------
+
+/// Reference expectations for one program: what every leg must observe.
+/// Produced either by the host interpreter (generated programs) or parsed
+/// from EXPECT comments (corpus files).
+struct Oracle {
+  std::int32_t haltCode = 0;
+  std::string output;
+  /// Named globals to compare (scalars have size 1). For corpus files this
+  /// is exactly the set of EXPECT lines; for generated programs, every
+  /// memory-resident global.
+  std::map<std::string, std::vector<std::int32_t>> globals;
+};
+
+/// One disagreement. `kind` is stable and machine-matchable (the reducer
+/// predicate keys on it): "compile-error", "sim-error", "halt-code",
+/// "output", "global", "digest", "ref-budget".
+struct Mismatch {
+  std::string kind;
+  int optLevel = 0;
+  std::string configName;  // empty for functional-only comparisons
+  std::string detail;
+};
+
+struct DiffOutcome {
+  std::vector<Mismatch> mismatches;
+  int legsRun = 0;
+  bool ok() const { return mismatches.empty(); }
+  /// Human-readable one-line-per-mismatch summary.
+  std::string describe() const;
+};
+
+struct DiffOptions {
+  std::vector<int> optLevels = {0, 1, 2};
+  std::vector<DiffConfigPoint> configs;  // empty: defaultConfigPoints()
+  std::uint64_t maxInstructions = 200'000'000;
+  /// When false, only the reference-vs-functional comparison runs (used by
+  /// reduction predicates for findings the cycle legs cannot influence).
+  bool cycleLegs = true;
+};
+
+/// Full oracle over a generated program: interprets it on the host, then
+/// compares every (opt level x mode x config) simulator leg against the
+/// reference and against each other (memoryDigest functional == cycle).
+DiffOutcome runDiff(const GenProgram& prog, const DiffOptions& opts = {});
+
+/// Same oracle legs over raw XMTC text with an externally supplied
+/// reference (corpus replay). If `oracle` is null only the cross-mode
+/// digest/output/halt comparisons run.
+DiffOutcome runDiffSource(const std::string& source, const Oracle* oracle,
+                          const DiffOptions& opts = {});
+
+/// Builds a reduction predicate: true iff `prog` still yields a mismatch of
+/// `m.kind` at m.optLevel (and m.configName, when set). Variants that fail
+/// to compile for a *different* reason than the original mismatch do not
+/// reproduce (surgery artifacts must not steer the reduction).
+std::function<bool(const GenProgram&)> mismatchPredicate(
+    const Mismatch& m, const DiffOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Corpus files
+// ---------------------------------------------------------------------------
+
+/// Renders a self-contained corpus file: repro-command header, EXPECT
+/// comment block (halt code, escaped output, every oracle global), then the
+/// program text.
+std::string renderCorpusFile(const std::string& source, const Oracle& oracle,
+                             const std::string& reproComment);
+
+/// Parses the EXPECT comment block out of a corpus file (the whole file is
+/// still valid XMTC — expectations live in comments).
+Oracle parseCorpusExpectations(const std::string& fileText);
+
+/// C-style escaping used by EXPECT-OUTPUT lines.
+std::string escapeString(const std::string& s);
+std::string unescapeString(const std::string& s);
+
+}  // namespace xmt::testing

@@ -1,0 +1,272 @@
+#include "src/testing/reduce.h"
+
+#include <iterator>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace xmt::testing {
+
+namespace {
+
+GenExprPtr literal(std::int32_t v) {
+  auto e = std::make_unique<GenExpr>();
+  e->kind = GenExpr::Kind::kLit;
+  e->intVal = v;
+  return e;
+}
+
+struct Reducer {
+  GenProgram cur;
+  const std::function<bool(const GenProgram&)>& fails;
+  int probes = 0;
+  int maxProbes;
+
+  bool budget() const { return probes < maxProbes; }
+
+  bool test() {
+    ++probes;
+    return fails(cur);
+  }
+
+  // ---- pass 1: statement deletion ----
+
+  bool tryEraseRange(std::vector<GenStmtPtr>& list, std::size_t b,
+                     std::size_t n) {
+    if (!budget() || n == 0 || b + n > list.size()) return false;
+    std::vector<GenStmtPtr> saved;
+    saved.insert(saved.end(),
+                 std::make_move_iterator(list.begin() +
+                                         static_cast<std::ptrdiff_t>(b)),
+                 std::make_move_iterator(
+                     list.begin() + static_cast<std::ptrdiff_t>(b + n)));
+    list.erase(list.begin() + static_cast<std::ptrdiff_t>(b),
+               list.begin() + static_cast<std::ptrdiff_t>(b + n));
+    if (test()) return true;
+    list.insert(list.begin() + static_cast<std::ptrdiff_t>(b),
+                std::make_move_iterator(saved.begin()),
+                std::make_move_iterator(saved.end()));
+    return false;
+  }
+
+  bool shrinkList(std::vector<GenStmtPtr>& list) {
+    bool progress = false;
+    // Coarse first: halves, while they keep disappearing.
+    while (budget() && list.size() >= 4) {
+      std::size_t half = list.size() / 2;
+      if (tryEraseRange(list, half, list.size() - half) ||
+          tryEraseRange(list, 0, half)) {
+        progress = true;
+        continue;
+      }
+      break;
+    }
+    // Then singles, back to front (later statements depend on earlier ones,
+    // so deleting from the end succeeds more often).
+    for (std::size_t i = list.size(); i-- > 0;)
+      if (tryEraseRange(list, i, 1)) progress = true;
+    return progress;
+  }
+
+  bool deletePass() {
+    bool progress = false;
+    auto walk = [&](auto&& self, std::vector<GenStmtPtr>& list) -> void {
+      if (shrinkList(list)) progress = true;
+      for (auto& s : list) {
+        self(self, s->body);
+        self(self, s->elseBody);
+      }
+    };
+    walk(walk, cur.main);
+    for (auto& f : cur.funcs) walk(walk, f.body);
+    return progress;
+  }
+
+  // ---- pass 2: structure simplification ----
+
+  bool tryMutateStmt(GenStmt& s, const std::function<void(GenStmt&)>& mut) {
+    if (!budget()) return false;
+    GenStmtPtr backup = s.clone();
+    mut(s);
+    if (test()) return true;
+    s = std::move(*backup);
+    return false;
+  }
+
+  bool structPass() {
+    bool progress = false;
+    std::vector<GenStmt*> stmts;
+    auto collect = [&](auto&& self,
+                       std::vector<GenStmtPtr>& list) -> void {
+      for (auto& s : list) {
+        stmts.push_back(s.get());
+        self(self, s->body);
+        self(self, s->elseBody);
+      }
+    };
+    collect(collect, cur.main);
+    for (auto& f : cur.funcs) collect(collect, f.body);
+
+    for (GenStmt* s : stmts) {
+      switch (s->kind) {
+        case GenStmt::Kind::kIf:
+          // if (c) B else E  ->  { B }
+          progress |= tryMutateStmt(*s, [](GenStmt& st) {
+            st.kind = GenStmt::Kind::kBlock;
+            st.value.reset();
+            st.elseBody.clear();
+          });
+          break;
+        case GenStmt::Kind::kFor:
+        case GenStmt::Kind::kWhile:
+          if (s->bound > 1)
+            progress |= tryMutateStmt(*s, [](GenStmt& st) { st.bound = 1; });
+          break;
+        case GenStmt::Kind::kSpawn:
+          if (s->count > 4)
+            progress |= tryMutateStmt(*s, [](GenStmt& st) { st.count = 4; });
+          break;
+        default:
+          break;
+      }
+    }
+    return progress;
+  }
+
+  // ---- pass 3: expression shrinking ----
+
+  void collectSlots(std::vector<GenExprPtr*>& out) {
+    auto walkExpr = [&](auto&& self, GenExprPtr& e) -> void {
+      if (!e) return;
+      out.push_back(&e);
+      for (auto& k : e->kids) self(self, k);
+    };
+    auto walkStmts = [&](auto&& self,
+                         std::vector<GenStmtPtr>& list) -> void {
+      for (auto& s : list) {
+        if (s->index) walkExpr(walkExpr, s->index);
+        if (s->value) walkExpr(walkExpr, s->value);
+        for (auto& a : s->args) walkExpr(walkExpr, a);
+        self(self, s->body);
+        self(self, s->elseBody);
+      }
+    };
+    walkStmts(walkStmts, cur.main);
+    for (auto& f : cur.funcs) {
+      walkStmts(walkStmts, f.body);
+      if (f.ret) walkExpr(walkExpr, f.ret);
+    }
+  }
+
+  bool exprPass() {
+    bool progress = false;
+    bool changed = true;
+    while (changed && budget()) {
+      changed = false;
+      std::vector<GenExprPtr*> slots;
+      collectSlots(slots);
+      for (GenExprPtr* slot : slots) {
+        if ((*slot)->kind == GenExpr::Kind::kLit) continue;
+        if (!budget()) break;
+        for (std::int32_t v : {0, 1}) {
+          GenExprPtr backup = std::move(*slot);
+          *slot = literal(v);
+          if (test()) {
+            progress = changed = true;
+            break;
+          }
+          *slot = std::move(backup);
+        }
+        // A successful replacement destroyed the subtree the collected
+        // pointers walked through; re-collect from scratch.
+        if (changed) break;
+      }
+    }
+    return progress;
+  }
+
+  // ---- pass 4: unreferenced-symbol garbage collection ----
+
+  void referencedNames(std::set<std::string>& out) {
+    auto walkExpr = [&](auto&& self, const GenExprPtr& e) -> void {
+      if (!e) return;
+      if (!e->name.empty()) out.insert(e->name);
+      for (const auto& k : e->kids) self(self, k);
+    };
+    auto walkStmts = [&](auto&& self,
+                         const std::vector<GenStmtPtr>& list) -> void {
+      for (const auto& s : list) {
+        if (!s->name.empty()) out.insert(s->name);
+        walkExpr(walkExpr, s->index);
+        walkExpr(walkExpr, s->value);
+        for (const auto& a : s->args) walkExpr(walkExpr, a);
+        self(self, s->body);
+        self(self, s->elseBody);
+      }
+    };
+    walkStmts(walkStmts, cur.main);
+    for (const auto& f : cur.funcs) {
+      walkStmts(walkStmts, f.body);
+      walkExpr(walkExpr, f.ret);
+    }
+  }
+
+  bool gcPass() {
+    bool progress = false;
+    std::set<std::string> used;
+    referencedNames(used);
+    for (std::size_t i = cur.funcs.size(); i-- > 0;) {
+      if (used.count(cur.funcs[i].name) != 0 || !budget()) continue;
+      GenFunc saved = std::move(cur.funcs[i]);
+      cur.funcs.erase(cur.funcs.begin() + static_cast<std::ptrdiff_t>(i));
+      if (test()) {
+        progress = true;
+      } else {
+        cur.funcs.insert(cur.funcs.begin() + static_cast<std::ptrdiff_t>(i),
+                         std::move(saved));
+      }
+    }
+    for (std::size_t i = cur.globals.size(); i-- > 0;) {
+      if (used.count(cur.globals[i].name) != 0 || !budget()) continue;
+      GenGlobal saved = cur.globals[i];
+      cur.globals.erase(cur.globals.begin() +
+                        static_cast<std::ptrdiff_t>(i));
+      if (test()) {
+        progress = true;
+      } else {
+        cur.globals.insert(
+            cur.globals.begin() + static_cast<std::ptrdiff_t>(i), saved);
+      }
+    }
+    return progress;
+  }
+};
+
+}  // namespace
+
+ReduceResult reduceProgram(
+    const GenProgram& prog,
+    const std::function<bool(const GenProgram&)>& fails,
+    const ReduceOptions& opts) {
+  ReduceResult r;
+  Reducer red{prog.clone(), fails, 0, opts.maxProbes};
+  if (!red.test()) {
+    r.program = prog.clone();
+    r.probes = red.probes;
+    return r;
+  }
+  r.reproduced = true;
+  bool progress = true;
+  while (progress && red.budget()) {
+    progress = false;
+    progress |= red.deletePass();
+    progress |= red.structPass();
+    progress |= red.exprPass();
+    progress |= red.gcPass();
+  }
+  r.program = std::move(red.cur);
+  r.probes = red.probes;
+  return r;
+}
+
+}  // namespace xmt::testing

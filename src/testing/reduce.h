@@ -1,0 +1,47 @@
+// Delta-debugging reducer for xmtsmith findings.
+//
+// A fuzzer finding is only actionable once it is small. Because xmtsmith
+// keeps the generated program as an AST (the generator's materialized
+// decision trace), reduction is structural surgery rather than text
+// hacking: every candidate the reducer probes is still a well-defined,
+// terminating, order-independent XMTC program *by construction*, so the
+// host reference stays a valid oracle throughout. The reducer greedily
+// iterates four passes to a fixpoint, re-checking the caller's "still
+// fails" predicate after every mutation:
+//
+//   1. statement deletion (chunked halves, then singles, deepest lists too);
+//   2. structure simplification (if -> its then-block, loop bounds -> 1,
+//      spawn thread counts -> 4);
+//   3. expression shrinking (any subtree -> literal 0, then 1);
+//   4. garbage collection of now-unreferenced globals and helper functions.
+//
+// Candidates that no longer reproduce (including ones that no longer
+// compile — deleting a declaration can orphan a use) are rolled back.
+#pragma once
+
+#include <functional>
+
+#include "src/testing/xmtsmith.h"
+
+namespace xmt::testing {
+
+struct ReduceOptions {
+  /// Probe budget: every predicate evaluation costs one compile+run per
+  /// enabled oracle leg, so this bounds reduction wall time.
+  int maxProbes = 4000;
+};
+
+struct ReduceResult {
+  GenProgram program;     // the smallest failing variant found
+  int probes = 0;         // predicate evaluations spent
+  bool reproduced = false;  // false: the input never satisfied `fails`
+};
+
+/// Shrinks `prog` while `fails` keeps returning true. `fails` is typically
+/// diffrun's mismatchPredicate(). Deterministic: same input and predicate,
+/// same reduction.
+ReduceResult reduceProgram(const GenProgram& prog,
+                           const std::function<bool(const GenProgram&)>& fails,
+                           const ReduceOptions& opts = {});
+
+}  // namespace xmt::testing

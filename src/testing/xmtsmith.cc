@@ -1,0 +1,1036 @@
+#include "src/testing/xmtsmith.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/rng.h"
+
+namespace xmt::testing {
+
+// ---------------------------------------------------------------------------
+// Deep copies
+// ---------------------------------------------------------------------------
+
+GenExprPtr GenExpr::clone() const {
+  auto e = std::make_unique<GenExpr>();
+  e->kind = kind;
+  e->op = op;
+  e->intVal = intVal;
+  e->name = name;
+  e->mask = mask;
+  for (const auto& k : kids) e->kids.push_back(k->clone());
+  return e;
+}
+
+GenStmtPtr GenStmt::clone() const {
+  auto s = std::make_unique<GenStmt>();
+  s->kind = kind;
+  s->name = name;
+  s->tmpName = tmpName;
+  s->bound = bound;
+  s->count = count;
+  s->mask = mask;
+  s->format = format;
+  if (index) s->index = index->clone();
+  if (value) s->value = value->clone();
+  for (const auto& a : args) s->args.push_back(a->clone());
+  for (const auto& b : body) s->body.push_back(b->clone());
+  for (const auto& b : elseBody) s->elseBody.push_back(b->clone());
+  return s;
+}
+
+GenFunc GenFunc::clone() const {
+  GenFunc f;
+  f.name = name;
+  f.params = params;
+  for (const auto& s : body) f.body.push_back(s->clone());
+  if (ret) f.ret = ret->clone();
+  return f;
+}
+
+GenProgram GenProgram::clone() const {
+  GenProgram p;
+  p.seed = seed;
+  p.globals = globals;
+  for (const auto& f : funcs) p.funcs.push_back(f.clone());
+  for (const auto& s : main) p.main.push_back(s->clone());
+  return p;
+}
+
+const GenGlobal* GenProgram::findGlobal(const std::string& name) const {
+  for (const auto& g : globals)
+    if (g.name == name) return &g;
+  return nullptr;
+}
+
+const GenFunc* GenProgram::findFunc(const std::string& name) const {
+  for (const auto& f : funcs)
+    if (f.name == name) return &f;
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string lit(std::int32_t v) {
+  // The lexer rejects out-of-range literals and the parser has no unary
+  // minus on literals, so negatives render as (0 - X), like the other
+  // property tests do.
+  if (v < 0)
+    return "(0 - " + std::to_string(-static_cast<std::int64_t>(v)) + ")";
+  return std::to_string(v);
+}
+
+std::string renderExpr(const GenExpr& e) {
+  switch (e.kind) {
+    case GenExpr::Kind::kLit:
+      return lit(e.intVal);
+    case GenExpr::Kind::kVar:
+      return e.name;
+    case GenExpr::Kind::kIndex:
+      return e.name + "[(" + renderExpr(*e.kids[0]) + ") & " +
+             std::to_string(e.mask) + "]";
+    case GenExpr::Kind::kDollar:
+      return "$";
+    case GenExpr::Kind::kUnary:
+      return std::string("(") + e.op + renderExpr(*e.kids[0]) + ")";
+    case GenExpr::Kind::kCond:
+      return "(" + renderExpr(*e.kids[0]) + " ? " + renderExpr(*e.kids[1]) +
+             " : " + renderExpr(*e.kids[2]) + ")";
+    case GenExpr::Kind::kCall: {
+      std::string s = e.name + "(";
+      for (std::size_t i = 0; i < e.kids.size(); ++i) {
+        if (i) s += ", ";
+        s += renderExpr(*e.kids[i]);
+      }
+      return s + ")";
+    }
+    case GenExpr::Kind::kBinary: {
+      const std::string a = renderExpr(*e.kids[0]);
+      const std::string b = renderExpr(*e.kids[1]);
+      switch (e.op) {
+        // Well-definedness guards are part of the rendering contract: the
+        // host interpreter applies the identical transformation.
+        case '/': return "(" + a + " / (" + b + " | 1))";
+        case '%': return "(" + a + " % (" + b + " | 1))";
+        case 'l': return "(" + a + " << (" + b + " & 31))";
+        case 'r': return "(" + a + " >> (" + b + " & 31))";
+        case 'L': return "(" + a + " <= " + b + ")";
+        case 'G': return "(" + a + " >= " + b + ")";
+        case 'e': return "(" + a + " == " + b + ")";
+        case 'n': return "(" + a + " != " + b + ")";
+        case 'A': return "(" + a + " && " + b + ")";
+        case 'O': return "(" + a + " || " + b + ")";
+        default:
+          return "(" + a + " " + std::string(1, e.op) + " " + b + ")";
+      }
+    }
+  }
+  return "0";
+}
+
+void renderStmts(std::ostringstream& out, const std::vector<GenStmtPtr>& body,
+                 int indent);
+
+void renderStmt(std::ostringstream& out, const GenStmt& s, int indent) {
+  std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  switch (s.kind) {
+    case GenStmt::Kind::kDecl:
+      out << pad << "int " << s.name << " = " << renderExpr(*s.value)
+          << ";\n";
+      return;
+    case GenStmt::Kind::kAssign:
+      if (s.index)
+        out << pad << s.name << "[(" << renderExpr(*s.index) << ") & "
+            << s.mask << "] = " << renderExpr(*s.value) << ";\n";
+      else
+        out << pad << s.name << " = " << renderExpr(*s.value) << ";\n";
+      return;
+    case GenStmt::Kind::kIf:
+      out << pad << "if (" << renderExpr(*s.value) << ") {\n";
+      renderStmts(out, s.body, indent + 1);
+      if (!s.elseBody.empty()) {
+        out << pad << "} else {\n";
+        renderStmts(out, s.elseBody, indent + 1);
+      }
+      out << pad << "}\n";
+      return;
+    case GenStmt::Kind::kFor:
+      out << pad << "for (int " << s.name << " = 0; " << s.name << " < "
+          << s.bound << "; " << s.name << "++) {\n";
+      renderStmts(out, s.body, indent + 1);
+      out << pad << "}\n";
+      return;
+    case GenStmt::Kind::kWhile:
+      out << pad << "int " << s.name << " = 0;\n";
+      out << pad << "while (" << s.name << " < " << s.bound << ") {\n";
+      renderStmts(out, s.body, indent + 1);
+      out << pad << "  " << s.name << " = " << s.name << " + 1;\n";
+      out << pad << "}\n";
+      return;
+    case GenStmt::Kind::kPrintf: {
+      out << pad << "printf(\"" << s.format << "\"";
+      for (const auto& a : s.args) out << ", " << renderExpr(*a);
+      out << ");\n";
+      return;
+    }
+    case GenStmt::Kind::kPs:
+      out << pad << "{ int " << s.tmpName << " = " << renderExpr(*s.value)
+          << "; ps(" << s.tmpName << ", " << s.name << "); }\n";
+      return;
+    case GenStmt::Kind::kPsm:
+      out << pad << "{ int " << s.tmpName << " = " << renderExpr(*s.value)
+          << "; psm(" << s.tmpName << ", " << s.name;
+      if (s.index)
+        out << "[(" << renderExpr(*s.index) << ") & " << s.mask << "]";
+      out << "); }\n";
+      return;
+    case GenStmt::Kind::kSpawn:
+      out << pad << "spawn(0, " << s.count - 1 << ") {\n";
+      renderStmts(out, s.body, indent + 1);
+      out << pad << "}\n";
+      return;
+    case GenStmt::Kind::kBlock:
+      out << pad << "{\n";
+      renderStmts(out, s.body, indent + 1);
+      out << pad << "}\n";
+      return;
+  }
+}
+
+void renderStmts(std::ostringstream& out, const std::vector<GenStmtPtr>& body,
+                 int indent) {
+  for (const auto& s : body) renderStmt(out, *s, indent);
+}
+
+}  // namespace
+
+std::string GenProgram::render() const {
+  std::ostringstream out;
+  for (const auto& g : globals) {
+    if (g.isPsBase)
+      out << "psBaseReg " << g.name << " = " << lit(g.init) << ";\n";
+    else if (g.isArray)
+      out << "int " << g.name << "[" << g.size << "];\n";
+    else
+      out << "int " << g.name << " = " << lit(g.init) << ";\n";
+  }
+  for (const auto& f : funcs) {
+    out << "int " << f.name << "(";
+    for (std::size_t i = 0; i < f.params.size(); ++i) {
+      if (i) out << ", ";
+      out << "int " << f.params[i];
+    }
+    out << ") {\n";
+    renderStmts(out, f.body, 1);
+    out << "  return " << renderExpr(*f.ret) << ";\n}\n";
+  }
+  out << "int main() {\n";
+  renderStmts(out, main, 1);
+  out << "  return 0;\n}\n";
+  return out.str();
+}
+
+int GenProgram::lineCount() const {
+  const std::string s = render();
+  int n = 0;
+  for (char c : s)
+    if (c == '\n') ++n;
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+// What a statement/expression generator may touch at the current point.
+// Spawn regions get a role partition over the globals that guarantees
+// order-independence (see header comment).
+struct Ctx {
+  bool inSpawn = false;
+  bool inFunc = false;  // helper-function body: must stay side-effect-free
+  int depth = 0;
+  std::vector<std::string> locals;          // readable locals
+  std::vector<std::string> writableLocals;  // assignable (spawn: own frame)
+  std::vector<std::string> roScalars;       // readable scalar globals
+  std::vector<std::string> writableScalars; // assignable (serial only)
+  std::vector<const GenGlobal*> roArrays;   // arbitrary-index reads
+  std::vector<const GenGlobal*> rwArrays;   // serial: arbitrary-index writes
+  std::vector<const GenGlobal*> ownArrays;  // spawn: [$] read/write only
+  std::vector<const GenGlobal*> accumArrays;// spawn: psm targets only
+  std::vector<std::string> accumScalars;    // spawn: psm targets only
+  std::string psBase;                       // spawn: ps target ("" = none)
+  std::vector<int> callees;  // indices of functions callable here
+};
+
+class Generator {
+ public:
+  Generator(std::uint64_t seed, const GenOptions& o)
+      : rng_(seed * 0x9e3779b97f4a7c15ull + 0xd1b54a32d192ed03ull), o_(o) {
+    prog_.seed = seed;
+  }
+
+  GenProgram run() {
+    makeGlobals();
+    makeFuncs();
+    Ctx ctx = serialCtx();
+    int n = 3 + static_cast<int>(rng_.below(
+                    static_cast<std::uint64_t>(o_.maxTopStmts - 2)));
+    for (int i = 0; i < n; ++i)
+      prog_.main.push_back(genStmt(ctx, /*allowSpawn=*/true));
+    if (spawns_ == 0) prog_.main.push_back(genSpawn(ctx));
+    // Epilogue: mirror psBaseReg accumulators into memory-resident shadow
+    // globals so the oracle (and corpus EXPECT lines) can observe them.
+    for (const auto& g : prog_.globals) {
+      if (!g.isPsBase) continue;
+      auto s = std::make_unique<GenStmt>();
+      s->kind = GenStmt::Kind::kAssign;
+      s->name = "out_" + g.name;
+      s->value = varRef(g.name);
+      prog_.main.push_back(std::move(s));
+    }
+    return std::move(prog_);
+  }
+
+ private:
+  Rng rng_;
+  GenOptions o_;
+  GenProgram prog_;
+  int nameSeq_ = 0;
+  int spawns_ = 0;
+  std::vector<bool> simpleFuncs_;  // per-func: inlinable into spawn regions
+
+  std::string fresh(const char* stem) {
+    return stem + std::to_string(nameSeq_++);
+  }
+
+  static GenExprPtr literal(std::int32_t v) {
+    auto e = std::make_unique<GenExpr>();
+    e->kind = GenExpr::Kind::kLit;
+    e->intVal = v;
+    return e;
+  }
+
+  static GenExprPtr varRef(const std::string& name) {
+    auto e = std::make_unique<GenExpr>();
+    e->kind = GenExpr::Kind::kVar;
+    e->name = name;
+    return e;
+  }
+
+  void makeGlobals() {
+    int nScalars = 2 + static_cast<int>(rng_.below(
+                           static_cast<std::uint64_t>(o_.maxScalarGlobals - 1)));
+    for (int i = 0; i < nScalars; ++i) {
+      GenGlobal g;
+      g.name = fresh("g");
+      // Global initializers must be plain constants (no expressions), so
+      // negatives — which render as (0 - N) — are not available here.
+      g.init = static_cast<std::int32_t>(rng_.range(0, 99));
+      prog_.globals.push_back(g);
+    }
+    int nArrays = 2 + static_cast<int>(rng_.below(
+                          static_cast<std::uint64_t>(o_.maxArrayGlobals - 1)));
+    for (int i = 0; i < nArrays; ++i) {
+      GenGlobal g;
+      g.name = fresh("arr");
+      g.isArray = true;
+      int size = 8;
+      while (size < o_.maxArraySize && rng_.chance(0.55)) size *= 2;
+      g.size = size;
+      prog_.globals.push_back(g);
+    }
+    if (rng_.chance(0.8)) {
+      GenGlobal ps;
+      ps.name = fresh("psb");
+      ps.isPsBase = true;
+      prog_.globals.push_back(ps);
+      GenGlobal shadow;
+      shadow.name = "out_" + ps.name;
+      prog_.globals.push_back(shadow);
+    }
+  }
+
+  void makeFuncs() {
+    int n = static_cast<int>(rng_.below(
+        static_cast<std::uint64_t>(o_.maxFuncs + 1)));
+    for (int i = 0; i < n; ++i) {
+      GenFunc f;
+      f.name = fresh("fn");
+      int nParams = 1 + static_cast<int>(rng_.below(3));
+      for (int k = 0; k < nParams; ++k) f.params.push_back(fresh("a"));
+      // Only single-return-expression functions can be inlined into spawn
+      // regions (there is no parallel stack), and inlining is transitive —
+      // so "simple" functions call only earlier simple functions, and only
+      // they are reachable from parallel code.
+      bool simple = rng_.chance(0.5);
+      Ctx ctx;  // pure: parameters and locals only, no globals
+      ctx.inFunc = true;
+      ctx.locals = f.params;
+      ctx.writableLocals.clear();  // parameters stay read-only
+      for (int k = 0; k < i; ++k)
+        if (!simple || simpleFuncs_[static_cast<std::size_t>(k)])
+          ctx.callees.push_back(k);
+      ctx.depth = o_.maxDepth - 1;  // keep helper bodies shallow
+      if (!simple) {
+        int nStmts = static_cast<int>(rng_.below(4));
+        // Bodies reference only locals: seed one so assigns have a target.
+        auto d = std::make_unique<GenStmt>();
+        d->kind = GenStmt::Kind::kDecl;
+        d->name = fresh("l");
+        d->value = genExpr(ctx, 2);
+        ctx.locals.push_back(d->name);
+        ctx.writableLocals.push_back(d->name);
+        f.body.push_back(std::move(d));
+        for (int k = 0; k < nStmts; ++k)
+          f.body.push_back(genFuncStmt(ctx));
+      }
+      f.ret = genExpr(ctx, o_.maxExprDepth - 1);
+      simpleFuncs_.push_back(simple);
+      prog_.funcs.push_back(std::move(f));
+    }
+  }
+
+  Ctx serialCtx() {
+    Ctx ctx;
+    for (const auto& g : prog_.globals) {
+      if (g.isPsBase) {
+        ctx.roScalars.push_back(g.name);  // serial read of the accumulator
+      } else if (g.isArray) {
+        ctx.roArrays.push_back(&g);
+        ctx.rwArrays.push_back(&g);
+      } else {
+        ctx.roScalars.push_back(g.name);
+        ctx.writableScalars.push_back(g.name);
+      }
+    }
+    for (int k = 0; k < static_cast<int>(prog_.funcs.size()); ++k)
+      ctx.callees.push_back(k);
+    return ctx;
+  }
+
+  // ---- expressions ----
+
+  GenExprPtr genExpr(const Ctx& ctx, int depth) {
+    if (depth <= 0 || rng_.chance(0.28)) return genLeaf(ctx);
+    double roll = rng_.uniform();
+    auto e = std::make_unique<GenExpr>();
+    if (roll < 0.10) {
+      e->kind = GenExpr::Kind::kUnary;
+      static const char ops[] = {'-', '~', '!'};
+      e->op = ops[rng_.below(3)];
+      e->kids.push_back(genExpr(ctx, depth - 1));
+    } else if (roll < 0.18) {
+      e->kind = GenExpr::Kind::kCond;
+      e->kids.push_back(genExpr(ctx, depth - 1));
+      e->kids.push_back(genExpr(ctx, depth - 1));
+      e->kids.push_back(genExpr(ctx, depth - 1));
+    } else if (roll < 0.28 && !ctx.callees.empty()) {
+      const GenFunc& f = prog_.funcs[static_cast<std::size_t>(
+          ctx.callees[rng_.below(ctx.callees.size())])];
+      e->kind = GenExpr::Kind::kCall;
+      e->name = f.name;
+      for (std::size_t k = 0; k < f.params.size(); ++k)
+        e->kids.push_back(genExpr(ctx, depth - 1));
+    } else {
+      e->kind = GenExpr::Kind::kBinary;
+      static const char ops[] = {'+', '+', '-', '-', '*', '&', '|', '^',
+                                 '/', '%', 'l', 'r', '<', '>', 'L', 'G',
+                                 'e', 'n', 'A', 'O'};
+      e->op = ops[rng_.below(sizeof(ops))];
+      e->kids.push_back(genExpr(ctx, depth - 1));
+      e->kids.push_back(genExpr(ctx, depth - 1));
+    }
+    return e;
+  }
+
+  GenExprPtr genLeaf(const Ctx& ctx) {
+    // Collect candidate leaves, then pick uniformly among categories.
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      double roll = rng_.uniform();
+      if (roll < 0.30) {
+        std::int32_t v = rng_.chance(0.2)
+                             ? static_cast<std::int32_t>(
+                                   rng_.range(-100000, 100000))
+                             : static_cast<std::int32_t>(rng_.range(-64, 64));
+        return literal(v);
+      }
+      if (roll < 0.55 && !ctx.locals.empty())
+        return varRef(ctx.locals[rng_.below(ctx.locals.size())]);
+      if (roll < 0.70 && !ctx.roScalars.empty())
+        return varRef(ctx.roScalars[rng_.below(ctx.roScalars.size())]);
+      if (roll < 0.78 && ctx.inSpawn) {
+        auto e = std::make_unique<GenExpr>();
+        e->kind = GenExpr::Kind::kDollar;
+        return e;
+      }
+      if (roll < 0.92 && !ctx.roArrays.empty()) {
+        const GenGlobal* g = ctx.roArrays[rng_.below(ctx.roArrays.size())];
+        auto e = std::make_unique<GenExpr>();
+        e->kind = GenExpr::Kind::kIndex;
+        e->name = g->name;
+        e->mask = g->size - 1;
+        e->kids.push_back(genExpr(ctx, 1));
+        return e;
+      }
+      if (ctx.inSpawn && !ctx.ownArrays.empty()) {
+        // Own cell: arr[$] — reads this thread's slot only.
+        const GenGlobal* g = ctx.ownArrays[rng_.below(ctx.ownArrays.size())];
+        auto e = std::make_unique<GenExpr>();
+        e->kind = GenExpr::Kind::kIndex;
+        e->name = g->name;
+        e->mask = g->size - 1;
+        auto d = std::make_unique<GenExpr>();
+        d->kind = GenExpr::Kind::kDollar;
+        e->kids.push_back(std::move(d));
+        return e;
+      }
+    }
+    return literal(static_cast<std::int32_t>(rng_.range(-16, 16)));
+  }
+
+  // ---- statements ----
+
+  GenStmtPtr genStmt(Ctx& ctx, bool allowSpawn) {
+    double roll = rng_.uniform();
+    if (!ctx.inSpawn) {
+      if (allowSpawn && ctx.depth <= 1 && roll < 0.18) return genSpawn(ctx);
+      if (roll < 0.30) return genDecl(ctx);
+      if (roll < 0.46) return genAssign(ctx);
+      if (roll < 0.56 && ctx.depth < o_.maxDepth) return genIf(ctx);
+      if (roll < 0.68 && ctx.depth < o_.maxDepth) return genLoop(ctx);
+      // No printf inside helper functions: calls must stay side-effect-free,
+      // otherwise intra-expression evaluation order (which the compiler does
+      // not pin down) becomes observable and the host reference diverges.
+      if (roll < 0.76 && o_.allowPrintf && !ctx.inFunc) return genPrintf(ctx);
+      return genAssign(ctx);
+    }
+    // Spawn-region statements.
+    if (roll < 0.24) return genDecl(ctx);
+    if (roll < 0.46) return genAssign(ctx);
+    if (roll < 0.58 && ctx.depth < o_.maxDepth) return genIf(ctx);
+    if (roll < 0.68 && ctx.depth < o_.maxDepth) return genLoop(ctx);
+    if (roll < 0.82 && !ctx.psBase.empty()) return genPs(ctx);
+    if (roll < 0.96 &&
+        (!ctx.accumArrays.empty() || !ctx.accumScalars.empty()))
+      return genPsm(ctx);
+    return genAssign(ctx);
+  }
+
+  // Function bodies: locals only — no globals, printf, spawn, ps/psm.
+  GenStmtPtr genFuncStmt(Ctx& ctx) {
+    double roll = rng_.uniform();
+    if (roll < 0.35) return genDecl(ctx);
+    if (roll < 0.55 && ctx.depth < o_.maxDepth) return genIf(ctx);
+    if (roll < 0.70 && ctx.depth < o_.maxDepth) return genLoop(ctx);
+    return genAssign(ctx);
+  }
+
+  GenStmtPtr genDecl(Ctx& ctx) {
+    auto s = std::make_unique<GenStmt>();
+    s->kind = GenStmt::Kind::kDecl;
+    s->name = fresh(ctx.inSpawn ? "t" : "v");
+    s->value = genExpr(ctx, o_.maxExprDepth);
+    ctx.locals.push_back(s->name);
+    ctx.writableLocals.push_back(s->name);
+    return s;
+  }
+
+  GenStmtPtr genAssign(Ctx& ctx) {
+    auto s = std::make_unique<GenStmt>();
+    s->kind = GenStmt::Kind::kAssign;
+    s->value = genExpr(ctx, o_.maxExprDepth);
+    if (ctx.inSpawn) {
+      // Targets: own locals, or an own-array cell at [$].
+      bool toArray = !ctx.ownArrays.empty() &&
+                     (ctx.writableLocals.empty() || rng_.chance(0.55));
+      if (toArray) {
+        const GenGlobal* g = ctx.ownArrays[rng_.below(ctx.ownArrays.size())];
+        s->name = g->name;
+        s->mask = g->size - 1;
+        auto d = std::make_unique<GenExpr>();
+        d->kind = GenExpr::Kind::kDollar;
+        s->index = std::move(d);
+        return s;
+      }
+      if (ctx.writableLocals.empty()) {
+        // Nothing assignable: degrade to a fresh declaration.
+        s->kind = GenStmt::Kind::kDecl;
+        s->name = fresh("t");
+        ctx.locals.push_back(s->name);
+        ctx.writableLocals.push_back(s->name);
+        return s;
+      }
+      s->name = ctx.writableLocals[rng_.below(ctx.writableLocals.size())];
+      return s;
+    }
+    double roll = rng_.uniform();
+    if (roll < 0.35 && !ctx.rwArrays.empty()) {
+      const GenGlobal* g = ctx.rwArrays[rng_.below(ctx.rwArrays.size())];
+      s->name = g->name;
+      s->mask = g->size - 1;
+      s->index = genExpr(ctx, 2);
+      return s;
+    }
+    if (roll < 0.70 && !ctx.writableScalars.empty()) {
+      s->name =
+          ctx.writableScalars[rng_.below(ctx.writableScalars.size())];
+      return s;
+    }
+    if (!ctx.writableLocals.empty()) {
+      s->name = ctx.writableLocals[rng_.below(ctx.writableLocals.size())];
+      return s;
+    }
+    if (!ctx.writableScalars.empty()) {
+      s->name =
+          ctx.writableScalars[rng_.below(ctx.writableScalars.size())];
+      return s;
+    }
+    s->kind = GenStmt::Kind::kDecl;
+    s->name = fresh("v");
+    ctx.locals.push_back(s->name);
+    ctx.writableLocals.push_back(s->name);
+    return s;
+  }
+
+  GenStmtPtr genIf(Ctx& ctx) {
+    auto s = std::make_unique<GenStmt>();
+    s->kind = GenStmt::Kind::kIf;
+    s->value = genExpr(ctx, o_.maxExprDepth - 1);
+    genBody(ctx, s->body, /*allowSpawn=*/false);
+    if (rng_.chance(0.4)) genBody(ctx, s->elseBody, /*allowSpawn=*/false);
+    return s;
+  }
+
+  GenStmtPtr genLoop(Ctx& ctx) {
+    auto s = std::make_unique<GenStmt>();
+    s->kind = rng_.chance(0.6) ? GenStmt::Kind::kFor : GenStmt::Kind::kWhile;
+    s->name = fresh("i");
+    s->bound = 1 + static_cast<std::int32_t>(rng_.below(
+                       static_cast<std::uint64_t>(o_.maxLoopBound)));
+    // Loop counter is readable but never assignable inside the body.
+    Ctx inner = cloneCtx(ctx);
+    inner.depth = ctx.depth + 1;
+    inner.locals.push_back(s->name);
+    genBody(inner, s->body, /*allowSpawn=*/false, &ctx);
+    return s;
+  }
+
+  GenStmtPtr genPrintf(Ctx& ctx) {
+    auto s = std::make_unique<GenStmt>();
+    s->kind = GenStmt::Kind::kPrintf;
+    int nArgs = 1 + static_cast<int>(rng_.below(2));
+    s->format = "t" + std::to_string(rng_.below(100));
+    for (int i = 0; i < nArgs; ++i) {
+      s->format += " %d";
+      s->args.push_back(genExpr(ctx, 2));
+    }
+    s->format += "\\n";
+    return s;
+  }
+
+  GenStmtPtr genPs(Ctx& ctx) {
+    auto s = std::make_unique<GenStmt>();
+    s->kind = GenStmt::Kind::kPs;
+    s->name = ctx.psBase;
+    s->tmpName = fresh("p");
+    s->value = genExpr(ctx, 2);
+    return s;
+  }
+
+  GenStmtPtr genPsm(Ctx& ctx) {
+    auto s = std::make_unique<GenStmt>();
+    s->kind = GenStmt::Kind::kPsm;
+    s->tmpName = fresh("p");
+    s->value = genExpr(ctx, 2);
+    bool toArray = !ctx.accumArrays.empty() &&
+                   (ctx.accumScalars.empty() || rng_.chance(0.5));
+    if (toArray) {
+      const GenGlobal* g =
+          ctx.accumArrays[rng_.below(ctx.accumArrays.size())];
+      s->name = g->name;
+      s->mask = g->size - 1;
+      s->index = genExpr(ctx, 2);
+    } else {
+      s->name = ctx.accumScalars[rng_.below(ctx.accumScalars.size())];
+    }
+    return s;
+  }
+
+  GenStmtPtr genSpawn(Ctx& serial) {
+    ++spawns_;
+    auto s = std::make_unique<GenStmt>();
+    s->kind = GenStmt::Kind::kSpawn;
+    static const int counts[] = {4, 8, 12, 16, 24, 32, 48};
+    int count = counts[rng_.below(sizeof(counts) / sizeof(counts[0]))];
+    while (count > o_.maxSpawnCount) count /= 2;
+    s->count = count;
+
+    // Partition the globals into order-independence roles for this region.
+    Ctx ctx;
+    ctx.inSpawn = true;
+    ctx.depth = serial.depth + 1;
+    // Enclosing serial locals are readable (outlining passes them by
+    // value); never written from parallel code.
+    ctx.locals = serial.locals;
+    // Parallel code can only call functions the compiler can inline:
+    // transitively single-return-expression ones.
+    for (int k : serial.callees)
+      if (simpleFuncs_[static_cast<std::size_t>(k)]) ctx.callees.push_back(k);
+    for (const auto& g : prog_.globals) {
+      if (g.isPsBase) {
+        if (rng_.chance(0.7)) ctx.psBase = g.name;
+        continue;
+      }
+      if (g.name.rfind("out_", 0) == 0) continue;  // oracle shadows: serial
+      if (g.isArray) {
+        double role = rng_.uniform();
+        if (role < 0.40 && g.size >= count) ctx.ownArrays.push_back(&g);
+        else if (role < 0.75) ctx.roArrays.push_back(&g);
+        else if (role < 0.90) ctx.accumArrays.push_back(&g);
+        // else: untouched in this region
+      } else {
+        double role = rng_.uniform();
+        if (role < 0.60) ctx.roScalars.push_back(g.name);
+        else if (role < 0.80) ctx.accumScalars.push_back(g.name);
+      }
+    }
+    int n = 2 + static_cast<int>(rng_.below(
+                    static_cast<std::uint64_t>(o_.maxBlockStmts)));
+    for (int i = 0; i < n; ++i)
+      s->body.push_back(genStmt(ctx, /*allowSpawn=*/false));
+    return s;
+  }
+
+  // Generates a nested statement list. `outer` (when given) receives no new
+  // locals: declarations inside the body stay scoped to the body.
+  void genBody(Ctx& ctx, std::vector<GenStmtPtr>& body, bool allowSpawn,
+               Ctx* outer = nullptr) {
+    (void)outer;
+    Ctx inner = cloneCtx(ctx);
+    inner.depth = ctx.depth + 1;
+    int n = 1 + static_cast<int>(rng_.below(
+                    static_cast<std::uint64_t>(o_.maxBlockStmts)));
+    for (int i = 0; i < n; ++i)
+      body.push_back(genStmt(inner, allowSpawn));
+  }
+
+  static Ctx cloneCtx(const Ctx& c) { return c; }
+};
+
+}  // namespace
+
+GenProgram generate(std::uint64_t seed, const GenOptions& opts) {
+  return Generator(seed, opts).run();
+}
+
+// ---------------------------------------------------------------------------
+// Host reference interpretation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct BudgetExhausted {};
+
+struct Machine {
+  const GenProgram& prog;
+  std::uint64_t budget;
+  std::uint64_t steps = 0;
+  std::map<std::string, std::vector<std::uint32_t>> mem;  // data globals
+  std::map<std::string, std::uint32_t> psBase;            // gr accumulators
+  std::string out;
+
+  void tick() {
+    if (++steps > budget) throw BudgetExhausted{};
+  }
+};
+
+struct Frame {
+  std::map<std::string, std::uint32_t> vars;
+  const Frame* parent = nullptr;  // spawn body reading enclosing serial frame
+  bool inSpawn = false;
+  std::uint32_t tid = 0;
+};
+
+std::uint32_t evalExpr(Machine& m, const Frame& f, const GenExpr& e);
+
+std::uint32_t* findVar(Frame& f, const std::string& name) {
+  for (Frame* fr = &f; fr != nullptr;
+       fr = const_cast<Frame*>(fr->parent)) {
+    auto it = fr->vars.find(name);
+    if (it != fr->vars.end()) return &it->second;
+  }
+  return nullptr;
+}
+
+std::uint32_t readVar(Machine& m, const Frame& f, const std::string& name) {
+  for (const Frame* fr = &f; fr != nullptr; fr = fr->parent) {
+    auto it = fr->vars.find(name);
+    if (it != fr->vars.end()) return it->second;
+  }
+  auto ps = m.psBase.find(name);
+  if (ps != m.psBase.end()) return ps->second;
+  auto g = m.mem.find(name);
+  if (g != m.mem.end()) return g->second[0];
+  return 0;  // unreachable for generator-produced programs
+}
+
+std::uint32_t evalBinary(char op, std::uint32_t a, std::uint32_t b) {
+  auto sa = static_cast<std::int32_t>(a);
+  auto sb = static_cast<std::int32_t>(b);
+  switch (op) {
+    case '+': return a + b;
+    case '-': return a - b;
+    case '*':
+      return static_cast<std::uint32_t>(static_cast<std::int64_t>(sa) * sb);
+    case '&': return a & b;
+    case '|': return a | b;
+    case '^': return a ^ b;
+    case '/': {
+      // Rendered as (a / (b | 1)): never zero; INT_MIN / -1 wraps like the
+      // simulator's divider (src/sim/semantics.cc).
+      std::int32_t d = static_cast<std::int32_t>(b | 1u);
+      if (sa == INT32_MIN && d == -1) return a;
+      return static_cast<std::uint32_t>(sa / d);
+    }
+    case '%': {
+      std::int32_t d = static_cast<std::int32_t>(b | 1u);
+      if (sa == INT32_MIN && d == -1) return 0;
+      return static_cast<std::uint32_t>(sa % d);
+    }
+    case 'l': return a << (b & 31);
+    case 'r': return static_cast<std::uint32_t>(sa >> (b & 31));
+    case '<': return sa < sb ? 1 : 0;
+    case '>': return sa > sb ? 1 : 0;
+    case 'L': return sa <= sb ? 1 : 0;
+    case 'G': return sa >= sb ? 1 : 0;
+    case 'e': return a == b ? 1 : 0;
+    case 'n': return a != b ? 1 : 0;
+    case 'A': return (a != 0 && b != 0) ? 1 : 0;
+    case 'O': return (a != 0 || b != 0) ? 1 : 0;
+  }
+  return 0;
+}
+
+void execStmts(Machine& m, Frame& f, const std::vector<GenStmtPtr>& body);
+
+std::uint32_t callFunc(Machine& m, const GenFunc& fn,
+                       const std::vector<std::uint32_t>& args) {
+  Frame f;
+  for (std::size_t i = 0; i < fn.params.size(); ++i)
+    f.vars[fn.params[i]] = i < args.size() ? args[i] : 0;
+  execStmts(m, f, fn.body);
+  return evalExpr(m, f, *fn.ret);
+}
+
+std::uint32_t evalExpr(Machine& m, const Frame& f, const GenExpr& e) {
+  m.tick();
+  switch (e.kind) {
+    case GenExpr::Kind::kLit:
+      return static_cast<std::uint32_t>(e.intVal);
+    case GenExpr::Kind::kVar:
+      return readVar(m, f, e.name);
+    case GenExpr::Kind::kDollar:
+      return f.tid;
+    case GenExpr::Kind::kIndex: {
+      std::uint32_t idx =
+          evalExpr(m, f, *e.kids[0]) & static_cast<std::uint32_t>(e.mask);
+      auto it = m.mem.find(e.name);
+      return it != m.mem.end() && idx < it->second.size() ? it->second[idx]
+                                                         : 0;
+    }
+    case GenExpr::Kind::kUnary: {
+      std::uint32_t a = evalExpr(m, f, *e.kids[0]);
+      switch (e.op) {
+        case '-': return 0u - a;
+        case '~': return ~a;
+        case '!': return a == 0 ? 1 : 0;
+      }
+      return 0;
+    }
+    case GenExpr::Kind::kBinary:
+      return evalBinary(e.op, evalExpr(m, f, *e.kids[0]),
+                        evalExpr(m, f, *e.kids[1]));
+    case GenExpr::Kind::kCond:
+      return evalExpr(m, f, *e.kids[0]) != 0 ? evalExpr(m, f, *e.kids[1])
+                                             : evalExpr(m, f, *e.kids[2]);
+    case GenExpr::Kind::kCall: {
+      const GenFunc* fn = m.prog.findFunc(e.name);
+      if (fn == nullptr) return 0;
+      std::vector<std::uint32_t> args;
+      for (const auto& k : e.kids) args.push_back(evalExpr(m, f, *k));
+      return callFunc(m, *fn, args);
+    }
+  }
+  return 0;
+}
+
+void storeNamed(Machine& m, Frame& f, const std::string& name,
+                std::uint32_t v) {
+  if (std::uint32_t* slot = findVar(f, name)) {
+    *slot = v;
+    return;
+  }
+  auto ps = m.psBase.find(name);
+  if (ps != m.psBase.end()) {
+    ps->second = v;
+    return;
+  }
+  auto g = m.mem.find(name);
+  if (g != m.mem.end()) g->second[0] = v;
+}
+
+void execStmt(Machine& m, Frame& f, const GenStmt& s) {
+  m.tick();
+  switch (s.kind) {
+    case GenStmt::Kind::kDecl:
+      f.vars[s.name] = s.value ? evalExpr(m, f, *s.value) : 0;
+      return;
+    case GenStmt::Kind::kAssign: {
+      std::uint32_t v = evalExpr(m, f, *s.value);
+      if (s.index) {
+        std::uint32_t idx =
+            evalExpr(m, f, *s.index) & static_cast<std::uint32_t>(s.mask);
+        auto it = m.mem.find(s.name);
+        if (it != m.mem.end() && idx < it->second.size())
+          it->second[idx] = v;
+        return;
+      }
+      storeNamed(m, f, s.name, v);
+      return;
+    }
+    case GenStmt::Kind::kIf:
+      if (evalExpr(m, f, *s.value) != 0) {
+        Frame inner;
+        inner.parent = &f;
+        inner.inSpawn = f.inSpawn;
+        inner.tid = f.tid;
+        execStmts(m, inner, s.body);
+      } else if (!s.elseBody.empty()) {
+        Frame inner;
+        inner.parent = &f;
+        inner.inSpawn = f.inSpawn;
+        inner.tid = f.tid;
+        execStmts(m, inner, s.elseBody);
+      }
+      return;
+    case GenStmt::Kind::kFor:
+    case GenStmt::Kind::kWhile:
+      for (std::int32_t i = 0; i < s.bound; ++i) {
+        m.tick();
+        Frame inner;
+        inner.parent = &f;
+        inner.inSpawn = f.inSpawn;
+        inner.tid = f.tid;
+        inner.vars[s.name] = static_cast<std::uint32_t>(i);
+        execStmts(m, inner, s.body);
+      }
+      return;
+    case GenStmt::Kind::kPrintf: {
+      std::size_t arg = 0;
+      const std::string& fmt = s.format;
+      for (std::size_t i = 0; i < fmt.size(); ++i) {
+        if (fmt[i] == '%' && i + 1 < fmt.size() && fmt[i + 1] == 'd') {
+          char buf[16];
+          std::uint32_t v =
+              arg < s.args.size() ? evalExpr(m, f, *s.args[arg]) : 0;
+          ++arg;
+          std::snprintf(buf, sizeof buf, "%d",
+                        static_cast<std::int32_t>(v));
+          m.out += buf;
+          ++i;
+        } else if (fmt[i] == '\\' && i + 1 < fmt.size() &&
+                   fmt[i + 1] == 'n') {
+          m.out += '\n';
+          ++i;
+        } else {
+          m.out += fmt[i];
+        }
+      }
+      return;
+    }
+    case GenStmt::Kind::kPs: {
+      std::uint32_t inc = evalExpr(m, f, *s.value);
+      auto it = m.psBase.find(s.name);
+      if (it != m.psBase.end()) it->second += inc;  // result local is dead
+      return;
+    }
+    case GenStmt::Kind::kPsm: {
+      std::uint32_t inc = evalExpr(m, f, *s.value);
+      if (s.index) {
+        std::uint32_t idx =
+            evalExpr(m, f, *s.index) & static_cast<std::uint32_t>(s.mask);
+        auto it = m.mem.find(s.name);
+        if (it != m.mem.end() && idx < it->second.size())
+          it->second[idx] += inc;
+      } else {
+        auto it = m.mem.find(s.name);
+        if (it != m.mem.end()) it->second[0] += inc;
+      }
+      return;
+    }
+    case GenStmt::Kind::kSpawn:
+      // Serial execution in thread-ID order — legal because the generation
+      // discipline makes spawn results order-independent.
+      for (int tid = 0; tid < s.count; ++tid) {
+        Frame tf;
+        tf.parent = &f;
+        tf.inSpawn = true;
+        tf.tid = static_cast<std::uint32_t>(tid);
+        execStmts(m, tf, s.body);
+      }
+      return;
+    case GenStmt::Kind::kBlock: {
+      Frame inner;
+      inner.parent = &f;
+      inner.inSpawn = f.inSpawn;
+      inner.tid = f.tid;
+      execStmts(m, inner, s.body);
+      return;
+    }
+  }
+}
+
+void execStmts(Machine& m, Frame& f, const std::vector<GenStmtPtr>& body) {
+  for (const auto& s : body) execStmt(m, f, *s);
+}
+
+}  // namespace
+
+RefResult interpret(const GenProgram& prog, std::uint64_t stepBudget) {
+  Machine m{.prog = prog, .budget = stepBudget};
+  for (const auto& g : prog.globals) {
+    if (g.isPsBase)
+      m.psBase[g.name] = static_cast<std::uint32_t>(g.init);
+    else if (g.isArray)
+      m.mem[g.name].assign(static_cast<std::size_t>(g.size), 0u);
+    else
+      m.mem[g.name].assign(1, static_cast<std::uint32_t>(g.init));
+  }
+  RefResult r;
+  try {
+    Frame f;
+    execStmts(m, f, prog.main);
+  } catch (const BudgetExhausted&) {
+    r.ok = false;
+    r.error = "host interpreter step budget exhausted";
+    return r;
+  }
+  r.ok = true;
+  r.haltCode = 0;
+  r.output = std::move(m.out);
+  for (const auto& [name, words] : m.mem) {
+    std::vector<std::int32_t> vals(words.size());
+    for (std::size_t i = 0; i < words.size(); ++i)
+      vals[i] = static_cast<std::int32_t>(words[i]);
+    r.globals.emplace(name, std::move(vals));
+  }
+  return r;
+}
+
+}  // namespace xmt::testing

@@ -1,0 +1,188 @@
+// xmtsmith: seeded whole-program XMTC generator with a host-side reference
+// interpreter — the program half of the differential-fuzzing oracle.
+//
+// Csmith-style randomized differential testing (the way gem5 and MGSim earn
+// cross-model trust) needs three things from a generator: every program must
+// be *well-defined* (no UB to disagree about), *terminating* (bounded loops),
+// and *order-independent* (identical architectural results whether the spawn
+// hardware interleaves virtual threads or the functional model serializes
+// them). xmtsmith generates from a restricted grammar that guarantees all
+// three by construction:
+//
+//   - integers only; arithmetic is 32-bit two's-complement wrap on both
+//     sides (the host interpreter computes in uint32, exactly like the
+//     simulator's ALU);
+//   - shift counts are masked `& 31` in the emitted source, divisors are
+//     forced odd with `| 1` (never zero; INT_MIN/-1 follows the simulator's
+//     wrap rule);
+//   - array sizes are powers of two and every computed index is masked
+//     `& (size-1)` — always in bounds;
+//   - loops are counted (`for`/`while` over a fresh variable the body never
+//     writes) with literal bounds;
+//   - spawn bodies follow the XMT discipline: per-thread-owned writes only
+//     (`A[$] = ...`), commutative `ps`/`psm` accumulation into targets that
+//     are touched by nothing else inside the region, and the prefix-sum
+//     result locals are never read afterwards — so the final memory state
+//     does not depend on thread execution order;
+//   - printf only in serial code (thread interleaving would reorder it);
+//   - helper functions are pure (parameters in, value out) so calls are
+//     legal both serially and inside spawn regions (where the compiler
+//     inlines them).
+//
+// The generated program is kept as a small value-typed AST (the materialized
+// decision trace of the generator): it renders to XMTC text for the
+// toolchain, interprets directly on the host for the reference leg of the
+// oracle, and supports structural surgery for the delta-debugging reducer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace xmt::testing {
+
+// ---------------------------------------------------------------------------
+// Generated-program AST (value types; deep-copyable for the reducer)
+// ---------------------------------------------------------------------------
+
+struct GenExpr;
+using GenExprPtr = std::unique_ptr<GenExpr>;
+
+struct GenExpr {
+  enum class Kind : std::uint8_t {
+    kLit,     // intVal
+    kVar,     // name (local or global scalar)
+    kIndex,   // name[ kids[0] & (size-1) ]; mask emitted by render()
+    kDollar,  // $ (spawn bodies only)
+    kUnary,   // op: '-' '~' '!'
+    kBinary,  // op: + - * / % & | ^ l(<<) r(>>) < > L(<=) G(>=) e(==)
+              //     n(!=) A(&&) O(||)
+    kCond,    // kids[0] ? kids[1] : kids[2]
+    kCall,    // name(kids...)
+  };
+  Kind kind = Kind::kLit;
+  char op = 0;
+  std::int32_t intVal = 0;
+  std::string name;
+  int mask = 0;  // kIndex: size-1 of the array at generation time
+  std::vector<GenExprPtr> kids;
+
+  GenExprPtr clone() const;
+};
+
+struct GenStmt;
+using GenStmtPtr = std::unique_ptr<GenStmt>;
+
+struct GenStmt {
+  enum class Kind : std::uint8_t {
+    kDecl,    // int name = expr;
+    kAssign,  // name = expr;  or  name[index & mask] = expr;
+    kIf,      // if (expr) body [else elseBody]
+    kFor,     // for (int name = 0; name < bound; name++) body
+    kWhile,   // int name = 0; while (name < bound) { body; name = name + 1; }
+    kPrintf,  // printf(format, args...) — serial code only
+    kPs,      // int tmp = expr; ps(tmp, name);      tmp never read again
+    kPsm,     // int tmp = expr; psm(tmp, name[idx]); tmp never read again
+    kSpawn,   // spawn(0, count-1) body
+    kBlock,   // { body... }
+  };
+  Kind kind = Kind::kBlock;
+  std::string name;             // decl/assign/loop-var/ps-psm target
+  std::string tmpName;          // kPs/kPsm scratch local
+  std::int32_t bound = 0;       // kFor/kWhile literal bound
+  int count = 0;                // kSpawn thread count
+  int mask = 0;                 // kAssign/kPsm array index mask
+  std::string format;           // kPrintf
+  GenExprPtr index;             // kAssign/kPsm array index (null: scalar)
+  GenExprPtr value;             // kDecl/kAssign/kPs/kPsm value expression
+  std::vector<GenExprPtr> args; // kPrintf arguments
+  std::vector<GenStmtPtr> body;
+  std::vector<GenStmtPtr> elseBody;
+
+  GenStmtPtr clone() const;
+};
+
+struct GenGlobal {
+  std::string name;
+  bool isArray = false;
+  int size = 1;          // power of two for arrays
+  bool isPsBase = false; // psBaseReg (scalar, lives in a global register)
+  std::int32_t init = 0;
+};
+
+struct GenFunc {
+  std::string name;
+  std::vector<std::string> params;  // int parameters
+  std::vector<GenStmtPtr> body;     // decls/if/for over params+locals only
+  GenExprPtr ret;                   // return expression
+
+  GenFunc clone() const;
+};
+
+/// A generated whole program: the materialized decision trace of one seed.
+struct GenProgram {
+  std::uint64_t seed = 0;
+  std::vector<GenGlobal> globals;
+  std::vector<GenFunc> funcs;
+  std::vector<GenStmtPtr> main;
+
+  GenProgram clone() const;
+  /// Renders the program as XMTC source text.
+  std::string render() const;
+  /// Number of text lines render() produces (reducer size metric).
+  int lineCount() const;
+
+  const GenGlobal* findGlobal(const std::string& name) const;
+  const GenFunc* findFunc(const std::string& name) const;
+};
+
+// ---------------------------------------------------------------------------
+// Generation
+// ---------------------------------------------------------------------------
+
+struct GenOptions {
+  int maxFuncs = 2;          // pure helper functions
+  int maxScalarGlobals = 5;  // plus up to one psBaseReg
+  int maxArrayGlobals = 4;
+  int maxArraySize = 64;     // power of two, >= largest spawn count
+  int maxTopStmts = 10;      // top-level statements in main
+  int maxBlockStmts = 5;     // statements per nested block
+  int maxDepth = 3;          // statement nesting depth
+  int maxExprDepth = 4;
+  int maxLoopBound = 10;
+  int maxSpawnCount = 48;    // virtual threads per spawn
+  bool allowPrintf = true;
+};
+
+/// Deterministically generates a program from `seed`: same seed, same
+/// program, on every platform (xoshiro-backed Rng).
+GenProgram generate(std::uint64_t seed, const GenOptions& opts = {});
+
+// ---------------------------------------------------------------------------
+// Host reference interpretation
+// ---------------------------------------------------------------------------
+
+/// Final architectural state of a host reference run. Mirrors exactly what
+/// the simulator exposes: named globals (arrays flattened), printf output,
+/// and the halt code.
+struct RefResult {
+  bool ok = false;          // false: step budget exhausted (generator bug)
+  std::string error;
+  std::int32_t haltCode = 0;
+  std::string output;
+  /// Final values of all memory-resident globals (psBaseReg values are
+  /// mirrored into their `out_<name>` shadow global by the generator's
+  /// epilogue, so everything observable is here). Scalars have size 1.
+  std::map<std::string, std::vector<std::int32_t>> globals;
+};
+
+/// Executes the program on the host. Spawn bodies run serially in thread-ID
+/// order — legal because the generation discipline makes results
+/// order-independent. `stepBudget` guards the interpreter against generator
+/// bugs; generated loops are bounded, so hitting it is itself a finding.
+RefResult interpret(const GenProgram& prog,
+                    std::uint64_t stepBudget = 20'000'000);
+
+}  // namespace xmt::testing

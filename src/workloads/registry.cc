@@ -166,36 +166,36 @@ void prepBfs(Simulator& sim, const ConfigMap& p) {
 const std::vector<WorkloadEntry>& workloadRegistry() {
   static const std::vector<WorkloadEntry> kRegistry = {
       {"bfs", "parallel BFS over a random graph (CSR)",
-       {"n", "degree", "seed"}, srcBfs, prepBfs},
+       {"n", "degree", "seed"}, srcBfs, prepBfs, {"cur", "next"}},
       {"compaction", "Fig. 2a array compaction",
-       {"n", "seed"}, srcCompaction, prepCompaction},
-      {"fft", "radix-2 parallel FFT", {"n", "seed"}, srcFft, prepFft},
+       {"n", "seed"}, srcCompaction, prepCompaction, {"B"}},
+      {"fft", "radix-2 parallel FFT", {"n", "seed"}, srcFft, prepFft, {}},
       {"histogram", "psm histogram",
-       {"n", "buckets", "seed"}, srcHistogram, prepHistogram},
+       {"n", "buckets", "seed"}, srcHistogram, prepHistogram, {}},
       {"matmul", "square matrix multiply (n x n)",
-       {"n", "seed"}, srcMatmul, prepMatmul},
+       {"n", "seed"}, srcMatmul, prepMatmul, {}},
       {"par_comp", "Table I parallel compute-intensive",
-       {"threads", "iters"}, srcParComp, nullptr},
+       {"threads", "iters"}, srcParComp, nullptr, {}},
       {"par_mem", "Table I parallel memory-intensive",
-       {"threads", "iters", "seed"}, srcParMem, prepParMem},
+       {"threads", "iters", "seed"}, srcParMem, prepParMem, {}},
       {"parallel_sum", "parallel psm sum",
-       {"n", "seed"}, srcParallelSum, prepArrayA},
+       {"n", "seed"}, srcParallelSum, prepArrayA, {}},
       {"prefix_sum", "Hillis-Steele parallel prefix sum",
-       {"n", "seed"}, srcPrefixSum, prepArrayA},
+       {"n", "seed"}, srcPrefixSum, prepArrayA, {}},
       {"ps_counter", "hardware-ps shared counter",
-       {"threads", "iters"}, srcPsCounter, nullptr},
+       {"threads", "iters"}, srcPsCounter, nullptr, {}},
       {"psm_counter", "psm shared counter",
-       {"threads", "iters"}, srcPsmCounter, nullptr},
-      {"saxpy", "float SAXPY", {"n", "seed"}, srcSaxpy, prepSaxpy},
+       {"threads", "iters"}, srcPsmCounter, nullptr, {}},
+      {"saxpy", "float SAXPY", {"n", "seed"}, srcSaxpy, prepSaxpy, {}},
       {"ser_comp", "Table I serial compute-intensive",
-       {"iters"}, srcSerComp, nullptr},
+       {"iters"}, srcSerComp, nullptr, {}},
       {"ser_mem", "Table I serial memory-intensive",
-       {"iters", "seed"}, srcSerMem, prepSerMem},
+       {"iters", "seed"}, srcSerMem, prepSerMem, {}},
       {"serial_prefix_sum", "serial prefix-sum baseline",
-       {"n", "seed"}, srcSerialPrefixSum, prepArrayA},
+       {"n", "seed"}, srcSerialPrefixSum, prepArrayA, {}},
       {"serial_sum", "serial sum baseline",
-       {"n", "seed"}, srcSerialSum, prepArrayA},
-      {"vadd", "B[$] = A[$] + 1", {"n", "seed"}, srcVadd, prepArrayA},
+       {"n", "seed"}, srcSerialSum, prepArrayA, {}},
+      {"vadd", "B[$] = A[$] + 1", {"n", "seed"}, srcVadd, prepArrayA, {}},
   };
   return kRegistry;
 }

@@ -41,6 +41,12 @@ struct WorkloadEntry {
   /// Fills input globals on a freshly built simulator. May be null when
   /// the kernel needs no input.
   void (*prepare)(Simulator& sim, const ConfigMap& params);
+  /// Globals whose final content is correct as a *set* but placed at
+  /// thread-order-dependent positions (e.g. compaction's ps-allocated B,
+  /// bfs frontier queues). Simulator::memoryDigest() comparisons across
+  /// simulation modes must mask these; everything else is demanded
+  /// bit-identical between functional and cycle-accurate runs.
+  std::vector<std::string> digestExclude;
 };
 
 /// All registered workloads, sorted by name.

@@ -3,9 +3,14 @@
 // architectural results.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <sstream>
 
 #include "src/common/error.h"
+#include "src/compiler/driver.h"
 #include "src/sim/plugins.h"
 #include "tests/sim_test_util.h"
 
@@ -178,6 +183,49 @@ TEST(Checkpoint, StaleCycleBudgetStopDoesNotLeakIntoNextRun) {
   EXPECT_TRUE(r2.halted);
   EXPECT_EQ(r2.haltCode, rs.haltCode);
   EXPECT_EQ(sim.getGlobal("S"), straight.getGlobal("S"));
+}
+
+// Checkpointing exercised on compiled XMTC, not hand-written assembly: the
+// fuzzer-generated corpus programs (tests/corpus) mix serial phases, spawn
+// regions and printf, so interrupting one mid-run probes checkpoint state
+// capture on realistic compiler output. An interrupted-and-resumed run must
+// be byte-identical to an uninterrupted one on every architectural
+// observable, including the whole-memory digest.
+TEST(Checkpoint, CorpusProgramsResumeBitIdentical) {
+  std::vector<std::string> files;
+  auto dir = std::filesystem::path(__FILE__).parent_path() / "corpus";
+  for (const auto& e : std::filesystem::directory_iterator(dir))
+    if (e.path().extension() == ".xmtc") files.push_back(e.path().string());
+  std::sort(files.begin(), files.end());
+  ASSERT_GE(files.size(), 3u);
+  files.resize(3);
+
+  for (const auto& file : files) {
+    std::ifstream in(file);
+    std::ostringstream os;
+    os << in.rdbuf();
+    Program p = compileToProgram(os.str(), CompilerOptions{});
+
+    Simulator straight(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+    auto rs = straight.run();
+    ASSERT_TRUE(rs.halted) << file;
+
+    // Interrupt roughly a third of the way in, at the next quiescent point.
+    Simulator first(p, XmtConfig::fpga64(), SimMode::kCycleAccurate);
+    auto r1 = first.runToCheckpoint(rs.cycles / 3);
+    ASSERT_TRUE(r1.checkpointTaken) << file;
+    std::string blob = first.checkpoint().serialize();
+    auto resumed = Simulator::resume(p, Checkpoint::deserialize(blob),
+                                     XmtConfig::fpga64());
+    auto r2 = resumed->run();
+    ASSERT_TRUE(r2.halted) << file;
+
+    EXPECT_EQ(r2.haltCode, rs.haltCode) << file;
+    EXPECT_EQ(resumed->output(), straight.output()) << file;
+    EXPECT_EQ(resumed->memoryDigest(), straight.memoryDigest()) << file;
+    EXPECT_EQ(resumed->stats().instructions, straight.stats().instructions)
+        << file;
+  }
 }
 
 TEST(Checkpoint, DeserializeRejectsGarbage) {

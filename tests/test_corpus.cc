@@ -1,0 +1,69 @@
+// Regression corpus replay: every tests/corpus/*.xmtc runs through the
+// three-way oracle at every opt level and across the sampled machine grid.
+// Corpus files are self-contained — their expectations (halt code, printf
+// output, final global values) are embedded as EXPECT comments, so a file
+// that once reproduced a toolchain bug keeps guarding against it with no
+// generator state attached. New reproducers arrive via
+// `xmtfuzz --reduce --corpus-dir tests/corpus`.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "src/testing/diffrun.h"
+
+namespace xmt::testing {
+namespace {
+
+std::filesystem::path corpusDir() {
+  return std::filesystem::path(__FILE__).parent_path() / "corpus";
+}
+
+std::vector<std::string> corpusFiles() {
+  std::vector<std::string> files;
+  for (const auto& e : std::filesystem::directory_iterator(corpusDir()))
+    if (e.path().extension() == ".xmtc") files.push_back(e.path().string());
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+class CorpusReplay : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CorpusReplay, ThreeWayOracleClean) {
+  const std::string text = readFile(GetParam());
+  ASSERT_FALSE(text.empty()) << GetParam();
+  Oracle oracle = parseCorpusExpectations(text);
+  // Every corpus file must carry expectations — otherwise it silently
+  // degrades to a crash-only test.
+  ASSERT_FALSE(oracle.globals.empty())
+      << GetParam() << " has no EXPECT lines";
+  DiffOutcome out = runDiffSource(text, &oracle);
+  EXPECT_TRUE(out.ok()) << GetParam() << "\n" << out.describe();
+  EXPECT_GT(out.legsRun, 0);
+}
+
+std::string nameOf(const ::testing::TestParamInfo<std::string>& info) {
+  std::string stem = std::filesystem::path(info.param).stem().string();
+  for (char& c : stem)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return stem;
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusReplay,
+                         ::testing::ValuesIn(corpusFiles()), nameOf);
+
+TEST(Corpus, HasAtLeastFiveGoldens) {
+  EXPECT_GE(corpusFiles().size(), 5u);
+}
+
+}  // namespace
+}  // namespace xmt::testing

@@ -6,6 +6,7 @@
 #include "src/core/toolchain.h"
 #include "src/workloads/graphs.h"
 #include "src/workloads/kernels.h"
+#include "src/workloads/registry.h"
 
 namespace xmt {
 namespace {
@@ -132,6 +133,31 @@ int main() {
     counts[lvl] = e.result.instructions;
   }
   EXPECT_LT(counts[1], counts[0]);
+}
+
+TEST(OptLevels, FunctionalAndCycleDigestsAgreeForEveryWorkload) {
+  // Whole-memory differential check across simulation modes: for every
+  // registry workload, the functional and cycle-accurate models must leave
+  // bit-identical data segments. Workloads whose *placement* is legitimately
+  // thread-order-dependent (compaction's ps-allocated slots, bfs frontier
+  // queues) declare those globals in digestExclude; the digest masks them
+  // and everything else is still held to exact equality.
+  for (const auto& entry : workloads::workloadRegistry()) {
+    workloads::WorkloadInstance w;
+    w.name = entry.name;
+    std::string src = workloads::instanceSource(w);
+    std::uint64_t digest[2] = {0, 1};
+    for (int m = 0; m < 2; ++m) {
+      ToolchainOptions opts;
+      opts.mode = m == 0 ? SimMode::kFunctional : SimMode::kCycleAccurate;
+      Toolchain tc(opts);
+      auto sim = tc.makeSimulator(src);
+      workloads::instancePrepare(w, *sim);
+      ASSERT_TRUE(sim->run().halted) << entry.name;
+      digest[m] = sim->memoryDigest(entry.digestExclude);
+    }
+    EXPECT_EQ(digest[0], digest[1]) << entry.name;
+  }
 }
 
 TEST(OptLevels, PrefetchPolicies) {
