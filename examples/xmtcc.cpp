@@ -23,14 +23,23 @@
 //                                       schema as campaign results.jsonl
 //   --hotmem                            enable the hottest-memory filter
 //   --trace <functional|cycle>          print an execution trace
-//   --analyze                           run the static race lint and exit
-//                                       (exit 1 when races are found)
+//   --analyze                           run the static analyses (race lint
+//                                       + value-range lints) and exit
+//                                       (exit 1 on any diagnostic)
 //   --diag-json <path>                  write all compiler diagnostics
-//                                       (race lint + asm verifier) as JSON
-//                                       ("-" for stdout)
+//                                       (race lint + value lints + asm
+//                                       verifier) as JSON ("-" for stdout)
 //   -Wxmt-race                          warn about spawn-region races while
 //                                       compiling normally
 //   -Werror-race                        promote race findings to errors
+//   -Wno-xmt-bounds -Wno-xmt-div-zero -Wno-xmt-shift -Wno-xmt-ps-discipline
+//                                       disable a default-on value lint
+//   -O0 -O1 -O2                         optimization level (default -O1;
+//                                       -O2 adds range-driven folding)
+//   --workload <name>                   compile a registry workload instead
+//                                       of a source file (params via --set
+//                                       workload.key=value)
+//   --list-workloads                    print the workload registry and exit
 //   --race-check                        run the dynamic race checker
 //                                       (forces functional mode)
 //   -Werror-asm                         promote asm-verifier findings to
@@ -48,6 +57,7 @@
 #include "src/common/error.h"
 #include "src/core/toolchain.h"
 #include "src/sim/statsjson.h"
+#include "src/workloads/registry.h"
 
 namespace {
 
@@ -68,8 +78,9 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string sourcePath, mapPath, configName = "fpga64";
-  std::vector<std::string> overrides, dumps;
+  std::string sourcePath, mapPath, configName = "fpga64", workloadName;
+  std::vector<std::string> overrides, workloadOverrides, dumps;
+  bool listWorkloads = false;
   bool emitAsm = false, emitTransformed = false, wantStats = false,
        hotmem = false, analyzeOnly = false, raceCheck = false;
   std::string traceLevel, statsJsonPath, diagJsonPath;
@@ -85,7 +96,13 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (arg == "--config") configName = next();
-    else if (arg == "--set") overrides.push_back(next());
+    else if (arg == "--set") {
+      std::string kv = next();
+      if (kv.rfind("workload.", 0) == 0)
+        workloadOverrides.push_back(kv.substr(9));
+      else
+        overrides.push_back(kv);
+    }
     else if (arg == "--mode") {
       std::string m = next();
       opts.mode = m == "functional" ? xmt::SimMode::kFunctional
@@ -109,6 +126,16 @@ int main(int argc, char** argv) {
       raceCheck = true;
     } else if (arg == "--diag-json") diagJsonPath = next();
     else if (arg == "-Werror-asm") opts.compiler.werrorAsm = true;
+    else if (arg == "-Wno-xmt-bounds") opts.compiler.lintBounds = false;
+    else if (arg == "-Wno-xmt-div-zero") opts.compiler.lintDivZero = false;
+    else if (arg == "-Wno-xmt-shift") opts.compiler.lintShift = false;
+    else if (arg == "-Wno-xmt-ps-discipline")
+      opts.compiler.lintPsDiscipline = false;
+    else if (arg == "-O0") opts.compiler.optLevel = 0;
+    else if (arg == "-O1") opts.compiler.optLevel = 1;
+    else if (arg == "-O2") opts.compiler.optLevel = 2;
+    else if (arg == "--workload") workloadName = next();
+    else if (arg == "--list-workloads") listWorkloads = true;
     else if (arg == "--no-verify-asm") opts.compiler.verifyAsm = false;
     else if (arg == "--no-opt") opts.compiler.optLevel = 0;
     else if (arg == "--no-prefetch") opts.compiler.prefetch = false;
@@ -127,7 +154,12 @@ int main(int argc, char** argv) {
       sourcePath = arg;
     }
   }
-  if (sourcePath.empty()) return usage();
+  if (listWorkloads) {
+    for (const auto& w : xmt::workloads::workloadRegistry())
+      std::printf("%-16s %s\n", w.name.c_str(), w.description.c_str());
+    return 0;
+  }
+  if (sourcePath.empty() && workloadName.empty()) return usage();
   // Shadow-memory checking needs the functional model's access events,
   // regardless of where --mode appeared on the command line.
   if (raceCheck) opts.mode = xmt::SimMode::kFunctional;
@@ -151,7 +183,15 @@ int main(int argc, char** argv) {
     opts.config = xmt::XmtConfig::fromConfigMap(cm);
 
     xmt::Toolchain tc(opts);
-    std::string source = readFile(sourcePath);
+    xmt::workloads::WorkloadInstance wi;
+    std::string source;
+    if (!workloadName.empty()) {
+      wi.name = workloadName;
+      wi.params.applyOverrides(workloadOverrides);
+      source = xmt::workloads::instanceSource(wi);
+    } else {
+      source = readFile(sourcePath);
+    }
 
     if (analyzeOnly) {
       auto r = tc.compile(source);
@@ -159,7 +199,7 @@ int main(int argc, char** argv) {
       for (const auto& d : r.diagnostics)
         std::printf("%s\n", xmt::formatDiagnostic(d).c_str());
       if (r.diagnostics.empty())
-        std::printf("no races detected\n");
+        std::printf("no findings\n");
       return r.diagnostics.empty() ? 0 : 1;
     }
 
@@ -190,6 +230,7 @@ int main(int argc, char** argv) {
       racePlugin = plugin.get();
       sim->addFilterPlugin(std::move(plugin));
     }
+    if (!workloadName.empty()) xmt::workloads::instancePrepare(wi, *sim);
     if (!mapPath.empty())
       sim->applyMemoryMap(xmt::MemoryMap::parse(readFile(mapPath)));
     if (hotmem)

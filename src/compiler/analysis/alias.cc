@@ -2,7 +2,10 @@
 
 #include <cstdlib>
 #include <map>
+#include <utility>
 
+#include "src/compiler/analysis/summary.h"
+#include "src/compiler/analysis/xmtai.h"
 #include "src/isa/isa.h"
 
 namespace xmt::analysis {
@@ -13,74 +16,147 @@ void AbsVal::meetWith(const AbsVal& o) {
     *this = o;
     return;
   }
-  if (!(*this == o)) *this = unknown();
+  if (kind == Kind::kValue && o.kind == Kind::kValue && base == o.base &&
+      sym == o.sym && origin == o.origin && uniqueOrigin == o.uniqueOrigin &&
+      scale == o.scale) {
+    off = off.joined(o.off);
+    if (hint.empty()) hint = o.hint;
+    return;
+  }
+  std::string keep = !sym.empty()    ? sym
+                     : !hint.empty() ? hint
+                     : !o.sym.empty() ? o.sym
+                                      : o.hint;
+  *this = unknown();
+  hint = std::move(keep);
 }
 
-namespace {
-
-// Addition of two abstract values; representable sums keep their base and
-// unique term, anything else degrades to Unknown.
-AbsVal addVals(const AbsVal& a, const AbsVal& b) {
+AbsVal absAdd(const AbsVal& a, const AbsVal& b) {
+  if (a.kind == AbsVal::Kind::kBottom || b.kind == AbsVal::Kind::kBottom)
+    return AbsVal{};
   if (!a.isValue() || !b.isValue()) return AbsVal::unknown();
   if (a.base != AbsVal::Base::kNone && b.base != AbsVal::Base::kNone)
     return AbsVal::unknown();
   AbsVal r = a.base != AbsVal::Base::kNone ? a : b;
   const AbsVal& other = a.base != AbsVal::Base::kNone ? b : a;
-  r.c = a.c + b.c;
+  r.off = a.off.addSat(b.off);
   if (a.origin != kOriginNone && b.origin != kOriginNone) {
-    if (a.origin != b.origin) return AbsVal::unknown();
+    if (a.origin != b.origin || a.uniqueOrigin != b.uniqueOrigin)
+      return AbsVal::unknown();
     r.origin = a.origin;
+    r.uniqueOrigin = a.uniqueOrigin;
     r.scale = a.scale + b.scale;
   } else if (other.origin != kOriginNone) {
     r.origin = other.origin;
+    r.uniqueOrigin = other.uniqueOrigin;
     r.scale = other.scale;
   }
-  if (r.origin != kOriginNone && r.scale == 0) r.origin = kOriginNone;
+  if (r.origin != kOriginNone && r.scale == 0) {
+    r.origin = kOriginNone;
+    r.uniqueOrigin = false;
+  }
+  if (r.hint.empty()) r.hint = other.hint;
   return r;
 }
 
-AbsVal negate(const AbsVal& a) {
+AbsVal absNeg(const AbsVal& a) {
+  if (a.kind == AbsVal::Kind::kBottom) return AbsVal{};
   if (!a.isValue() || a.base != AbsVal::Base::kNone) return AbsVal::unknown();
   AbsVal r = a;
   r.scale = -r.scale;
-  r.c = -r.c;
+  r.off = r.off.negated();
   return r;
 }
 
-AbsVal mulByConst(const AbsVal& a, std::int64_t k) {
+AbsVal absMulConst(const AbsVal& a, std::int64_t k) {
+  if (a.kind == AbsVal::Kind::kBottom) return AbsVal{};
   if (!a.isValue() || a.base != AbsVal::Base::kNone) return AbsVal::unknown();
+  // Keep coefficients sane: index arithmetic never needs huge scales, and
+  // bounding them keeps the overlap algebra overflow-free.
+  if (std::llabs(k) > (std::int64_t{1} << 40) ||
+      std::llabs(a.scale) > (std::int64_t{1} << 20))
+    return AbsVal::unknown();
   AbsVal r = a;
   r.scale *= k;
-  r.c *= k;
-  if (r.scale == 0) r.origin = kOriginNone;
+  r.off = r.off.mulConstSat(k);
+  if (r.scale == 0) {
+    r.origin = kOriginNone;
+    r.uniqueOrigin = false;
+  }
   return r;
 }
+
+namespace {
+
+// Updates to one def site before its growing offset interval is widened to
+// the infinity sentinels (loop carriers converge right after).
+constexpr int kWidenAfter = 8;
 
 }  // namespace
 
-ValueResolver::ValueResolver(const IrFunc& fn, AnalysisManager& am) {
+ValueResolver::ValueResolver(const IrFunc& fn, AnalysisManager& am,
+                             const ModuleSummaries* summaries,
+                             const RangeAnalysis* ranges,
+                             bool seedParamOrigins) {
   const Cfg& cfg = am.cfg(fn);
   const ReachingDefsResult& rd = am.reachingDefs(fn);
   defVals_.assign(rd.sites.size(), AbsVal{});
+  std::vector<int> bumps(rd.sites.size(), 0);
 
   // Site id lookup per (block, instr).
   std::map<std::pair<int, int>, int> siteAt;
   for (std::size_t s = 0; s < rd.sites.size(); ++s)
     siteAt[{rd.sites[s].block, rd.sites[s].instr}] = static_cast<int>(s);
 
+  auto nameOf = [&](int vreg) -> std::string {
+    auto it = fn.vregNames.find(vreg);
+    return it == fn.vregNames.end() ? std::string() : it->second;
+  };
+
   // Operand lookup against the current per-vreg value map. Physical
-  // registers are transient staging (clobbered by calls and conventions) —
-  // always Unknown, except the architectural zero register.
+  // registers are transient staging: they are tracked within a block (and
+  // kV0 across blocks — every return site re-defines v0 after its last
+  // call, so its reaching definitions are exact), but other phys regs are
+  // dropped at block entry and at call/syscall clobbers.
   auto operandVal = [&](const std::map<int, AbsVal>& vals,
                         int reg) -> AbsVal {
     if (reg == 0) return AbsVal::constant(0);
-    if (reg < kNumRegs) return AbsVal::unknown();
     auto it = vals.find(reg);
     return it == vals.end() ? AbsVal::unknown() : it->second;
   };
 
+  auto erasePhys = [](std::map<int, AbsVal>& vals) {
+    for (auto it = vals.begin(); it != vals.end();)
+      it = (it->first > 0 && it->first < kNumRegs) ? vals.erase(it)
+                                                   : std::next(it);
+  };
+
+  // Call transfer: substitute the callee's return summary into v0 and
+  // clobber the transient phys state. An inexpressible return leaves v0
+  // absent, so the following `copy res, v0` materializes an opaque handle.
+  auto applyCall = [&](const IrInstr& in, std::map<int, AbsVal>& vals) {
+    AbsVal ret = AbsVal::unknown();
+    if (summaries != nullptr) {
+      if (const FuncSummary* s = summaries->find(in.sym);
+          s != nullptr && !s->recursive) {
+        std::vector<AbsVal> argVals;
+        argVals.reserve(in.args.size());
+        for (int r : in.args) argVals.push_back(operandVal(vals, r));
+        ret = applyReturnSummary(*s, argVals);
+      }
+    }
+    erasePhys(vals);
+    if (ret.kind != AbsVal::Kind::kUnknown) vals[kV0] = ret;
+  };
+
+  // Numeric range of an operand at an instruction, when available.
+  auto numRange = [&](int block, int instr, int reg) -> VRange {
+    if (ranges == nullptr) return VRange::full32();
+    return ranges->rangeAt(block, instr, reg);
+  };
+
   auto evalDef = [&](const std::map<int, AbsVal>& vals, const IrInstr& in,
-                     int siteId) -> AbsVal {
+                     int siteId, int block, int instr) -> AbsVal {
     switch (in.op) {
       case IOp::kLi:
         return AbsVal::constant(in.imm);
@@ -89,13 +165,15 @@ ValueResolver::ValueResolver(const IrFunc& fn, AnalysisManager& am) {
         r.kind = AbsVal::Kind::kValue;
         r.base = AbsVal::Base::kSym;
         r.sym = in.sym;
-        r.c = in.imm;
+        r.off = VRange::constant(in.imm);
+        r.hint = in.sym;
         return r;
       }
       case IOp::kGetTid: {
         AbsVal r;
         r.kind = AbsVal::Kind::kValue;
         r.origin = kOriginTid;
+        r.uniqueOrigin = true;
         r.scale = 1;
         return r;
       }
@@ -103,45 +181,95 @@ ValueResolver::ValueResolver(const IrFunc& fn, AnalysisManager& am) {
         AbsVal r;
         r.kind = AbsVal::Kind::kValue;
         r.base = AbsVal::Base::kFrame;
-        r.c = in.imm;
+        r.off = VRange::constant(in.imm);
         return r;
       }
       case IOp::kCopy:
         return operandVal(vals, in.a);
       case IOp::kAdd:
-        return addVals(operandVal(vals, in.a), operandVal(vals, in.b));
+        return absAdd(operandVal(vals, in.a), operandVal(vals, in.b));
       case IOp::kAddi:
-        return addVals(operandVal(vals, in.a), AbsVal::constant(in.imm));
+        return absAdd(operandVal(vals, in.a), AbsVal::constant(in.imm));
       case IOp::kSub:
-        return addVals(operandVal(vals, in.a),
-                       negate(operandVal(vals, in.b)));
+        return absAdd(operandVal(vals, in.a),
+                      absNeg(operandVal(vals, in.b)));
       case IOp::kMul: {
         AbsVal a = operandVal(vals, in.a), b = operandVal(vals, in.b);
-        if (a.isConst()) return mulByConst(b, a.c);
-        if (b.isConst()) return mulByConst(a, b.c);
+        if (a.kind == AbsVal::Kind::kBottom ||
+            b.kind == AbsVal::Kind::kBottom)
+          return AbsVal{};
+        if (a.isConst()) return absMulConst(b, a.constVal());
+        if (b.isConst()) return absMulConst(a, b.constVal());
         return AbsVal::unknown();
       }
       case IOp::kSll:
         if (in.imm >= 0 && in.imm < 32)
-          return mulByConst(operandVal(vals, in.a),
-                            std::int64_t{1} << in.imm);
+          return absMulConst(operandVal(vals, in.a),
+                             std::int64_t{1} << in.imm);
         return AbsVal::unknown();
       case IOp::kSllv: {
         AbsVal b = operandVal(vals, in.b);
-        if (b.isConst() && b.c >= 0 && b.c < 32)
-          return mulByConst(operandVal(vals, in.a), std::int64_t{1} << b.c);
+        if (b.kind == AbsVal::Kind::kBottom) return AbsVal{};
+        if (b.isConst() && b.constVal() >= 0 && b.constVal() < 32)
+          return absMulConst(operandVal(vals, in.a),
+                             std::int64_t{1} << b.constVal());
         return AbsVal::unknown();
+      }
+      case IOp::kAndi:
+        if (in.imm >= 0) {
+          // `x & mask` is the identity when x provably fits the mask (the
+          // fuzzer's canonical in-bounds index idiom) and a [0, mask]
+          // constant range otherwise.
+          AbsVal a = operandVal(vals, in.a);
+          if (a.kind == AbsVal::Kind::kBottom) return AbsVal{};
+          VRange n = numRange(block, instr, in.a);
+          if (!n.isEmpty() && n.lo >= 0 && n.hi <= in.imm) return a;
+          return AbsVal::constRange(VRange::of(0, in.imm));
+        }
+        return AbsVal::unknown();
+      case IOp::kAnd: {
+        AbsVal a = operandVal(vals, in.a), b = operandVal(vals, in.b);
+        if (a.kind == AbsVal::Kind::kBottom ||
+            b.kind == AbsVal::Kind::kBottom)
+          return AbsVal{};
+        const AbsVal* cst = b.isConst() && b.constVal() >= 0   ? &b
+                            : a.isConst() && a.constVal() >= 0 ? &a
+                                                               : nullptr;
+        if (cst == nullptr) return AbsVal::unknown();
+        const AbsVal& other = cst == &b ? a : b;
+        int otherReg = cst == &b ? in.a : in.b;
+        VRange n = numRange(block, instr, otherReg);
+        if (!n.isEmpty() && n.lo >= 0 && n.hi <= cst->constVal())
+          return other;
+        return AbsVal::constRange(VRange::of(0, cst->constVal()));
+      }
+      case IOp::kLoadW:
+      case IOp::kLoadB: {
+        // A loaded value is inexpressible, but the handle it opaqueizes to
+        // should carry the loaded location's name: `*p = ...` through a
+        // pointer fetched from global P reports "P", not "<unknown>".
+        AbsVal addr = absAdd(operandVal(vals, in.a), AbsVal::constant(in.imm));
+        if (addr.kind == AbsVal::Kind::kBottom) return AbsVal{};
+        AbsVal r = AbsVal::unknown();
+        r.hint = !addr.sym.empty() ? addr.sym : addr.hint;
+        return r;
       }
       case IOp::kPs:
       case IOp::kPsm: {
-        // The returned fetch-add base is distinct per execution when the
+        // The returned fetch-add base is distinct per *execution* when the
         // increment is a provably positive constant — the classifier's
         // "ps-mediated index" class (array compaction, queue allocation).
+        // Distinct per *thread* only when the ps executes inside the spawn
+        // region: a serial ps broadcasts one value to every thread, so its
+        // result must not license a disjointness proof (uniqueOrigin off).
         AbsVal inc = operandVal(vals, in.op == IOp::kPs ? in.a : in.b);
-        if (inc.isConst() && inc.c > 0) {
+        if (inc.kind == AbsVal::Kind::kBottom) return AbsVal{};
+        if (inc.isConst() && inc.constVal() > 0) {
           AbsVal r;
           r.kind = AbsVal::Kind::kValue;
           r.origin = siteId;
+          r.uniqueOrigin =
+              fn.blocks[static_cast<std::size_t>(block)].parallel;
           r.scale = 1;
           return r;
         }
@@ -152,50 +280,118 @@ ValueResolver::ValueResolver(const IrFunc& fn, AnalysisManager& am) {
     }
   };
 
-  // Fixed point: seed block-entry vreg values from the meet over reaching
-  // definition sites, then walk each block linearly. Values only descend
-  // (Bottom -> value -> Unknown), so this converges in a few sweeps.
+  // Block-entry seeding: the meet over reaching definition sites. Phys
+  // registers other than v0 are excluded (call-clobbered staging).
+  auto seedEntry = [&](std::size_t bi) {
+    std::map<int, AbsVal> vals;
+    rd.flow.in[bi].forEach([&](std::size_t s) {
+      const DefSite& site = rd.sites[s];
+      if (site.vreg > 0 && site.vreg < kNumRegs && site.vreg != kV0) return;
+      auto [it, fresh] = vals.try_emplace(site.vreg, defVals_[s]);
+      if (!fresh) it->second.meetWith(defVals_[s]);
+    });
+    if (seedParamOrigins && bi == 0) {
+      for (int i = 0; i < fn.nParams && i < kMaxSummaryParams; ++i) {
+        AbsVal p;
+        p.kind = AbsVal::Kind::kValue;
+        p.origin = paramOrigin(i);
+        p.scale = 1;
+        vals[kSummaryArgRegs[i]] = p;
+      }
+    }
+    return vals;
+  };
+
+  // Fixed point: walk each block linearly from its seeded entry state.
+  // Inexpressible definitions become opaque handles for their own site
+  // (never raw Unknown), and offset intervals that keep growing are
+  // widened to the infinity sentinels, so the chain of updates per site is
+  // bounded and the sweep converges.
   bool changed = true;
   while (changed) {
     changed = false;
     for (int b : cfg.rpo) {
+      // Blocks the interval engine proves unreachable (a range-decided
+      // branch prunes every path in) cannot execute: their definitions
+      // stay kBottom and their memory accesses are never collected.
+      if (ranges != nullptr && !ranges->blockReachable(b)) continue;
       auto bi = static_cast<std::size_t>(b);
-      std::map<int, AbsVal> vals;
-      rd.flow.in[bi].forEach([&](std::size_t s) {
-        const DefSite& site = rd.sites[s];
-        auto [it, fresh] = vals.try_emplace(site.vreg, defVals_[s]);
-        if (!fresh) it->second.meetWith(defVals_[s]);
-      });
+      std::map<int, AbsVal> vals = seedEntry(bi);
       const IrBlock& blk = fn.blocks[bi];
       for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
         const IrInstr& in = blk.instrs[i];
+        if (in.op == IOp::kCall) {
+          applyCall(in, vals);
+          continue;
+        }
+        if (in.op == IOp::kSys) {
+          erasePhys(vals);
+          continue;
+        }
         if (in.dst < 0) continue;
         int siteId = siteAt.at({b, static_cast<int>(i)});
-        AbsVal v = evalDef(vals, in, siteId);
-        AbsVal& slot = defVals_[static_cast<std::size_t>(siteId)];
+        auto si = static_cast<std::size_t>(siteId);
+        AbsVal v = evalDef(vals, in, siteId, b, static_cast<int>(i));
+        if (v.kind == AbsVal::Kind::kBottom) continue;  // operands pending
+        if (!v.isValue()) {
+          std::string h = !v.hint.empty() ? v.hint : nameOf(in.dst);
+          v = AbsVal::opaque(siteId, std::move(h));
+        }
+        if (v.hint.empty()) v.hint = nameOf(in.dst);
+        AbsVal& slot = defVals_[si];
         AbsVal merged = slot;
         merged.meetWith(v);
+        if (!merged.isValue()) {
+          std::string h = !merged.hint.empty() ? merged.hint : nameOf(in.dst);
+          merged = AbsVal::opaque(siteId, std::move(h));
+        }
         if (!(merged == slot)) {
-          slot = merged;
-          changed = true;
+          if (++bumps[si] > kWidenAfter && slot.isValue() &&
+              merged.base == slot.base && merged.origin == slot.origin &&
+              merged.scale == slot.scale)
+            merged.off = merged.off.widenedInf(slot.off);
+          // A pure-offset value (no base, no origin) *is* the register's
+          // numeric value: the interval engine's post-state bounds it,
+          // which tames loop carriers the offset widening would otherwise
+          // leave at the infinity sentinels (`q = q + 1` under `q < n`).
+          if (ranges != nullptr && merged.isValue() &&
+              merged.base == AbsVal::Base::kNone &&
+              merged.origin == kOriginNone && !merged.off.isConst()) {
+            VRange cut = merged.off.intersected(
+                ranges->rangeAt(b, static_cast<int>(i) + 1, in.dst));
+            if (!cut.isEmpty()) merged.off = cut;
+          }
+          // Re-test: the widen + numeric cut may have landed back on the
+          // stored value, and flagging a change then would never converge.
+          if (!(merged == slot)) {
+            slot = merged;
+            changed = true;
+          }
         }
         vals[in.dst] = slot;
       }
     }
   }
 
-  // Final sweep: collect memory sites with resolved effective addresses.
+  // Final sweep: collect memory sites with resolved effective addresses
+  // and the meet over returned values.
+  retVal_ = AbsVal{};
   for (int b : cfg.rpo) {
+    if (ranges != nullptr && !ranges->blockReachable(b)) continue;
     auto bi = static_cast<std::size_t>(b);
-    std::map<int, AbsVal> vals;
-    rd.flow.in[bi].forEach([&](std::size_t s) {
-      const DefSite& site = rd.sites[s];
-      auto [it, fresh] = vals.try_emplace(site.vreg, defVals_[s]);
-      if (!fresh) it->second.meetWith(defVals_[s]);
-    });
+    std::map<int, AbsVal> vals = seedEntry(bi);
     const IrBlock& blk = fn.blocks[bi];
     for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
       const IrInstr& in = blk.instrs[i];
+      if (in.op == IOp::kCall) {
+        applyCall(in, vals);
+        continue;
+      }
+      if (in.op == IOp::kSys) {
+        erasePhys(vals);
+        continue;
+      }
+      if (in.op == IOp::kRet) retVal_.meetWith(operandVal(vals, kV0));
       bool isLoad = in.op == IOp::kLoadW || in.op == IOp::kLoadB;
       bool isStore = in.op == IOp::kStoreW || in.op == IOp::kStoreB;
       bool isPsm = in.op == IOp::kPsm;
@@ -210,20 +406,27 @@ ValueResolver::ValueResolver(const IrFunc& fn, AnalysisManager& am) {
         m.sizeBytes =
             (in.op == IOp::kLoadB || in.op == IOp::kStoreB) ? 1 : 4;
         m.srcLine = in.srcLine;
-        m.addr = addVals(operandVal(vals, in.a), AbsVal::constant(in.imm));
+        m.addrReg = in.a;
+        m.addr = absAdd(operandVal(vals, in.a),
+                        AbsVal::constant(in.imm));
         if (!m.addr.isValue()) {
           m.cls = AddrClass::kUnknown;
         } else if (m.addr.base == AbsVal::Base::kSym) {
-          m.cls = m.addr.origin != kOriginNone ? AddrClass::kTidIndexed
-                                               : AddrClass::kGlobal;
+          m.cls = m.addr.origin != kOriginNone && m.addr.uniqueOrigin
+                      ? AddrClass::kTidIndexed
+                      : AddrClass::kGlobal;
         } else if (m.addr.base == AbsVal::Base::kFrame) {
           m.cls = AddrClass::kFrameLocal;
         } else {
-          m.cls = m.addr.origin != kOriginNone ? AddrClass::kTidIndexed
-                                               : AddrClass::kUnknown;
+          m.cls = m.addr.origin != kOriginNone && m.addr.uniqueOrigin
+                      ? AddrClass::kTidIndexed
+                      : AddrClass::kUnknown;
         }
-        m.threadPrivate = m.addr.isValue() && m.addr.origin != kOriginNone &&
-                          std::abs(m.addr.scale) >= m.sizeBytes;
+        m.threadPrivate =
+            m.addr.isValue() && m.addr.origin != kOriginNone &&
+            m.addr.uniqueOrigin && !m.addr.off.isEmpty() &&
+            m.addr.off.width() < VRange::kPosInf / 2 &&
+            std::llabs(m.addr.scale) >= m.sizeBytes + m.addr.off.width();
         memSites_.push_back(std::move(m));
       }
       if (in.dst >= 0) {

@@ -1,0 +1,117 @@
+#include "src/compiler/analysis/callgraph.h"
+
+#include <algorithm>
+#include <set>
+
+namespace xmt::analysis {
+
+namespace {
+
+// Iterative Tarjan SCC. Returns the component id of each node; component
+// ids are assigned in reverse topological order (callees first).
+std::vector<int> tarjanScc(const std::vector<std::vector<int>>& adj,
+                           int& numComps) {
+  int n = static_cast<int>(adj.size());
+  std::vector<int> index(static_cast<std::size_t>(n), -1);
+  std::vector<int> low(static_cast<std::size_t>(n), 0);
+  std::vector<int> comp(static_cast<std::size_t>(n), -1);
+  std::vector<bool> onStack(static_cast<std::size_t>(n), false);
+  std::vector<int> stack;
+  int next = 0;
+  numComps = 0;
+
+  struct Frame {
+    int node;
+    std::size_t edge;
+  };
+  for (int root = 0; root < n; ++root) {
+    if (index[static_cast<std::size_t>(root)] >= 0) continue;
+    std::vector<Frame> work{{root, 0}};
+    while (!work.empty()) {
+      Frame& f = work.back();
+      auto v = static_cast<std::size_t>(f.node);
+      if (f.edge == 0) {
+        index[v] = low[v] = next++;
+        stack.push_back(f.node);
+        onStack[v] = true;
+      }
+      if (f.edge < adj[v].size()) {
+        int w = adj[v][f.edge++];
+        auto wi = static_cast<std::size_t>(w);
+        if (index[wi] < 0) {
+          work.push_back({w, 0});
+        } else if (onStack[wi]) {
+          low[v] = std::min(low[v], index[wi]);
+        }
+        continue;
+      }
+      if (low[v] == index[v]) {
+        while (true) {
+          int w = stack.back();
+          stack.pop_back();
+          onStack[static_cast<std::size_t>(w)] = false;
+          comp[static_cast<std::size_t>(w)] = numComps;
+          if (w == f.node) break;
+        }
+        ++numComps;
+      }
+      int parent = work.size() >= 2 ? work[work.size() - 2].node : -1;
+      work.pop_back();
+      if (parent >= 0) {
+        auto p = static_cast<std::size_t>(parent);
+        low[p] = std::min(low[p], low[v]);
+      }
+    }
+  }
+  return comp;
+}
+
+}  // namespace
+
+CallGraph buildCallGraph(const IrModule& mod) {
+  CallGraph g;
+  for (const IrFunc& fn : mod.funcs) {
+    g.indexOf[fn.name] = static_cast<int>(g.funcs.size());
+    g.funcs.push_back(&fn);
+  }
+  int n = static_cast<int>(g.funcs.size());
+  g.callees.assign(static_cast<std::size_t>(n), {});
+  std::vector<bool> selfCall(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    std::set<int> seen;
+    for (const IrBlock& b : g.funcs[static_cast<std::size_t>(i)]->blocks)
+      for (const IrInstr& in : b.instrs) {
+        if (in.op != IOp::kCall) continue;
+        auto it = g.indexOf.find(in.sym);
+        if (it == g.indexOf.end()) continue;  // external: no edge
+        if (it->second == i) selfCall[static_cast<std::size_t>(i)] = true;
+        if (seen.insert(it->second).second)
+          g.callees[static_cast<std::size_t>(i)].push_back(it->second);
+      }
+  }
+
+  int numComps = 0;
+  std::vector<int> comp = tarjanScc(g.callees, numComps);
+  std::vector<int> compSize(static_cast<std::size_t>(numComps), 0);
+  for (int c : comp) ++compSize[static_cast<std::size_t>(c)];
+  g.recursive.assign(static_cast<std::size_t>(n), false);
+  for (int i = 0; i < n; ++i)
+    g.recursive[static_cast<std::size_t>(i)] =
+        selfCall[static_cast<std::size_t>(i)] ||
+        compSize[static_cast<std::size_t>(comp[static_cast<std::size_t>(i)])] >
+            1;
+
+  // Tarjan numbers components callees-first, so ascending component id is
+  // already a bottom-up order; ties (same component) don't matter because
+  // recursive components are summarized as TOP anyway.
+  std::vector<int> order(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return comp[static_cast<std::size_t>(a)] < comp[static_cast<std::size_t>(b)];
+  });
+  g.bottomUp = order;
+  g.topDown.assign(order.rbegin(), order.rend());
+  return g;
+}
+
+}  // namespace xmt::analysis

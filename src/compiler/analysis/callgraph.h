@@ -1,0 +1,28 @@
+// Call graph over an IrModule, with the traversal orders the summary
+// builder needs: a bottom-up order (callees before callers, for return
+// summaries) and a top-down order (callers before callees, for argument
+// ranges). Strongly connected components are condensed with Tarjan's
+// algorithm; any function in a non-trivial SCC (or calling one) is
+// recursive and gets the conservative TOP summary.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/compiler/ir.h"
+
+namespace xmt::analysis {
+
+struct CallGraph {
+  std::vector<const IrFunc*> funcs;           // module order
+  std::map<std::string, int> indexOf;         // name -> funcs index
+  std::vector<std::vector<int>> callees;      // deduplicated edges
+  std::vector<bool> recursive;                // in a cycle (incl. self-call)
+  std::vector<int> bottomUp;                  // callees before callers
+  std::vector<int> topDown;                   // callers before callees
+};
+
+CallGraph buildCallGraph(const IrModule& mod);
+
+}  // namespace xmt::analysis

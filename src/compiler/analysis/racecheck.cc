@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
 #include <utility>
 
 #include "src/compiler/analysis/alias.h"
+#include "src/compiler/analysis/summary.h"
+#include "src/compiler/analysis/xmtai.h"
 
 namespace xmt::analysis {
 
@@ -48,25 +51,47 @@ std::string bucketKey(const AbsVal& addr) {
   return "<absolute>";
 }
 
+/// Largest |c1 - c2| over the two offset intervals (saturated).
+std::int64_t maxDelta(const VRange& c1, const VRange& c2) {
+  return std::max(c1.hi - c2.lo, c2.hi - c1.lo);
+}
+
+/// Can the two byte intervals [c + 0, c + size) intersect for some choice
+/// of offsets in the ranges?
+bool byteIntervalsMayOverlap(const VRange& c1, int size1, const VRange& c2,
+                             int size2) {
+  return c1.lo <= c2.hi + size2 - 1 && c2.lo <= c1.hi + size1 - 1;
+}
+
 /// True when the two sites (possibly the same site, executed by two
-/// distinct virtual threads) can touch overlapping bytes.
-bool mayOverlapAcrossThreads(const MemSite& x, const MemSite& y) {
+/// distinct virtual threads) can touch overlapping bytes. `uniformOrigin`
+/// answers whether a def-site origin is thread-invariant (serial-defined).
+bool mayOverlapAcrossThreads(
+    const MemSite& x, const MemSite& y,
+    const std::function<bool(int)>& uniformOrigin) {
   const AbsVal& a = x.addr;
   const AbsVal& b = y.addr;
-  if (a.origin == b.origin && a.scale == b.scale) {
-    std::int64_t delta = a.c > b.c ? a.c - b.c : b.c - a.c;
-    if (a.origin != kOriginNone && a.scale != 0) {
-      // base + s*u + c with distinct u: starts differ by s*(u-u') + delta,
-      // and |s*(u-u')| >= |s|, so |s| >= maxSize + delta rules overlap out.
-      std::int64_t maxSize = std::max(x.sizeBytes, y.sizeBytes);
-      return std::abs(a.scale) < maxSize + delta;
-    }
-    // Same fixed address in every thread: byte-interval test.
-    return a.c < b.c + y.sizeBytes && b.c < a.c + x.sizeBytes;
+  if (a.origin != b.origin || a.uniqueOrigin != b.uniqueOrigin) {
+    // Unrelated index spaces (or only one side indexed): assume collision.
+    return true;
   }
-  // Different unique origins (or only one side scaled): the index spaces
-  // are unrelated, assume they can collide.
-  return true;
+  if (a.origin != kOriginNone && a.uniqueOrigin) {
+    // base + s*u + c with u distinct across threads. With equal scales the
+    // starts differ by s*(u-u') + (c1-c2) and |s*(u-u')| >= |s|, so
+    // |s| >= maxSize + max|c1-c2| rules overlap out.
+    if (a.scale != b.scale) return true;
+    std::int64_t maxSize = std::max(x.sizeBytes, y.sizeBytes);
+    return std::llabs(a.scale) < maxSize + maxDelta(a.off, b.off);
+  }
+  if (a.origin != kOriginNone) {
+    // Same non-unique origin. If it is thread-invariant (broadcast from
+    // serial code — e.g. a serial ps result), both addresses share the
+    // same concrete origin value, so with equal scales the byte-interval
+    // test on the offsets decides. A per-thread origin proves nothing.
+    if (!uniformOrigin(a.origin) || a.scale != b.scale) return true;
+  }
+  // Thread-invariant addresses: conflict iff the byte intervals can touch.
+  return byteIntervalsMayOverlap(a.off, x.sizeBytes, b.off, y.sizeBytes);
 }
 
 struct Reporter {
@@ -87,18 +112,40 @@ struct Reporter {
   }
 };
 
-void checkRegion(const std::vector<MemSite>& sites, Reporter& rep) {
+/// Name for an unresolved-address report: the value's provenance hint, the
+/// source name of the address vreg, or "<unknown>".
+std::string unresolvedName(const IrFunc& fn, const MemSite& m) {
+  if (!m.addr.hint.empty()) return m.addr.hint;
+  if (auto it = fn.vregNames.find(m.addrReg); it != fn.vregNames.end())
+    return it->second;
+  return "<unknown>";
+}
+
+void checkRegion(const IrFunc& fn, const std::vector<MemSite>& sites,
+                 const std::function<bool(int)>& uniformOrigin,
+                 Reporter& rep) {
   std::map<std::string, std::vector<const MemSite*>> buckets;
   for (const MemSite& m : sites) {
-    if (!m.addr.isValue()) {
-      if (m.write && !m.atomic)
-        rep.report(DiagCode::kRaceUnknownAddress, "<unknown>", m.srcLine,
-                   -1,
-                   "write through unresolved address inside spawn region "
-                   "may race");
+    // A value with a per-thread opaque origin is an index the algebra
+    // could not express. With a known base this is an unresolved index
+    // into a known array — excluded from the bucket instead of reported
+    // (see racecheck.h); with no base it is a genuinely unknown pointer.
+    bool opaqueIdx = m.addr.isValue() && m.addr.origin >= 0 &&
+                     !m.addr.uniqueOrigin && !uniformOrigin(m.addr.origin);
+    if (!m.addr.isValue() || (opaqueIdx && m.addr.base == AbsVal::Base::kNone)) {
+      if (m.write && !m.atomic) {
+        std::string name = unresolvedName(fn, m);
+        std::string what =
+            name == "<unknown>" ? "unresolved address"
+                                : "unresolved address '" + name + "'";
+        rep.report(DiagCode::kRaceUnknownAddress, name, m.srcLine, -1,
+                   "write through " + what +
+                       " inside spawn region may race");
+      }
       // Unresolved reads are ignored (see header).
       continue;
     }
+    if (opaqueIdx) continue;  // unresolved index into a known base: silent
     buckets[bucketKey(m.addr)].push_back(&m);
   }
 
@@ -109,7 +156,7 @@ void checkRegion(const std::vector<MemSite>& sites, Reporter& rep) {
         const MemSite& b = *v[j];
         if (!a.write && !b.write) continue;     // read/read never races
         if (a.atomic && b.atomic) continue;     // ps-mediated updates
-        if (!mayOverlapAcrossThreads(a, b)) continue;
+        if (!mayOverlapAcrossThreads(a, b, uniformOrigin)) continue;
         bool ww = a.write && b.write;
         std::string what = sym == "<frame>" ? "shared stack location"
                                             : "'" + sym + "'";
@@ -132,7 +179,8 @@ void checkRegion(const std::vector<MemSite>& sites, Reporter& rep) {
 }  // namespace
 
 void analyzeFunctionRaces(const IrFunc& fn, AnalysisManager& am,
-                          std::vector<Diagnostic>& out) {
+                          std::vector<Diagnostic>& out,
+                          const ModuleSummaries* summaries) {
   // Collect spawn body entries first; skip the whole analysis otherwise.
   std::vector<int> entries;
   for (const IrBlock& b : fn.blocks)
@@ -141,7 +189,25 @@ void analyzeFunctionRaces(const IrFunc& fn, AnalysisManager& am,
   if (entries.empty()) return;
 
   const Cfg& cfg = am.cfg(fn);
-  ValueResolver resolver(fn, am);
+  const VRange* params = nullptr;
+  if (summaries != nullptr) {
+    if (const FuncSummary* s = summaries->find(fn.name);
+        s != nullptr && !s->recursive)
+      params = s->paramRanges.data();
+  }
+  RangeAnalysis ranges(fn, am, summaries, params);
+  ValueResolver resolver(fn, am, summaries, &ranges);
+
+  // A def-site origin is uniform (thread-invariant) when it was defined in
+  // serial code: the functional model broadcasts the master's state, so
+  // every virtual thread observes the same value.
+  const ReachingDefsResult& rd = am.reachingDefs(fn);
+  auto uniformOrigin = [&](int origin) {
+    if (origin < 0 || static_cast<std::size_t>(origin) >= rd.sites.size())
+      return false;
+    int blk = rd.sites[static_cast<std::size_t>(origin)].block;
+    return !fn.blocks[static_cast<std::size_t>(blk)].parallel;
+  };
 
   // Index the function's memory sites by block for region filtering.
   std::map<int, std::vector<const MemSite*>> sitesByBlock;
@@ -156,14 +222,16 @@ void analyzeFunctionRaces(const IrFunc& fn, AnalysisManager& am,
       if (it == sitesByBlock.end()) continue;
       for (const MemSite* m : it->second) regionSites.push_back(*m);
     }
-    checkRegion(regionSites, rep);
+    checkRegion(fn, regionSites, uniformOrigin, rep);
   }
 }
 
-std::vector<Diagnostic> analyzeModuleRaces(const IrModule& mod) {
+std::vector<Diagnostic> analyzeModuleRaces(const IrModule& mod,
+                                           const ModuleSummaries* summaries) {
   std::vector<Diagnostic> diags;
   AnalysisManager am;
-  for (const IrFunc& fn : mod.funcs) analyzeFunctionRaces(fn, am, diags);
+  for (const IrFunc& fn : mod.funcs)
+    analyzeFunctionRaces(fn, am, diags, summaries);
   std::sort(diags.begin(), diags.end(),
             [](const Diagnostic& a, const Diagnostic& b) {
               return a.line < b.line;

@@ -1,0 +1,199 @@
+#include "src/compiler/analysis/vrange.h"
+
+#include <algorithm>
+
+namespace xmt::analysis {
+
+namespace {
+
+constexpr std::int64_t kI32Min = INT32_MIN;
+constexpr std::int64_t kI32Max = INT32_MAX;
+
+VRange fit32(std::int64_t lo, std::int64_t hi) {
+  if (lo < kI32Min || hi > kI32Max) return VRange::full32();
+  return VRange{lo, hi};
+}
+
+std::int64_t clampSat(std::int64_t v) {
+  return std::clamp(v, VRange::kNegInf, VRange::kPosInf);
+}
+
+// Largest value expressible with the bit width of `v` (v >= 0):
+// 2^ceil(log2(v+1)) - 1. Upper bound for x|y and x^y over non-negatives.
+std::int64_t bitHull(std::int64_t v) {
+  std::int64_t m = 1;
+  while (m - 1 < v) m <<= 1;
+  return m - 1;
+}
+
+}  // namespace
+
+VRange VRange::full32() { return {kI32Min, kI32Max}; }
+
+VRange VRange::of(std::int64_t lo, std::int64_t hi) { return {lo, hi}; }
+
+VRange VRange::empty() { return {1, 0}; }
+
+bool VRange::isFull32() const { return lo <= kI32Min && hi >= kI32Max; }
+
+bool VRange::strictlyBounded32() const {
+  return !isEmpty() && lo > kI32Min && hi < kI32Max;
+}
+
+VRange VRange::joined(const VRange& o) const {
+  if (isEmpty()) return o;
+  if (o.isEmpty()) return *this;
+  return {std::min(lo, o.lo), std::max(hi, o.hi)};
+}
+
+VRange VRange::intersected(const VRange& o) const {
+  return {std::max(lo, o.lo), std::min(hi, o.hi)};
+}
+
+VRange VRange::widened32(const VRange& prev) const {
+  VRange r = *this;
+  if (r.lo < prev.lo) r.lo = kI32Min;
+  if (r.hi > prev.hi) r.hi = kI32Max;
+  return r;
+}
+
+VRange VRange::widenedInf(const VRange& prev) const {
+  VRange r = *this;
+  if (r.lo < prev.lo) r.lo = kNegInf;
+  if (r.hi > prev.hi) r.hi = kPosInf;
+  return r;
+}
+
+VRange VRange::addSat(const VRange& o) const {
+  if (isEmpty() || o.isEmpty()) return empty();
+  return {clampSat(lo + o.lo), clampSat(hi + o.hi)};
+}
+
+VRange VRange::negated() const {
+  if (isEmpty()) return empty();
+  return {clampSat(-hi), clampSat(-lo)};
+}
+
+VRange VRange::mulConstSat(std::int64_t k) const {
+  if (isEmpty()) return empty();
+  // Sentinel-aware: an infinite end stays infinite (sign-adjusted); finite
+  // ends multiply exactly (clamped). Mixed products of a sentinel and a
+  // huge k cannot overflow because sentinels have 4x headroom and finite
+  // offsets are int32-bounded by the alias domain.
+  auto mul = [&](std::int64_t v) -> std::int64_t {
+    if (v <= kNegInf) return k >= 0 ? kNegInf : kPosInf;
+    if (v >= kPosInf) return k >= 0 ? kPosInf : kNegInf;
+    __int128 p = static_cast<__int128>(v) * k;
+    if (p < kNegInf) return kNegInf;
+    if (p > kPosInf) return kPosInf;
+    return static_cast<std::int64_t>(p);
+  };
+  std::int64_t a = mul(lo), b = mul(hi);
+  return {std::min(a, b), std::max(a, b)};
+}
+
+VRange VRange::add32(const VRange& a, const VRange& b) {
+  if (a.isEmpty() || b.isEmpty()) return empty();
+  return fit32(a.lo + b.lo, a.hi + b.hi);
+}
+
+VRange VRange::sub32(const VRange& a, const VRange& b) {
+  if (a.isEmpty() || b.isEmpty()) return empty();
+  return fit32(a.lo - b.hi, a.hi - b.lo);
+}
+
+VRange VRange::mul32(const VRange& a, const VRange& b) {
+  if (a.isEmpty() || b.isEmpty()) return empty();
+  std::int64_t c[] = {a.lo * b.lo, a.lo * b.hi, a.hi * b.lo, a.hi * b.hi};
+  return fit32(*std::min_element(c, c + 4), *std::max_element(c, c + 4));
+}
+
+VRange VRange::div32(const VRange& a, const VRange& b) {
+  if (a.isEmpty() || b.isEmpty()) return empty();
+  // Division by zero traps (no result to bound), but a range containing
+  // zero still has non-trapping members; INT32_MIN / -1 wraps. Both cases
+  // conservatively give full32.
+  if (b.contains(0)) return full32();
+  if (a.contains(kI32Min) && b.contains(-1)) return full32();
+  std::int64_t best_lo = INT64_MAX, best_hi = INT64_MIN;
+  for (std::int64_t d : {b.lo, b.hi, std::int64_t{-1}, std::int64_t{1}}) {
+    if (!b.contains(d)) continue;
+    for (std::int64_t n : {a.lo, a.hi}) {
+      std::int64_t q = n / d;
+      best_lo = std::min(best_lo, q);
+      best_hi = std::max(best_hi, q);
+    }
+  }
+  return fit32(best_lo, best_hi);
+}
+
+VRange VRange::rem32(const VRange& a, const VRange& b) {
+  if (a.isEmpty() || b.isEmpty()) return empty();
+  if (b.contains(0)) return full32();
+  std::int64_t m = std::max(std::llabs(b.lo), std::llabs(b.hi)) - 1;
+  // C truncation: the remainder's sign follows the dividend.
+  std::int64_t lo = a.lo >= 0 ? 0 : -m;
+  std::int64_t hi = a.hi <= 0 ? 0 : m;
+  if (a.lo >= 0) hi = std::min(hi, a.hi);
+  if (a.hi <= 0) lo = std::max(lo, a.lo);
+  return fit32(lo, hi);
+}
+
+VRange VRange::and32(const VRange& a, const VRange& b) {
+  if (a.isEmpty() || b.isEmpty()) return empty();
+  // x & y with either side known non-negative is trapped in [0, that hi]:
+  // a non-negative operand has a clear sign bit, so the result does too,
+  // and masking can only clear bits below it.
+  if (a.lo >= 0 && b.lo >= 0) return {0, std::min(a.hi, b.hi)};
+  if (a.lo >= 0) return {0, a.hi};
+  if (b.lo >= 0) return {0, b.hi};
+  return full32();
+}
+
+VRange VRange::or32(const VRange& a, const VRange& b) {
+  if (a.isEmpty() || b.isEmpty()) return empty();
+  if (a.lo < 0 || b.lo < 0) return full32();
+  return fit32(std::max(a.lo, b.lo), bitHull(std::max(a.hi, b.hi)));
+}
+
+VRange VRange::xor32(const VRange& a, const VRange& b) {
+  if (a.isEmpty() || b.isEmpty()) return empty();
+  if (a.lo < 0 || b.lo < 0) return full32();
+  return fit32(0, bitHull(std::max(a.hi, b.hi)));
+}
+
+VRange VRange::nor32(const VRange& a, const VRange& b) {
+  VRange o = or32(a, b);
+  if (o.isEmpty()) return empty();
+  return fit32(-1 - o.hi, -1 - o.lo);  // ~(a|b) == -1 - (a|b)
+}
+
+VRange VRange::sll32(const VRange& a, const VRange& sh) {
+  if (a.isEmpty() || sh.isEmpty()) return empty();
+  // Hardware masks the amount with &31; an unconstrained amount therefore
+  // reaches every shift, so only a [0,31]-contained range is useful.
+  if (sh.lo < 0 || sh.hi > 31) return full32();
+  std::int64_t c[] = {a.lo << sh.lo, a.lo << sh.hi, a.hi << sh.lo,
+                      a.hi << sh.hi};
+  return fit32(*std::min_element(c, c + 4), *std::max_element(c, c + 4));
+}
+
+VRange VRange::srl32(const VRange& a, const VRange& sh) {
+  if (a.isEmpty() || sh.isEmpty()) return empty();
+  if (sh.lo < 0 || sh.hi > 31) return full32();
+  if (a.lo >= 0) return {a.lo >> sh.hi, a.hi >> sh.lo};
+  // A negative operand reinterprets as a large uint32; with at least one
+  // shift the result is a bounded non-negative value.
+  if (sh.lo >= 1) return {0, std::int64_t{0xFFFFFFFF} >> sh.lo};
+  return full32();
+}
+
+VRange VRange::sra32(const VRange& a, const VRange& sh) {
+  if (a.isEmpty() || sh.isEmpty()) return empty();
+  if (sh.lo < 0 || sh.hi > 31) return full32();
+  std::int64_t c[] = {a.lo >> sh.lo, a.lo >> sh.hi, a.hi >> sh.lo,
+                      a.hi >> sh.hi};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+}  // namespace xmt::analysis

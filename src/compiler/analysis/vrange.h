@@ -1,0 +1,87 @@
+// Integer value-range (interval) domain for the abstract interpreter.
+//
+// A VRange is a closed interval [lo, hi] of int64 bounds. Two different
+// clients share the type with different conventions:
+//
+//   * The numeric engine (xmtai) models 32-bit program values. Every
+//     transfer function suffixed `32` returns a range that is a sound
+//     superset of the concrete int32 results: whenever a bound would
+//     escape [INT32_MIN, INT32_MAX] — i.e. the concrete machine would
+//     wrap — the result degrades to full32(). Numeric ranges therefore
+//     always satisfy full32-containment, which is what makes folding
+//     decisions (`-O2` dead-branch elimination) sound against the
+//     simulator's two's-complement semantics.
+//
+//   * The alias domain (alias.h) uses VRange for byte-offset intervals,
+//     where loop-carried strides are widened to the kNegInf / kPosInf
+//     sentinels ("unbounded on this side") instead of collapsing the
+//     whole value to Unknown. Offset arithmetic saturates at the
+//     sentinels. (Caveat, documented in racecheck.h: an offset whose
+//     concrete computation wraps past 2^31 may escape a one-sided
+//     interval; the race lint treats infinite widths conservatively, so
+//     this can only under-report on >2^31-iteration carriers.)
+#pragma once
+
+#include <cstdint>
+
+namespace xmt::analysis {
+
+struct VRange {
+  // Sentinels with headroom so sums of two sentinels cannot overflow int64.
+  static constexpr std::int64_t kNegInf = INT64_MIN / 4;
+  static constexpr std::int64_t kPosInf = INT64_MAX / 4;
+
+  std::int64_t lo = kNegInf;
+  std::int64_t hi = kPosInf;
+
+  static VRange full32();
+  static VRange of(std::int64_t lo, std::int64_t hi);
+  static VRange constant(std::int64_t v) { return of(v, v); }
+  /// The canonical empty range (an unreachable state).
+  static VRange empty();
+
+  bool isEmpty() const { return lo > hi; }
+  bool isConst() const { return lo == hi; }
+  bool isFull32() const;
+  bool contains(std::int64_t v) const { return lo <= v && v <= hi; }
+  /// Both ends strictly inside int32 — the "user actually constrained
+  /// this" test the may-warn lints key on.
+  bool strictlyBounded32() const;
+  std::int64_t width() const { return hi - lo; }
+
+  bool operator==(const VRange& o) const { return lo == o.lo && hi == o.hi; }
+
+  /// Interval hull (empty is the identity).
+  VRange joined(const VRange& o) const;
+  VRange intersected(const VRange& o) const;  // may be empty
+
+  /// Standard widening against the previous iterate: any bound that moved
+  /// jumps to the int32 extreme (numeric client) — always sound because
+  /// int32 values live in full32 by construction.
+  VRange widened32(const VRange& prev) const;
+  /// Offset-client widening: moved bounds jump to the infinity sentinels.
+  VRange widenedInf(const VRange& prev) const;
+
+  // Saturating interval arithmetic for the offset client (sentinels are
+  // sticky; results clamp into [kNegInf, kPosInf]).
+  VRange addSat(const VRange& o) const;
+  VRange negated() const;
+  VRange mulConstSat(std::int64_t k) const;
+
+  // int32-sound transfer functions for the numeric client. All inputs must
+  // be full32-contained; results are full32-contained (wrap => full32).
+  static VRange add32(const VRange& a, const VRange& b);
+  static VRange sub32(const VRange& a, const VRange& b);
+  static VRange mul32(const VRange& a, const VRange& b);
+  static VRange div32(const VRange& a, const VRange& b);
+  static VRange rem32(const VRange& a, const VRange& b);
+  static VRange and32(const VRange& a, const VRange& b);
+  static VRange or32(const VRange& a, const VRange& b);
+  static VRange xor32(const VRange& a, const VRange& b);
+  static VRange nor32(const VRange& a, const VRange& b);
+  static VRange sll32(const VRange& a, const VRange& sh);
+  static VRange srl32(const VRange& a, const VRange& sh);
+  static VRange sra32(const VRange& a, const VRange& sh);
+};
+
+}  // namespace xmt::analysis

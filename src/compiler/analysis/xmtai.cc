@@ -1,0 +1,670 @@
+#include "src/compiler/analysis/xmtai.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <utility>
+
+#include "src/compiler/analysis/alias.h"
+#include "src/compiler/analysis/racecheck.h"
+#include "src/compiler/analysis/summary.h"
+#include "src/isa/isa.h"
+
+namespace xmt::analysis {
+
+namespace {
+
+// Global registers are tracked as pseudo-keys below the vreg space so the
+// spawn-bound staging (mtgr gr6/gr7 ... spawn) is visible to the engine.
+constexpr int kGrKeyBase = -100;
+int grKey(int gr) { return kGrKeyBase - gr; }
+
+// Fixpoint visits to one block before moved bounds are widened.
+constexpr int kWidenVisits = 3;
+
+void erasePhysRanges(RangeAnalysis::State& st, bool keepV0) {
+  for (auto it = st.begin(); it != st.end();) {
+    bool phys = it->first > 0 && it->first < kNumRegs;
+    bool gr = it->first <= kGrKeyBase;
+    it = (gr || (phys && !(keepV0 && it->first == kV0))) ? st.erase(it)
+                                                         : std::next(it);
+  }
+}
+
+// Refines (a, b) under "rel(a, b) is `taken`"; empty result = edge dead.
+std::pair<VRange, VRange> refineBranch(Op rel, bool taken, VRange a,
+                                       VRange b) {
+  // Normalize to the taken sense of a relation.
+  if (!taken) {
+    switch (rel) {
+      case Op::kBeq: rel = Op::kBne; break;
+      case Op::kBne: rel = Op::kBeq; break;
+      case Op::kBlt: rel = Op::kBge; break;
+      case Op::kBge: rel = Op::kBlt; break;
+      case Op::kBle: rel = Op::kBgt; break;
+      case Op::kBgt: rel = Op::kBle; break;
+      default: return {a, b};
+    }
+  }
+  switch (rel) {
+    case Op::kBeq: {
+      VRange m = a.intersected(b);
+      return {m, m};
+    }
+    case Op::kBne:
+      // Intervals can only exclude an endpoint equal to a constant side.
+      if (b.isConst()) {
+        if (a.lo == b.lo) a.lo += 1;
+        if (a.hi == b.lo) a.hi -= 1;
+      }
+      if (a.isConst()) {
+        if (b.lo == a.lo) b.lo += 1;
+        if (b.hi == a.lo) b.hi -= 1;
+      }
+      return {a, b};
+    case Op::kBlt:
+      return {{a.lo, std::min(a.hi, b.hi - 1)},
+              {std::max(b.lo, a.lo + 1), b.hi}};
+    case Op::kBle:
+      return {{a.lo, std::min(a.hi, b.hi)}, {std::max(b.lo, a.lo), b.hi}};
+    case Op::kBgt:
+      return {{std::max(a.lo, b.lo + 1), a.hi},
+              {b.lo, std::min(b.hi, a.hi - 1)}};
+    case Op::kBge:
+      return {{std::max(a.lo, b.lo), a.hi}, {b.lo, std::min(b.hi, a.hi)}};
+    default:
+      return {a, b};
+  }
+}
+
+}  // namespace
+
+VRange RangeAnalysis::stateOf(const State& st, int reg) {
+  if (reg == 0) return VRange::constant(0);
+  auto it = st.find(reg);
+  return it == st.end() ? VRange::full32() : it->second;
+}
+
+void RangeAnalysis::transferInstr(const IrInstr& in, int block,
+                                  State& st) const {
+  auto get = [&](int r) { return stateOf(st, r); };
+  auto set = [&](int r, VRange v) {
+    if (v.isFull32())
+      st.erase(r);
+    else
+      st[r] = v;
+  };
+  switch (in.op) {
+    case IOp::kCall: {
+      erasePhysRanges(st, /*keepV0=*/false);
+      VRange ret = VRange::full32();
+      if (sums_ != nullptr) {
+        if (const FuncSummary* s = sums_->find(in.sym);
+            s != nullptr && !s->recursive)
+          ret = s->ret;
+      }
+      set(kV0, ret);
+      return;
+    }
+    case IOp::kSys:
+      erasePhysRanges(st, /*keepV0=*/false);
+      return;
+    case IOp::kMtgr:
+      st[grKey(in.imm)] = get(in.a);
+      return;
+    case IOp::kPs:
+      st.erase(grKey(in.imm));  // the counter advanced
+      break;
+    default:
+      break;
+  }
+  if (in.dst < 0) return;
+  VRange a = get(in.a), b = get(in.b);
+  VRange imm = VRange::constant(in.imm);
+  switch (in.op) {
+    case IOp::kLi: set(in.dst, imm); break;
+    case IOp::kCopy: set(in.dst, a); break;
+    case IOp::kAdd: set(in.dst, VRange::add32(a, b)); break;
+    case IOp::kAddi: set(in.dst, VRange::add32(a, imm)); break;
+    case IOp::kSub: set(in.dst, VRange::sub32(a, b)); break;
+    case IOp::kMul: set(in.dst, VRange::mul32(a, b)); break;
+    case IOp::kDiv: set(in.dst, VRange::div32(a, b)); break;
+    case IOp::kRem: set(in.dst, VRange::rem32(a, b)); break;
+    case IOp::kAnd: set(in.dst, VRange::and32(a, b)); break;
+    case IOp::kAndi: set(in.dst, VRange::and32(a, imm)); break;
+    case IOp::kOr: set(in.dst, VRange::or32(a, b)); break;
+    case IOp::kOri: set(in.dst, VRange::or32(a, imm)); break;
+    case IOp::kXor: set(in.dst, VRange::xor32(a, b)); break;
+    case IOp::kXori: set(in.dst, VRange::xor32(a, imm)); break;
+    case IOp::kNor: set(in.dst, VRange::nor32(a, b)); break;
+    case IOp::kSll: set(in.dst, VRange::sll32(a, imm)); break;
+    case IOp::kSrl: set(in.dst, VRange::srl32(a, imm)); break;
+    case IOp::kSra: set(in.dst, VRange::sra32(a, imm)); break;
+    case IOp::kSllv: set(in.dst, VRange::sll32(a, b)); break;
+    case IOp::kSrlv: set(in.dst, VRange::srl32(a, b)); break;
+    case IOp::kSrav: set(in.dst, VRange::sra32(a, b)); break;
+    case IOp::kSlt:
+    case IOp::kSlti: {
+      VRange rhs = in.op == IOp::kSlt ? b : imm;
+      if (a.hi < rhs.lo)
+        set(in.dst, VRange::constant(1));
+      else if (a.lo >= rhs.hi)
+        set(in.dst, VRange::constant(0));
+      else
+        set(in.dst, VRange::of(0, 1));
+      break;
+    }
+    case IOp::kSltu:
+    case IOp::kFeq:
+    case IOp::kFlt:
+    case IOp::kFle:
+      set(in.dst, VRange::of(0, 1));
+      break;
+    case IOp::kLoadB:
+      set(in.dst, VRange::of(0, 255));  // lbu: byte loads are unsigned
+      break;
+    case IOp::kGetTid: {
+      int region = regionOf_[static_cast<std::size_t>(block)];
+      auto it = region >= 0 ? tidOfRegion_.find(region)
+                            : tidOfRegion_.end();
+      set(in.dst, it == tidOfRegion_.end() ? VRange::full32() : it->second);
+      break;
+    }
+    case IOp::kMfgr: set(in.dst, get(grKey(in.imm))); break;
+    case IOp::kPs:
+    case IOp::kPsm:
+    case IOp::kLoadW:
+    case IOp::kLa:
+    case IOp::kFrameAddr:
+    default:
+      set(in.dst, VRange::full32());
+      break;
+  }
+}
+
+RangeAnalysis::RangeAnalysis(const IrFunc& fn, AnalysisManager& am,
+                             const ModuleSummaries* summaries,
+                             const VRange* paramRanges)
+    : fn_(fn), sums_(summaries) {
+  const Cfg& cfg = am.cfg(fn);
+  std::size_t n = fn.blocks.size();
+  in_.assign(n, State{});
+  reached_.assign(n, false);
+  regionOf_.assign(n, -1);
+
+  // Structural region map: parallel blocks -> their spawn body entry.
+  for (const IrBlock& b : fn.blocks) {
+    if (b.instrs.empty() || b.instrs.back().op != IOp::kSpawn) continue;
+    int entry = b.instrs.back().t1;
+    std::deque<int> work{entry};
+    while (!work.empty()) {
+      int cur = work.front();
+      work.pop_front();
+      auto ci = static_cast<std::size_t>(cur);
+      if (regionOf_[ci] >= 0 || !fn.blocks[ci].parallel) continue;
+      regionOf_[ci] = entry;
+      for (int s : cfg.succ[ci]) work.push_back(s);
+    }
+  }
+
+  // RPO position for worklist ordering.
+  std::vector<int> rpoPos(n, 0);
+  for (std::size_t i = 0; i < cfg.rpo.size(); ++i)
+    rpoPos[static_cast<std::size_t>(cfg.rpo[i])] = static_cast<int>(i);
+
+  State entry;
+  if (paramRanges != nullptr) {
+    for (int i = 0; i < fn.nParams && i < kMaxSummaryParams; ++i)
+      if (!paramRanges[i].isFull32())
+        entry[kSummaryArgRegs[i]] = paramRanges[i];
+  }
+  in_[0] = std::move(entry);
+  reached_[0] = true;
+
+  std::vector<int> visits(n, 0);
+  std::set<std::pair<int, int>> work;  // (rpo position, block)
+  work.insert({rpoPos[0], 0});
+  while (!work.empty()) {
+    int b = work.begin()->second;
+    work.erase(work.begin());
+    auto bi = static_cast<std::size_t>(b);
+    const IrBlock& blk = fn_.blocks[bi];
+    State st = in_[bi];
+    for (const IrInstr& in : blk.instrs)
+      if (!in.isTerminator() && in.op != IOp::kSpawn)
+        transferInstr(in, b, st);
+
+    // Spawn-bound capture: tid of the region is [gr6.lo, gr7.hi] as staged.
+    if (!blk.instrs.empty() && blk.instrs.back().op == IOp::kSpawn) {
+      VRange lo = stateOf(st, grKey(kGrNextId));
+      VRange hi = stateOf(st, grKey(kGrHigh));
+      VRange tid = VRange::of(lo.lo, hi.hi);
+      if (tid.isEmpty()) tid = VRange::full32();
+      auto [it, fresh] =
+          tidOfRegion_.try_emplace(blk.instrs.back().t1, tid);
+      if (!fresh) {
+        VRange joinedTid = it->second.joined(tid);
+        if (!(joinedTid == it->second)) {
+          it->second = joinedTid;
+          // Region blocks already visited must observe the wider tid.
+          for (std::size_t r = 0; r < n; ++r)
+            if (regionOf_[r] == it->first && reached_[r])
+              work.insert({rpoPos[r], static_cast<int>(r)});
+        }
+      }
+    }
+
+    auto propagate = [&](int succ, State out,
+                         const std::set<int>& refined = {}) {
+      erasePhysRanges(out, /*keepV0=*/true);
+      auto si = static_cast<std::size_t>(succ);
+      if (!reached_[si]) {
+        reached_[si] = true;
+        in_[si] = std::move(out);
+        work.insert({rpoPos[si], succ});
+        return;
+      }
+      State& target = in_[si];
+      State merged;
+      bool changed = false;
+      for (const auto& [reg, range] : target) {
+        VRange j = range.joined(stateOf(out, reg));
+        if (!j.isFull32()) merged[reg] = j;
+      }
+      if (merged.size() != target.size()) changed = true;
+      if (!changed)
+        for (const auto& [reg, range] : merged)
+          if (!(range == target.at(reg))) {
+            changed = true;
+            break;
+          }
+      if (!changed) return;
+      if (++visits[si] > kWidenVisits)
+        for (auto it = merged.begin(); it != merged.end();) {
+          // A register the branch just refined is exempt: its bound is
+          // derived from the other operand's (converging) range, and
+          // widening it would throw the refinement away — the classic
+          // `while (q < 8)` carrier would jump from [0,7] to [0, 2^31).
+          if (refined.count(it->first) != 0) {
+            ++it;
+            continue;
+          }
+          VRange w = it->second.widened32(stateOf(target, it->first));
+          if (w.isFull32())
+            it = merged.erase(it);
+          else
+            (it++)->second = w;
+        }
+      if (!(merged == target)) {
+        target = std::move(merged);
+        work.insert({rpoPos[si], succ});
+      }
+    };
+
+    if (!blk.instrs.empty() && blk.instrs.back().op == IOp::kBr) {
+      const IrInstr& br = blk.instrs.back();
+      VRange a = stateOf(st, br.a), b2 = stateOf(st, br.b);
+      for (bool taken : {true, false}) {
+        auto [ra, rb] = refineBranch(br.rel, taken, a, b2);
+        if (ra.isEmpty() || rb.isEmpty()) continue;  // edge cannot execute
+        State out = st;
+        std::set<int> refined;
+        if (br.a != 0) {
+          if (ra.isFull32()) {
+            out.erase(br.a);
+          } else {
+            out[br.a] = ra;
+            refined.insert(br.a);
+          }
+        }
+        if (br.b != 0) {
+          if (rb.isFull32()) {
+            out.erase(br.b);
+          } else {
+            out[br.b] = rb;
+            refined.insert(br.b);
+          }
+        }
+        propagate(taken ? br.t1 : br.t2, std::move(out), refined);
+      }
+    } else {
+      for (int s : cfg.succ[bi]) propagate(s, st);
+    }
+  }
+}
+
+VRange RangeAnalysis::rangeAt(int block, int instr, int reg) const {
+  auto bi = static_cast<std::size_t>(block);
+  if (bi >= reached_.size() || !reached_[bi]) return VRange::full32();
+  State st = in_[bi];
+  const IrBlock& blk = fn_.blocks[bi];
+  for (int i = 0; i < instr && i < static_cast<int>(blk.instrs.size()); ++i)
+    transferInstr(blk.instrs[static_cast<std::size_t>(i)], block, st);
+  return stateOf(st, reg);
+}
+
+void RangeAnalysis::forEachInstr(
+    int block, const std::function<void(int, const State&)>& cb) const {
+  auto bi = static_cast<std::size_t>(block);
+  if (bi >= reached_.size() || !reached_[bi]) return;
+  State st = in_[bi];
+  const IrBlock& blk = fn_.blocks[bi];
+  for (std::size_t i = 0; i < blk.instrs.size(); ++i) {
+    cb(static_cast<int>(i), st);
+    transferInstr(blk.instrs[i], block, st);
+  }
+}
+
+const VRange& RangeAnalysis::tidRangeOf(int block) const {
+  int region = regionOf_[static_cast<std::size_t>(block)];
+  if (region >= 0) {
+    auto it = tidOfRegion_.find(region);
+    if (it != tidOfRegion_.end()) return it->second;
+  }
+  return full_;
+}
+
+namespace {
+
+/// Byte size of a data symbol, or -1 when unknown.
+std::int64_t symbolSize(const IrModule& mod, const std::string& name) {
+  for (const IrData& d : mod.data) {
+    if (d.label != name) continue;
+    switch (d.kind) {
+      case IrData::Kind::kWords:
+        return static_cast<std::int64_t>(d.words.size()) * 4;
+      case IrData::Kind::kSpace:
+        return static_cast<std::int64_t>(d.spaceBytes);
+      case IrData::Kind::kAscii:
+        return static_cast<std::int64_t>(d.str.size()) + 1;
+    }
+  }
+  return -1;
+}
+
+// "Informative" interval: both ends derived from real constraints rather
+// than full32 / the widening sentinels. The may-lints only speak when the
+// user actually constrained the value (same philosophy as the race lint's
+// resolved-addresses-only rule) — an unconstrained full32 fact says
+// nothing about the program and would warn on every unchecked input.
+bool informative(const VRange& r) {
+  return !r.isEmpty() && r.strictlyBounded32();
+}
+
+class Linter {
+ public:
+  Linter(const IrModule& mod, const AiConfig& cfg,
+         const ModuleSummaries& sums, std::vector<Diagnostic>& out)
+      : mod_(mod), cfg_(cfg), sums_(sums), out_(out) {}
+
+  void runFunction(const IrFunc& fn) {
+    AnalysisManager am;
+    const VRange* params = nullptr;
+    if (const FuncSummary* s = sums_.find(fn.name);
+        s != nullptr && !s->recursive)
+      params = s->paramRanges.data();
+    RangeAnalysis ra(fn, am, &sums_, params);
+    if (cfg_.divZero || cfg_.shift || cfg_.psDiscipline) {
+      for (const IrBlock& b : fn.blocks) {
+        ra.forEachInstr(b.id, [&](int i, const RangeAnalysis::State& st) {
+          lintInstr(b.instrs[static_cast<std::size_t>(i)], st);
+        });
+      }
+    }
+    if (cfg_.bounds) lintBounds(fn, am, ra);
+  }
+
+ private:
+  void report(DiagCode code, int line, std::string symbol,
+              std::string message) {
+    if (!seen_.insert({static_cast<int>(code), line}).second) return;
+    Diagnostic d;
+    d.code = code;
+    d.severity = Severity::kWarning;
+    d.line = line;
+    d.symbol = std::move(symbol);
+    d.message = std::move(message);
+    out_.push_back(std::move(d));
+  }
+
+  static std::string rangeStr(const VRange& r) {
+    return "[" + std::to_string(r.lo) + ", " + std::to_string(r.hi) + "]";
+  }
+
+  void lintInstr(const IrInstr& in, const RangeAnalysis::State& st) {
+    switch (in.op) {
+      case IOp::kDiv:
+      case IOp::kRem: {
+        if (!cfg_.divZero) return;
+        const char* what = in.op == IOp::kDiv ? "division" : "remainder";
+        VRange b = RangeAnalysis::stateOf(st, in.b);
+        if (b.isConst() && b.lo == 0) {
+          report(DiagCode::kDivByZero, in.srcLine, "",
+                 std::string(what) + " by zero (traps at runtime)");
+        } else if (informative(b) && b.contains(0)) {
+          report(DiagCode::kDivMayBeZero, in.srcLine, "",
+                 std::string(what) + " divisor range " + rangeStr(b) +
+                     " contains zero");
+        }
+        return;
+      }
+      case IOp::kSllv:
+      case IOp::kSrlv:
+      case IOp::kSrav: {
+        if (!cfg_.shift) return;
+        VRange b = RangeAnalysis::stateOf(st, in.b);
+        if (informative(b) && (b.lo < 0 || b.hi > 31))
+          report(DiagCode::kShiftRange, in.srcLine, "",
+                 "shift amount range " + rangeStr(b) +
+                     " escapes [0, 31]; the hardware masks to 5 bits");
+        return;
+      }
+      case IOp::kSll:
+      case IOp::kSrl:
+      case IOp::kSra:
+        if (cfg_.shift && (in.imm < 0 || in.imm > 31))
+          report(DiagCode::kShiftRange, in.srcLine, "",
+                 "shift amount " + std::to_string(in.imm) +
+                     " escapes [0, 31]; the hardware masks to 5 bits");
+        return;
+      case IOp::kPs: {
+        // `ps` (global-register prefix-sum) is the paper's index-allocation
+        // primitive; an increment that is never positive cannot allocate.
+        // `psm` is deliberately exempt: it doubles as a general atomic add,
+        // where negative increments are meaningful.
+        if (!cfg_.psDiscipline) return;
+        VRange inc = RangeAnalysis::stateOf(st, in.a);
+        if (!inc.isEmpty() && inc.hi <= 0)
+          report(DiagCode::kPsNonPositive, in.srcLine, "",
+                 "prefix-sum increment range " + rangeStr(inc) +
+                     " is never positive; ps cannot hand out distinct "
+                     "indices this way");
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  /// Blocks dominated by a branch the interval domain cannot encode: a
+  /// reg-reg compare where neither side is a single constant. `if ($ >= d)
+  /// T[$] = S[$ - d]` is in-bounds *because* of that relation, which no
+  /// per-register interval carries — may-warnings are suppressed under such
+  /// guards (definite errors never are).
+  static std::vector<bool> relationallyGuarded(const IrFunc& fn,
+                                               AnalysisManager& am,
+                                               const RangeAnalysis& ra) {
+    const Cfg& cfg = am.cfg(fn);
+    std::size_t nb = cfg.numBlocks();
+    std::vector<int> guards;
+    for (std::size_t b = 0; b < nb; ++b) {
+      if (!cfg.reachable[b]) continue;
+      const auto& ins = fn.blocks[b].instrs;
+      for (std::size_t i = 0; i < ins.size(); ++i) {
+        const IrInstr& in = ins[i];
+        if (in.op != IOp::kBr || in.a < 0 || in.b < 0) continue;
+        if (!ra.rangeAt(static_cast<int>(b), static_cast<int>(i), in.a)
+                 .isConst() &&
+            !ra.rangeAt(static_cast<int>(b), static_cast<int>(i), in.b)
+                 .isConst())
+          guards.push_back(static_cast<int>(b));
+      }
+    }
+    std::vector<bool> out(nb, false);
+    if (guards.empty()) return out;
+    // Iterative dominator sets over bitsets (functions are small).
+    std::vector<BitSet> dom(nb, BitSet(nb));
+    for (std::size_t b = 1; b < nb; ++b) dom[b].fill();
+    dom[0].set(0);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int b : cfg.rpo) {
+        if (b == 0) continue;
+        BitSet nd(nb);
+        nd.fill();
+        bool any = false;
+        for (int p : cfg.pred[static_cast<std::size_t>(b)]) {
+          if (!cfg.reachable[static_cast<std::size_t>(p)]) continue;
+          nd.intersectWith(dom[static_cast<std::size_t>(p)]);
+          any = true;
+        }
+        if (!any) nd.clear();
+        nd.set(static_cast<std::size_t>(b));
+        if (!(nd == dom[static_cast<std::size_t>(b)])) {
+          dom[static_cast<std::size_t>(b)] = nd;
+          changed = true;
+        }
+      }
+    }
+    for (std::size_t b = 0; b < nb; ++b)
+      for (int g : guards)
+        if (static_cast<int>(b) != g &&
+            dom[b].test(static_cast<std::size_t>(g)))
+          out[b] = true;
+    return out;
+  }
+
+  void lintBounds(const IrFunc& fn, AnalysisManager& am,
+                  const RangeAnalysis& ra) {
+    ValueResolver vr(fn, am, &sums_, &ra);
+    std::vector<bool> relGuarded = relationallyGuarded(fn, am, ra);
+    for (const MemSite& m : vr.memorySites()) {
+      if (!ra.blockReachable(m.block)) continue;
+      if (!m.addr.isValue() || m.addr.base != AbsVal::Base::kSym) continue;
+      std::int64_t size = symbolSize(mod_, m.addr.sym);
+      if (size < 0) continue;
+      // Concretize the origin term where a numeric range is known.
+      VRange term = VRange::constant(0);
+      if (m.addr.origin == kOriginTid) {
+        term = ra.tidRangeOf(m.block).mulConstSat(m.addr.scale);
+      } else if (m.addr.origin >= 0) {
+        // Opaque handle / ps result: its def site is still a register the
+        // interval engine may bound (a loaded value under a guard — the
+        // `if (0 <= g && g < n) A[g]` idiom).
+        const ReachingDefsResult& rd = am.reachingDefs(fn);
+        const DefSite& osite =
+            rd.sites[static_cast<std::size_t>(m.addr.origin)];
+        VRange n = ra.rangeAt(osite.block, osite.instr + 1, osite.vreg);
+        // The interval engine keys refinements by register, and a guard may
+        // test a *copy* of the origin (`int g = G; if (g < n) A[g]`: the
+        // branch refines g's home register, not the load's). Every def whose
+        // abstract value is exactly `origin + c` carries the origin value in
+        // its register; where such a def still solely owns that register at
+        // the access, the use-point state (which has seen the guard) bounds
+        // the origin too.
+        for (std::size_t sid = 0; sid < rd.sites.size(); ++sid) {
+          const AbsVal& dv = vr.valueOfDef(static_cast<int>(sid));
+          if (!dv.isValue() || dv.base != AbsVal::Base::kNone ||
+              dv.origin != m.addr.origin || dv.scale != 1 ||
+              !dv.off.isConst())
+            continue;
+          const DefSite& s = rd.sites[sid];
+          bool solo;
+          if (s.block == m.block && s.instr < m.instr) {
+            solo = true;
+            for (int i = s.instr + 1; solo && i < m.instr; ++i)
+              if (fn.blocks[m.block].instrs[static_cast<std::size_t>(i)]
+                      .dst == s.vreg)
+                solo = false;
+          } else {
+            solo = rd.flow.in[static_cast<std::size_t>(m.block)].test(sid);
+            auto it = rd.sitesOfVreg.find(s.vreg);
+            if (solo && it != rd.sitesOfVreg.end())
+              for (int other : it->second)
+                if (static_cast<std::size_t>(other) != sid &&
+                    rd.flow.in[static_cast<std::size_t>(m.block)].test(
+                        static_cast<std::size_t>(other)))
+                  solo = false;
+            for (int i = 0; solo && i < m.instr; ++i)
+              if (fn.blocks[m.block].instrs[static_cast<std::size_t>(i)]
+                      .dst == s.vreg)
+                solo = false;
+          }
+          if (!solo) continue;
+          VRange atUse = ra.rangeAt(m.block, m.instr, s.vreg)
+                             .addSat(VRange::constant(-dv.off.lo));
+          VRange cut = n.intersected(atUse);
+          if (!cut.isEmpty()) n = cut;
+        }
+        if (!n.strictlyBounded32()) continue;
+        term = n.mulConstSat(m.addr.scale);
+      } else if (m.addr.origin != kOriginNone) {
+        continue;  // summary param origin: no concrete range here
+      }
+      VRange addr = term.addSat(m.addr.off);
+      if (addr.isEmpty()) continue;
+      std::int64_t first = addr.lo, last = addr.hi + m.sizeBytes - 1;
+      const char* what = m.atomic ? "psm" : m.write ? "store" : "load";
+      if (last < 0 || first >= size) {
+        report(DiagCode::kBoundsOutOfRange, m.srcLine, m.addr.sym,
+               std::string(what) + " at byte offset " + rangeStr(addr) +
+                   " is entirely outside '" + m.addr.sym + "' (" +
+                   std::to_string(size) + " bytes)");
+      } else if (informative(addr) && (first < 0 || last >= size) &&
+                 !(relGuarded[static_cast<std::size_t>(m.block)] &&
+                   !m.addr.off.isConst())) {
+        report(DiagCode::kBoundsMayExceed, m.srcLine, m.addr.sym,
+               std::string(what) + " at byte offset " + rangeStr(addr) +
+                   " can exceed '" + m.addr.sym + "' (" +
+                   std::to_string(size) + " bytes)");
+      }
+    }
+  }
+
+  const IrModule& mod_;
+  const AiConfig& cfg_;
+  const ModuleSummaries& sums_;
+  std::vector<Diagnostic>& out_;
+  std::set<std::pair<int, int>> seen_;  // (code, line) dedup
+};
+
+}  // namespace
+
+std::vector<Diagnostic> analyzeModuleValues(const IrModule& mod,
+                                            const AiConfig& cfg) {
+  return runModuleAnalysis(mod, /*races=*/false, cfg);
+}
+
+std::vector<Diagnostic> runModuleAnalysis(const IrModule& mod, bool races,
+                                          const AiConfig& cfg) {
+  std::vector<Diagnostic> out;
+  if (!races && !cfg.any()) return out;
+  AnalysisManager am;
+  ModuleSummaries sums = buildModuleSummaries(mod, am);
+  if (cfg.any()) {
+    Linter linter(mod, cfg, sums, out);
+    for (const IrFunc& fn : mod.funcs) linter.runFunction(fn);
+  }
+  if (races) {
+    std::vector<Diagnostic> rd = analyzeModuleRaces(mod, &sums);
+    out.insert(out.end(), rd.begin(), rd.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Diagnostic& a, const Diagnostic& b) {
+                     return a.line < b.line;
+                   });
+  return out;
+}
+
+}  // namespace xmt::analysis

@@ -1,0 +1,102 @@
+// xmtai — interprocedural value-range abstract interpretation.
+//
+// A flow-sensitive interval analysis over the IR CFG: every block entry
+// maps vregs to VRange facts; the transfer functions mirror the
+// simulator's int32 semantics (vrange.h); conditional branches refine both
+// operands along their out-edges; loop heads (back-edge targets) widen
+// after a few iterations so carriers converge to one-sided intervals.
+// Thread IDs get the spawn bounds of their region ($ in spawn(lo,hi) is in
+// [lo.lo, hi.hi]); call results get the callee's summarized return range.
+//
+// Consumers:
+//   * the default-on lints (bounds / div-by-zero / shift-range /
+//     ps-discipline), run through `analyzeModuleValues`;
+//   * the race lint, which shares summaries via `runModuleAnalysis`;
+//   * the -O2 range-driven simplification pass in opt.cc, which queries a
+//     summary-free RangeAnalysis per function.
+//
+// Lint philosophy (matching the PR-1 race lint): warnings fire only on
+// facts the analysis can *bound*. A definite violation (every execution of
+// the site is wrong) gets the hard code; a possible violation fires the
+// "-may" code only when the range is strictly bounded on both sides — an
+// unconstrained value is never reported, which is what keeps the 17
+// registry workloads and the fuzz corpus warning-free.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "src/compiler/analysis/dataflow.h"
+#include "src/compiler/analysis/vrange.h"
+#include "src/compiler/diag.h"
+#include "src/compiler/ir.h"
+
+namespace xmt::analysis {
+
+struct ModuleSummaries;
+
+/// Flow-sensitive interval facts for one function. Physical registers are
+/// tracked block-locally (plus kV0 across blocks — every return site
+/// redefines it after the last call, so its reaching value is exact);
+/// other phys regs reset to TOP at block entry and at calls/syscalls.
+class RangeAnalysis {
+ public:
+  using State = std::map<int, VRange>;  // missing vreg => full32
+
+  /// `paramRanges` (nullable) seeds the incoming argument registers;
+  /// `summaries` (nullable) resolves call-site return ranges.
+  RangeAnalysis(const IrFunc& fn, AnalysisManager& am,
+                const ModuleSummaries* summaries,
+                const VRange* paramRanges);
+
+  /// Range of `reg` in the state entering instruction `instr` of `block`.
+  VRange rangeAt(int block, int instr, int reg) const;
+
+  /// Replays the transfer over `block`, invoking `cb(instrIdx, state)` with
+  /// the state *before* each instruction. No-op on unreachable blocks.
+  void forEachInstr(int block,
+                    const std::function<void(int, const State&)>& cb) const;
+
+  /// Thread-ID range of a parallel block (full32 for serial blocks or when
+  /// the spawn bounds are unknown).
+  const VRange& tidRangeOf(int block) const;
+
+  bool blockReachable(int block) const {
+    return reached_[static_cast<std::size_t>(block)];
+  }
+
+  static VRange stateOf(const State& st, int reg);
+
+ private:
+  void transferInstr(const IrInstr& in, int block, State& st) const;
+
+  const IrFunc& fn_;
+  const ModuleSummaries* sums_;
+  std::vector<State> in_;        // per-block entry states
+  std::vector<bool> reached_;
+  std::vector<int> regionOf_;    // parallel block -> region entry block
+  std::map<int, VRange> tidOfRegion_;
+  VRange full_ = VRange::full32();
+};
+
+/// Which value lints to run (all default-on, mirroring -W flags).
+struct AiConfig {
+  bool bounds = true;        // -Wxmt-bounds
+  bool divZero = true;       // -Wxmt-div-zero
+  bool shift = true;         // -Wxmt-shift
+  bool psDiscipline = true;  // -Wxmt-ps-discipline
+  bool any() const { return bounds || divZero || shift || psDiscipline; }
+};
+
+/// Runs the value lints over the module (builds summaries internally).
+std::vector<Diagnostic> analyzeModuleValues(const IrModule& mod,
+                                            const AiConfig& cfg = {});
+
+/// Combined analysis entry for the driver: builds summaries once and runs
+/// the race lint and/or the value lints over them. Diagnostics are sorted
+/// by source line.
+std::vector<Diagnostic> runModuleAnalysis(const IrModule& mod, bool races,
+                                          const AiConfig& cfg);
+
+}  // namespace xmt::analysis

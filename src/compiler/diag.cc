@@ -27,6 +27,12 @@ const char* diagCodeTag(DiagCode code) {
     case DiagCode::kAsmParallelStack: return "xmt-asm-parallel-stack";
     case DiagCode::kAsmUndefSpawnReg: return "xmt-asm-undef-spawn-reg";
     case DiagCode::kAsmRegionDataflow: return "xmt-asm-region-dataflow";
+    case DiagCode::kBoundsOutOfRange: return "xmt-bounds-oob";
+    case DiagCode::kBoundsMayExceed: return "xmt-bounds-may";
+    case DiagCode::kDivByZero: return "xmt-div-zero";
+    case DiagCode::kDivMayBeZero: return "xmt-div-may-zero";
+    case DiagCode::kShiftRange: return "xmt-shift-range";
+    case DiagCode::kPsNonPositive: return "xmt-ps-discipline";
   }
   return "xmt-diag";
 }
@@ -53,6 +59,11 @@ bool isRaceDiag(const Diagnostic& d) {
 bool isAsmDiag(const Diagnostic& d) {
   return d.code >= DiagCode::kAsmUnassemblable &&
          d.code <= DiagCode::kAsmRegionDataflow;
+}
+
+bool isValueLintDiag(const Diagnostic& d) {
+  return d.code >= DiagCode::kBoundsOutOfRange &&
+         d.code <= DiagCode::kPsNonPositive;
 }
 
 std::string diagnosticsJson(const std::vector<Diagnostic>& ds) {

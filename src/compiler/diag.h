@@ -42,6 +42,14 @@ enum class DiagCode : std::uint8_t {
   kAsmParallelStack,     // sp referenced inside a region (no parallel stack)
   kAsmUndefSpawnReg,     // in-region read of a never-defined register
   kAsmRegionDataflow,    // Fig. 8: TCU-local write read by serial code
+  // Value-range lints (xmtai abstract interpreter). Appended after the asm
+  // block: isAsmDiag() tests by enum range.
+  kBoundsOutOfRange,     // access provably outside the symbol's extent
+  kBoundsMayExceed,      // bounded index range can exceed the extent
+  kDivByZero,            // divisor is provably zero (traps at runtime)
+  kDivMayBeZero,         // bounded divisor range contains zero
+  kShiftRange,           // bounded shift amount escapes [0, 31]
+  kPsNonPositive,        // ps increment provably <= 0 (discipline)
 };
 
 /// Stable short tag for a code ("xmt-race-ww", ...), shown in brackets after
@@ -66,6 +74,9 @@ bool isRaceDiag(const Diagnostic& d);
 
 /// True if `d` was produced by the assembly-level verifier (asmverify).
 bool isAsmDiag(const Diagnostic& d);
+
+/// True if `d` is one of the value-range lint findings (xmtai).
+bool isValueLintDiag(const Diagnostic& d);
 
 /// Machine-readable serialization of a diagnostic list (for --diag-json):
 /// {"diagnostics":[{"code":...,"severity":...,"line":...,"other_line":...,

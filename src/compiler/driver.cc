@@ -5,6 +5,7 @@
 #include "src/assembler/assembler.h"
 #include "src/compiler/analysis/asmverify.h"
 #include "src/compiler/analysis/racecheck.h"
+#include "src/compiler/analysis/xmtai.h"
 #include "src/compiler/emit.h"
 #include "src/compiler/lower.h"
 #include "src/compiler/opt.h"
@@ -29,17 +30,24 @@ CompileResult compileXmtc(const std::string& source,
   CompileResult res;
   res.transformedSource = printAst(*tu);
 
-  if (opts.analyzeRaces) {
-    // The lint runs on a fresh, un-clustered, un-outlined lowering:
+  analysis::AiConfig aiCfg;
+  aiCfg.bounds = opts.lintBounds;
+  aiCfg.divZero = opts.lintDivZero;
+  aiCfg.shift = opts.lintShift;
+  aiCfg.psDiscipline = opts.lintPsDiscipline;
+  if (opts.analyzeRaces || aiCfg.any()) {
+    // The lints run on a fresh, un-clustered, un-outlined lowering:
     // clustering rewrites $ into a loop variable and outlining hides frame
     // accesses behind pointer parameters, both of which would degrade the
     // address classification to Unknown. The IR is left unoptimized so
-    // source lines map 1:1 onto accesses.
+    // source lines map 1:1 onto accesses. Race lint and value lints share
+    // one lowering and one set of interprocedural summaries.
     auto lintTu = parse(source);
     analyze(*lintTu);
     if (opts.inlineParallel) inlineParallelCalls(*lintTu);
     IrModule lintMod = lowerToIr(*lintTu);
-    res.diagnostics = analysis::analyzeModuleRaces(lintMod);
+    res.diagnostics =
+        analysis::runModuleAnalysis(lintMod, opts.analyzeRaces, aiCfg);
     if (opts.werrorRace) {
       for (const Diagnostic& d : res.diagnostics) {
         if (!isRaceDiag(d)) continue;

@@ -27,6 +27,14 @@ struct CompilerOptions {
   bool postPass = true;           // verification + layout repair
   bool analyzeRaces = false;      // static spawn-region race lint (--analyze)
   bool werrorRace = false;        // promote race findings to CompileError
+  // Value-range lints (xmtai abstract interpreter), default-on. They fire
+  // only on provable or strictly-bounded facts, so a warning-free program
+  // stays warning-free; disable with -Wno-xmt-* in the driver.
+  bool lintBounds = true;         // -Wxmt-bounds: out-of-extent accesses
+  bool lintDivZero = true;        // -Wxmt-div-zero: trapping divisions
+  bool lintShift = true;          // -Wxmt-shift: shift amounts outside [0,31]
+  bool lintPsDiscipline = true;   // -Wxmt-ps-discipline: non-positive ps
+                                  // increments (interprocedural)
   bool verifyAsm = true;          // assembly-level legality verifier
                                   // (asmverify) on the final assembly
   bool werrorAsm = false;         // promote verifier findings to errors

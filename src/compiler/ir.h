@@ -90,6 +90,9 @@ struct IrFunc {
   bool hasCalls = false;
   bool isMain = false;
   int frameWords = 0;  // local stack slots (before spills)
+  /// Source names of vregs holding named locals/params — diagnostics only
+  /// (lets the race lint name the pointer behind an unresolved write).
+  std::map<int, std::string> vregNames;
 
   int newVreg() { return nextVreg++; }
   IrBlock& block(int id) { return blocks[static_cast<std::size_t>(id)]; }

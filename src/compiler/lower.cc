@@ -41,6 +41,7 @@ class FuncLowering {
         emitStore(a, v, p->type.isChar(), p->isVolatile);
       } else {
         varReg_[p] = v;
+        fn_.vregNames[v] = p->name;
       }
     }
     exitBlock_ = -1;  // created on demand
@@ -255,6 +256,7 @@ class FuncLowering {
       if (it == varReg_.end()) {
         int v = fn_.newVreg();
         varReg_[e.decl] = v;
+        fn_.vregNames[v] = e.decl->name;
         emitCopy(v, val);
       } else {
         emitCopy(it->second, val);
@@ -691,6 +693,7 @@ class FuncLowering {
     }
     int v = fn_.newVreg();
     varReg_[&d] = v;
+    fn_.vregNames[v] = d.name;
     if (!d.init.empty()) {
       int init = genExpr(*d.init[0]);
       emitCopy(v, init);

@@ -6,6 +6,7 @@
 
 #include "src/common/error.h"
 #include "src/compiler/analysis/dataflow.h"
+#include "src/compiler/analysis/xmtai.h"
 
 namespace xmt {
 
@@ -238,10 +239,133 @@ void deadCodeElim(IrFunc& fn) {
 
 }  // namespace
 
+bool rangeSimplify(IrFunc& fn) {
+  analysis::AnalysisManager am;
+  analysis::RangeAnalysis ra(fn, am, nullptr, nullptr);
+  using analysis::VRange;
+
+  // Collect rewrites against the unmutated ranges, then apply: every
+  // rewrite is semantics-preserving on its own, so applying them together
+  // is safe even though later ranges were computed over the original ops.
+  bool changed = false;
+  for (IrBlock& b : fn.blocks) {
+    if (!ra.blockReachable(b.id)) continue;
+    for (std::size_t i = 0; i < b.instrs.size(); ++i) {
+      IrInstr& in = b.instrs[i];
+      auto idx = static_cast<int>(i);
+      auto rangeOf = [&](int reg) { return ra.rangeAt(b.id, idx, reg); };
+
+      if (in.op == IOp::kBr) {
+        VRange a = rangeOf(in.a), b2 = rangeOf(in.b);
+        if (a.isEmpty() || b2.isEmpty()) continue;
+        int decided = -1;  // 0 = never taken, 1 = always taken
+        switch (in.rel) {
+          case Op::kBeq:
+            if (a.isConst() && b2.isConst() && a.lo == b2.lo) decided = 1;
+            else if (a.hi < b2.lo || b2.hi < a.lo) decided = 0;
+            break;
+          case Op::kBne:
+            if (a.hi < b2.lo || b2.hi < a.lo) decided = 1;
+            else if (a.isConst() && b2.isConst() && a.lo == b2.lo) decided = 0;
+            break;
+          case Op::kBlt:
+            if (a.hi < b2.lo) decided = 1;
+            else if (a.lo >= b2.hi) decided = 0;
+            break;
+          case Op::kBle:
+            if (a.hi <= b2.lo) decided = 1;
+            else if (a.lo > b2.hi) decided = 0;
+            break;
+          case Op::kBgt:
+            if (a.lo > b2.hi) decided = 1;
+            else if (a.hi <= b2.lo) decided = 0;
+            break;
+          case Op::kBge:
+            if (a.lo >= b2.hi) decided = 1;
+            else if (a.hi < b2.lo) decided = 0;
+            break;
+          default:
+            break;
+        }
+        if (decided < 0) continue;
+        in.op = IOp::kJmp;
+        in.t1 = decided == 1 ? in.t1 : in.t2;
+        in.t2 = -1;
+        in.a = in.b = -1;
+        changed = true;
+        continue;
+      }
+
+      if (in.dst < 32) continue;
+
+      // Any pure computation whose result range collapsed to one value.
+      // kDiv/kRem are implicitly trap-free here: div32/rem32 only produce
+      // a constant when the divisor range excludes zero.
+      if (isPure(in.op) && in.op != IOp::kLi && in.op != IOp::kCopy &&
+          in.op != IOp::kLa && in.op != IOp::kFrameAddr) {
+        VRange r = ra.rangeAt(b.id, idx + 1, in.dst);
+        if (r.isConst()) {
+          in.op = IOp::kLi;
+          in.imm = static_cast<std::int32_t>(r.lo);
+          in.a = in.b = -1;
+          changed = true;
+          continue;
+        }
+      }
+
+      if (in.op == IOp::kDiv || in.op == IOp::kRem) {
+        VRange d = rangeOf(in.b);
+        if (!d.isConst()) continue;
+        std::int64_t c = d.lo;
+        if (c == 1) {
+          if (in.op == IOp::kDiv) {
+            in.op = IOp::kCopy;
+          } else {
+            in.op = IOp::kLi;
+            in.imm = 0;
+            in.a = -1;
+          }
+          in.b = -1;
+          changed = true;
+        } else if (c > 1 && (c & (c - 1)) == 0 && rangeOf(in.a).lo >= 0) {
+          // x / 2^k == x >> k and x % 2^k == x & (2^k - 1) for x >= 0.
+          if (in.op == IOp::kDiv) {
+            in.op = IOp::kSra;
+            in.imm = static_cast<std::int32_t>(__builtin_ctzll(
+                static_cast<unsigned long long>(c)));
+          } else {
+            in.op = IOp::kAndi;
+            in.imm = static_cast<std::int32_t>(c - 1);
+          }
+          in.b = -1;
+          changed = true;
+        }
+        continue;
+      }
+
+      // Mask the operand range already satisfies.
+      if (in.op == IOp::kAndi && in.imm >= 0) {
+        VRange a = rangeOf(in.a);
+        if (!a.isEmpty() && a.lo >= 0 && a.hi <= in.imm) {
+          in.op = IOp::kCopy;
+          in.imm = 0;
+          changed = true;
+        }
+      }
+    }
+  }
+  return changed;
+}
+
 void optimizeIr(IrFunc& fn, int level) {
   removeUnreachable(fn);
   if (level <= 0) return;
   for (int round = 0; round < 3; ++round) {
+    localValueNumbering(fn);
+    deadCodeElim(fn);
+  }
+  if (level >= 2 && rangeSimplify(fn)) {
+    removeUnreachable(fn);
     localValueNumbering(fn);
     deadCodeElim(fn);
   }

@@ -13,8 +13,20 @@
 
 namespace xmt {
 
-/// Generic optimizations; level 0 = none, 1 = standard.
+/// Generic optimizations; level 0 = none, 1 = standard, 2 = standard plus
+/// the range-driven simplification pass (rangeSimplify).
 void optimizeIr(IrFunc& fn, int level);
+
+/// Range-driven simplification (xmtai interval engine, -O2): folds
+/// instructions whose result range is a single value, resolves branches the
+/// ranges decide (dead-branch elimination — e.g. bounds checks a spawn's
+/// thread-ID range subsumes), strength-reduces division/remainder by
+/// power-of-two constants when the dividend is provably non-negative, and
+/// drops masks the operand range proves redundant. Returns true when it
+/// changed anything (callers should re-run cleanup). Validated against the
+/// simulator by the xmtsmith differential oracle, which compiles every
+/// fuzz program at -O0/-O1/-O2.
+bool rangeSimplify(IrFunc& fn);
 
 /// Replaces eligible (non-volatile, word) stores with non-blocking stores
 /// and inserts the memory fences the XMT memory model requires before
