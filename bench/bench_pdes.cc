@@ -1,0 +1,155 @@
+// Experiment P1 — parallel-in-time (PDES) cycle-accurate simulation.
+//
+// The conservative-window engine (src/desim/pdes.h) shards the actor graph
+// — hub (master/PS/caches/DRAM) plus cluster groups — over threads and
+// synchronizes on the minimum cross-shard link latency. This benchmark
+// measures what that is worth on a chip1024-class "actor storm": a large
+// spawn where every cluster ticks every cycle, the workload shape the
+// shards parallelize best (cluster-local issue dominates, hub traffic is
+// the only serialization).
+//
+// Two measurement axes:
+//   - PdesKernel/shards:N — the same compiled vector-add on the full cycle
+//     model at 1 (sequential engine), 2, 4 and 8 shards. The "speedup_vs_1"
+//     counter is wall-clock sequential/parallel; Stats are asserted
+//     bit-identical to the sequential run before any number is reported.
+//   - WindowOverhead — the same run single-shard versus 4 shards forced
+//     through the *serial* window loop (trace-sink path), isolating the
+//     window/barrier protocol cost from thread parallelism.
+//
+// Interpreting the numbers: shards speed wall-clock up only when the host
+// gives the process that many physical cores. On a single-core host (like
+// the container the committed BENCH_pdes.json baseline was recorded on)
+// the parallel legs show pure protocol+contention overhead — speedup_vs_1
+// below 1 — while a >=4-core host reaches ~2x and beyond at 4 shards
+// because the per-cluster issue loops dominate the event volume. The
+// bit-identity contract is host-independent and is what the test suite
+// enforces; this harness reports the host-dependent part.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/assembler/assembler.h"
+#include "src/sim/cyclemodel.h"
+#include "src/workloads/kernels.h"
+
+namespace {
+
+using xmt::SimMode;
+using xmt::Simulator;
+using xmt::Toolchain;
+using xmt::ToolchainOptions;
+using xmt::XmtConfig;
+
+constexpr int kVectorLength = 4096;
+
+// Compile once; every benchmark iteration reuses the assembled program
+// through a fresh Simulator so only simulation time is measured.
+const std::string& kernelSource() {
+  static const std::string src =
+      xmt::workloads::vectorAddSource(kVectorLength);
+  return src;
+}
+
+std::unique_ptr<Simulator> makeSim(int shards) {
+  ToolchainOptions opts;
+  opts.config = XmtConfig::byName("chip1024");
+  opts.mode = SimMode::kCycleAccurate;
+  Toolchain tc(opts);
+  auto sim = tc.makeSimulator(kernelSource());
+  if (shards > 1) sim->setPdesShards(shards);
+  return sim;
+}
+
+std::string statsFingerprint(const Simulator& sim) {
+  const xmt::Stats& s = sim.stats();
+  std::string fp;
+  fp += std::to_string(s.instructions) + "/";
+  fp += std::to_string(s.cycles) + "/";
+  fp += std::to_string(s.simTime) + "/";
+  fp += std::to_string(s.icnPackets) + "/";
+  fp += std::to_string(s.memWaitCycles) + "/";
+  fp += std::to_string(s.virtualThreads);
+  return fp;
+}
+
+// Wall-clock of the sequential engine, measured once and shared so every
+// parallel leg can report its speedup against the same baseline.
+double sequentialSeconds() {
+  static const double secs = [] {
+    auto sim = makeSim(1);
+    auto t0 = std::chrono::steady_clock::now();
+    sim->run();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+  }();
+  return secs;
+}
+
+const std::string& sequentialFingerprint() {
+  static const std::string fp = [] {
+    auto sim = makeSim(1);
+    sim->run();
+    return statsFingerprint(*sim);
+  }();
+  return fp;
+}
+
+void BM_PdesKernel(benchmark::State& state) {
+  int shards = static_cast<int>(state.range(0));
+  double lastSecs = 0;
+  for (auto _ : state) {
+    auto sim = makeSim(shards);
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = sim->run();
+    auto t1 = std::chrono::steady_clock::now();
+    lastSecs = std::chrono::duration<double>(t1 - t0).count();
+    if (!r.halted || statsFingerprint(*sim) != sequentialFingerprint()) {
+      state.SkipWithError("PDES stats diverged from the sequential engine");
+      return;
+    }
+    state.counters["cycles"] = static_cast<double>(r.cycles);
+  }
+  state.counters["shards"] = shards;
+  if (lastSecs > 0)
+    state.counters["speedup_vs_1"] = sequentialSeconds() / lastSecs;
+}
+
+class NullSink final : public xmt::TraceSink {
+ public:
+  void onEvent(const xmt::TraceEvent&) override {}
+};
+
+// Serial window loop: the CycleModel runs its shards' windows one after
+// another on the calling thread whenever a trace sink is attached (one
+// stable interleaving for the trace). Same windows, same results, no
+// threads — so shards:4 minus shards:1 here is the pure window/barrier
+// protocol cost, with thread contention factored out.
+void BM_PdesSerialWindows(benchmark::State& state) {
+  int shards = static_cast<int>(state.range(0));
+  ToolchainOptions topts;
+  topts.config = XmtConfig::byName("chip1024");
+  Toolchain tc(topts);
+  xmt::Program prog = xmt::assemble(tc.compile(kernelSource()).asmText);
+  for (auto _ : state) {
+    xmt::FuncModel fm(prog);
+    xmt::Stats stats;
+    xmt::CycleModel cm(fm, topts.config, stats, shards);
+    NullSink sink;
+    cm.setTraceSink(&sink);  // pins the driver to the serial window loop
+    auto r = cm.run();
+    benchmark::DoNotOptimize(r.cycles);
+  }
+  state.counters["shards"] = shards;
+}
+
+BENCHMARK(BM_PdesKernel)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PdesSerialWindows)->Arg(1)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Smoke-check the parallel (PDES) cycle-accurate engine: build xmtcc, run
+# three registry kernels sequentially and at several shard counts, and
+# require the --stats-json records to match byte for byte — the
+# bit-identity contract, end to end through the CLI. Also exercises the
+# concurrency-bugfix regressions (zero-worker campaign, stop-lane order)
+# via their unit tests. A correctness canary, not a performance gate — the
+# committed reference numbers live in BENCH_pdes.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$(nproc)" --target xmtcc xmt_tests
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+kernels=(vadd parallel_sum histogram)
+for k in "${kernels[@]}"; do
+  echo "== $k: sequential vs PDES =="
+  ./build/examples/xmtcc --workload "$k" --set workload.n=96 \
+    --stats-json "$out/$k.seq.json" >/dev/null
+  for shards in 2 4 8; do
+    ./build/examples/xmtcc --workload "$k" --set workload.n=96 \
+      --pdes-shards "$shards" --stats-json "$out/$k.p$shards.json" >/dev/null
+    cmp "$out/$k.seq.json" "$out/$k.p$shards.json" || {
+      echo "PDES stats diverged: $k at $shards shards" >&2
+      exit 1
+    }
+  done
+done
+
+echo "== concurrency regressions =="
+./build/tests/xmt_tests --gtest_filter='*Pdes*:Scheduler.RequestStop*:Scheduler.RunWindow*:EventQueue.StaleHandle*:Campaign.ZeroWorker*'
+
+echo "pdes smoke OK"

@@ -1,10 +1,19 @@
 #!/usr/bin/env bash
-# Build and run the full test suite under AddressSanitizer + UBSan.
-# Uses a separate build tree so the normal build/ stays untouched.
+# Build and run the full test suite under AddressSanitizer + UBSan, then the
+# concurrency-sensitive suites (PDES engine, thread pool, campaign runner)
+# under ThreadSanitizer. Separate build trees so the normal build/ stays
+# untouched.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "== ASan + UBSan: full suite =="
 cmake -B build-sanitize -S . -DXMT_SANITIZE=ON \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-sanitize -j "$(nproc)"
 ctest --test-dir build-sanitize --output-on-failure -j "$(nproc)"
+
+echo "== TSan: PDES + thread pool + campaign =="
+cmake -B build-tsan -S . -DXMT_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build-tsan -j "$(nproc)" --target xmt_tests
+./build-tsan/tests/xmt_tests \
+  --gtest_filter='*Pdes*:*GoldenStats*:*ThreadPool*:Campaign.*'

@@ -13,6 +13,9 @@
 // Options:
 //   --out <dir>       output directory   (default campaign-<name>)
 //   --workers <N>     worker threads     (default: hardware concurrency)
+//   --pdes-shards <N> run each cycle-accurate point on N parallel event-loop
+//                     shards (records stay bit-identical; pool workers are
+//                     divided by N to keep total thread pressure constant)
 //   --fresh           discard previous results instead of resuming
 //   --limit <K>       run at most K pending points, then stop
 //   --set key=value   spec override (repeatable), e.g. --set sweep.clusters=2,4
@@ -61,6 +64,8 @@ int main(int argc, char** argv) {
     };
     if (arg == "--out") outDir = next();
     else if (arg == "--workers") opts.workers = std::atoi(next().c_str());
+    else if (arg == "--pdes-shards")
+      opts.pdesShards = std::atoi(next().c_str());
     else if (arg == "--fresh") opts.fresh = true;
     else if (arg == "--limit")
       opts.limitPoints = static_cast<std::size_t>(std::atol(next().c_str()));

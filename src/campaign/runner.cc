@@ -1,6 +1,7 @@
 #include "src/campaign/runner.h"
 
 #include <atomic>
+#include <mutex>
 
 #include "src/campaign/report.h"
 #include "src/common/error.h"
@@ -10,7 +11,7 @@
 
 namespace xmt::campaign {
 
-PointRecord runPoint(const CampaignPoint& point) {
+PointRecord runPoint(const CampaignPoint& point, int pdesShards) {
   PointRecord rec;
   rec.index = point.index;
   rec.key = point.key;
@@ -23,6 +24,8 @@ PointRecord runPoint(const CampaignPoint& point) {
     opts.mode = point.mode;
     Toolchain tc(opts);
     auto sim = tc.makeSimulator(workloads::instanceSource(point.workload));
+    if (pdesShards > 1 && point.mode == SimMode::kCycleAccurate)
+      sim->setPdesShards(pdesShards);
     workloads::instancePrepare(point.workload, *sim);
     RunResult result = sim->run();
     if (!result.halted)
@@ -80,15 +83,30 @@ CampaignResult runCampaign(const CampaignSpec& spec,
   res.remaining = pending.size() - toRun;
 
   std::atomic<std::size_t> failed{0};
+  // Serializes onPoint invocations: callbacks land from worker threads, but
+  // one at a time and with a happens-before edge between them, so a plain
+  // counter or ostream in the callback needs no locking of its own.
+  std::mutex onPointMutex;
   {
-    ThreadPool pool(opts.workers);
+    // Clamp here rather than trusting the pool's own default: workers == 0
+    // must never reach ThreadPool as a zero-thread pool, and with PDES each
+    // point itself runs `pdesShards` threads, so divide the pool down to
+    // keep total thread pressure near the hardware concurrency.
+    int workers = opts.workers > 0 ? opts.workers
+                                   : ThreadPool::hardwareWorkers();
+    if (opts.pdesShards > 1) workers /= opts.pdesShards;
+    if (workers < 1) workers = 1;
+    ThreadPool pool(workers);
     for (std::size_t i = 0; i < toRun; ++i) {
       const CampaignPoint* p = pending[i];
-      pool.submit([p, &store, &failed, &opts] {
-        PointRecord rec = runPoint(*p);
+      pool.submit([p, &store, &failed, &opts, &onPointMutex] {
+        PointRecord rec = runPoint(*p, opts.pdesShards);
         if (!rec.ok) failed.fetch_add(1, std::memory_order_relaxed);
         store.record(rec);
-        if (opts.onPoint) opts.onPoint(rec);
+        if (opts.onPoint) {
+          std::lock_guard<std::mutex> lock(onPointMutex);
+          opts.onPoint(rec);
+        }
       });
     }
     pool.wait();

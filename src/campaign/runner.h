@@ -24,13 +24,22 @@ struct CampaignOptions {
   std::string outDir;
   /// Worker threads; <= 0 selects the hardware concurrency.
   int workers = 0;
+  /// PDES shards per cycle-accurate point (1 = sequential engine). The
+  /// persisted records are bit-identical either way — this trades
+  /// point-level for intra-point parallelism, which pays off when the grid
+  /// has fewer big points than cores. Pool workers are divided by the
+  /// shard count to keep total thread pressure roughly constant.
+  int pdesShards = 1;
   /// Discard any previous results in outDir instead of resuming.
   bool fresh = false;
   /// When > 0, run at most this many pending points (in grid order) and
   /// stop — the building block of the resume tests and of incremental
   /// "run a bit more of the sweep" workflows.
   std::size_t limitPoints = 0;
-  /// Progress callback, invoked from worker threads as each point lands.
+  /// Progress callback, invoked as each point lands. Calls may come from
+  /// different worker threads but are serialized by the runner (one at a
+  /// time, with a happens-before edge between consecutive calls), so the
+  /// callback itself needs no locking.
   std::function<void(const PointRecord&)> onPoint;
 };
 
@@ -46,7 +55,7 @@ struct CampaignResult {
 
 /// Runs one resolved point: compile, prepare inputs, simulate, serialize.
 /// Never throws — failures come back as ok=false records.
-PointRecord runPoint(const CampaignPoint& point);
+PointRecord runPoint(const CampaignPoint& point, int pdesShards = 1);
 
 /// Expands the spec, skips points already in the store, runs the rest on
 /// the pool, then finalizes the store (sorted results.jsonl, results.csv,

@@ -93,6 +93,10 @@ class EventQueue {
     Bucket* b = it->second.get();
     if (b->stamp != h.stamp) return false;       // bucket was recycled
     if (h.index < b->heads[h.lane]) return false;  // already fired
+    // Stamps are a monotone 64-bit counter, so a recycled bucket can never
+    // reproduce an old activation's stamp; this bound check is defense in
+    // depth against forged/corrupted handles, not a reachable state.
+    if (h.index >= b->lanes[h.lane].size()) return false;
     Item& item = b->lanes[h.lane][h.index];
     if (item.cancelled) return false;
     item.cancelled = true;

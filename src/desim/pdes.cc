@@ -1,0 +1,184 @@
+#include "src/desim/pdes.h"
+
+#include <algorithm>
+#include <barrier>
+#include <exception>
+#include <limits>
+
+#include "src/common/error.h"
+#include "src/common/threadpool.h"
+
+namespace xmt {
+
+PdesDriver::PdesDriver(std::vector<PdesShard*> shards, SimTime lookahead)
+    : shards_(std::move(shards)), lookahead_(lookahead) {
+  XMT_CHECK(!shards_.empty());
+  XMT_CHECK(lookahead_ > 0);
+}
+
+void PdesDriver::insertGlobal(GlobalEvent g) {
+  auto pos = std::upper_bound(
+      globals_.begin(), globals_.end(), g, [](const GlobalEvent& a, const GlobalEvent& b) {
+        if (a.time != b.time) return a.time < b.time;
+        // Fire-kind events precede a stop alignment at the same time, the
+        // same order the sequential stop lane produces.
+        return static_cast<int>(a.stopAlign) < static_cast<int>(b.stopAlign);
+      });
+  globals_.insert(pos, std::move(g));
+}
+
+void PdesDriver::scheduleGlobal(SimTime time, std::function<void(SimTime)> fire) {
+  insertGlobal(GlobalEvent{time, false, std::move(fire)});
+}
+
+void PdesDriver::alignStop(SimTime time) {
+  insertGlobal(GlobalEvent{time, true, nullptr});
+}
+
+SimTime PdesDriver::computeWindowEnd() {
+  SimTime minNext = std::numeric_limits<SimTime>::max();
+  for (PdesShard* s : shards_) {
+    SimTime t = s->nextEventTime();
+    if (t >= 0 && t < minNext) minNext = t;
+  }
+  if (!globals_.empty() && globals_.front().time < minNext)
+    minNext = globals_.front().time;
+  if (minNext == std::numeric_limits<SimTime>::max()) return kNoEvent;
+  // Channels are empty here (applyInbound ran before this), so no event can
+  // appear anywhere before minNext; any message created at time s >= minNext
+  // is ready at >= s + lookahead >= end. Jumping the window start to minNext
+  // skips idle stretches for free.
+  SimTime end = minNext + lookahead_;
+  if (!globals_.empty()) {
+    const GlobalEvent& g = globals_.front();
+    end = std::min(end, g.stopAlign ? g.time + 1 : g.time);
+  }
+  return end;
+}
+
+void PdesDriver::fireGlobalsUpTo(SimTime end) {
+  while (!globals_.empty() && !globals_.front().stopAlign &&
+         globals_.front().time <= end) {
+    GlobalEvent g = std::move(globals_.front());
+    globals_.erase(globals_.begin());
+    g.fire(g.time);
+  }
+}
+
+PdesDriver::RunEnd PdesDriver::runSerial() {
+  for (;;) {
+    SimTime end = computeWindowEnd();
+    if (end == kNoEvent) return RunEnd::kDrained;
+    bool stopped = false;
+    for (PdesShard* s : shards_) stopped = s->runWindow(end) || stopped;
+    for (PdesShard* s : shards_) s->applyInbound();
+    if (stopped) return RunEnd::kStopped;
+    fireGlobalsUpTo(end);
+    if (!globals_.empty() && globals_.front().stopAlign &&
+        globals_.front().time + 1 <= end) {
+      // The aligned stop time passed without the shard stopping (the stop
+      // was cancelled); drop the alignment so windows can grow again.
+      globals_.erase(globals_.begin());
+    }
+  }
+}
+
+PdesDriver::RunEnd PdesDriver::runParallel() {
+  const int k = static_cast<int>(shards_.size());
+  if (k == 1) return runSerial();
+
+  struct Control {
+    SimTime end = 0;
+    bool done = false;
+    std::vector<char> stopFlags;
+    std::vector<std::exception_ptr> errors;
+  } ctl;
+  ctl.stopFlags.assign(static_cast<std::size_t>(k), 0);
+  ctl.errors.assign(static_cast<std::size_t>(k), nullptr);
+
+  // Two barriers per window: `start` publishes ctl.end (or done) to the
+  // workers, `finish` publishes stop flags / errors back. The coordinator
+  // (this thread) is participant k.
+  std::barrier<> start(k), finish(k);
+
+  ThreadPool pool(k - 1);
+  for (int i = 1; i < k; ++i) {
+    PdesShard* shard = shards_[static_cast<std::size_t>(i)];
+    pool.submit([&ctl, &start, &finish, shard, i] {
+      for (;;) {
+        start.arrive_and_wait();
+        if (ctl.done) return;
+        if (!ctl.errors[static_cast<std::size_t>(i)]) {
+          try {
+            ctl.stopFlags[static_cast<std::size_t>(i)] =
+                shard->runWindow(ctl.end) ? 1 : 0;
+          } catch (...) {
+            ctl.errors[static_cast<std::size_t>(i)] = std::current_exception();
+          }
+        }
+        finish.arrive_and_wait();
+      }
+    });
+  }
+
+  bool released = false;
+  auto release = [&] {
+    if (released) return;
+    released = true;
+    ctl.done = true;
+    start.arrive_and_wait();
+    pool.wait();
+  };
+
+  try {
+    for (;;) {
+      SimTime end = computeWindowEnd();
+      if (end == kNoEvent) {
+        release();
+        return RunEnd::kDrained;
+      }
+      ctl.end = end;
+      std::fill(ctl.stopFlags.begin(), ctl.stopFlags.end(), 0);
+      start.arrive_and_wait();
+      if (!ctl.errors[0]) {
+        try {
+          ctl.stopFlags[0] = shards_[0]->runWindow(end) ? 1 : 0;
+        } catch (...) {
+          ctl.errors[0] = std::current_exception();
+        }
+      }
+      finish.arrive_and_wait();
+
+      // Coordinator-only section: workers are parked at the next start
+      // barrier, so channel application and global events are
+      // single-threaded.
+      for (PdesShard* s : shards_) s->applyInbound();
+      for (const std::exception_ptr& e : ctl.errors) {
+        if (e) {
+          release();
+          std::rethrow_exception(e);
+        }
+      }
+      bool stopped = false;
+      for (char f : ctl.stopFlags) stopped = stopped || f != 0;
+      if (stopped) {
+        release();
+        return RunEnd::kStopped;
+      }
+      fireGlobalsUpTo(end);
+      if (!globals_.empty() && globals_.front().stopAlign &&
+          globals_.front().time + 1 <= end) {
+        globals_.erase(globals_.begin());
+      }
+    }
+  } catch (...) {
+    release();
+    throw;
+  }
+}
+
+PdesDriver::RunEnd PdesDriver::run(bool parallel) {
+  return parallel ? runParallel() : runSerial();
+}
+
+}  // namespace xmt

@@ -1,0 +1,105 @@
+// Conservative parallel discrete-event simulation (PDES) driver.
+//
+// The actor graph is partitioned into shards, each owning a private
+// Scheduler (its own event list, clock edges and now()). Shards advance in
+// lockstep *windows*: all shards process their local events with
+// time < `end` in parallel, then meet at a barrier where a single
+// coordinator thread applies every buffered cross-shard message and fires
+// any global (all-shard) events. The window size is bounded by the
+// *lookahead* L — the minimum latency of any cross-shard link — which makes
+// the scheme null-message-free: a message created at local time s carries a
+// ready-time >= s + L >= end, so applying it after the barrier can never
+// inject work into a shard's past. This is the classic conservative
+// synchronous protocol (CMB windows; cf. MGSim's sharded core simulation
+// and GPU-simulator parallelizations), specialized to this engine's
+// bucketed event queue: a window is one `Scheduler::runWindow(end)` call.
+//
+// The driver is policy-free: it knows nothing about clusters or caches.
+// The model supplies PdesShard implementations whose applyInbound() drains
+// the model's own cross-shard channels; determinism is the *model's*
+// obligation (canonical arbitration of multi-source sinks, see
+// src/desim/port.h ArbTimedQueue) — the driver only guarantees that
+// windows, barriers and global events happen in the same order every run.
+//
+// Threading: run(parallel=true) pins shard 0 to the calling thread
+// (coordinator) and runs shards 1..K-1 as long-lived tasks on a private
+// ThreadPool; run(parallel=false) executes every shard's window on the
+// calling thread in shard order — same results, no concurrency (used when
+// a trace sink needs a stable interleaving, and by tests).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "src/desim/scheduler.h"
+
+namespace xmt {
+
+/// One partition of the actor graph, owned by the model.
+class PdesShard {
+ public:
+  virtual ~PdesShard() = default;
+
+  /// Processes local events with time < `end`; returns true if a stop
+  /// event fired (only the hub shard ever stops). Runs concurrently with
+  /// other shards' windows — it must touch only shard-local state plus the
+  /// shard's outbound channels.
+  virtual bool runWindow(SimTime end) = 0;
+
+  /// Applies messages buffered for this shard during the last window.
+  /// Called by the coordinator between windows; never concurrent.
+  virtual void applyInbound() = 0;
+
+  /// Earliest pending local event time, -1 if idle. Coordinator-only.
+  virtual SimTime nextEventTime() = 0;
+};
+
+class PdesDriver {
+ public:
+  enum class RunEnd {
+    kStopped,  // a shard's stop event (halt / budget / checkpoint) fired
+    kDrained,  // every shard's event list drained with no global pending
+  };
+
+  /// `lookahead` must be > 0 (the minimum cross-shard link latency in ps).
+  PdesDriver(std::vector<PdesShard*> shards, SimTime lookahead);
+
+  /// Registers a coordinator-fired event: windows never cross `time`, and
+  /// once every shard has caught up to it, `fire(time)` runs with all
+  /// shards parked (it may schedule into any shard, at times >= `time`).
+  void scheduleGlobal(SimTime time, std::function<void(SimTime)> fire);
+
+  /// Aligns a window boundary to end just *after* `time`, so a stop event
+  /// scheduled at `time` in a shard is reached exactly (all shards process
+  /// every event with time <= `time` first, matching the sequential
+  /// stop-lane-last order). The stop event itself lives in the shard's
+  /// scheduler; this only shapes the windows.
+  void alignStop(SimTime time);
+
+  RunEnd run(bool parallel);
+
+ private:
+  struct GlobalEvent {
+    SimTime time;
+    bool stopAlign;  // window ends at time+1 instead of time
+    std::function<void(SimTime)> fire;
+  };
+
+  static constexpr SimTime kNoEvent = -1;
+
+  /// Next window end, or kNoEvent when fully drained.
+  SimTime computeWindowEnd();
+  /// Fires (and pops) all non-stop globals with time <= `end`.
+  void fireGlobalsUpTo(SimTime end);
+  void insertGlobal(GlobalEvent g);
+
+  RunEnd runSerial();
+  RunEnd runParallel();
+
+  std::vector<PdesShard*> shards_;
+  SimTime lookahead_;
+  std::vector<GlobalEvent> globals_;  // sorted by (time, stopAlign)
+};
+
+}  // namespace xmt

@@ -58,4 +58,56 @@ class TimedQueue {
   std::uint64_t seq_ = 0;
 };
 
+/// A timed queue whose same-ready-time entries are served in a canonical
+/// source-key order instead of global push order: (readyAt, srcKey, seq).
+///
+/// Multi-producer sinks (the cache modules' inject queues, the PS unit's
+/// request inbox) use this so the service order is a function of simulated
+/// time and topology only — two engines that deliver the same entries with
+/// the same ready-times pop them identically even if the *push* interleaving
+/// differs (the sequential engine pushes in event order; the PDES engine
+/// pushes at barrier application in shard order). Per-source FIFO is
+/// preserved: entries from one key keep their relative push order (seq is
+/// globally monotone, and any one source's pushes are totally ordered).
+template <typename T>
+class ArbTimedQueue {
+ public:
+  void push(SimTime readyAt, int srcKey, T item) {
+    q_.push(Entry{readyAt, srcKey, seq_++, std::move(item)});
+  }
+
+  bool empty() const { return q_.empty(); }
+  std::size_t size() const { return q_.size(); }
+
+  bool ready(SimTime now) const { return !q_.empty() && q_.top().readyAt <= now; }
+
+  SimTime nextReadyTime() const { return q_.empty() ? -1 : q_.top().readyAt; }
+
+  T pop(SimTime now) {
+    XMT_CHECK(ready(now));
+    T item = std::move(const_cast<Entry&>(q_.top()).item);
+    q_.pop();
+    return item;
+  }
+
+  void clear() {
+    while (!q_.empty()) q_.pop();
+  }
+
+ private:
+  struct Entry {
+    SimTime readyAt;
+    int srcKey;
+    std::uint64_t seq;
+    T item;
+    bool operator>(const Entry& o) const {
+      if (readyAt != o.readyAt) return readyAt > o.readyAt;
+      if (srcKey != o.srcKey) return srcKey > o.srcKey;
+      return seq > o.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> q_;
+  std::uint64_t seq_ = 0;
+};
+
 }  // namespace xmt

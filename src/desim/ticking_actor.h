@@ -7,15 +7,17 @@
 // which point it stops scheduling itself (the DE advantage over
 // discrete-time polling — Fig. 5 of the paper).
 //
-// Spurious notifications are possible when an earlier wake supersedes a
-// later one already in the event list; tick() implementations must be
-// work-conserving (safe to call with nothing to do). Superseded events are
-// deliberately NOT cancelled: the cycle models treat every effective tick
-// (including ones fired by a stale wake while dormant) as a real cycle —
-// e.g. the cluster's round-robin issue pointer advances — so removing them
-// would change the timing model. The determinism contract (bit-identical
-// Stats across engine changes, see tests/test_golden_stats.cc) pins this
-// behavior down.
+// When an earlier wake supersedes a later one already in the event list, the
+// superseded event is cancelled (stamp-checked, O(1) in the bucketed queue).
+// The invariant is therefore: at most one live pending event per actor, and
+// the sequence of effective ticks is a pure function of the wake targets —
+// never of how many redundant schedule/supersede cycles produced them. The
+// PDES engine relies on this: a stale dormant tick would fire in one
+// sharding and not another, desynchronizing e.g. the cluster's round-robin
+// issue pointer. tick() implementations must still be work-conserving (safe
+// to call with nothing to do): a wake and the work it announced can land on
+// the same edge. The determinism contract (bit-identical Stats across
+// engine variants, see tests/test_golden_stats.cc) pins this behavior down.
 #pragma once
 
 #include "src/desim/clockdomain.h"
@@ -37,15 +39,15 @@ class TickingActor : public Actor {
     SimTime edge = clock_.nextEdge(t - 1);  // first edge >= t
     if (edge < sched_.now()) edge = clock_.nextEdge(sched_.now() - 1);
     if (pending_ >= 0 && pending_ <= edge) return;  // already covered
+    if (pending_ >= 0) sched_.cancel(handle_);      // supersede the later wake
     pending_ = edge;
-    sched_.schedule(this, edge, priority_);
+    handle_ = sched_.scheduleCancellable(this, edge, priority_);
   }
 
   /// Ensures the actor runs on the next clock edge strictly after `now`.
   void wakeNextCycle(SimTime now) { wakeAt(clock_.nextEdge(now)); }
 
   void notify(SimTime now) final {
-    if (pending_ >= 0 && now < pending_) return;  // superseded event
     pending_ = -1;
     SimTime next = tick(now);
     if (next >= 0) wakeAt(next);
@@ -65,6 +67,7 @@ class TickingActor : public Actor {
   ClockDomain& clock_;
   int priority_;
   SimTime pending_ = -1;
+  EventQueue::Handle handle_;
 };
 
 }  // namespace xmt

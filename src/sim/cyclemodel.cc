@@ -1,9 +1,11 @@
 #include "src/sim/cyclemodel.h"
 
+#include <atomic>
 #include <map>
 #include <set>
 
 #include "src/common/error.h"
+#include "src/desim/pdes.h"
 #include "src/desim/port.h"
 #include "src/desim/ticking_actor.h"
 #include "src/memsys/cache.h"
@@ -13,6 +15,14 @@
 
 namespace xmt {
 namespace detail {
+
+namespace {
+// Which shard's event loop the current thread is executing. 0 is the hub
+// (and the only value ever seen by the sequential engine, the coordinator
+// thread between windows, and global-event fires). Outbound sends and the
+// per-shard Stats accumulator key off it.
+thread_local int tlsShardId = 0;
+}  // namespace
 
 // Prefix-sum unit traffic (dedicated network, separate from the ICN).
 struct PsReq {
@@ -30,6 +40,10 @@ struct PsResp {
   std::uint8_t destReg = 0;
   std::uint32_t value = 0;
   bool isDispatch = false;
+  // Dispatch verdict, decided *at the PS unit* (id > $high at serve time).
+  // Shipping it with the response keeps clusters from reading the global
+  // register file, whose state is hub-local under PDES.
+  bool park = false;
 };
 
 enum class WaitKind : std::uint8_t {
@@ -50,17 +64,91 @@ inline bool isMemWait(WaitKind k) {
          k == WaitKind::kRoFill || k == WaitKind::kFence;
 }
 
+// Cross-shard message buffers. A non-hub shard appends to its outbox during
+// its window; the coordinator applies everything between windows. Ready
+// times are computed by the *sender* (identically to the sequential path),
+// so application is pure delivery.
+struct PkgSend {
+  Package pkg;
+  SimTime ready = 0;
+  int module = 0;
+};
+struct PsSend {
+  PsReq req;
+  SimTime ready = 0;
+};
+struct RetSend {
+  Package pkg;
+  SimTime ready = 0;
+};
+struct PsRespSend {
+  PsResp resp;
+  SimTime ready = 0;
+};
+struct ShardOutbox {
+  std::vector<PkgSend> toCache;  // cluster -> shared cache modules
+  std::vector<PsSend> toPs;      // cluster -> PS unit
+};
+
+// ---------------------------------------------------------------------------
+// ReturnPort: the per-destination return tree of the synchronous
+// mesh-of-trees. Replaces the former central IcnActor: each destination
+// (cluster or master) owns its port and *replays* the ICN-edge rate metering
+// locally when it ticks, which keeps the return path shard-local under PDES.
+// The delivered sequence is a pure function of the (readyTime-ordered)
+// contents, so sequential and PDES runs agree bit-for-bit.
+// ---------------------------------------------------------------------------
+
+struct ModelCore;
+
+struct ReturnPort {
+  TimedQueue<Package> q;
+  SimTime cursor = 0;  // earliest ICN edge whose rate budget is still unspent
+
+  /// Replays per-ICN-edge metering up to `now`: moves packages whose
+  /// delivery edge has arrived into `inbox` (stamped with that edge).
+  /// Returns the next ICN edge at which more work becomes deliverable,
+  /// or -1 when the port is empty.
+  SimTime drain(SimTime now, ModelCore& m, TimedQueue<Package>& inbox);
+};
+
+// ---------------------------------------------------------------------------
+// ShardAdapter: glue between one shard's Scheduler and the PDES driver.
+// ---------------------------------------------------------------------------
+
+class ShardAdapter final : public PdesShard {
+ public:
+  ShardAdapter(ModelCore& m, int idx) : m_(m), idx_(idx) {}
+  bool runWindow(SimTime end) override;
+  void applyInbound() override;
+  SimTime nextEventTime() override;
+
+ private:
+  ModelCore& m_;
+  int idx_;
+};
+
 // ---------------------------------------------------------------------------
 // ModelCore: shared state + wiring between all component actors.
 // ---------------------------------------------------------------------------
 
 struct ModelCore {
-  ModelCore(FuncModel& funcModel, const XmtConfig& config, Stats& statsRef);
+  ModelCore(FuncModel& funcModel, const XmtConfig& config, Stats& statsRef,
+            int pdesShards);
 
   FuncModel& fm;
   XmtConfig cfg;
   Stats& stats;
-  Scheduler sched;
+
+  // Shard 0 ("hub") owns the master, PS unit, caches, DRAM and samplers;
+  // clusters are dealt round-robin over shards 1..shards-1. Sequential mode
+  // is the degenerate single-shard case: one scheduler, no channels.
+  int shards = 1;
+  std::vector<std::unique_ptr<Scheduler>> scheds;
+  Scheduler& hub() { return *scheds[0]; }
+  int shardOfCluster(int c) const {
+    return shards == 1 ? 0 : 1 + c % (shards - 1);
+  }
 
   ClockDomain masterClk;
   ClockDomain icnClk;
@@ -70,32 +158,55 @@ struct ModelCore {
 
   std::vector<std::unique_ptr<ClusterActor>> clusters;
   std::unique_ptr<MasterActor> master;
-  std::unique_ptr<IcnActor> icn;
   std::unique_ptr<CacheActor> caches;
   std::unique_ptr<DramActor> dram;
   std::unique_ptr<PsUnitActor> psUnit;
   std::unique_ptr<SpawnStarter> spawnStarter;
+  std::unique_ptr<SpawnJoiner> spawnJoiner;
   std::vector<std::unique_ptr<SamplerActor>> samplers;
 
   CommitObserver* observer = nullptr;
   TraceSink* trace = nullptr;
 
-  // Spawn hardware state.
+  // Spawn hardware state (hub-written; clusters read spawnStart/spawnEnd
+  // only while a spawn is active, i.e. strictly between the barrier-ordered
+  // broadcast fire and the joiner — never concurrently with the writes).
   bool spawnActive = false;
   std::uint32_t spawnStart = 0;
   std::uint32_t spawnEnd = 0;
-  int parkedCount = 0;
+  int parkedCount = 0;          // hub-only (maintained at the PS unit)
+  SimTime parkLastTime = -1;    // latest park-consumption edge this spawn
+  SimTime pendingSpawnStartAt = -1;  // broadcast completion not yet fired
 
   bool halted = false;
   std::int32_t haltCode = 0;
-  std::uint64_t inFlight = 0;  // outstanding packages + ps requests
-  std::uint64_t pkgSeq = 0;
+  // Outstanding packages + ps requests. Relaxed atomics: the ids and the
+  // count are bookkeeping read cluster-locally or at quiescence, never an
+  // ordering channel.
+  std::atomic<std::uint64_t> inFlight{0};
+  std::atomic<std::uint64_t> pkgSeq{0};
   bool started = false;
   bool masterRestored = false;  // checkpoint resume: keep the restored ctx
 
   bool checkpointRequested = false;
   std::uint64_t checkpointMinCycles = 0;
   bool checkpointTaken = false;
+
+  // PDES plumbing. shardStats[k] accumulates shard k's counters during a
+  // run and is folded into `stats` (in shard order) when the run returns;
+  // sequential mode writes `stats` directly.
+  std::vector<Stats> shardStats;
+  std::vector<std::unique_ptr<ShardAdapter>> adapters;
+  PdesDriver* driver = nullptr;  // alive only inside a PDES run()
+  std::vector<ShardOutbox> outbox;             // by source shard; [0] unused
+  std::vector<std::vector<RetSend>> retChan;   // by destination cluster
+  std::vector<std::vector<PsRespSend>> psChan; // by destination cluster
+
+  Stats& st() {
+    return shardStats.empty()
+               ? stats
+               : shardStats[static_cast<std::size_t>(tlsShardId)];
+  }
 
   // Wiring helpers (defined after the actor classes).
   void commit(int cluster, int tcu, const Instruction& in, std::uint32_t pc,
@@ -104,12 +215,16 @@ struct ModelCore {
   void sendPackage(Package pkg, SimTime now);
   void sendResponse(const Package& pkg, SimTime readyAt);
   void deliverResponse(const Package& pkg, SimTime now);
+  void routeReturn(const Package& pkg, SimTime ready);
   void sendPsRequest(const PsReq& req, SimTime now);
   void deliverPsResponse(const PsResp& resp, SimTime readyAt);
   void dramRequest(int module, std::uint64_t line, SimTime now);
   SimTime asyncIcnLatency(std::uint64_t pkgId, int meanCycles);
   void scheduleSpawnStart(SimTime when);
-  void tcuParked(SimTime now);
+  void registerSpawnGlobal();
+  void noteParked(int cluster, SimTime respReady);
+  void applyInboundFor(int shard);
+  SimTime pdesLookahead() const;
   void doHalt(std::int32_t code);
   void syncCacheStats();
   bool quiescent() const;
@@ -122,8 +237,8 @@ struct ModelCore {
 
 class ClusterActor : public TickingActor {
  public:
-  ClusterActor(ModelCore& m, int id, ClockDomain& clk)
-      : TickingActor("cluster" + std::to_string(id), m.sched, clk),
+  ClusterActor(ModelCore& m, int id, Scheduler& sched, ClockDomain& clk)
+      : TickingActor("cluster" + std::to_string(id), sched, clk),
         m_(m),
         id_(id),
         roCache_(m.cfg.roCacheLines, 1, m.cfg.cacheLineBytes),
@@ -136,6 +251,7 @@ class ClusterActor : public TickingActor {
 
   TimedQueue<Package> pkgInbox;
   TimedQueue<PsResp> psInbox;
+  ReturnPort retPort;
 
   /// Spawn onset: broadcast master registers, reset per-section caches,
   /// request virtual-thread IDs for every TCU.
@@ -164,6 +280,7 @@ class ClusterActor : public TickingActor {
 
  protected:
   SimTime tick(SimTime now) override {
+    SimTime rpNext = retPort.drain(now, m_, pkgInbox);
     while (pkgInbox.ready(now)) {
       Package pkg = pkgInbox.pop(now);
       handleResponse(pkg, now);
@@ -185,7 +302,7 @@ class ClusterActor : public TickingActor {
     }
     rr_ = (rr_ + 1) % n;
     if (anyIssued)
-      ++m_.stats.perCluster[static_cast<std::size_t>(id_)].activeCycles;
+      ++m_.st().perCluster[static_cast<std::size_t>(id_)].activeCycles;
 
     // Next wanted time.
     SimTime next = -1;
@@ -198,6 +315,7 @@ class ClusterActor : public TickingActor {
     }
     consider(pkgInbox.nextReadyTime());
     consider(psInbox.nextReadyTime());
+    consider(rpNext);
     return next;
   }
 
@@ -271,7 +389,7 @@ class ClusterActor : public TickingActor {
   void resume(Tcu& t, SimTime now) {
     if (isMemWait(t.wait)) {
       SimTime waited = now - t.waitStart;
-      m_.stats.memWaitCycles +=
+      m_.st().memWaitCycles +=
           static_cast<std::uint64_t>(waited / clock().period());
     }
     t.wait = WaitKind::kNone;
@@ -287,7 +405,7 @@ class ClusterActor : public TickingActor {
     p.srcCluster = static_cast<std::int16_t>(id_);
     p.srcTcu = static_cast<std::int16_t>(tcuIdx);
     p.destReg = destReg;
-    p.id = ++m_.pkgSeq;
+    p.id = 1 + m_.pkgSeq.fetch_add(1, std::memory_order_relaxed);
     p.issueTime = now;
     return p;
   }
@@ -302,7 +420,7 @@ class ClusterActor : public TickingActor {
           "(pc=0x" + std::to_string(pc) +
           "); mislaid basic block? (cf. paper Fig. 9)");
     const Instruction& in = m_.fm.fetch(pc);
-    auto& act = m_.stats.perCluster[static_cast<std::size_t>(id_)];
+    auto& act = m_.st().perCluster[static_cast<std::size_t>(id_)];
 
     switch (FuncModel::classify(in)) {
       case FuncModel::StepClass::kSimple: {
@@ -354,7 +472,7 @@ class ClusterActor : public TickingActor {
         Package p = makePkg(PkgKind::kPsm, addr, t.ctx.reg(in.rt), tcuIdx,
                             in.rt, now);
         m_.sendPackage(p, now);
-        ++m_.stats.psmRequests;
+        ++m_.st().psmRequests;
         t.ctx.pc += 4;
         t.phase = Phase::kBlocked;
         t.wait = WaitKind::kPsm;
@@ -395,7 +513,7 @@ class ClusterActor : public TickingActor {
 
   bool issueMemory(Tcu& t, int tcuIdx, const Instruction& in,
                    std::uint32_t pc, SimTime now, int& memSlots) {
-    auto& act = m_.stats.perCluster[static_cast<std::size_t>(id_)];
+    auto& act = m_.st().perCluster[static_cast<std::size_t>(id_)];
     std::uint32_t addr = m_.fm.effectiveAddr(t.ctx, in);
     switch (in.op) {
       case Op::kFence:
@@ -449,7 +567,7 @@ class ClusterActor : public TickingActor {
             t.ctx.setReg(in.rt, e->value);
             e->valid = false;  // consume on use
             e->addr = 0;
-            ++m_.stats.prefetchBufferHits;
+            ++m_.st().prefetchBufferHits;
             t.ctx.pc += 4;
             m_.commit(id_, tcuIdx, in, pc, addr, now);
             return true;
@@ -531,7 +649,7 @@ class ClusterActor : public TickingActor {
                             tcuIdx, 0, now);
         ++t.outstandingStores;
         t.storeAddrs.insert(addr & ~3u);
-        ++m_.stats.nonBlockingStores;
+        ++m_.st().nonBlockingStores;
         m_.sendPackage(p, now);
         t.ctx.pc += 4;
         ++act.memOps;
@@ -570,7 +688,7 @@ class ClusterActor : public TickingActor {
           if (t.joinPending) {
             t.joinPending = false;
             SimTime waited = now - t.waitStart;
-            m_.stats.memWaitCycles +=
+            m_.st().memWaitCycles +=
                 static_cast<std::uint64_t>(waited / clock().period());
             requestDispatch(t, static_cast<int>(pkg.srcTcu), now);
           } else {
@@ -604,7 +722,7 @@ class ClusterActor : public TickingActor {
               e.valid = false;
               e.addr = 0;
             }
-          ++m_.stats.prefetchBufferHits;
+          ++m_.st().prefetchBufferHits;
           resume(t, now);
         }
         break;
@@ -618,29 +736,28 @@ class ClusterActor : public TickingActor {
         }
         break;
     }
-    XMT_CHECK(m_.inFlight > 0);
-    --m_.inFlight;
+    std::uint64_t prev = m_.inFlight.fetch_sub(1, std::memory_order_relaxed);
+    XMT_CHECK(prev > 0);
   }
 
   void handlePsResp(const PsResp& r, SimTime now) {
     Tcu& t = tcus_[static_cast<std::size_t>(r.tcu)];
-    XMT_CHECK(m_.inFlight > 0);
-    --m_.inFlight;
+    std::uint64_t prev = m_.inFlight.fetch_sub(1, std::memory_order_relaxed);
+    XMT_CHECK(prev > 0);
     if (r.isDispatch) {
       XMT_CHECK(t.phase == Phase::kBlocked &&
                 t.wait == WaitKind::kDispatch);
-      auto id = static_cast<std::int32_t>(r.value);
-      auto high = static_cast<std::int32_t>(m_.fm.globalRegs()[kGrHigh]);
-      if (id <= high) {
+      if (!r.park) {
         t.ctx.setReg(kTid, r.value);
         t.ctx.pc = m_.spawnStart;
         t.phase = Phase::kRunning;
         t.wait = WaitKind::kNone;
-        ++m_.stats.virtualThreads;
+        ++m_.st().virtualThreads;
       } else {
+        // The all-parked join condition is detected hub-side at the PS unit
+        // (noteParked); the cluster only retires the TCU.
         t.phase = Phase::kParked;
         t.wait = WaitKind::kNone;
-        m_.tcuParked(now);
       }
     } else {
       XMT_CHECK(t.phase == Phase::kBlocked && t.wait == WaitKind::kPs);
@@ -666,13 +783,14 @@ class ClusterActor : public TickingActor {
 
 class MasterActor : public TickingActor {
  public:
-  MasterActor(ModelCore& m, ClockDomain& clk)
-      : TickingActor("master", m.sched, clk),
+  MasterActor(ModelCore& m, Scheduler& sched, ClockDomain& clk)
+      : TickingActor("master", sched, clk),
         m_(m),
         cache_(m.cfg.masterCacheKB * 1024 / m.cfg.cacheLineBytes,
                m.cfg.cacheAssoc, m.cfg.cacheLineBytes) {}
 
   TimedQueue<Package> pkgInbox;
+  ReturnPort retPort;
 
   Context ctx;
 
@@ -701,6 +819,7 @@ class MasterActor : public TickingActor {
 
  protected:
   SimTime tick(SimTime now) override {
+    SimTime rpNext = retPort.drain(now, m_, pkgInbox);
     while (pkgInbox.ready(now)) {
       Package pkg = pkgInbox.pop(now);
       handleResponse(pkg, now);
@@ -718,13 +837,18 @@ class MasterActor : public TickingActor {
       issue(now);
     }
     if (m_.halted) return -1;
+    auto minPos = [](SimTime a, SimTime b) {
+      if (a < 0) return b;
+      if (b < 0) return a;
+      return a < b ? a : b;
+    };
     switch (phase_) {
       case Phase::kRunning:
         return clock().nextEdge(now);
       case Phase::kWaitUntil:
-        return readyAt_;
+        return minPos(readyAt_, rpNext);
       default:
-        return pkgInbox.nextReadyTime();
+        return minPos(pkgInbox.nextReadyTime(), rpNext);
     }
   }
 
@@ -742,7 +866,7 @@ class MasterActor : public TickingActor {
     p.srcCluster = kMasterCluster;
     p.srcTcu = 0;
     p.destReg = destReg;
-    p.id = ++m_.pkgSeq;
+    p.id = 1 + m_.pkgSeq.fetch_add(1, std::memory_order_relaxed);
     p.issueTime = now;
     return p;
   }
@@ -755,7 +879,7 @@ class MasterActor : public TickingActor {
 
   void resume(SimTime now) {
     if (isMemWait(wait_))
-      m_.stats.memWaitCycles +=
+      m_.st().memWaitCycles +=
           static_cast<std::uint64_t>((now - waitStart_) / clock().period());
     wait_ = WaitKind::kNone;
     phase_ = Phase::kRunning;
@@ -782,7 +906,7 @@ class MasterActor : public TickingActor {
         // The master sits next to the global register file / PS unit.
         std::uint32_t old = m_.fm.psFetchAdd(in.rt, ctx.reg(in.rd));
         ctx.setReg(in.rd, old);
-        ++m_.stats.psRequests;
+        ++m_.st().psRequests;
         ctx.pc += 4;
         phase_ = Phase::kWaitUntil;
         readyAt_ = now + 2 * clock().period();
@@ -796,18 +920,19 @@ class MasterActor : public TickingActor {
         std::uint32_t addr = m_.fm.effectiveAddr(ctx, in);
         Package p = makePkg(PkgKind::kPsm, addr, ctx.reg(in.rt), in.rt, now);
         m_.sendPackage(p, now);
-        ++m_.stats.psmRequests;
+        ++m_.st().psmRequests;
         ctx.pc += 4;
         block(WaitKind::kPsm, now);
         m_.commit(kMasterCluster, 0, in, pc, addr, now);
         return;
       }
       case FuncModel::StepClass::kSpawn: {
-        ++m_.stats.spawns;
+        ++m_.st().spawns;
         m_.spawnActive = true;
         m_.spawnStart = static_cast<std::uint32_t>(in.imm);
         m_.spawnEnd = static_cast<std::uint32_t>(in.imm2);
         m_.parkedCount = 0;
+        m_.parkLastTime = -1;
         std::uint32_t blockInstrs = (m_.spawnEnd - m_.spawnStart) / 4;
         std::int64_t bcastCycles =
             m_.cfg.spawnBroadcastBase +
@@ -888,7 +1013,7 @@ class MasterActor : public TickingActor {
             makePkg(PkgKind::kStoreNbWord, addr, ctx.reg(in.rt), 0, now);
         ++outstandingStores_;
         storeAddrs_.insert(addr & ~3u);
-        ++m_.stats.nonBlockingStores;
+        ++m_.st().nonBlockingStores;
         m_.sendPackage(p, now);
         ctx.pc += 4;
         m_.commit(kMasterCluster, 0, in, pc, addr, now);
@@ -939,8 +1064,8 @@ class MasterActor : public TickingActor {
       default:
         throw InternalError("unexpected response kind at master");
     }
-    XMT_CHECK(m_.inFlight > 0);
-    --m_.inFlight;
+    std::uint64_t prev = m_.inFlight.fetch_sub(1, std::memory_order_relaxed);
+    XMT_CHECK(prev > 0);
   }
 
   ModelCore& m_;
@@ -957,30 +1082,40 @@ class MasterActor : public TickingActor {
 // ---------------------------------------------------------------------------
 // PsUnitActor: the global prefix-sum unit. All requests to the same global
 // register that are pending in the same cycle are combined and served
-// together — the hardware property that makes thread dispatch O(1).
+// together — the hardware property that makes thread dispatch O(1). The
+// request inbox arbitrates in canonical (readyTime, cluster) order so the
+// service sequence — and with it the thread-ID assignment — is identical
+// whichever engine delivered the requests. Dispatch requests that overrun
+// $high are detected *here* (hub-side) and feed the join logic (noteParked).
 // ---------------------------------------------------------------------------
 
 class PsUnitActor : public TickingActor {
  public:
-  PsUnitActor(ModelCore& m, ClockDomain& clk)
-      : TickingActor("psunit", m.sched, clk), m_(m) {}
+  PsUnitActor(ModelCore& m, Scheduler& sched, ClockDomain& clk)
+      : TickingActor("psunit", sched, clk), m_(m) {}
 
-  TimedQueue<PsReq> inbox;
+  ArbTimedQueue<PsReq> inbox;
 
  protected:
   SimTime tick(SimTime now) override {
     while (inbox.ready(now)) {
       PsReq req = inbox.pop(now);
       std::uint32_t old = m_.fm.psFetchAdd(req.gr, req.inc);
-      if (!req.isDispatch) ++m_.stats.psRequests;
+      if (!req.isDispatch) ++m_.st().psRequests;
       PsResp resp;
       resp.cluster = req.cluster;
       resp.tcu = req.tcu;
       resp.destReg = req.destReg;
       resp.value = old;
       resp.isDispatch = req.isDispatch;
-      m_.deliverPsResponse(resp,
-                           now + m_.cfg.psReturnLatency * clock().period());
+      SimTime ready = now + m_.cfg.psReturnLatency * clock().period();
+      if (req.isDispatch) {
+        auto id = static_cast<std::int32_t>(old);
+        auto high = static_cast<std::int32_t>(m_.fm.globalRegs()[kGrHigh]);
+        resp.park = id > high;
+        if (resp.park) m_.noteParked(req.cluster, ready);
+      }
+      m_.deliverPsResponse(resp, ready);
     }
     return inbox.nextReadyTime();
   }
@@ -990,64 +1125,11 @@ class PsUnitActor : public TickingActor {
 };
 
 // ---------------------------------------------------------------------------
-// IcnActor: return-path arbitration of the mesh-of-trees network. The send
-// path of a mesh-of-trees is non-blocking except at the destinations, so
-// send contention is modelled at the cache-module service queues; the
-// return path is rate-limited per cluster port here.
-// ---------------------------------------------------------------------------
-
-class IcnActor : public TickingActor {
- public:
-  IcnActor(ModelCore& m, ClockDomain& clk)
-      : TickingActor("icn", m.sched, clk), m_(m) {
-    retq_.resize(static_cast<std::size_t>(m.cfg.clusters) + 1);
-  }
-
-  void enqueueReturn(const Package& pkg, SimTime readyFromCache) {
-    std::size_t port = portOf(pkg.srcCluster);
-    SimTime ready = readyFromCache +
-                    m_.cfg.effectiveIcnReturnLatency() * clock().period();
-    retq_[port].push(ready, pkg);
-    wakeAt(ready);
-  }
-
- protected:
-  SimTime tick(SimTime now) override {
-    SimTime next = -1;
-    auto consider = [&](SimTime t) {
-      if (t >= 0 && (next < 0 || t < next)) next = t;
-    };
-    for (auto& q : retq_) {
-      int slots = m_.cfg.clusterReturnRate;
-      while (slots > 0 && q.ready(now)) {
-        Package pkg = q.pop(now);
-        m_.tracePkg("icn", pkg, now);
-        m_.deliverResponse(pkg, now);
-        --slots;
-      }
-      if (q.ready(now))
-        consider(clock().nextEdge(now));  // rate-limited leftovers
-      else
-        consider(q.nextReadyTime());
-    }
-    return next;
-  }
-
- private:
-  std::size_t portOf(int cluster) const {
-    return cluster == kMasterCluster
-               ? retq_.size() - 1
-               : static_cast<std::size_t>(cluster);
-  }
-  ModelCore& m_;
-  std::vector<TimedQueue<Package>> retq_;
-};
-
-// ---------------------------------------------------------------------------
 // CacheActor: macro-actor over the shared L1 cache modules. Each module
-// serves one request per cache cycle in arrival order, with hit-under-miss
-// across lines (MSHRs) and strict in-order service within a line — which
-// preserves same-source same-address ordering end to end.
+// serves one request per cache cycle in canonical (readyTime, srcCluster)
+// arrival order, with hit-under-miss across lines (MSHRs) and strict
+// in-order service within a line — which preserves same-source same-address
+// ordering end to end.
 // ---------------------------------------------------------------------------
 
 class CacheActor : public TickingActor {
@@ -1057,8 +1139,8 @@ class CacheActor : public TickingActor {
     std::uint64_t line = 0;
   };
 
-  CacheActor(ModelCore& m, ClockDomain& clk)
-      : TickingActor("caches", m.sched, clk), m_(m) {
+  CacheActor(ModelCore& m, Scheduler& sched, ClockDomain& clk)
+      : TickingActor("caches", sched, clk), m_(m) {
     mods_.reserve(static_cast<std::size_t>(m.cfg.cacheModules));
     int lines = m.cfg.cacheModuleKB * 1024 / m.cfg.cacheLineBytes;
     for (int i = 0; i < m.cfg.cacheModules; ++i)
@@ -1067,7 +1149,8 @@ class CacheActor : public TickingActor {
   }
 
   void inject(const Package& pkg, SimTime readyAt, int module) {
-    mods_[static_cast<std::size_t>(module)]->inq.push(readyAt, pkg);
+    mods_[static_cast<std::size_t>(module)]->inq.push(readyAt,
+                                                      pkg.srcCluster, pkg);
     wakeAt(readyAt);
   }
 
@@ -1123,7 +1206,7 @@ class CacheActor : public TickingActor {
   struct Module {
     Module(int lines, int assoc, int lineBytes)
         : tags(lines, assoc, lineBytes) {}
-    TimedQueue<Package> inq;
+    ArbTimedQueue<Package> inq;
     TagCache tags;
     std::map<std::uint64_t, std::vector<Package>> mshr;
   };
@@ -1191,8 +1274,8 @@ class CacheActor : public TickingActor {
 
 class DramActor : public TickingActor {
  public:
-  DramActor(ModelCore& m, ClockDomain& clk)
-      : TickingActor("dram", m.sched, clk), m_(m) {
+  DramActor(ModelCore& m, Scheduler& sched, ClockDomain& clk)
+      : TickingActor("dram", sched, clk), m_(m) {
     chq_.resize(static_cast<std::size_t>(m.cfg.dramChannels));
     busyUntil_.assign(static_cast<std::size_t>(m.cfg.dramChannels), 0);
   }
@@ -1201,7 +1284,7 @@ class DramActor : public TickingActor {
     std::size_t ch =
         static_cast<std::size_t>(module % m_.cfg.dramChannels);
     chq_[ch].push(now, Req{module, line});
-    ++m_.stats.dramRequests;
+    ++m_.st().dramRequests;
     wakeAt(now);
   }
 
@@ -1239,8 +1322,9 @@ class DramActor : public TickingActor {
 };
 
 // ---------------------------------------------------------------------------
-// SpawnStarter: one-shot actor firing when the instruction broadcast
-// completes; flips every TCU into dispatch mode.
+// SpawnStarter: fires when the instruction broadcast completes; flips every
+// TCU into dispatch mode. Sequential: a hub-scheduled event. PDES: a global
+// (all-shards-parked) event, because it touches every cluster at once.
 // ---------------------------------------------------------------------------
 
 class SpawnStarter : public Actor {
@@ -1258,6 +1342,23 @@ class SpawnStarter : public Actor {
 };
 
 // ---------------------------------------------------------------------------
+// SpawnJoiner: fires (on the hub) at the edge the last TCU parks; completes
+// the join by waking the master out of kWaitSpawn. Scheduled by noteParked.
+// ---------------------------------------------------------------------------
+
+class SpawnJoiner : public Actor {
+ public:
+  explicit SpawnJoiner(ModelCore& m) : Actor("spawnjoiner"), m_(m) {}
+  void notify(SimTime now) override {
+    m_.spawnActive = false;
+    m_.master->resumeFromSpawn(now);
+  }
+
+ private:
+  ModelCore& m_;
+};
+
+// ---------------------------------------------------------------------------
 // SamplerActor: periodic activity plug-in callback.
 // ---------------------------------------------------------------------------
 
@@ -1265,7 +1366,7 @@ class SamplerActor : public TickingActor {
  public:
   SamplerActor(ModelCore& m, RuntimeControl& rc, ActivityPlugin* plugin,
                std::uint64_t periodCycles, ClockDomain& clk)
-      : TickingActor("sampler", m.sched, clk),
+      : TickingActor("sampler", m.hub(), clk),
         m_(m),
         rc_(rc),
         plugin_(plugin),
@@ -1286,11 +1387,54 @@ class SamplerActor : public TickingActor {
 };
 
 // ---------------------------------------------------------------------------
+// ReturnPort implementation.
+// ---------------------------------------------------------------------------
+
+SimTime ReturnPort::drain(SimTime now, ModelCore& m,
+                          TimedQueue<Package>& inbox) {
+  for (;;) {
+    if (q.empty()) return -1;
+    // The head's delivery edge: the first ICN edge at or after its ready
+    // time, but never an edge whose rate budget was already spent (the
+    // cursor), so a rate-limited batch spills to the *next* edge exactly as
+    // the central ICN actor used to deliver it.
+    SimTime e = m.icnClk.nextEdge(q.nextReadyTime() - 1);
+    if (e < cursor) e = cursor;
+    if (e > now) return e;
+    int slots = m.cfg.clusterReturnRate;
+    while (slots > 0 && q.ready(e)) {
+      Package pkg = q.pop(e);
+      m.tracePkg("icn", pkg, e);
+      inbox.push(e, pkg);
+      --slots;
+    }
+    cursor = m.icnClk.nextEdge(e);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardAdapter implementation.
+// ---------------------------------------------------------------------------
+
+bool ShardAdapter::runWindow(SimTime end) {
+  tlsShardId = idx_;
+  bool stopped = m_.scheds[static_cast<std::size_t>(idx_)]->runWindow(end);
+  tlsShardId = 0;
+  return stopped;
+}
+
+void ShardAdapter::applyInbound() { m_.applyInboundFor(idx_); }
+
+SimTime ShardAdapter::nextEventTime() {
+  return m_.scheds[static_cast<std::size_t>(idx_)]->nextEventTime();
+}
+
+// ---------------------------------------------------------------------------
 // ModelCore implementation.
 // ---------------------------------------------------------------------------
 
 ModelCore::ModelCore(FuncModel& funcModel, const XmtConfig& config,
-                     Stats& statsRef)
+                     Stats& statsRef, int pdesShards)
     : fm(funcModel),
       cfg(config),
       stats(statsRef),
@@ -1301,28 +1445,51 @@ ModelCore::ModelCore(FuncModel& funcModel, const XmtConfig& config,
   cfg.validate();
   stats.perCluster.assign(static_cast<std::size_t>(cfg.clusters),
                           ClusterActivity{});
+
+  shards = pdesShards < 1 ? 1 : pdesShards;
+  if (cfg.icnAsync) shards = 1;  // continuous-time delivery: no lookahead
+  if (shards > 1 + cfg.clusters) shards = 1 + cfg.clusters;
+  for (int k = 0; k < shards; ++k)
+    scheds.push_back(std::make_unique<Scheduler>());
+  if (shards > 1) {
+    shardStats.resize(static_cast<std::size_t>(shards));
+    for (Stats& s : shardStats)
+      s.perCluster.assign(static_cast<std::size_t>(cfg.clusters),
+                          ClusterActivity{});
+    outbox.resize(static_cast<std::size_t>(shards));
+    retChan.resize(static_cast<std::size_t>(cfg.clusters));
+    psChan.resize(static_cast<std::size_t>(cfg.clusters));
+    for (int k = 0; k < shards; ++k)
+      adapters.push_back(std::make_unique<ShardAdapter>(*this, k));
+  }
+
   for (int i = 0; i < cfg.clusters; ++i)
     clusterClk.push_back(std::make_unique<ClockDomain>(
         "cluster" + std::to_string(i), cfg.coreGhz));
-  icn = std::make_unique<IcnActor>(*this, icnClk);
-  caches = std::make_unique<CacheActor>(*this, cacheClk);
-  dram = std::make_unique<DramActor>(*this, dramClk);
-  psUnit = std::make_unique<PsUnitActor>(*this, masterClk);
-  master = std::make_unique<MasterActor>(*this, masterClk);
+  caches = std::make_unique<CacheActor>(*this, hub(), cacheClk);
+  dram = std::make_unique<DramActor>(*this, hub(), dramClk);
+  psUnit = std::make_unique<PsUnitActor>(*this, hub(), masterClk);
+  master = std::make_unique<MasterActor>(*this, hub(), masterClk);
   for (int i = 0; i < cfg.clusters; ++i)
-    clusters.push_back(
-        std::make_unique<ClusterActor>(*this, i, *clusterClk[static_cast<std::size_t>(i)]));
+    clusters.push_back(std::make_unique<ClusterActor>(
+        *this, i, *scheds[static_cast<std::size_t>(shardOfCluster(i))],
+        *clusterClk[static_cast<std::size_t>(i)]));
   spawnStarter = std::make_unique<SpawnStarter>(*this);
+  spawnJoiner = std::make_unique<SpawnJoiner>(*this);
 }
 
 void ModelCore::commit(int cluster, int tcu, const Instruction& in,
                        std::uint32_t pc, std::uint32_t addr, SimTime now) {
-  stats.countInstruction(in);
+  Stats& s = st();
+  s.countInstruction(in);
   if (cluster >= 0) {
-    auto& a = stats.perCluster[static_cast<std::size_t>(cluster)];
+    auto& a = s.perCluster[static_cast<std::size_t>(cluster)];
     ++a.instructions;
   }
-  if (stats.instructions > cfg.maxInstructions)
+  // Runaway guard. Under PDES the check is against the shard's own count,
+  // so the effective ceiling is up to `shards` times looser — it exists to
+  // stop infinite loops, not to meter precisely.
+  if (s.instructions > cfg.maxInstructions)
     throw SimError("instruction limit exceeded (" +
                    std::to_string(cfg.maxInstructions) + ")");
   if (observer) observer->onCommit(cluster, tcu, in, pc, addr);
@@ -1366,8 +1533,8 @@ SimTime ModelCore::asyncIcnLatency(std::uint64_t pkgId, int meanCycles) {
 }
 
 void ModelCore::sendPackage(Package pkg, SimTime now) {
-  ++stats.icnPackets;
-  ++inFlight;
+  ++st().icnPackets;
+  inFlight.fetch_add(1, std::memory_order_relaxed);
   int module = hashLineToModule(
       pkg.addr / static_cast<std::uint32_t>(cfg.cacheLineBytes),
       cfg.cacheModules, cfg.addressHashing);
@@ -1375,7 +1542,12 @@ void ModelCore::sendPackage(Package pkg, SimTime now) {
       cfg.icnAsync
           ? now + asyncIcnLatency(pkg.id, cfg.effectiveIcnSendLatency())
           : now + cfg.effectiveIcnSendLatency() * icnClk.period();
-  caches->inject(pkg, ready, module);
+  if (tlsShardId == 0) {
+    caches->inject(pkg, ready, module);
+  } else {
+    outbox[static_cast<std::size_t>(tlsShardId)].toCache.push_back(
+        PkgSend{pkg, ready, module});
+  }
 }
 
 void ModelCore::sendResponse(const Package& pkg, SimTime readyAt) {
@@ -1387,9 +1559,11 @@ void ModelCore::sendResponse(const Package& pkg, SimTime readyAt) {
                                        cfg.effectiveIcnReturnLatency()));
     return;
   }
-  icn->enqueueReturn(pkg, readyAt);
+  routeReturn(pkg, readyAt + cfg.effectiveIcnReturnLatency() * icnClk.period());
 }
 
+// Direct (continuous-time) delivery — asynchronous-ICN configurations only,
+// which are pinned to the sequential engine.
 void ModelCore::deliverResponse(const Package& pkg, SimTime now) {
   if (pkg.srcCluster == kMasterCluster) {
     master->pkgInbox.push(now, pkg);
@@ -1401,17 +1575,44 @@ void ModelCore::deliverResponse(const Package& pkg, SimTime now) {
   }
 }
 
+// Synchronous return path: hand the package to the destination's return
+// port with its tree-egress ready time; the destination replays the ICN
+// edge metering when it ticks. The wake targets the earliest possible
+// delivery edge (the port may postpone under rate pressure and re-arm).
+void ModelCore::routeReturn(const Package& pkg, SimTime ready) {
+  if (pkg.srcCluster == kMasterCluster) {
+    master->retPort.q.push(ready, pkg);
+    master->wakeAt(icnClk.nextEdge(ready - 1));
+  } else if (shards == 1) {
+    auto& c = *clusters[static_cast<std::size_t>(pkg.srcCluster)];
+    c.retPort.q.push(ready, pkg);
+    c.wakeAt(icnClk.nextEdge(ready - 1));
+  } else {
+    retChan[static_cast<std::size_t>(pkg.srcCluster)].push_back(
+        RetSend{pkg, ready});
+  }
+}
+
 void ModelCore::sendPsRequest(const PsReq& req, SimTime now) {
-  ++inFlight;
+  inFlight.fetch_add(1, std::memory_order_relaxed);
   SimTime ready = now + cfg.psLatency * masterClk.period();
-  psUnit->inbox.push(ready, req);
-  psUnit->wakeAt(ready);
+  if (tlsShardId == 0) {
+    psUnit->inbox.push(ready, req.cluster, req);
+    psUnit->wakeAt(ready);
+  } else {
+    outbox[static_cast<std::size_t>(tlsShardId)].toPs.push_back(
+        PsSend{req, ready});
+  }
 }
 
 void ModelCore::deliverPsResponse(const PsResp& resp, SimTime readyAt) {
-  auto& c = clusters[static_cast<std::size_t>(resp.cluster)];
-  c->psInbox.push(readyAt, resp);
-  c->wakeAt(readyAt);
+  auto c = static_cast<std::size_t>(resp.cluster);
+  if (shards == 1) {
+    clusters[c]->psInbox.push(readyAt, resp);
+    clusters[c]->wakeAt(readyAt);
+  } else {
+    psChan[c].push_back(PsRespSend{resp, readyAt});
+  }
 }
 
 void ModelCore::dramRequest(int module, std::uint64_t line, SimTime now) {
@@ -1419,21 +1620,104 @@ void ModelCore::dramRequest(int module, std::uint64_t line, SimTime now) {
 }
 
 void ModelCore::scheduleSpawnStart(SimTime when) {
-  sched.schedule(spawnStarter.get(), when, kPhaseNegotiate);
+  if (shards > 1) {
+    // The broadcast completion touches every cluster at once, so under PDES
+    // it is a driver-global event (windows never cross it; it fires with
+    // all shards parked). At most one can be outstanding — the master is in
+    // kWaitSpawn until the matching join.
+    XMT_CHECK(pendingSpawnStartAt < 0);
+    pendingSpawnStartAt = when;
+    if (driver != nullptr) registerSpawnGlobal();
+    // else: between runs; CycleModel::run re-registers into the new driver.
+  } else {
+    hub().schedule(spawnStarter.get(), when, kPhaseNegotiate);
+  }
 }
 
-void ModelCore::tcuParked(SimTime now) {
+void ModelCore::registerSpawnGlobal() {
+  driver->scheduleGlobal(pendingSpawnStartAt, [this](SimTime t) {
+    tlsShardId = 0;  // fires on the coordinator
+    pendingSpawnStartAt = -1;
+    spawnStarter->notify(t);
+  });
+}
+
+// Called at the PS unit when a dispatch request overruns $high. The TCU
+// architecturally parks when its cluster consumes the response — the first
+// cluster-clock edge covering the response's ready time — so the join
+// completes at the latest such edge, exactly when the old cluster-side
+// detection resumed the master.
+void ModelCore::noteParked(int cluster, SimTime respReady) {
+  SimTime at =
+      clusterClk[static_cast<std::size_t>(cluster)]->nextEdge(respReady - 1);
+  if (at > parkLastTime) parkLastTime = at;
   ++parkedCount;
-  if (parkedCount == cfg.totalTcus()) {
-    spawnActive = false;
-    master->resumeFromSpawn(now);
+  if (parkedCount == cfg.totalTcus())
+    hub().schedule(spawnJoiner.get(), parkLastTime, kPhaseTransfer);
+}
+
+// Coordinator-only (single-threaded, all shards parked): drain the channels
+// addressed to `shard`. Application order across source shards is fixed
+// (shard 1, 2, ...), and the hub's multi-source sinks arbitrate in
+// canonical (readyTime, srcCluster) order anyway, so delivery is
+// order-insensitive; per-cluster channels are FIFO by construction.
+void ModelCore::applyInboundFor(int shard) {
+  tlsShardId = 0;
+  if (shard == 0) {
+    for (int s = 1; s < shards; ++s) {
+      ShardOutbox& ob = outbox[static_cast<std::size_t>(s)];
+      for (PkgSend& m : ob.toCache) caches->inject(m.pkg, m.ready, m.module);
+      ob.toCache.clear();
+      for (PsSend& m : ob.toPs) {
+        psUnit->inbox.push(m.ready, m.req.cluster, m.req);
+        psUnit->wakeAt(m.ready);
+      }
+      ob.toPs.clear();
+    }
+    return;
   }
+  for (int c = 0; c < cfg.clusters; ++c) {
+    if (shardOfCluster(c) != shard) continue;
+    ClusterActor& cl = *clusters[static_cast<std::size_t>(c)];
+    for (RetSend& m : retChan[static_cast<std::size_t>(c)]) {
+      cl.retPort.q.push(m.ready, m.pkg);
+      cl.wakeAt(icnClk.nextEdge(m.ready - 1));
+    }
+    retChan[static_cast<std::size_t>(c)].clear();
+    for (PsRespSend& m : psChan[static_cast<std::size_t>(c)]) {
+      cl.psInbox.push(m.ready, m.resp);
+      cl.wakeAt(m.ready);
+    }
+    psChan[static_cast<std::size_t>(c)].clear();
+  }
+}
+
+// The PDES lookahead: the smallest latency any cross-shard interaction can
+// have, in picoseconds. Every cross-shard edge goes through the hub —
+// cluster->PS unit (psLatency), PS unit->cluster (psReturnLatency),
+// cluster->cache (ICN send), cache->cluster (cache hit + ICN return) — and
+// the spawn broadcast (a driver-global event) takes at least
+// spawnBroadcastBase + 1 master cycles, so clamping to spawnBroadcastBase
+// guarantees a mid-window spawn-start registration always lands at or
+// beyond the current window's end.
+SimTime ModelCore::pdesLookahead() const {
+  SimTime l = cfg.psLatency * masterClk.period();
+  SimTime x = cfg.psReturnLatency * masterClk.period();
+  if (x < l) l = x;
+  x = cfg.effectiveIcnSendLatency() * icnClk.period();
+  if (x < l) l = x;
+  x = cfg.cacheHitLatency * cacheClk.period() +
+      cfg.effectiveIcnReturnLatency() * icnClk.period();
+  if (x < l) l = x;
+  x = cfg.spawnBroadcastBase * masterClk.period();
+  if (x < l) l = x;
+  return l;
 }
 
 void ModelCore::doHalt(std::int32_t code) {
   halted = true;
   haltCode = code;
-  sched.requestStop();
+  hub().requestStop();
 }
 
 void ModelCore::syncCacheStats() {
@@ -1448,13 +1732,14 @@ void ModelCore::syncCacheStats() {
   }
   stats.roCacheHits = roH;
   stats.roCacheMisses = roM;
-  stats.cycles = static_cast<std::uint64_t>(masterClk.cyclesAt(sched.now()));
-  stats.simTime = sched.now();
+  stats.cycles = static_cast<std::uint64_t>(masterClk.cyclesAt(hub().now()));
+  stats.simTime = hub().now();
 }
 
 bool ModelCore::quiescent() const {
-  return !spawnActive && !halted && inFlight == 0 && master->runnable() &&
-         master->outstandingStores() == 0;
+  return !spawnActive && !halted &&
+         inFlight.load(std::memory_order_relaxed) == 0 &&
+         master->runnable() && master->outstandingStores() == 0;
 }
 
 }  // namespace detail
@@ -1464,10 +1749,13 @@ bool ModelCore::quiescent() const {
 // ---------------------------------------------------------------------------
 
 CycleModel::CycleModel(FuncModel& funcModel, const XmtConfig& config,
-                       Stats& stats)
-    : core_(std::make_unique<detail::ModelCore>(funcModel, config, stats)) {}
+                       Stats& stats, int pdesShards)
+    : core_(std::make_unique<detail::ModelCore>(funcModel, config, stats,
+                                                pdesShards)) {}
 
 CycleModel::~CycleModel() = default;
+
+int CycleModel::pdesShards() const { return core_->shards; }
 
 void CycleModel::setCommitObserver(CommitObserver* observer) {
   core_->observer = observer;
@@ -1481,7 +1769,7 @@ void CycleModel::addActivityPlugin(ActivityPlugin* plugin,
   core_->samplers.push_back(std::make_unique<detail::SamplerActor>(
       *core_, *this, plugin, periodCycles, core_->masterClk));
   if (core_->started)
-    core_->samplers.back()->wakeAt(core_->sched.now() + 1);
+    core_->samplers.back()->wakeAt(core_->hub().now() + 1);
 }
 
 CycleRunResult CycleModel::run(std::uint64_t maxCycles) {
@@ -1494,14 +1782,42 @@ CycleRunResult CycleModel::run(std::uint64_t maxCycles) {
   // A previous run()'s cycle-budget stop may still sit in the event list if
   // that run ended early on a halt or checkpoint stop; withdraw it so it
   // cannot cut this run short.
-  m.sched.cancelStops();
+  m.hub().cancelStops();
+  SimTime stopAt = -1;
   if (maxCycles > 0) {
-    std::int64_t target =
-        m.masterClk.cyclesAt(m.sched.now()) +
-        static_cast<std::int64_t>(maxCycles);
-    m.sched.scheduleStop(m.masterClk.timeOfCycle(target));
+    std::int64_t target = m.masterClk.cyclesAt(m.hub().now()) +
+                          static_cast<std::int64_t>(maxCycles);
+    stopAt = m.masterClk.timeOfCycle(target);
+    m.hub().scheduleStop(stopAt);
   }
-  bool stopped = m.sched.run();
+  bool stopped;
+  if (m.shards > 1) {
+    std::vector<PdesShard*> shardPtrs;
+    shardPtrs.reserve(m.adapters.size());
+    for (auto& a : m.adapters) shardPtrs.push_back(a.get());
+    PdesDriver driver(std::move(shardPtrs), m.pdesLookahead());
+    m.driver = &driver;
+    // A spawn broadcast pending from a previous (budget-stopped) run must
+    // be re-registered into this run's driver.
+    if (m.pendingSpawnStartAt >= 0) m.registerSpawnGlobal();
+    if (stopAt >= 0) driver.alignStop(stopAt);
+    // A trace sink needs one stable event interleaving: run the shards'
+    // windows serially on this thread (same windows, same results).
+    PdesDriver::RunEnd end = driver.run(m.trace == nullptr);
+    m.driver = nullptr;
+    stopped = end == PdesDriver::RunEnd::kStopped;
+    // Deterministic merge: fold the per-shard counters into the session
+    // Stats in fixed shard order, then zero the accumulators so a resumed
+    // run cannot double-count.
+    for (Stats& s : m.shardStats) {
+      m.stats.mergeCounters(s);
+      s = Stats{};
+      s.perCluster.assign(static_cast<std::size_t>(m.cfg.clusters),
+                          ClusterActivity{});
+    }
+  } else {
+    stopped = m.hub().run();
+  }
   if (!stopped && !m.halted)
     throw SimError("simulation deadlock: event list drained before halt");
   m.syncCacheStats();
@@ -1509,7 +1825,7 @@ CycleRunResult CycleModel::run(std::uint64_t maxCycles) {
   r.halted = m.halted;
   r.haltCode = m.haltCode;
   r.cycles = m.stats.cycles;
-  r.simTime = m.sched.now();
+  r.simTime = m.hub().now();
   return r;
 }
 
@@ -1537,19 +1853,19 @@ bool CycleModel::checkpointStopTaken() const {
 
 const Stats& CycleModel::stats() const { return core_->stats; }
 const XmtConfig& CycleModel::config() const { return core_->cfg; }
-SimTime CycleModel::now() const { return core_->sched.now(); }
+SimTime CycleModel::now() const { return core_->hub().now(); }
 
 std::uint64_t CycleModel::coreCycles() const {
   return static_cast<std::uint64_t>(
-      core_->masterClk.cyclesAt(core_->sched.now()));
+      core_->masterClk.cyclesAt(core_->hub().now()));
 }
 
 void CycleModel::setClusterFrequency(int cluster, double ghz) {
   XMT_CHECK(cluster >= 0 && cluster < core_->cfg.clusters);
   core_->clusterClk[static_cast<std::size_t>(cluster)]->setFrequency(
-      ghz, core_->sched.now());
+      ghz, core_->hub().now());
   core_->clusters[static_cast<std::size_t>(cluster)]->wakeAt(
-      core_->sched.now() + 1);
+      core_->hub().now() + 1);
 }
 
 double CycleModel::clusterFrequency(int cluster) const {
@@ -1561,28 +1877,31 @@ double CycleModel::clusterFrequency(int cluster) const {
 void CycleModel::setClusterEnabled(int cluster, bool enabled) {
   XMT_CHECK(cluster >= 0 && cluster < core_->cfg.clusters);
   core_->clusterClk[static_cast<std::size_t>(cluster)]->setEnabled(
-      enabled, core_->sched.now());
+      enabled, core_->hub().now());
   core_->clusters[static_cast<std::size_t>(cluster)]->wakeAt(
-      core_->sched.now() + 1);
+      core_->hub().now() + 1);
 }
 
 void CycleModel::setIcnFrequency(double ghz) {
-  core_->icnClk.setFrequency(ghz, core_->sched.now());
-  core_->icn->wakeAt(core_->sched.now() + 1);
+  core_->icnClk.setFrequency(ghz, core_->hub().now());
+  // Return metering lives in the destinations' ports now: re-arm them so
+  // pending deliveries re-anchor to the new edge grid.
+  core_->master->wakeAt(core_->hub().now() + 1);
+  for (auto& c : core_->clusters) c->wakeAt(core_->hub().now() + 1);
 }
 
 void CycleModel::setCacheFrequency(double ghz) {
-  core_->cacheClk.setFrequency(ghz, core_->sched.now());
-  core_->caches->wakeAt(core_->sched.now() + 1);
+  core_->cacheClk.setFrequency(ghz, core_->hub().now());
+  core_->caches->wakeAt(core_->hub().now() + 1);
 }
 
 void CycleModel::setDramFrequency(double ghz) {
-  core_->dramClk.setFrequency(ghz, core_->sched.now());
-  core_->dram->wakeAt(core_->sched.now() + 1);
+  core_->dramClk.setFrequency(ghz, core_->hub().now());
+  core_->dram->wakeAt(core_->hub().now() + 1);
 }
 
-void CycleModel::requestStop() { core_->sched.requestStop(); }
+void CycleModel::requestStop() { core_->hub().requestStop(); }
 
-Scheduler& CycleModel::scheduler() { return core_->sched; }
+Scheduler& CycleModel::scheduler() { return core_->hub(); }
 
 }  // namespace xmt

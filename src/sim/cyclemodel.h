@@ -18,11 +18,23 @@
 //     its own clock domain (for per-cluster DVFS),
 //   - MasterActor (core clock),
 //   - PsUnitActor (core clock) — combining fetch-and-add on global
-//     registers; also serves virtual-thread ID dispatch,
-//   - IcnActor (ICN clock) — return-path arbitration and traffic stats,
+//     registers; also serves virtual-thread ID dispatch and detects the
+//     all-TCUs-parked join condition,
+//   - per-destination ReturnPorts (ICN clock) — rate-limited return-path
+//     arbitration of the synchronous mesh-of-trees,
 //   - CacheActor (cache clock) — macro-actor over all shared cache modules,
 //   - DramActor (DRAM clock) — per-channel latency/bandwidth model,
 //   - SamplerActor(s) — periodic activity plug-in callbacks.
+//
+// Parallel mode (PDES): constructed with pdesShards > 1, the actor graph is
+// partitioned into shards — shard 0 (the "hub") owns the master, PS unit,
+// caches and DRAM; clusters are dealt round-robin over the remaining
+// shards — each with a private Scheduler, synchronized by the conservative
+// window protocol in src/desim/pdes.h with the minimum cross-shard link
+// latency as lookahead. Stats are accumulated per shard and merged
+// deterministically, and every multi-source sink arbitrates in a canonical
+// (readyTime, source) order, so a PDES run reproduces the sequential run's
+// Stats bit-identically (see DESIGN.md §10 and tests/test_golden_stats.cc).
 #pragma once
 
 #include <cstdint>
@@ -49,19 +61,27 @@ struct CycleRunResult {
 namespace detail {
 class ClusterActor;
 class MasterActor;
-class IcnActor;
 class CacheActor;
 class DramActor;
 class PsUnitActor;
 class SamplerActor;
 class SpawnStarter;
+class SpawnJoiner;
 struct ModelCore;
 }  // namespace detail
 
 class CycleModel final : public RuntimeControl {
  public:
-  CycleModel(FuncModel& funcModel, const XmtConfig& config, Stats& stats);
+  /// `pdesShards` > 1 opts into the parallel (PDES) engine with that many
+  /// event-loop shards (clamped to 1 + clusters; forced to 1 when the
+  /// configuration is asynchronous-ICN, whose continuous-time delivery
+  /// defeats conservative lookahead).
+  CycleModel(FuncModel& funcModel, const XmtConfig& config, Stats& stats,
+             int pdesShards = 1);
   ~CycleModel() override;
+
+  /// Effective shard count after clamping (1 == sequential engine).
+  int pdesShards() const;
 
   void setCommitObserver(CommitObserver* observer);
   void setTraceSink(TraceSink* sink);
@@ -104,6 +124,7 @@ class CycleModel final : public RuntimeControl {
   void setDramFrequency(double ghz) override;
   void requestStop() override;
 
+  /// The hub shard's scheduler (the only scheduler when sequential).
   Scheduler& scheduler();
 
  private:

@@ -11,6 +11,7 @@
 
 #include <array>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -122,6 +123,7 @@ class FuncModel {
   SparseMemory memory_;
   std::array<std::uint32_t, kNumGlobalRegs> gr_{};
   std::string output_;
+  std::mutex outputMu_;  // doSyscall appends can race under PDES
   std::uint64_t spawnSeq_ = 0;  // spawn regions executed (labels MemAccess)
 };
 

@@ -6,38 +6,53 @@
 
 namespace xmt {
 
-SparseMemory::Page& SparseMemory::page(std::uint32_t addr) {
+std::uint8_t* SparseMemory::page(std::uint32_t addr) {
   std::uint32_t idx = addr >> kPageBits;
-  auto it = pages_.find(idx);
-  if (it == pages_.end())
-    it = pages_.emplace(idx, Page(kPageSize, 0)).first;
-  return it->second;
+  std::uint32_t topIdx = idx >> kMidBits;
+  Mid* mid = top_[topIdx].load(std::memory_order_relaxed);
+  if (mid == nullptr) {
+    midStore_.push_back(std::make_unique<Mid>());
+    mid = midStore_.back().get();
+    top_[topIdx].store(mid, std::memory_order_release);
+  }
+  std::atomic<std::uint8_t*>& slot = mid->slots[idx & (kMidSize - 1)];
+  std::uint8_t* p = slot.load(std::memory_order_relaxed);
+  if (p == nullptr) {
+    pageStore_.push_back(std::make_unique<std::uint8_t[]>(kPageSize));
+    p = pageStore_.back().get();
+    std::memset(p, 0, kPageSize);
+    slot.store(p, std::memory_order_release);
+    ++resident_;
+  }
+  return p;
 }
 
-const SparseMemory::Page* SparseMemory::findPage(std::uint32_t addr) const {
-  auto it = pages_.find(addr >> kPageBits);
-  return it == pages_.end() ? nullptr : &it->second;
+const std::uint8_t* SparseMemory::findPage(std::uint32_t addr) const {
+  std::uint32_t idx = addr >> kPageBits;
+  const Mid* mid = top_[idx >> kMidBits].load(std::memory_order_acquire);
+  if (mid == nullptr) return nullptr;
+  return mid->slots[idx & (kMidSize - 1)].load(std::memory_order_acquire);
 }
 
 std::uint32_t SparseMemory::readWord(std::uint32_t addr) const {
   if (addr % 4 != 0)
     throw SimError("unaligned word read at 0x" + std::to_string(addr));
-  const Page* p = findPage(addr);
+  const std::uint8_t* p = findPage(addr);
   if (!p) return 0;
   std::uint32_t w;
-  std::memcpy(&w, p->data() + (addr & (kPageSize - 1)), 4);
+  std::memcpy(&w, p + (addr & (kPageSize - 1)), 4);
   return w;
 }
 
 void SparseMemory::writeWord(std::uint32_t addr, std::uint32_t value) {
   if (addr % 4 != 0)
     throw SimError("unaligned word write at 0x" + std::to_string(addr));
-  std::memcpy(page(addr).data() + (addr & (kPageSize - 1)), &value, 4);
+  std::memcpy(page(addr) + (addr & (kPageSize - 1)), &value, 4);
 }
 
 std::uint8_t SparseMemory::readByte(std::uint32_t addr) const {
-  const Page* p = findPage(addr);
-  return p ? (*p)[addr & (kPageSize - 1)] : 0;
+  const std::uint8_t* p = findPage(addr);
+  return p ? p[addr & (kPageSize - 1)] : 0;
 }
 
 void SparseMemory::writeByte(std::uint32_t addr, std::uint8_t value) {
@@ -55,7 +70,7 @@ void SparseMemory::writeBlock(std::uint32_t addr, const std::uint8_t* src,
   while (len > 0) {
     std::size_t inPage = kPageSize - (addr & (kPageSize - 1));
     std::size_t n = len < inPage ? len : inPage;
-    std::memcpy(page(addr).data() + (addr & (kPageSize - 1)), src, n);
+    std::memcpy(page(addr) + (addr & (kPageSize - 1)), src, n);
     addr += static_cast<std::uint32_t>(n);
     src += n;
     len -= n;
@@ -65,18 +80,31 @@ void SparseMemory::writeBlock(std::uint32_t addr, const std::uint8_t* src,
 std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>
 SparseMemory::snapshot() const {
   std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> out;
-  out.reserve(pages_.size());
-  for (const auto& [idx, data] : pages_) out.emplace_back(idx, data);
+  out.reserve(resident_);
+  for (std::uint32_t t = 0; t < kTopSize; ++t) {
+    const Mid* mid = top_[t].load(std::memory_order_acquire);
+    if (mid == nullptr) continue;
+    for (std::uint32_t m = 0; m < kMidSize; ++m) {
+      const std::uint8_t* p = mid->slots[m].load(std::memory_order_acquire);
+      if (p == nullptr) continue;
+      out.emplace_back((t << kMidBits) | m,
+                       std::vector<std::uint8_t>(p, p + kPageSize));
+    }
+  }
   return out;
 }
 
 void SparseMemory::restore(
     const std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>&
         pages) {
-  pages_.clear();
+  for (std::uint32_t t = 0; t < kTopSize; ++t)
+    top_[t].store(nullptr, std::memory_order_relaxed);
+  midStore_.clear();
+  pageStore_.clear();
+  resident_ = 0;
   for (const auto& [idx, data] : pages) {
     XMT_CHECK(data.size() == kPageSize);
-    pages_[idx] = data;
+    std::memcpy(page(idx << kPageBits), data.data(), kPageSize);
   }
 }
 

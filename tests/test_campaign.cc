@@ -232,6 +232,41 @@ TEST(Campaign, ResultsAreBitIdenticalAcrossWorkerCounts) {
   EXPECT_NE(r1.summary.find("speedup vs baseline"), std::string::npos);
 }
 
+// Regression: workers == 0 (the documented "use hardware concurrency"
+// default) must never construct a zero-thread pool — a campaign launched
+// with an unset worker count has to complete, not hang with tasks queued
+// on no workers.
+TEST(Campaign, ZeroWorkerOptionCompletes) {
+  auto spec = CampaignSpec::fromText(kSmallSweep);
+  CampaignOptions opts;
+  opts.outDir = uniqueDir("workers0");
+  opts.workers = 0;
+  auto r = campaign::runCampaign(spec, opts);
+  EXPECT_EQ(r.executed, 4u);
+  EXPECT_EQ(r.failed, 0u);
+}
+
+// The PDES knob: a campaign run with intra-point parallelism persists
+// records bit-identical to the sequential-engine run.
+TEST(Campaign, PdesShardsKeepRecordsBitIdentical) {
+  auto spec = CampaignSpec::fromText(kSmallSweep);
+  std::string ds = uniqueDir("pdes_seq");
+  std::string dp = uniqueDir("pdes_par");
+  CampaignOptions seq;
+  seq.outDir = ds;
+  seq.workers = 2;
+  CampaignOptions par;
+  par.outDir = dp;
+  par.workers = 2;
+  par.pdesShards = 3;
+  auto rs = campaign::runCampaign(spec, seq);
+  auto rp = campaign::runCampaign(spec, par);
+  EXPECT_EQ(rs.failed, 0u);
+  EXPECT_EQ(rp.failed, 0u);
+  EXPECT_EQ(readFile(ds + "/results.jsonl"), readFile(dp + "/results.jsonl"));
+  EXPECT_EQ(rs.summary, rp.summary);
+}
+
 TEST(Campaign, ResumeRunsExactlyTheMissingPoints) {
   auto spec = CampaignSpec::fromText(kSmallSweep);
   std::string clean = uniqueDir("resume_clean");

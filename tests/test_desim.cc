@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <functional>
 #include <memory>
 #include <queue>
 #include <vector>
@@ -365,6 +366,128 @@ TEST(TimedQueue, ReadyRespectsTime) {
   EXPECT_FALSE(q.ready(9));
   EXPECT_TRUE(q.ready(10));
   EXPECT_THROW(q.pop(9), InternalError);
+}
+
+// Runs a callback when notified — for events that poke the scheduler.
+class LambdaActor : public Actor {
+ public:
+  explicit LambdaActor(std::function<void(SimTime)> fn)
+      : Actor("lambda"), fn_(std::move(fn)) {}
+  void notify(SimTime now) override { fn_(now); }
+
+ private:
+  std::function<void(SimTime)> fn_;
+};
+
+// --- Stop-lane pinning regressions -----------------------------------------
+// requestStop() fired from *inside* an event schedules the stop in the
+// dedicated stop lane, which sorts after every phase lane at the same
+// timestamp. These tests pin that contract: a same-cycle stop lets the
+// current cycle complete (all same-time events fire, in FIFO phase-lane
+// order) and cuts strictly before the next timestamp.
+
+TEST(Scheduler, RequestStopFromEventCompletesTheCurrentCycle) {
+  Scheduler s;
+  RecordingActor before("before"), later("later"), nextCycle("next");
+  LambdaActor stopper([&](SimTime) { s.requestStop(); });
+  s.schedule(&before, 5, kPhaseNegotiate);
+  s.schedule(&stopper, 5, kPhaseNegotiate);
+  s.schedule(&later, 5, kPhaseRetire);  // same time, later lane
+  s.schedule(&nextCycle, 6);
+  EXPECT_TRUE(s.run());  // stop event fired
+  EXPECT_EQ(s.now(), 5);
+  EXPECT_EQ(before.times.size(), 1u);
+  ASSERT_EQ(later.times.size(), 1u);  // same-cycle work still completes
+  EXPECT_EQ(later.times[0], 5);
+  EXPECT_TRUE(nextCycle.times.empty());  // the next timestamp never starts
+  // Resumable: the event after the stop is still pending.
+  EXPECT_FALSE(s.run());
+  EXPECT_EQ(nextCycle.times.size(), 1u);
+}
+
+TEST(Scheduler, RequestStopFromEventKeepsFifoOrderWithinTheLane) {
+  // A stop requested mid-lane must not reorder the remaining same-lane
+  // events: FIFO insertion order holds up to the stop.
+  Scheduler s;
+  std::vector<int> order;
+  LambdaActor first([&](SimTime) {
+    order.push_back(1);
+    s.requestStop();
+  });
+  LambdaActor second([&](SimTime) { order.push_back(2); });
+  LambdaActor third([&](SimTime) { order.push_back(3); });
+  s.schedule(&first, 9, kPhaseTransfer);
+  s.schedule(&second, 9, kPhaseTransfer);
+  s.schedule(&third, 9, kPhaseTransfer);
+  EXPECT_TRUE(s.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Scheduler, CancelStopsWithdrawsAnUnfiredStop) {
+  Scheduler s;
+  RecordingActor a("a");
+  s.schedule(&a, 10);
+  s.scheduleStop(4);
+  s.cancelStops();
+  EXPECT_FALSE(s.run());  // drained; the cancelled stop never fired
+  EXPECT_EQ(a.times.size(), 1u);
+}
+
+// --- EventQueue handle-reuse regression -------------------------------------
+// Handles carry a per-activation stamp; a handle that outlives its bucket
+// (popped dry and recycled at the same timestamp) must be rejected by
+// cancel() — not silently cancel a newer event — across many
+// schedule/cancel/pop cycles.
+
+TEST(EventQueue, StaleHandleAfterBucketReuseIsRejected) {
+  EventQueue q;
+  RecordingActor a("a"), b("b");
+  for (int round = 0; round < 1000; ++round) {
+    SimTime t = 100 + (round % 3);  // revisit the same few timestamps
+    EventQueue::Handle h = q.push(t, kPhaseTransfer, &a);
+    if (round % 2 == 0) {
+      EXPECT_TRUE(q.cancel(h));
+      EXPECT_FALSE(q.cancel(h));  // double-cancel: rejected
+    } else {
+      EXPECT_EQ(q.pop().actor, &a);
+      // The bucket for t is gone; recreate it and try the stale handle.
+      EventQueue::Handle fresh = q.push(t, kPhaseTransfer, &b);
+      EXPECT_FALSE(q.cancel(h)) << "stale handle cancelled a new event";
+      EXPECT_EQ(q.pop().actor, &b);
+      (void)fresh;
+    }
+    EXPECT_TRUE(q.empty());
+  }
+}
+
+// --- runWindow (the PDES building block) ------------------------------------
+
+TEST(Scheduler, RunWindowProcessesStrictlyBeforeEnd) {
+  Scheduler s;
+  RecordingActor a("a"), edge("edge"), after("after");
+  s.schedule(&a, 10);
+  s.schedule(&edge, 20);   // exactly at the window end: excluded
+  s.schedule(&after, 30);
+  EXPECT_FALSE(s.runWindow(20));
+  EXPECT_EQ(a.times.size(), 1u);
+  EXPECT_TRUE(edge.times.empty());
+  EXPECT_EQ(s.nextEventTime(), 20);
+  EXPECT_FALSE(s.runWindow(31));
+  EXPECT_EQ(edge.times.size(), 1u);
+  EXPECT_EQ(after.times.size(), 1u);
+  EXPECT_EQ(s.nextEventTime(), -1);
+}
+
+TEST(Scheduler, RunWindowReportsAStopInsideTheWindow) {
+  Scheduler s;
+  RecordingActor a("a"), b("b");
+  s.schedule(&a, 5);
+  s.scheduleStop(7);
+  s.schedule(&b, 9);
+  EXPECT_TRUE(s.runWindow(100));  // stop fired at 7
+  EXPECT_EQ(s.now(), 7);
+  EXPECT_EQ(a.times.size(), 1u);
+  EXPECT_TRUE(b.times.empty());
 }
 
 }  // namespace

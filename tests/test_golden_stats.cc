@@ -126,6 +126,78 @@ TEST_P(GoldenStats, MatchesSeedEngine) {
                                << ": event ordering or timing model changed";
 }
 
+// The PDES bit-identity contract: for every golden kernel, the parallel
+// engine at 2, 4 and 8 shards reproduces the sequential run's canonical
+// stats byte for byte — same cycles, same simTime, same per-cluster
+// activity hash. This is the acceptance test of the conservative-window
+// protocol: any lookahead bug, lost cross-shard message, or arbitration
+// divergence lands here.
+TEST_P(GoldenStats, PdesBitIdenticalToSequential) {
+  const GoldenCase& gc =
+      goldenCases()[static_cast<std::size_t>(GetParam())];
+  ToolchainOptions opts;
+  opts.config = XmtConfig::byName(gc.configName);
+  opts.mode = SimMode::kCycleAccurate;
+  Toolchain tc(opts);
+  auto run = [&](int shards) {
+    auto sim = tc.makeSimulator(gc.source);
+    if (shards > 1) sim->setPdesShards(shards);
+    for (const auto& [name, data] : gc.inputs)
+      sim->setGlobalArray(name, data);
+    RunResult r = sim->run();
+    if (shards > 1) {
+      EXPECT_EQ(sim->pdesShards(), shards) << gc.name;
+    }
+    return canonicalStats(r, sim->stats());
+  };
+  std::string sequential = run(1);
+  for (int shards : {2, 4, 8})
+    EXPECT_EQ(run(shards), sequential)
+        << "kernel " << gc.name << " diverged at " << shards << " shards";
+}
+
+// PDES repeat-run determinism: the parallel engine against itself. Two
+// 4-shard runs of the same kernel must agree bit for bit even though the
+// shard threads interleave differently each time.
+TEST(GoldenStats, PdesRepeatRunIsBitIdentical) {
+  Toolchain tc;
+  std::string src = workloads::histogramSource(96, 8);
+  auto in = ramp(96, 5, 3);
+  for (auto& v : in) v &= 7;
+  std::string first;
+  for (int i = 0; i < 3; ++i) {
+    auto sim = tc.makeSimulator(src);
+    sim->setPdesShards(4);
+    sim->setGlobalArray("A", in);
+    RunResult r = sim->run();
+    std::string dump = canonicalStats(r, sim->stats());
+    if (i == 0)
+      first = dump;
+    else
+      EXPECT_EQ(dump, first);
+  }
+}
+
+// Resumable PDES runs: slicing one simulation into many cycle-budgeted
+// run() calls (each its own parallel window sequence) must land on the
+// same merged stats as one uninterrupted run.
+TEST(GoldenStats, PdesResumableRunMatchesSingleRun) {
+  Toolchain tc;
+  std::string src = workloads::vectorAddSource(96);
+  auto runSliced = [&](std::uint64_t slice) {
+    auto sim = tc.makeSimulator(src);
+    sim->setPdesShards(4);
+    sim->setGlobalArray("A", ramp(96, 3, 1));
+    RunResult r;
+    do {
+      r = sim->run(slice);
+    } while (!r.halted && slice > 0);
+    return canonicalStats(r, sim->stats());
+  };
+  std::string whole = runSliced(0);
+  EXPECT_EQ(runSliced(50), whole);
+}
+
 // Determinism within one binary: two identical runs, identical stats.
 TEST(GoldenStats, RepeatRunIsBitIdentical) {
   Toolchain tc;
@@ -160,12 +232,12 @@ const std::vector<GoldenCase>& goldenCases() {
                      {{"A", ramp(96, 3, 1)}},
                      R"gold(halted=1 code=0
 instructions=1163 spawns=1 vthreads=96
-cycles=212 simTime=2826596
+cycles=214 simTime=2853262
 cache=0/12 dram=12 master=0/0 ro=0/0 pb=0
-icn=193 memWait=6393 ps=0 psm=0 swnb=96
+icn=193 memWait=6421 ps=0 psm=0 swnb=96
 op: 0:288 1:1 13:97 14:192 15:97 16:192 41:1 42:1 44:96 45:1 46:96 51:1 54:2 56:1 57:96 58:1
 fu: 0:675 1:192 2:2 5:194 6:2 7:98
-clusters=8 sum=1152/864/0/0/192/288 hash=0x9e817b6e91bdccfb
+clusters=8 sum=1152/864/0/0/192/274 hash=0x6728e47d7eb2ed7d
 )gold"});
     auto histIn = ramp(128, 7, 0);
     for (auto& v : histIn) v &= 7;
@@ -174,12 +246,12 @@ clusters=8 sum=1152/864/0/0/192/288 hash=0x9e817b6e91bdccfb
                      {{"A", histIn}},
                      R"gold(halted=1 code=0
 instructions=1674 spawns=1 vthreads=128
-cycles=278 simTime=3706574
+cycles=280 simTime=3733240
 cache=108/17 dram=17 master=0/0 ro=0/0 pb=0
-icn=257 memWait=10839 ps=0 psm=128 swnb=0
+icn=257 memWait=10900 ps=0 psm=128 swnb=0
 op: 0:256 1:1 13:129 14:256 15:385 16:256 41:1 42:1 44:128 45:1 53:128 54:2 56:1 57:128 58:1
 fu: 0:1027 1:256 2:2 5:129 6:130 7:130
-clusters=8 sum=1664/1280/0/0/256/486 hash=0x6d5fe9b86c4fe80f
+clusters=8 sum=1664/1280/0/0/256/461 hash=0xb7eeb84a47ab5ac
 )gold"});
     cases.push_back({"parallelSum64", "fpga64",
                      workloads::parallelSumSource(64),
@@ -211,12 +283,12 @@ clusters=8 sum=720/496/0/0/112/188 hash=0xec338d10ae66103
                      {{"A", ramp(36, 2, 1)}, {"B", ramp(36, 1, 2)}},
                      R"gold(halted=1 code=0
 instructions=5591 spawns=1 vthreads=36
-cycles=577 simTime=7693141
-cache=330/9 dram=9 master=0/0 ro=0/0 pb=216
-icn=469 memWait=7413 ps=0 psm=0 swnb=36
+cycles=581 simTime=7746473
+cache=327/9 dram=9 master=0/0 ro=0/0 pb=216
+icn=469 memWait=7494 ps=0 psm=0 swnb=36
 op: 0:1116 1:217 2:36 13:829 14:468 15:505 16:468 22:684 23:36 36:252 40:252 41:1 42:1 44:432 45:1 46:36 49:216 51:1 54:2 56:1 57:36 58:1
 fu: 0:3171 1:468 2:506 3:720 5:686 6:2 7:38
-clusters=8 sum=5580/4140/720/0/468/2035 hash=0x5797219686e2a2f0
+clusters=8 sum=5580/4140/720/0/468/1967 hash=0xc9c1543dfb066584
 )gold"});
     cases.push_back({"psCounter16x4", "fpga64",
                      workloads::psCounterSource(16, 4),
@@ -237,10 +309,10 @@ clusters=8 sum=528/448/0/0/0/66 hash=0x3c8d43af70c5c45f
 instructions=4771 spawns=11 vthreads=352
 cycles=1289 simTime=17186237
 cache=363/12 dram=12 master=0/0 ro=0/0 pb=129
-icn=835 memWait=17594 ps=0 psm=0 swnb=352
+icn=835 memWait=17573 ps=0 psm=0 swnb=352
 op: 0:962 1:1 2:129 13:23 14:833 15:368 16:833 22:5 36:6 39:160 40:68 41:11 42:11 44:481 45:2 46:352 49:129 51:11 54:22 56:11 57:352 58:1
 fu: 0:2316 1:833 2:256 3:5 5:975 6:22 7:364
-clusters=8 sum=4645/3331/0/0/833/1209 hash=0x5edb1e08d1e5341b
+clusters=8 sum=4645/3331/0/0/833/1210 hash=0x73e5737c3c795724
 )gold"});
     cases.push_back({"vectorAddChip1024", "chip1024",
                      workloads::vectorAddSource(128),
