@@ -1,0 +1,176 @@
+// Serving-layer latency: what the content-addressed result cache and the
+// xmtserved daemon buy over re-simulating.
+//
+// Four measurements:
+//
+//   - coldPointSimulate — compile + cycle-accurate simulate of one sweep
+//     point, the price every uncached request pays.
+//   - cachedPointLookup — the same point served from the on-disk cache
+//     (read, parse, verify, recency refresh). The cold_vs_hit_speedup
+//     counter is the headline: a warm hit must be orders of magnitude
+//     (>=100x) cheaper than the simulation it replaces.
+//   - daemonWarmRoundTrip — full protocol cost of a warm single-point
+//     job: connect-once, submit over the Unix socket, dispatch through
+//     the fair queue, serve from cache, stream the record back.
+//   - daemonColdFanout — 4 clients concurrently request the same cold
+//     point; the coalescing_factor counter reports the fraction of
+//     requests resolved by waiting on another client's simulation
+//     (3/4 = 0.75 when coalescing is perfect).
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/campaign/runner.h"
+#include "src/campaign/spec.h"
+#include "src/server/cache.h"
+#include "src/server/client.h"
+#include "src/server/daemon.h"
+
+namespace {
+
+using xmt::campaign::CampaignPoint;
+using xmt::campaign::CampaignSpec;
+using xmt::campaign::RunPayload;
+using xmt::server::ResultCache;
+using xmt::server::Server;
+using xmt::server::ServerClient;
+using xmt::server::ServerOptions;
+
+std::string benchDir(const std::string& tag) {
+  auto d =
+      std::filesystem::temp_directory_path() / ("xmt_bench_server_" + tag);
+  std::filesystem::remove_all(d);
+  std::filesystem::create_directories(d);
+  return d.string();
+}
+
+std::string pointSpec(int n) {
+  return "campaign = bench\nbase = fpga64\nworkload = vadd\nworkload.n = " +
+         std::to_string(n) + "\nmode = cycle\n";
+}
+
+CampaignPoint benchPoint(int n) {
+  return CampaignSpec::fromText(pointSpec(n)).expand().front();
+}
+
+void coldPointSimulate(benchmark::State& state) {
+  CampaignPoint point = benchPoint(4096);
+  for (auto _ : state) {
+    RunPayload p = xmt::campaign::simulatePoint(point);
+    if (!p.ok) state.SkipWithError("simulation failed");
+    benchmark::DoNotOptimize(p.json.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(coldPointSimulate)->Unit(benchmark::kMillisecond);
+
+void cachedPointLookup(benchmark::State& state) {
+  CampaignPoint point = benchPoint(4096);
+  std::string key = ResultCache::keyFor(point);
+  std::string dir = benchDir("lookup");
+  ResultCache cache(dir, 256ull << 20);
+
+  // One cold run to fill the cache — also the reference for the speedup.
+  auto t0 = std::chrono::steady_clock::now();
+  RunPayload cold = xmt::campaign::simulatePoint(point);
+  auto t1 = std::chrono::steady_clock::now();
+  double coldSeconds = std::chrono::duration<double>(t1 - t0).count();
+  if (!cold.ok) {
+    state.SkipWithError("simulation failed");
+    return;
+  }
+  cache.insert(key, cold);
+
+  auto h0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    RunPayload hit;
+    if (!cache.lookup(key, &hit)) state.SkipWithError("cache miss");
+    benchmark::DoNotOptimize(hit.json.data());
+  }
+  auto h1 = std::chrono::steady_clock::now();
+  double hitSeconds = std::chrono::duration<double>(h1 - h0).count() /
+                      static_cast<double>(state.iterations());
+  state.SetItemsProcessed(state.iterations());
+  state.counters["cold_ms"] = coldSeconds * 1e3;
+  state.counters["hit_us"] = hitSeconds * 1e6;
+  state.counters["cold_vs_hit_speedup"] =
+      hitSeconds > 0 ? coldSeconds / hitSeconds : 0;
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(cachedPointLookup)->Unit(benchmark::kMicrosecond);
+
+void daemonWarmRoundTrip(benchmark::State& state) {
+  std::string dir = benchDir("warm_rt");
+  ServerOptions opts;
+  opts.socketPath = dir + "/d.sock";
+  opts.cacheDir = dir + "/cache";
+  opts.workers = 2;
+  Server server(opts);
+  ServerClient client(opts.socketPath);
+  std::string spec = pointSpec(1024);
+  {  // warm the cache once
+    auto sub = client.submitSpec(spec);
+    if (!sub.ok) {
+      state.SkipWithError("warmup submit failed");
+      return;
+    }
+    client.waitForJob(sub.job, 1);
+  }
+  for (auto _ : state) {
+    auto sub = client.submitSpec(spec);
+    if (!sub.ok) state.SkipWithError("submit failed");
+    auto page = client.waitForJob(sub.job, 1);
+    if (page.records.size() != 1) state.SkipWithError("bad result");
+    benchmark::DoNotOptimize(page.records.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+  server.stop();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(daemonWarmRoundTrip)->Unit(benchmark::kMillisecond);
+
+void daemonColdFanout(benchmark::State& state) {
+  constexpr int kClients = 4;
+  std::string dir = benchDir("fanout");
+  ServerOptions opts;
+  opts.socketPath = dir + "/d.sock";
+  opts.cacheDir = dir + "/cache";
+  opts.workers = kClients;
+  Server server(opts);
+  std::uint64_t sims0 = xmt::campaign::simulationsExecuted();
+  std::uint64_t requests = 0;
+  int n = 1000;  // distinct per iteration so every round starts cold
+  for (auto _ : state) {
+    std::string spec = pointSpec(++n);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kClients; ++c) {
+      threads.emplace_back([&, spec] {
+        ServerClient client(opts.socketPath);
+        auto sub = client.submitSpec(spec);
+        if (sub.ok) client.waitForJob(sub.job, 1);
+      });
+    }
+    for (auto& t : threads) t.join();
+    requests += kClients;
+  }
+  std::uint64_t sims = xmt::campaign::simulationsExecuted() - sims0;
+  state.SetItemsProcessed(static_cast<std::int64_t>(requests));
+  // 0.75 with 4 clients means every concurrent duplicate was coalesced or
+  // cache-served; 0 means every client simulated for itself.
+  state.counters["coalescing_factor"] =
+      requests > 0
+          ? static_cast<double>(requests - sims) / static_cast<double>(requests)
+          : 0;
+  state.counters["simulations"] = static_cast<double>(sims);
+  server.stop();
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(daemonColdFanout)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

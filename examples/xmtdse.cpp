@@ -18,6 +18,10 @@
 //                     divided by N to keep total thread pressure constant)
 //   --fresh           discard previous results instead of resuming
 //   --limit <K>       run at most K pending points, then stop
+//   --cache <dir>     content-addressed result cache shared with xmtserved:
+//                     points already simulated (by anyone) are served from
+//                     it, fresh points fill it
+//   --cache-max-mb <N> cache size bound, LRU-evicted (default 256)
 //   --set key=value   spec override (repeatable), e.g. --set sweep.clusters=2,4
 //   --dry-run         print the expanded grid and exit
 //   --quiet           suppress per-point progress lines
@@ -30,11 +34,14 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+
 #include "src/campaign/report.h"
 #include "src/campaign/runner.h"
 #include "src/campaign/spec.h"
 #include "src/common/error.h"
 #include "src/common/threadpool.h"
+#include "src/server/cache.h"
 #include "src/sim/statsjson.h"
 
 namespace {
@@ -48,7 +55,8 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string specPath, outDir;
+  std::string specPath, outDir, cacheDir;
+  std::uint64_t cacheMaxBytes = 256ull << 20;
   std::vector<std::string> overrides;
   xmt::campaign::CampaignOptions opts;
   bool dryRun = false, quiet = false;
@@ -67,6 +75,10 @@ int main(int argc, char** argv) {
     else if (arg == "--pdes-shards")
       opts.pdesShards = std::atoi(next().c_str());
     else if (arg == "--fresh") opts.fresh = true;
+    else if (arg == "--cache") cacheDir = next();
+    else if (arg == "--cache-max-mb")
+      cacheMaxBytes = static_cast<std::uint64_t>(std::atol(next().c_str()))
+                      << 20;
     else if (arg == "--limit")
       opts.limitPoints = static_cast<std::size_t>(std::atol(next().c_str()));
     else if (arg == "--set") overrides.push_back(next());
@@ -125,6 +137,20 @@ int main(int argc, char** argv) {
       };
     }
 
+    std::unique_ptr<xmt::server::ResultCache> cache;
+    if (!cacheDir.empty()) {
+      cache = std::make_unique<xmt::server::ResultCache>(cacheDir,
+                                                         cacheMaxBytes);
+      opts.cacheLookup = [&cache](const xmt::campaign::CampaignPoint& p,
+                                  xmt::campaign::RunPayload* out) {
+        return cache->lookup(xmt::server::ResultCache::keyFor(p), out);
+      };
+      opts.cacheFill = [&cache](const xmt::campaign::CampaignPoint& p,
+                                const xmt::campaign::RunPayload& payload) {
+        cache->insert(xmt::server::ResultCache::keyFor(p), payload);
+      };
+    }
+
     xmt::campaign::CampaignResult res =
         xmt::campaign::runCampaign(spec, opts);
     std::printf("%s", res.summary.c_str());
@@ -133,6 +159,9 @@ int main(int argc, char** argv) {
         "%zu failed\nresults: %s/results.jsonl, results.csv, summary.txt\n",
         res.executed, res.skipped, res.remaining, res.failed,
         outDir.c_str());
+    if (cache)
+      std::printf("cache: %zu of %zu executed points served from %s\n",
+                  res.cacheHits, res.executed, cacheDir.c_str());
     return res.failed == 0 ? 0 : 1;
   } catch (const xmt::Error& e) {
     std::fprintf(stderr, "xmtdse: %s\n", e.what());

@@ -1,0 +1,104 @@
+// xmtserved — simulation-as-a-service daemon.
+//
+// Listens on a Unix-domain socket for newline-delimited JSON requests
+// (see src/server/protocol.h), runs submitted sweep grids on a
+// work-stealing pool with per-client fairness and backpressure, and
+// serves every previously simulated point from a persistent
+// content-addressed result cache — across clients and across restarts.
+//
+// Usage:
+//   xmtserved [options]
+//
+// Options:
+//   --socket <path>      listening socket (default /tmp/xmtserved.sock)
+//   --cache-dir <dir>    result cache root (default xmtserved-cache)
+//   --cache-max-mb <N>   cache size bound, LRU-evicted (default 256)
+//   --workers <N>        simulation worker threads (default: hardware)
+//   --max-queued <N>     queued-point bound before `busy` (default 4096)
+//   --quiet              suppress the startup banner
+//
+// The daemon runs in the foreground until a client sends `shutdown`
+// (e.g. `xmtq shutdown`) or it receives SIGINT/SIGTERM. Pair with xmtq:
+//
+//   xmtserved --socket /tmp/x.sock --cache-dir /var/tmp/xmtcache &
+//   xmtq --socket /tmp/x.sock submit --wait sweep.conf
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "src/common/error.h"
+#include "src/common/version.h"
+#include "src/server/daemon.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_signalled = 0;
+
+void onSignal(int) { g_signalled = 1; }
+
+int usage() {
+  std::fprintf(stderr, "usage: xmtserved [options]   (see header comment)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  xmt::server::ServerOptions opts;
+  opts.socketPath = "/tmp/xmtserved.sock";
+  opts.cacheDir = "xmtserved-cache";
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") opts.socketPath = next();
+    else if (arg == "--cache-dir") opts.cacheDir = next();
+    else if (arg == "--cache-max-mb")
+      opts.cacheMaxBytes =
+          static_cast<std::uint64_t>(std::atol(next().c_str())) << 20;
+    else if (arg == "--workers") opts.workers = std::atoi(next().c_str());
+    else if (arg == "--max-queued")
+      opts.maxQueuedPoints = static_cast<std::size_t>(std::atol(next().c_str()));
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--help" || arg == "-h") return usage();
+    else {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::signal(SIGINT, onSignal);
+  std::signal(SIGTERM, onSignal);
+
+  try {
+    xmt::server::Server server(opts);
+    if (!quiet) {
+      auto cs = server.cache().stats();
+      std::printf(
+          "xmtserved (%s) listening on %s\n"
+          "cache: %s (%llu entries, %llu bytes, bound %llu MB)\n",
+          xmt::kToolchainVersion, opts.socketPath.c_str(),
+          opts.cacheDir.c_str(), static_cast<unsigned long long>(cs.entries),
+          static_cast<unsigned long long>(cs.bytes),
+          static_cast<unsigned long long>(opts.cacheMaxBytes >> 20));
+      std::fflush(stdout);
+    }
+    while (!g_signalled) {
+      if (server.waitForShutdown(200)) break;
+    }
+    server.stop();
+    if (!quiet) std::printf("xmtserved: stopped\n");
+    return 0;
+  } catch (const xmt::Error& e) {
+    std::fprintf(stderr, "xmtserved: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,10 +1,13 @@
 #include "src/campaign/resultstore.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cinttypes>
 #include <filesystem>
 #include <fstream>
 
+#include "src/common/digest.h"
 #include "src/common/error.h"
 #include "src/common/json.h"
 
@@ -12,15 +15,24 @@ namespace xmt::campaign {
 
 namespace {
 
-std::string fingerprintHex(std::uint64_t fp) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%016" PRIx64, fp);
-  return buf;
+std::string fingerprintHex(std::uint64_t fp) { return hex64(fp); }
+
+// fflush moves data to the kernel; fsync makes it durable. A record is
+// only "committed" (trusted by resume and by the server cache's
+// durability story) once it survives a power loss, not just a SIGKILL.
+void flushDurably(std::FILE* f) {
+  std::fflush(f);
+  ::fsync(::fileno(f));
 }
 
-std::string csvField(const std::string& s) {
-  if (s.find(',') == std::string::npos && s.find('"') == std::string::npos)
-    return s;
+}  // namespace
+
+std::string csvEscape(const std::string& s) {
+  // RFC-4180 quoting: a field containing a comma, quote, or line break is
+  // wrapped in quotes with embedded quotes doubled. Workload names and
+  // swept values are benign today, but error strings and future workload
+  // params can carry all three.
+  if (s.find_first_of(",\"\n\r") == std::string::npos) return s;
   std::string out = "\"";
   for (char c : s) {
     if (c == '"') out += '"';
@@ -29,8 +41,6 @@ std::string csvField(const std::string& s) {
   out += '"';
   return out;
 }
-
-}  // namespace
 
 PointRecord parseRecordLine(const std::string& line) {
   Json j = Json::parse(line);
@@ -117,7 +127,10 @@ void ResultStore::loadExisting() {
       try {
         r = parseRecordLine(line);
       } catch (const Error&) {
-        continue;  // partial/corrupt line from a killed run
+        // A torn trailing line from a killed run (or any corrupt line):
+        // skip it — openAppend() rewrites the file from the surviving
+        // records, so the torn bytes are truncated away on disk too.
+        continue;
       }
       std::size_t idx = static_cast<std::size_t>(r.index);
       if (r.index < 0 || idx >= done_.size() || status[idx] != 1 ||
@@ -175,11 +188,13 @@ std::size_t ResultStore::doneCount() const {
 
 void ResultStore::record(PointRecord r) {
   std::lock_guard<std::mutex> lock(mu_);
-  // Record line first, then the manifest status: a crash between the two
-  // re-runs the point, never trusts a status without data.
+  // Record line first (made durable with fsync), then the manifest
+  // status: a crash between the two re-runs the point, never trusts a
+  // status without data, and a status line never lands before its record
+  // is on stable storage.
   if (r.ok) {
     std::fprintf(results_, "%s\n", r.recordJson.c_str());
-    std::fflush(results_);
+    flushDurably(results_);
     done_[static_cast<std::size_t>(r.index)] = true;
   }
   Json m = Json::object();
@@ -188,7 +203,7 @@ void ResultStore::record(PointRecord r) {
   m.set("status", Json::str(r.ok ? "ok" : "failed"));
   if (!r.ok) m.set("error", Json::str(r.error));
   std::fprintf(manifest_, "%s\n", m.dump().c_str());
-  std::fflush(manifest_);
+  flushDurably(manifest_);
   records_.push_back(std::move(r));
 }
 
@@ -218,15 +233,15 @@ void ResultStore::finalize(const std::string& summary) {
   // doesn't collide with the fixed columns of the same name.
   csv << "point,key,workload,mode";
   for (const auto& d : spec_.dimensions())
-    csv << ",dim." << csvField(d.name);
+    csv << ",dim." << csvEscape(d.name);
   csv << ",instructions,cycles,sim_time_ps\n";
   for (const auto& r : sorted) {
     if (!r.ok) continue;
-    csv << r.index << ',' << csvField(r.key) << ',' << csvField(r.workload)
+    csv << r.index << ',' << csvEscape(r.key) << ',' << csvEscape(r.workload)
         << ',' << r.mode;
     for (const auto& [name, value] : r.dims) {
       (void)name;
-      csv << ',' << csvField(value);
+      csv << ',' << csvEscape(value);
     }
     csv << ',' << r.instructions << ',' << r.cycles << ',' << r.simTimePs
         << '\n';

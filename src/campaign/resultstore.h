@@ -93,4 +93,8 @@ class ResultStore {
 /// Throws ConfigError on malformed input.
 PointRecord parseRecordLine(const std::string& line);
 
+/// RFC-4180 CSV field quoting: wraps (and quote-doubles) any field
+/// containing a comma, quote, or line break; returns others unchanged.
+std::string csvEscape(const std::string& s);
+
 }  // namespace xmt::campaign

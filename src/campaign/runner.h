@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -18,6 +19,35 @@
 #include "src/campaign/spec.h"
 
 namespace xmt::campaign {
+
+/// The spec-independent outcome of simulating one (config, mode, workload)
+/// combination — everything about the run except where it sits in a
+/// particular sweep grid. This is the unit the server's content-addressed
+/// cache stores: the same payload serves any grid, any client, that asks
+/// for the same point.
+struct RunPayload {
+  bool ok = false;
+  std::string error;  // set when !ok
+  /// Deterministic JSON object {"workload","config","mode","result",
+  /// "stats"}; set when ok. payloadToRecord() turns it back into a full
+  /// results.jsonl record byte-identical to an uncached run's.
+  std::string json;
+};
+
+/// Compiles and simulates one point (no cache involved). Never throws —
+/// failures come back as ok=false payloads. Increments the process-wide
+/// simulation counter.
+RunPayload simulatePoint(const CampaignPoint& point, int pdesShards = 1);
+
+/// Re-attaches a payload to its grid position: prefixes {"point","key",
+/// "dims"} and extracts the headline metrics. Pure — a cached payload and
+/// a fresh one produce byte-identical records.
+PointRecord payloadToRecord(const CampaignPoint& point, const RunPayload& p);
+
+/// Process-wide count of actual simulations executed (simulatePoint
+/// calls). The serving tests use the delta across a warm-cache replay to
+/// prove "zero simulations" rather than inferring it from timing.
+std::uint64_t simulationsExecuted();
 
 struct CampaignOptions {
   /// Output directory for manifest/results/summary (required).
@@ -41,6 +71,13 @@ struct CampaignOptions {
   /// time, with a happens-before edge between consecutive calls), so the
   /// callback itself needs no locking.
   std::function<void(const PointRecord&)> onPoint;
+  /// Per-point result-cache hooks (both or neither). When lookup returns
+  /// true the point is served from *out without simulating; after a
+  /// successful simulation fill is offered the payload. The server and
+  /// `xmtdse --cache` plug the content-addressed ResultCache in here.
+  /// Both may be called concurrently from worker threads.
+  std::function<bool(const CampaignPoint&, RunPayload* out)> cacheLookup;
+  std::function<void(const CampaignPoint&, const RunPayload&)> cacheFill;
 };
 
 struct CampaignResult {
@@ -48,6 +85,7 @@ struct CampaignResult {
   std::size_t skipped = 0;   // already done in the store (resume)
   std::size_t executed = 0;  // run by this invocation
   std::size_t failed = 0;    // of the executed points
+  std::size_t cacheHits = 0; // of the executed points, served via cacheLookup
   std::size_t remaining = 0; // still pending (limitPoints cut)
   std::string summary;       // campaignReport(), also in summary.txt
   std::vector<PointRecord> records;  // all store records, by point index

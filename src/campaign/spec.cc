@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cctype>
 
+#include "src/common/digest.h"
 #include "src/common/error.h"
+#include "src/common/version.h"
 #include "src/sim/statsjson.h"
 
 namespace xmt::campaign {
@@ -51,14 +53,7 @@ bool isConfigKey(const std::string& key) {
 
 }  // namespace
 
-std::uint64_t fnv1a64(const std::string& text) {
-  std::uint64_t h = 0xcbf29ce484222325ull;
-  for (unsigned char c : text) {
-    h ^= c;
-    h *= 0x100000001b3ull;
-  }
-  return h;
-}
+std::uint64_t fnv1a64(const std::string& text) { return xmt::fnv1a64(text); }
 
 CampaignSpec CampaignSpec::fromText(const std::string& text) {
   return fromConfigMap(ConfigMap::fromText(text));
@@ -189,7 +184,11 @@ std::size_t CampaignSpec::pointCount() const {
 }
 
 std::uint64_t CampaignSpec::fingerprint() const {
-  return fnv1a64(map_.toText());
+  return fingerprintWith(kToolchainVersion);
+}
+
+std::uint64_t CampaignSpec::fingerprintWith(const std::string& version) const {
+  return fnv1a64(version + "\n" + map_.toText());
 }
 
 std::vector<CampaignPoint> CampaignSpec::expand() const {

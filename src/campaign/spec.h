@@ -79,9 +79,14 @@ class CampaignSpec {
   /// Canonical sorted key=value text of the spec (round-trippable).
   std::string canonicalText() const { return map_.toText(); }
 
-  /// FNV-1a 64 fingerprint of canonicalText(); identifies the spec in the
-  /// on-disk manifest so resumes never mix grids.
+  /// FNV-1a 64 fingerprint of (toolchain version, canonicalText());
+  /// identifies the spec in the on-disk manifest so resumes never mix
+  /// grids — and never trust results a different toolchain computed.
   std::uint64_t fingerprint() const;
+
+  /// fingerprint() under an explicit toolchain version string (exposed so
+  /// tests can prove a version bump invalidates resume manifests).
+  std::uint64_t fingerprintWith(const std::string& version) const;
 
  private:
   std::string name_ = "campaign";

@@ -1,0 +1,29 @@
+// Content digest helpers shared by campaign fingerprints and the server
+// result cache: FNV-1a 64 over text, and fixed-width hex formatting so
+// digests are stable as file names and JSON fields.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace xmt {
+
+inline std::uint64_t fnv1a64(const std::string& text) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (unsigned char c : text) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+/// 16 lower-case hex digits, zero padded.
+inline std::string hex64(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+}  // namespace xmt

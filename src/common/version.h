@@ -1,0 +1,15 @@
+// Toolchain version identity.
+//
+// Campaign fingerprints and the server's content-addressed cache keys
+// incorporate this string so that results computed by an older
+// compiler/simulator are never served for a newer one: bumping the
+// version invalidates every resume manifest and every cache entry at
+// once. Bump it whenever a change can alter any persisted simulation
+// record (compiler output, timing model, stats schema).
+#pragma once
+
+namespace xmt {
+
+inline constexpr char kToolchainVersion[] = "xmt-toolchain-0.8";
+
+}  // namespace xmt

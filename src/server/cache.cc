@@ -1,0 +1,255 @@
+#include "src/server/cache.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "src/common/digest.h"
+#include "src/common/error.h"
+#include "src/common/json.h"
+#include "src/common/version.h"
+#include "src/sim/statsjson.h"
+#include "src/workloads/registry.h"
+
+namespace xmt::server {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool isHexKeyFile(const std::string& name) {
+  // <48 hex chars>.json
+  if (name.size() != 48 + 5 || name.compare(48, 5, ".json") != 0) return false;
+  return name.find_first_not_of("0123456789abcdef") == 48;
+}
+
+// Write-then-fsync-then-rename: the destination path either holds the old
+// content or the complete new content, never a torn entry. The temp name
+// is uniquified so concurrent inserts of the same key cannot interleave
+// writes into one temp file.
+bool writeAtomically(const std::string& path, const std::string& content) {
+  static std::atomic<std::uint64_t> seq{0};
+  std::string tmp =
+      path + ".tmp" + std::to_string(seq.fetch_add(1, std::memory_order_relaxed));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < content.size()) {
+    ssize_t n = ::write(fd, content.data() + off, content.size() - off);
+    if (n < 0) {
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ::fsync(fd);
+  ::close(fd);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string root, std::uint64_t maxBytes)
+    : root_(std::move(root)), maxBytes_(maxBytes) {
+  std::error_code ec;
+  fs::create_directories(root_, ec);
+  if (ec)
+    throw ConfigError("cannot create cache directory '" + root_ +
+                      "': " + ec.message());
+  scanExisting();
+}
+
+std::string ResultCache::pathFor(const std::string& key) const {
+  return root_ + "/" + key.substr(0, 2) + "/" + key + ".json";
+}
+
+void ResultCache::scanExisting() {
+  // Rebuild the index from disk; order recency by mtime so LRU decisions
+  // survive a daemon restart. Leftover .tmp files from a kill mid-insert
+  // are swept here.
+  struct Found {
+    fs::file_time_type mtime;
+    std::string key;
+    std::uint64_t size;
+  };
+  std::vector<Found> found;
+  std::error_code ec;
+  for (const auto& shard : fs::directory_iterator(root_, ec)) {
+    if (!shard.is_directory(ec)) continue;
+    for (const auto& entry : fs::directory_iterator(shard.path(), ec)) {
+      std::string name = entry.path().filename().string();
+      if (!isHexKeyFile(name)) {
+        if (name.find(".tmp") != std::string::npos)
+          fs::remove(entry.path(), ec);
+        continue;
+      }
+      Found f;
+      f.key = name.substr(0, 48);
+      f.size = static_cast<std::uint64_t>(entry.file_size(ec));
+      f.mtime = entry.last_write_time(ec);
+      found.push_back(std::move(f));
+    }
+  }
+  std::sort(found.begin(), found.end(), [](const Found& a, const Found& b) {
+    return a.mtime < b.mtime;
+  });
+  for (const auto& f : found) {
+    entries_[f.key] = Entry{f.size, ++useClock_};
+    bytes_ += f.size;
+  }
+}
+
+bool ResultCache::lookup(const std::string& key, campaign::RunPayload* out) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it == entries_.end()) {
+      ++stats_.misses;
+      return false;
+    }
+    it->second.lastUse = ++useClock_;
+  }
+
+  std::string path = pathFor(key);
+  std::ifstream f(path);
+  std::string text((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  bool good = static_cast<bool>(f);
+  if (good) {
+    try {
+      Json j = Json::parse(text);
+      if (j.at("key").asString() != key)
+        throw ConfigError("cache entry key mismatch");
+      out->ok = true;
+      out->error.clear();
+      out->json = j.at("payload").dump();
+    } catch (const Error&) {
+      good = false;
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (!good) {
+    // Corrupt or vanished entry: drop it and report a miss so the point
+    // simply re-simulates.
+    if (it != entries_.end()) {
+      bytes_ -= std::min(bytes_, it->second.size);
+      entries_.erase(it);
+      std::error_code ec;
+      fs::remove(path, ec);
+    }
+    ++stats_.misses;
+    return false;
+  }
+  ++stats_.hits;
+  // Refresh the on-disk recency signal for post-restart LRU ordering.
+  std::error_code ec;
+  fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+  return true;
+}
+
+void ResultCache::insert(const std::string& key,
+                         const campaign::RunPayload& payload) {
+  if (!payload.ok) return;
+  Json entry = Json::object();
+  entry.set("key", Json::str(key));
+  entry.set("version", Json::str(kToolchainVersion));
+  entry.set("payload", Json::parse(payload.json));
+  std::string text = entry.dump();
+  text += '\n';
+
+  std::string path = pathFor(key);
+  std::error_code ec;
+  fs::create_directories(root_ + "/" + key.substr(0, 2), ec);
+  if (!writeAtomically(path, text)) return;  // disk trouble: stay a miss
+
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) bytes_ -= std::min(bytes_, it->second.size);
+  entries_[key] = Entry{static_cast<std::uint64_t>(text.size()), ++useClock_};
+  bytes_ += text.size();
+  ++stats_.inserts;
+  evictOverflowLocked(key);
+}
+
+void ResultCache::evictOverflowLocked(const std::string& keep) {
+  while (bytes_ > maxBytes_ && entries_.size() > 1) {
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->first == keep) continue;
+      if (victim == entries_.end() ||
+          it->second.lastUse < victim->second.lastUse)
+        victim = it;
+    }
+    if (victim == entries_.end()) break;
+    std::error_code ec;
+    fs::remove(pathFor(victim->first), ec);
+    bytes_ -= std::min(bytes_, victim->second.size);
+    entries_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+CacheStats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CacheStats s = stats_;
+  s.bytes = bytes_;
+  s.entries = entries_.size();
+  return s;
+}
+
+std::string ResultCache::keyFor(const campaign::CampaignPoint& point) {
+  return keyFor(point, kToolchainVersion);
+}
+
+std::string ResultCache::keyFor(const campaign::CampaignPoint& point,
+                                const std::string& version) {
+  std::uint64_t cfg = fnv1a64(point.config.toConfigMap().toText() +
+                              "\nmode=" + simModeName(point.mode));
+  std::uint64_t wl = fnv1a64(point.workload.key() + "\n" +
+                             workloads::instanceSource(point.workload));
+  return hex64(cfg) + hex64(wl) + hex64(fnv1a64(version));
+}
+
+bool Coalescer::lead(const std::string& key, campaign::RunPayload* out) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) {
+    inflight_[key] = std::make_shared<Pending>();
+    return true;
+  }
+  std::shared_ptr<Pending> p = it->second;  // keep alive past erase
+  ++coalesced_;
+  cv_.wait(lock, [&] { return p->done; });
+  *out = p->payload;
+  return false;
+}
+
+void Coalescer::finish(const std::string& key, campaign::RunPayload payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = inflight_.find(key);
+  if (it == inflight_.end()) return;
+  it->second->payload = std::move(payload);
+  it->second->done = true;
+  inflight_.erase(it);
+  cv_.notify_all();
+}
+
+std::uint64_t Coalescer::coalescedCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return coalesced_;
+}
+
+}  // namespace xmt::server

@@ -1,0 +1,127 @@
+// Persistent content-addressed result cache for xmtserved.
+//
+// The unit of caching is the spec-independent RunPayload of one
+// (config point, workload, simulation mode): any sweep, submitted by any
+// client, that covers the same point is a hit — across daemon restarts,
+// because entries live on disk. The key is content-addressed:
+//
+//   key = hex64(config-point digest) . hex64(workload digest)
+//       . hex64(toolchain-version digest)
+//
+// where the config-point digest covers the canonical XmtConfig text plus
+// the simulation mode, the workload digest covers the instance key *and*
+// the generated XMTC source (so a generator change re-keys even at the
+// same parameters), and the version digest pins the toolchain build that
+// produced the numbers. Entries are sharded into 256 directories by the
+// leading key byte to keep directory scans flat at millions of entries.
+//
+// Durability: an entry is written to a temporary file, fsync'd, then
+// renamed into place — readers (including a daemon that was SIGKILLed
+// mid-insert and restarted) only ever see complete entries. Eviction is
+// LRU under a total-size bound; recency survives restarts via file
+// mtimes, which lookups refresh.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "src/campaign/runner.h"
+#include "src/campaign/spec.h"
+
+namespace xmt::server {
+
+struct CacheStats {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t inserts = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t bytes = 0;     // current on-disk footprint
+  std::uint64_t entries = 0;   // current entry count
+};
+
+class ResultCache {
+ public:
+  /// Opens (creating if needed) the cache rooted at `root`, scanning any
+  /// entries a previous daemon left behind. `maxBytes` bounds the total
+  /// on-disk footprint (a single oversized entry is kept regardless, so
+  /// the newest result is never thrown away by its own insert).
+  ResultCache(std::string root, std::uint64_t maxBytes);
+
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// Thread-safe. On hit fills *out (ok=true payload) and refreshes the
+  /// entry's recency. A corrupt entry (torn by an unclean shutdown
+  /// predating atomic renames, or bit-rotted) is deleted and reported as
+  /// a miss — it re-simulates instead of poisoning results.
+  bool lookup(const std::string& key, campaign::RunPayload* out);
+
+  /// Thread-safe. Persists a successful payload under `key` (failed
+  /// payloads are never cached — they re-run, matching the result
+  /// store's retry semantics). Evicts LRU entries beyond the size bound.
+  void insert(const std::string& key, const campaign::RunPayload& payload);
+
+  CacheStats stats() const;
+  const std::string& root() const { return root_; }
+
+  /// Content-addressed key of a resolved campaign point under a given
+  /// toolchain version (defaults to the running toolchain's).
+  static std::string keyFor(const campaign::CampaignPoint& point);
+  static std::string keyFor(const campaign::CampaignPoint& point,
+                            const std::string& version);
+
+ private:
+  struct Entry {
+    std::uint64_t size = 0;
+    std::uint64_t lastUse = 0;  // logical clock; higher = more recent
+  };
+
+  std::string pathFor(const std::string& key) const;
+  void scanExisting();
+  void evictOverflowLocked(const std::string& keep);
+
+  std::string root_;
+  std::uint64_t maxBytes_;
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t useClock_ = 0;
+  CacheStats stats_;
+};
+
+/// In-flight request coalescing: when several jobs need the same cache
+/// key concurrently, exactly one caller (the leader) simulates; the rest
+/// block until the leader finishes and then share its payload. This is
+/// what turns "two clients submit overlapping grids at the same moment"
+/// into one simulation per distinct point rather than two.
+class Coalescer {
+ public:
+  /// Returns true: the caller is the leader for `key` and MUST call
+  /// finish() exactly once (even on failure). Returns false: a leader was
+  /// already running; the call blocked until it finished and *out now
+  /// holds the leader's payload.
+  bool lead(const std::string& key, campaign::RunPayload* out);
+
+  /// Publishes the leader's payload and releases all waiters.
+  void finish(const std::string& key, campaign::RunPayload payload);
+
+  /// Total requests that were resolved by waiting on another's run.
+  std::uint64_t coalescedCount() const;
+
+ private:
+  struct Pending {
+    bool done = false;
+    campaign::RunPayload payload;
+  };
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::shared_ptr<Pending>> inflight_;
+  std::uint64_t coalesced_ = 0;
+};
+
+}  // namespace xmt::server

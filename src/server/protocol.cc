@@ -1,0 +1,53 @@
+#include "src/server/protocol.h"
+
+#include <algorithm>
+#include <array>
+
+#include "src/common/error.h"
+
+namespace xmt::server {
+
+namespace {
+
+constexpr std::array<const char*, 7> kCommands = {
+    "ping", "submit", "status", "results", "cancel", "stats", "shutdown"};
+
+}  // namespace
+
+Request parseRequest(const std::string& line) {
+  Request req;
+  req.body = Json::parse(line);  // ConfigError on malformed JSON
+  if (!req.body.isObject())
+    throw ConfigError("request", "expected a JSON object");
+  const Json* cmd = req.body.find("cmd");
+  if (!cmd) throw ConfigError("cmd", "missing command");
+  req.cmd = cmd->asString();
+  if (std::find_if(kCommands.begin(), kCommands.end(), [&](const char* c) {
+        return req.cmd == c;
+      }) == kCommands.end())
+    throw ConfigError("cmd", "unknown command '" + req.cmd + "'");
+  return req;
+}
+
+Json okResponse() {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(true));
+  return j;
+}
+
+Json errorResponse(const std::string& message) {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(false));
+  j.set("error", Json::str(message));
+  return j;
+}
+
+Json busyResponse(const std::string& message) {
+  Json j = Json::object();
+  j.set("ok", Json::boolean(false));
+  j.set("busy", Json::boolean(true));
+  j.set("error", Json::str(message));
+  return j;
+}
+
+}  // namespace xmt::server

@@ -1,20 +1,27 @@
 // Campaign engine tests: spec parsing and grid expansion, JSON
 // serialization, worker-count invariance of results (the determinism
-// contract), resume-after-kill semantics, and the thread-safety
-// regression guard for concurrent independent simulators.
+// contract), resume-after-kill semantics (including torn trailing
+// lines), CSV escaping, toolchain-version-pinned fingerprints, the
+// result-cache hooks, and the thread-safety regression guard for
+// concurrent independent simulators.
 #include <gtest/gtest.h>
 
 #include <filesystem>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <sstream>
 #include <thread>
 
 #include "src/campaign/report.h"
+#include "src/campaign/resultstore.h"
 #include "src/campaign/runner.h"
 #include "src/campaign/spec.h"
+#include "src/common/digest.h"
 #include "src/common/error.h"
 #include "src/common/json.h"
 #include "src/common/threadpool.h"
+#include "src/common/version.h"
 #include "src/core/toolchain.h"
 #include "src/sim/statsjson.h"
 #include "src/workloads/kernels.h"
@@ -88,6 +95,16 @@ TEST(CampaignSpec, FingerprintIdentifiesSpec) {
   auto c = CampaignSpec::fromText("workload = vadd\nsweep.clusters = 1,4\n");
   EXPECT_EQ(a.fingerprint(), b.fingerprint());  // canonical (sorted) text
   EXPECT_NE(a.fingerprint(), c.fingerprint());
+}
+
+TEST(CampaignSpec, FingerprintPinsTheToolchainVersion) {
+  auto spec = CampaignSpec::fromText("workload = vadd\nsweep.clusters = 1,2\n");
+  // fingerprint() is the running toolchain's; any other version yields a
+  // different value, so a toolchain bump invalidates resume directories
+  // (and, through the same constant, every server cache key).
+  EXPECT_EQ(spec.fingerprint(), spec.fingerprintWith(kToolchainVersion));
+  EXPECT_NE(spec.fingerprint(), spec.fingerprintWith("xmt-toolchain-0.0"));
+  EXPECT_NE(spec.fingerprintWith("a"), spec.fingerprintWith("b"));
 }
 
 TEST(CampaignSpec, RejectsBadSpecsWithStructuredErrors) {
@@ -309,6 +326,47 @@ TEST(Campaign, ResumeRunsExactlyTheMissingPoints) {
   EXPECT_EQ(second.summary, cleanRun.summary);
 }
 
+TEST(Campaign, ResumeToleratesTornTrailingLines) {
+  // A campaign killed mid-append can leave a half-written line at the
+  // tail of results.jsonl and manifest.jsonl. Resume must treat torn (or
+  // otherwise corrupt) lines as not-yet-run, and the rewritten files must
+  // end up byte-identical to a never-killed run.
+  auto spec = CampaignSpec::fromText(kSmallSweep);
+  std::string clean = uniqueDir("torn_clean");
+  std::string torn = uniqueDir("torn");
+  CampaignOptions full;
+  full.outDir = clean;
+  full.workers = 2;
+  auto cleanRun = campaign::runCampaign(spec, full);
+
+  CampaignOptions partial;
+  partial.outDir = torn;
+  partial.workers = 2;
+  partial.limitPoints = 2;
+  campaign::runCampaign(spec, partial);
+  {
+    std::ofstream f(torn + "/results.jsonl", std::ios::app);
+    f << "\x01\x02 not json at all\n";
+    f << "{\"point\":3,\"key\":\"torn";  // no newline: cut mid-write
+  }
+  {
+    std::ofstream f(torn + "/manifest.jsonl", std::ios::app);
+    f << "{\"point\":3,\"key\":\"torn\",\"sta";
+  }
+
+  CampaignOptions rest;
+  rest.outDir = torn;
+  rest.workers = 2;
+  auto second = campaign::runCampaign(spec, rest);
+  EXPECT_EQ(second.skipped, 2u);   // the two intact records survive
+  EXPECT_EQ(second.executed, 2u);  // the torn point re-runs
+  EXPECT_EQ(readFile(torn + "/results.jsonl"),
+            readFile(clean + "/results.jsonl"));
+  EXPECT_EQ(readFile(torn + "/results.csv"),
+            readFile(clean + "/results.csv"));
+  EXPECT_EQ(second.summary, cleanRun.summary);
+}
+
 TEST(Campaign, ResumeRefusesADifferentSpec) {
   std::string dir = uniqueDir("fingerprint");
   auto specA = CampaignSpec::fromText("workload = vadd\nworkload.n = 16\n"
@@ -322,6 +380,82 @@ TEST(Campaign, ResumeRefusesADifferentSpec) {
   opts.fresh = true;  // explicit restart is allowed
   auto r = campaign::runCampaign(specB, opts);
   EXPECT_EQ(r.executed, 1u);
+}
+
+TEST(Campaign, ResumeRefusesResultsFromAnOlderToolchain) {
+  auto spec = CampaignSpec::fromText(kSmallSweep);
+  std::string dir = uniqueDir("version_resume");
+  CampaignOptions opts;
+  opts.outDir = dir;
+  opts.workers = 2;
+  campaign::runCampaign(spec, opts);
+
+  // Doctor the manifest header so the directory looks like it was written
+  // by an older toolchain build: resume must refuse to mix its numbers
+  // with the current simulator's rather than silently blending them.
+  std::string manifest = readFile(dir + "/manifest.jsonl");
+  std::string cur = hex64(spec.fingerprint());
+  std::string old = hex64(spec.fingerprintWith("xmt-toolchain-0.0"));
+  std::size_t at = manifest.find(cur);
+  ASSERT_NE(at, std::string::npos);
+  manifest.replace(at, cur.size(), old);
+  {
+    std::ofstream f(dir + "/manifest.jsonl", std::ios::trunc);
+    f << manifest;
+  }
+  EXPECT_THROW(campaign::runCampaign(spec, opts), ConfigError);
+}
+
+TEST(Campaign, CacheHooksServeRepeatRunsWithoutSimulating) {
+  // The runner-level seam the server plugs into: a second campaign over
+  // the same points, with a warm cache, performs zero simulations and
+  // persists byte-identical outputs.
+  auto spec = CampaignSpec::fromText(kSmallSweep);
+  std::map<std::string, campaign::RunPayload> mem;
+  std::mutex memMu;
+  CampaignOptions opts;
+  opts.workers = 2;
+  opts.cacheLookup = [&](const campaign::CampaignPoint& p,
+                         campaign::RunPayload* out) {
+    std::lock_guard<std::mutex> lock(memMu);
+    auto it = mem.find(p.key);
+    if (it == mem.end()) return false;
+    *out = it->second;
+    return true;
+  };
+  opts.cacheFill = [&](const campaign::CampaignPoint& p,
+                       const campaign::RunPayload& payload) {
+    std::lock_guard<std::mutex> lock(memMu);
+    mem[p.key] = payload;
+  };
+
+  std::string cold = uniqueDir("hooks_cold");
+  opts.outDir = cold;
+  auto r1 = campaign::runCampaign(spec, opts);
+  EXPECT_EQ(r1.cacheHits, 0u);
+  EXPECT_EQ(mem.size(), 4u);
+
+  std::string warm = uniqueDir("hooks_warm");
+  opts.outDir = warm;
+  std::uint64_t simsBefore = campaign::simulationsExecuted();
+  auto r2 = campaign::runCampaign(spec, opts);
+  EXPECT_EQ(campaign::simulationsExecuted(), simsBefore);
+  EXPECT_EQ(r2.cacheHits, 4u);
+  EXPECT_EQ(readFile(warm + "/results.jsonl"),
+            readFile(cold + "/results.jsonl"));
+  EXPECT_EQ(readFile(warm + "/results.csv"), readFile(cold + "/results.csv"));
+  EXPECT_EQ(r2.summary, r1.summary);
+}
+
+TEST(ResultStore, CsvEscapeQuotesDelimitersAndLineBreaks) {
+  using campaign::csvEscape;
+  EXPECT_EQ(csvEscape("plain_value-1.5"), "plain_value-1.5");
+  EXPECT_EQ(csvEscape(""), "");
+  EXPECT_EQ(csvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csvEscape("two\nlines"), "\"two\nlines\"");
+  EXPECT_EQ(csvEscape("carriage\rreturn"), "\"carriage\rreturn\"");
+  EXPECT_EQ(csvEscape(",\",\n"), "\",\"\",\n\"");
 }
 
 TEST(Campaign, FailedPointsAreReportedAndRetried) {
