@@ -16,11 +16,16 @@
 #   ./build/examples/xmtfuzz --seed $(date +%Y%m%d)000 --count 20000 \
 #       --reduce --corpus-dir tests/corpus
 #
-# plus a soak of the timing-sensitive injection mode, which today's
-# outlined codegen masks (see DESIGN.md section 8.5):
+# plus a soak of the timing-sensitive injection mode at full width:
 #
 #   XMT_XMTSMITH_INJECT=drop-fence ./build/examples/xmtfuzz \
-#       --seed 1 --count 20000
+#       --seed 1 --count 20000 --no-outline --fence-oracle
+#
+# Stage 4 below covers the same fault time-boxed: outlined codegen used to
+# mask drop-fence entirely (DESIGN.md section 8.5); --no-outline keeps the
+# spawn fences in the emitted code and --fence-oracle re-verifies the
+# assembly under the strict spawn-fence rule, so the deletion is caught
+# in-CI instead of only by the nightly soak.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -48,6 +53,19 @@ reduced=$(grep -Eo '^  reduced: [0-9]+ lines' "$out/inject.log" \
   | head -1 | grep -Eo '[0-9]+')
 test "$reduced" -le 25 || {
   echo "reducer left a $reduced-line reproducer (> 25)" >&2; exit 1; }
+
+echo "== drop-fence injection caught under --no-outline + fence oracle =="
+./build/examples/xmtfuzz --seed 1 --count 25 --opt 1 \
+    --no-outline --fence-oracle > "$out/fence_clean.log"
+grep -Eq ' 0 mismatches$' "$out/fence_clean.log"
+if XMT_XMTSMITH_INJECT=drop-fence ./build/examples/xmtfuzz \
+    --seed 1 --count 25 --opt 1 --no-outline --fence-oracle \
+    > "$out/fence.log" 2>&1; then
+  echo "drop-fence injection was NOT caught under --no-outline" >&2
+  exit 1
+fi
+grep -q '^\[fence\]' "$out/fence.log"
+grep -q 'missing-fence\|swnb' "$out/fence.log"
 
 echo "== corpus replay (golden reproducers, three-way oracle) =="
 ./build/tests/xmt_tests \

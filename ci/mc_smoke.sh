@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Smoke-run the xmtmc model checker end to end (time-boxed CI gate):
+#   1. registry sweep — every workload kernel at small parameters must
+#      verify exhaustively clean within the default budget (zero false
+#      alarms on correct code);
+#   2. corpus sweep — the checked-in fuzz reproducers must verify too;
+#   3. self-validation — the seeded discipline-violation mutant harness
+#      must kill >= 95% of violating mutants with a concrete schedule
+#      witness and raise no false alarm on the clean originals;
+#   4. diagnostics contract — a known-racy program must produce the
+#      stable machine-readable tags (xmt-mc-race, xmt-mc-order) in
+#      --diag-json output, and a budget-starved run must report
+#      xmt-mc-budget explicitly instead of passing silently.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo
+cmake --build build -j "$(nproc)" --target xmtmc xmtcc
+
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT
+
+echo "== registry sweep (17 kernels, exhaustive within default budget) =="
+./build/examples/xmtmc --registry --quiet | tee "$out/registry.log"
+grep -Eq '^\[xmtmc\] sweep: [0-9]+ target\(s\), ([0-9]+) verified, 0 violating, 0 errored$' \
+  "$out/registry.log"
+# Every target must be *verified* (exhaustive), not merely clean.
+targets=$(grep -Eo '[0-9]+ target' "$out/registry.log" | grep -Eo '[0-9]+')
+verified=$(grep -Eo '[0-9]+ verified' "$out/registry.log" | grep -Eo '[0-9]+')
+test "$targets" -eq "$verified" || {
+  echo "registry sweep: $verified/$targets verified" >&2; exit 1; }
+
+echo "== corpus sweep =="
+./build/examples/xmtmc --corpus tests/corpus --quiet | tee "$out/corpus.log"
+grep -Eq ' 0 violating, 0 errored$' "$out/corpus.log"
+
+echo "== mutant harness (>= 95% killed with witness, zero false alarms) =="
+./build/examples/xmtmc --mutants --quiet | tee "$out/mutants.log"
+grep -Eq '^\[xmtmc\] mutants: [0-9]+ killed, 0 missed, [0-9]+ clean ok, 0 false alarms$' \
+  "$out/mutants.log"
+
+echo "== stable diag-json tags on a seeded violation =="
+cat > "$out/racy.xc" <<'EOF'
+int A[8];
+int shared;
+int main() {
+  int i;
+  for (i = 0; i < 8; i++) A[i] = i;
+  spawn(0, 3) {
+    shared = A[$];
+  }
+  printf("shared=%d\n", shared);
+  return 0;
+}
+EOF
+if ./build/examples/xmtmc "$out/racy.xc" --quiet \
+    --diag-json "$out/racy.json" > /dev/null; then
+  echo "xmtmc did not flag a known-racy program" >&2; exit 1
+fi
+grep -q '"code":"xmt-mc-race"' "$out/racy.json"
+grep -q '"code":"xmt-mc-order"' "$out/racy.json"
+grep -q 'witness schedule' "$out/racy.json"
+
+echo "== explicit budget-exhaustion reporting =="
+./build/examples/xmtmc --workload ps_counter \
+    --set workload.threads=6 --set workload.iters=2 \
+    --budget 2 --no-static-prune --quiet \
+    --diag-json "$out/budget.json" > "$out/budget.log"
+grep -q '"code":"xmt-mc-budget"' "$out/budget.json"
+grep -q 'budget exhausted' "$out/budget.log"
+
+echo "== xmtcc --model-check round trip =="
+./build/examples/xmtcc --model-check --workload vadd \
+    --set workload.n=6 > "$out/xmtcc.log"
+grep -q '\[xmtmc\] verified' "$out/xmtcc.log"
+
+echo "mc smoke OK"

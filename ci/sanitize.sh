@@ -12,6 +12,13 @@ cmake -B build-sanitize -S . -DXMT_SANITIZE=ON \
 cmake --build build-sanitize -j "$(nproc)"
 ctest --test-dir build-sanitize --output-on-failure -j "$(nproc)"
 
+echo "== ASan + UBSan: xmtmc sweep (DPOR replay machinery) =="
+# The explorer snapshots/restores architectural state thousands of times
+# per region; run the whole registry + mutant harness under the sanitized
+# build so replay bookkeeping bugs surface as hard failures.
+cmake --build build-sanitize -j "$(nproc)" --target xmtmc
+./build-sanitize/examples/xmtmc --registry --mutants --quiet
+
 echo "== TSan: PDES + thread pool + campaign =="
 cmake -B build-tsan -S . -DXMT_TSAN=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo
 cmake --build build-tsan -j "$(nproc)" --target xmt_tests

@@ -46,12 +46,30 @@
 //   --list-workloads                    print the workload registry and exit
 //   --race-check                        run the dynamic race checker
 //                                       (forces functional mode)
+//   --race-check-seed <N>               run the dynamic checker under a
+//                                       seeded pseudo-random spawn-region
+//                                       schedule instead of the serial one
+//                                       (implies --race-check; a fallback
+//                                       for regions too large to explore)
+//   --model-check                       exhaustively explore every spawn
+//                                       region's interleavings (xmtmc):
+//                                       verifies race freedom, ps/psm
+//                                       discipline and order-independence,
+//                                       exit 1 on any violation. With
+//                                       --analyze, exploration verdicts
+//                                       downgrade refuted "may race" lints
+//                                       to notes.
+//   --mc-budget <N>                     max explored traces per region
+//   --mc-steps <N>                      max visible transitions per region
+//   --no-mc-prune                       disable static independence pruning
 //   -Werror-asm                         promote asm-verifier findings to
 //                                       errors
 //   --no-opt --no-prefetch --no-nbstores --no-outline --no-postpass
 //   --no-verify-asm                     skip the assembly-level verifier
 //   --cluster <N>                       coarsen spawns to N virtual threads
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -59,8 +77,11 @@
 #include "src/assembler/assembler.h"
 #include "src/assembler/memorymap.h"
 #include "src/common/error.h"
+#include "src/compiler/analysis/mcheck.h"
+#include "src/compiler/analysis/racecheck.h"
 #include "src/core/toolchain.h"
 #include "src/sim/statsjson.h"
+#include "src/testing/explore.h"
 #include "src/workloads/registry.h"
 
 namespace {
@@ -88,6 +109,8 @@ int main(int argc, char** argv) {
   int pdesShards = 1;
   bool emitAsm = false, emitTransformed = false, wantStats = false,
        hotmem = false, analyzeOnly = false, raceCheck = false;
+  bool modelCheck = false, mcPrune = true, haveRaceSeed = false;
+  std::uint64_t mcBudget = 0, mcSteps = 0, raceSeed = 0;
   std::string traceLevel, statsJsonPath, diagJsonPath;
   xmt::ToolchainOptions opts;
 
@@ -130,7 +153,17 @@ int main(int argc, char** argv) {
       opts.compiler.werrorRace = true;
     } else if (arg == "--race-check") {
       raceCheck = true;
-    } else if (arg == "--diag-json") diagJsonPath = next();
+    } else if (arg == "--race-check-seed") {
+      raceCheck = true;
+      haveRaceSeed = true;
+      raceSeed = std::strtoull(next().c_str(), nullptr, 0);
+    } else if (arg == "--model-check") modelCheck = true;
+    else if (arg == "--mc-budget")
+      mcBudget = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--mc-steps")
+      mcSteps = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--no-mc-prune") mcPrune = false;
+    else if (arg == "--diag-json") diagJsonPath = next();
     else if (arg == "-Werror-asm") opts.compiler.werrorAsm = true;
     else if (arg == "-Wno-xmt-bounds") opts.compiler.lintBounds = false;
     else if (arg == "-Wno-xmt-div-zero") opts.compiler.lintDivZero = false;
@@ -199,6 +232,62 @@ int main(int argc, char** argv) {
       source = readFile(sourcePath);
     }
 
+    if (modelCheck) {
+      // Compile first so syntax errors and the static lints surface as
+      // usual; the explorer then runs the assembled image under its own
+      // functional model (honoring the user's compiler flags).
+      auto r = tc.compile(source);
+      std::vector<xmt::Diagnostic> diags = r.diagnostics;
+
+      xmt::testing::McOptions mo;
+      if (mcBudget > 0) mo.maxTracesPerRegion = mcBudget;
+      if (mcSteps > 0) mo.maxTransitionsPerRegion = mcSteps;
+      mo.staticPrune = mcPrune;
+      if (haveRaceSeed) mo.perturbSeed = raceSeed;
+
+      xmt::testing::McResult mr;
+      if (!workloadName.empty()) {
+        mr = xmt::testing::modelCheckWorkload(wi, mo);
+      } else {
+        auto facts = xmt::analysis::computeMcFactsForSource(source);
+        mr = xmt::testing::modelCheckProgram(xmt::assemble(r.asmText), mo,
+                                             &facts);
+      }
+
+      // Exhaustive clean verdicts demote the static lint's surviving "may
+      // race" warnings to notes; the explorer's own findings then join the
+      // shared diagnostic stream.
+      xmt::analysis::applyExplorationVerdicts(diags, mr.verified());
+      diags.insert(diags.end(), mr.diagnostics.begin(), mr.diagnostics.end());
+      writeDiagJson(diags);
+      for (const auto& d : diags)
+        std::printf("%s\n", xmt::formatDiagnostic(d).c_str());
+
+      for (const auto& reg : mr.regions)
+        std::printf(
+            "[xmtmc] region %llu: threads=%u traces=%llu transitions=%llu "
+            "pruned-pairs=%llu sleep-skips=%llu naive~1e%.1f %s\n",
+            static_cast<unsigned long long>(reg.spawnSeq), reg.threads,
+            static_cast<unsigned long long>(reg.traces),
+            static_cast<unsigned long long>(reg.transitions),
+            static_cast<unsigned long long>(reg.prunedPairs),
+            static_cast<unsigned long long>(reg.sleepSkips), reg.naiveLog10,
+            reg.exhaustive ? "exhaustive" : "budget-exhausted");
+      if (!mr.error.empty())
+        std::printf("[xmtmc] aborted: %s\n", mr.error.c_str());
+      std::printf("[xmtmc] %s: %zu violation(s) in %zu region(s)\n",
+                  mr.verified()           ? "verified"
+                  : mr.clean()            ? "clean (budget exhausted)"
+                                          : "FAILED",
+                  mr.violations.size(), mr.regions.size());
+
+      bool bad = !mr.clean();
+      if (analyzeOnly)
+        for (const auto& d : diags)
+          if (d.severity != xmt::Severity::kNote) bad = true;
+      return bad ? 1 : 0;
+    }
+
     if (analyzeOnly) {
       auto r = tc.compile(source);
       writeDiagJson(r.diagnostics);
@@ -233,10 +322,20 @@ int main(int argc, char** argv) {
     if (pdesShards > 1 && opts.mode == xmt::SimMode::kCycleAccurate)
       sim->setPdesShards(pdesShards);
     xmt::RaceCheckPlugin* racePlugin = nullptr;
+    std::unique_ptr<xmt::RandomScheduleRunner> seedRunner;
     if (raceCheck) {
       auto plugin = std::make_unique<xmt::RaceCheckPlugin>();
       racePlugin = plugin.get();
       sim->addFilterPlugin(std::move(plugin));
+      if (haveRaceSeed) {
+        // Perturb the spawn-region schedule so the shadow-memory checker
+        // observes an interleaving other than the serial default — the
+        // cheap fallback when a region is too large for --model-check.
+        seedRunner = std::make_unique<xmt::RandomScheduleRunner>(raceSeed);
+        sim->funcModel().setRegionRunner(seedRunner.get());
+        std::fprintf(stderr, "[race-check] schedule perturbation seed=%llu\n",
+                     static_cast<unsigned long long>(raceSeed));
+      }
     }
     if (!workloadName.empty()) xmt::workloads::instancePrepare(wi, *sim);
     if (!mapPath.empty())

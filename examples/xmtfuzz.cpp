@@ -39,7 +39,16 @@ namespace {
                "  --corpus-dir DIR  write reduced reproducers as corpus\n"
                "                    .xmtc files into DIR\n"
                "  --emit-corpus DIR write every (passing) program + oracle\n"
-               "                    as a corpus file into DIR (golden seeding)\n",
+               "                    as a corpus file into DIR (golden seeding)\n"
+               "  --no-outline      compile without the outlining pre-pass so\n"
+               "                    spawn fences stay in the emitted code and\n"
+               "                    the drop-fence injection is observable\n"
+               "                    (DESIGN.md section 8.5)\n"
+               "  --werror-asm      promote asm-verifier findings to compile\n"
+               "                    errors (they count as mismatches)\n"
+               "  --fence-oracle    re-verify the emitted assembly with the\n"
+               "                    strict spawn-fence rule; fence findings\n"
+               "                    are mismatches of kind \"fence\"\n",
                argv0);
   std::exit(2);
 }
@@ -103,7 +112,8 @@ int main(int argc, char** argv) {
   std::string configsFile;
   std::string corpusDir;
   std::string emitDir;
-  bool reduce = false;
+  bool reduce = false, noOutline = false, werrorAsm = false,
+       fenceOracle = false;
 
   auto needValue = [&](int& i) -> std::string {
     if (i + 1 >= argc) usage(argv[0]);
@@ -119,10 +129,16 @@ int main(int argc, char** argv) {
     else if (a == "--corpus-dir") corpusDir = needValue(i);
     else if (a == "--emit-corpus") emitDir = needValue(i);
     else if (a == "--reduce") reduce = true;
+    else if (a == "--no-outline") noOutline = true;
+    else if (a == "--werror-asm") werrorAsm = true;
+    else if (a == "--fence-oracle") fenceOracle = true;
     else usage(argv[0]);
   }
 
   DiffOptions opts;
+  opts.outline = !noOutline;
+  opts.werrorAsm = werrorAsm;
+  opts.fenceOracle = fenceOracle;
   if (!optList.empty()) opts.optLevels = parseOptList(optList);
   if (!configsFile.empty())
     opts.configs = configPointsFromSpec(readFile(configsFile));

@@ -1,0 +1,285 @@
+// xmtmc — the spawn-region model-checking fleet driver.
+//
+// Where `xmtcc --model-check` explores one program, xmtmc sweeps whole
+// populations and reports DPOR statistics: every registry kernel at small
+// parameters, the checked-in fuzz corpus, the seeded discipline-violation
+// mutant harness, a single source file, or one workload instance. It is
+// the command behind ci/mc_smoke.sh.
+//
+// Usage:
+//   xmtmc [options] [program.xc]
+//
+// Options:
+//   --registry            model-check every registry kernel (small params)
+//   --corpus <dir>        model-check every .xmtc file in <dir>
+//   --mutants             run the discipline-mutant harness: clean
+//                         originals must verify silently, seeded
+//                         violations must be caught with a witness
+//   --workload <name>     model-check one registry workload instance
+//   --set workload.k=v    workload parameter override (repeatable)
+//   --budget <N>          max explored traces per region
+//   --steps <N>           max visible transitions per region
+//   --no-static-prune     disable static independence pruning
+//   --seed <N>            perturbation seed for budget-exhausted regions
+//   --diag-json <path>    write every diagnostic produced across the
+//                         sweep as JSON ("-" for stdout)
+//   --quiet               suppress per-region statistics lines
+//
+// Exit codes: 0 all targets verified (mutant harness: all expectations
+// met), 1 violations / harness failures, 2 usage errors.
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/error.h"
+#include "src/sim/config.h"
+#include "src/testing/explore.h"
+#include "src/workloads/registry.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: xmtmc [options] [program.xc]   (see header comment)\n");
+  return 2;
+}
+
+std::string readFile(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw xmt::Error("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Small-but-nontrivial parameters for exhaustive exploration: a handful
+/// of virtual threads keeps each region within the default trace budget
+/// while still exercising every cross-thread pair. fft requires a
+/// power-of-two n (a non-power-of-two indexes RE[] out of bounds — a
+/// genuine precondition violation, not a checker artifact).
+xmt::ConfigMap smallParams(const xmt::workloads::WorkloadEntry& e) {
+  xmt::ConfigMap p;
+  for (const std::string& k : e.params) {
+    if (k == "n") p.set("n", e.name == "fft" ? "4" : "6");
+    if (k == "threads") p.set("threads", "4");
+    if (k == "iters") p.set("iters", "3");
+    if (k == "degree") p.set("degree", "2");
+    if (k == "buckets") p.set("buckets", "4");
+    if (k == "seed") p.set("seed", "7");
+  }
+  return p;
+}
+
+struct SweepState {
+  bool quiet = false;
+  int targets = 0;
+  int verified = 0;
+  int violating = 0;
+  int errored = 0;
+  std::vector<xmt::Diagnostic> diags;
+};
+
+void printRegions(const xmt::testing::McResult& r) {
+  for (const auto& reg : r.regions)
+    std::printf(
+        "    region %llu: threads=%u traces=%llu transitions=%llu "
+        "pruned-pairs=%llu sleep-skips=%llu naive~1e%.1f %s\n",
+        static_cast<unsigned long long>(reg.spawnSeq), reg.threads,
+        static_cast<unsigned long long>(reg.traces),
+        static_cast<unsigned long long>(reg.transitions),
+        static_cast<unsigned long long>(reg.prunedPairs),
+        static_cast<unsigned long long>(reg.sleepSkips), reg.naiveLog10,
+        reg.exhaustive ? "exhaustive" : "budget-exhausted");
+}
+
+/// Records one model-check outcome under a display name. Returns true when
+/// the target verified exhaustively clean.
+bool account(SweepState& st, const std::string& name,
+             const xmt::testing::McResult& r) {
+  ++st.targets;
+  st.diags.insert(st.diags.end(), r.diagnostics.begin(), r.diagnostics.end());
+  if (!r.error.empty()) {
+    ++st.errored;
+    std::printf("[xmtmc] %-24s ERROR %s\n", name.c_str(), r.error.c_str());
+    return false;
+  }
+  if (!r.violations.empty()) {
+    ++st.violating;
+    std::printf("[xmtmc] %-24s %zu violation(s)\n", name.c_str(),
+                r.violations.size());
+    for (const auto& v : r.violations)
+      std::printf("    %s\n", xmt::formatDiagnostic(v.diag).c_str());
+  } else if (r.verified()) {
+    ++st.verified;
+    std::printf("[xmtmc] %-24s verified\n", name.c_str());
+  } else {
+    std::printf("[xmtmc] %-24s clean (budget exhausted)\n", name.c_str());
+  }
+  if (!st.quiet) printRegions(r);
+  return r.verified();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace xmt;
+
+  bool registry = false, mutants = false, staticPrune = true, quiet = false;
+  std::string corpusDir, workloadName, sourcePath, diagJsonPath;
+  std::vector<std::string> workloadOverrides;
+  std::uint64_t budget = 0, steps = 0, seed = 0;
+  bool haveSeed = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--registry") registry = true;
+    else if (arg == "--corpus") corpusDir = next();
+    else if (arg == "--mutants") mutants = true;
+    else if (arg == "--workload") workloadName = next();
+    else if (arg == "--set") {
+      std::string kv = next();
+      if (kv.rfind("workload.", 0) == 0)
+        workloadOverrides.push_back(kv.substr(9));
+      else {
+        std::fprintf(stderr, "xmtmc: --set only takes workload.* keys\n");
+        return 2;
+      }
+    } else if (arg == "--budget") budget = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--steps") steps = std::strtoull(next().c_str(), nullptr, 0);
+    else if (arg == "--no-static-prune") staticPrune = false;
+    else if (arg == "--seed") {
+      haveSeed = true;
+      seed = std::strtoull(next().c_str(), nullptr, 0);
+    } else if (arg == "--diag-json") diagJsonPath = next();
+    else if (arg == "--quiet") quiet = true;
+    else if (arg == "--help" || arg == "-h") return usage();
+    else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option %s\n", arg.c_str());
+      return 2;
+    } else sourcePath = arg;
+  }
+  if (!registry && !mutants && corpusDir.empty() && workloadName.empty() &&
+      sourcePath.empty())
+    return usage();
+
+  testing::McOptions mo;
+  if (budget > 0) mo.maxTracesPerRegion = budget;
+  if (steps > 0) mo.maxTransitionsPerRegion = steps;
+  mo.staticPrune = staticPrune;
+  if (haveSeed) mo.perturbSeed = seed;
+
+  SweepState st;
+  st.quiet = quiet;
+  bool harnessFailed = false;
+
+  try {
+    if (!sourcePath.empty())
+      account(st, sourcePath, testing::modelCheckSource(readFile(sourcePath), mo));
+
+    if (!workloadName.empty()) {
+      workloads::WorkloadInstance wi;
+      wi.name = workloadName;
+      wi.params.applyOverrides(workloadOverrides);
+      account(st, workloadName, testing::modelCheckWorkload(wi, mo));
+    }
+
+    if (registry) {
+      for (const workloads::WorkloadEntry& e : workloads::workloadRegistry()) {
+        workloads::WorkloadInstance wi{e.name, smallParams(e)};
+        account(st, e.name, testing::modelCheckWorkload(wi, mo));
+      }
+    }
+
+    if (!corpusDir.empty()) {
+      namespace fs = std::filesystem;
+      int found = 0;
+      for (const auto& ent : fs::directory_iterator(corpusDir)) {
+        if (ent.path().extension() != ".xmtc") continue;
+        ++found;
+        std::string name = ent.path().filename().string();
+        try {
+          account(st, name,
+                  testing::modelCheckSource(readFile(ent.path().string()), mo));
+        } catch (const CompileError&) {
+          // Corpus entries exercising compile errors are out of scope.
+          std::printf("[xmtmc] %-24s skipped (compile error)\n", name.c_str());
+        }
+      }
+      if (found == 0) {
+        std::fprintf(stderr, "xmtmc: no .xmtc files in %s\n",
+                     corpusDir.c_str());
+        return 2;
+      }
+    }
+
+    if (mutants) {
+      // Self-validation: every seeded discipline violation must be caught
+      // with a concrete schedule witness; clean originals must verify.
+      int killed = 0, missed = 0, falseAlarms = 0, cleanOk = 0;
+      for (const testing::McMutant& m : testing::disciplineMutants()) {
+        testing::McResult r = testing::modelCheckSource(m.source, mo);
+        st.diags.insert(st.diags.end(), r.diagnostics.begin(),
+                        r.diagnostics.end());
+        if (m.shouldViolate) {
+          bool witnessed = false;
+          for (const auto& v : r.violations)
+            witnessed = witnessed || !v.schedule.empty();
+          if (!r.violations.empty() && witnessed) {
+            ++killed;
+          } else {
+            ++missed;
+            std::printf("[xmtmc] mutant %-22s MISSED\n", m.name.c_str());
+          }
+        } else if (r.verified()) {
+          ++cleanOk;
+        } else {
+          ++falseAlarms;
+          std::printf("[xmtmc] mutant %-22s FALSE ALARM\n", m.name.c_str());
+        }
+      }
+      std::printf(
+          "[xmtmc] mutants: %d killed, %d missed, %d clean ok, "
+          "%d false alarms\n",
+          killed, missed, cleanOk, falseAlarms);
+      // The acceptance bar: >= 95% of violating mutants killed with a
+      // witness, zero false alarms on the clean originals.
+      harnessFailed = falseAlarms > 0 ||
+                      killed * 100 < (killed + missed) * 95;
+    }
+
+    if (!diagJsonPath.empty()) {
+      std::string record = diagnosticsJson(st.diags) + "\n";
+      if (diagJsonPath == "-") {
+        std::fputs(record.c_str(), stdout);
+      } else {
+        std::ofstream out(diagJsonPath, std::ios::trunc);
+        if (!out) throw Error("cannot write '" + diagJsonPath + "'");
+        out << record;
+      }
+    }
+
+    if (st.targets > 0)
+      std::printf(
+          "[xmtmc] sweep: %d target(s), %d verified, %d violating, "
+          "%d errored\n",
+          st.targets, st.verified, st.violating, st.errored);
+    bool bad = harnessFailed || st.violating > 0 || st.errored > 0;
+    return bad ? 1 : 0;
+  } catch (const Error& e) {
+    std::fprintf(stderr, "xmtmc: %s\n", e.what());
+    return 1;
+  }
+}

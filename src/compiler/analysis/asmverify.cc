@@ -455,7 +455,7 @@ struct Verifier {
                      "' with an outstanding swnb and no fence",
                  labelAt(entry), -1, i);
         if (in.op != Op::kSpawn) continue;
-        if (opts.strictJoinFence && dirty)
+        if ((opts.strictJoinFence || opts.strictSpawnFence) && dirty)
           report(DiagCode::kAsmSwnbAtJoin, i,
                  "swnb outstanding at spawn (strict Section IV-A)",
                  labelAt(entry), -1, i);

@@ -51,6 +51,14 @@ struct AsmVerifyOptions {
   // the relaxed default matches the cycle model (and the compiler, which
   // relies on the implicit drain at join).
   bool strictJoinFence = false;
+  // Flag only the spawn half of the strict rule: an swnb possibly
+  // outstanding when `spawn` broadcasts. This is the master-side window
+  // that outlined codegen hides from the drop-fence fault injection
+  // (DESIGN.md section 8.5): the spawn helper contains no stores, so no
+  // fence is ever emitted there and the relaxed verifier clears the dirty
+  // bit at spawn. The narrow knob lets the fuzzer assert the window is
+  // fenced without also requiring fences before every join.
+  bool strictSpawnFence = false;
 };
 
 /// Verifies assembly text. Returns one Diagnostic per finding (severity

@@ -1,0 +1,92 @@
+// Static facts feeding the model checker's independence relation (xmtmc).
+//
+// The DPOR explorer (src/testing/explore) decides at runtime whether two
+// visible operations are *dependent* — whether swapping them could change
+// the final state. Dynamically-disjoint addresses are already independent,
+// but two prefix-sums to the same global register (or psm to the same cell)
+// conflict on every schedule, and exploring their n! orderings is exactly
+// the blow-up the paper's ps discipline is meant to make unnecessary. This
+// pass proves, from the PR-1 alias domain and PR-6 value-range/summary
+// analyses, when that exploration is pointless:
+//
+//   * a ps/psm whose result is *dead* (no reachable use of the old value)
+//     commutes: fetch-add is associative-commutative and every order yields
+//     the same final counter;
+//   * a ps/psm whose result is used only as the *unique-index idiom* —
+//     flowing through thread-local arithmetic into the address operand of
+//     provably thread-private accesses, or into the value stored to an
+//     order-permuted symbol — commutes modulo those symbols: the handed-out
+//     indices are a permutation of the same range, so the final state
+//     (with permuted symbols masked) is schedule-invariant;
+//   * a memory line all of whose spawn-region accesses are threadPrivate
+//     (tid- or unique-ps-indexed with sufficient stride) can never generate
+//     a backtrack point: the explorer skips the dependence scan for pairs
+//     of such lines and cross-checks disjointness dynamically, reporting
+//     kMcStaticUnsound if the algebra was ever wrong.
+//
+// Facts are computed on the same fresh, un-outlined lint lowering the race
+// detector uses (driver.cc). The assembler stamps instructions with
+// *assembly* line numbers, so XMTC source lines cannot key the runtime
+// lookup; the explorer-facing facts are therefore keyed by the stable
+// names the explorer can recover dynamically — global-register indices
+// (ps) and data-symbol names (psm targets, plain accesses). The line-keyed
+// sets are kept for introspection and lint feedback. A fact keyed by name
+// is only emitted when it holds for *every* potentially-matching site, so
+// the coarser key never over-prunes.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "src/compiler/analysis/dataflow.h"
+#include "src/compiler/ir.h"
+
+namespace xmt::analysis {
+
+struct ModuleSummaries;
+
+struct McStaticFacts {
+  /// ps/psm source lines proven order-commutative (dead result or the
+  /// unique-index idiom). Pairs of atomics at these lines never generate
+  /// backtrack points.
+  std::set<int> commutativeAtomicLines;
+  /// Load/store source lines where *every* spawn-region access is
+  /// provably thread-private: pairs of such lines are independent without
+  /// a dynamic overlap scan.
+  std::set<int> privateMemLines;
+  /// Global symbols whose spawn-region content is a schedule-dependent
+  /// *permutation* (written through unique ps-derived indices, the Fig. 2a
+  /// compaction idiom). Masked from the order-independence digest: any
+  /// arrival order is a correct compaction.
+  std::set<std::string> orderPermutedSymbols;
+  /// Spawn regions seen (0 = serial program, nothing to check).
+  int regionCount = 0;
+
+  // --- Runtime-keyed views (what McExplorer consumes) ---
+  /// Global-register indices where *every* in-region ps commutes: ps-ps
+  /// pairs on these registers never generate backtrack points.
+  std::set<int> commutativePsGrs;
+  /// Data symbols where every in-region psm (including any psm whose
+  /// target could not be resolved) commutes: psm-psm pairs landing in
+  /// these symbols are independent.
+  std::set<std::string> commutativePsmSymbols;
+  /// Data symbols where every in-region plain access is provably
+  /// thread-private (and no unresolved access could alias them).
+  /// threadPrivate is a per-site claim, so the soundness cross-check
+  /// (kMcStaticUnsound) fires only when two instances of the *same*
+  /// instruction overlap across threads inside such a symbol.
+  std::set<std::string> privateSymbols;
+};
+
+/// Computes the facts for a lowered module. Builds interprocedural
+/// summaries internally when `summaries` is null.
+McStaticFacts computeMcFacts(const IrModule& mod,
+                             const ModuleSummaries* summaries = nullptr);
+
+/// Convenience wrapper: parses `source` and computes facts on the same
+/// fresh lint lowering the driver uses (inline-parallel, no clustering, no
+/// outlining, unoptimized). Throws CompileError on invalid source.
+McStaticFacts computeMcFactsForSource(const std::string& source,
+                                      bool inlineParallel = true);
+
+}  // namespace xmt::analysis

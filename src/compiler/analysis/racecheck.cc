@@ -239,4 +239,15 @@ std::vector<Diagnostic> analyzeModuleRaces(const IrModule& mod,
   return diags;
 }
 
+void applyExplorationVerdicts(std::vector<Diagnostic>& diags, bool verified) {
+  if (!verified) return;
+  for (Diagnostic& d : diags) {
+    if (!isRaceDiag(d) || d.severity == Severity::kNote) continue;
+    d.severity = Severity::kNote;
+    d.message +=
+        " — downgraded: exhaustive interleaving exploration (xmtmc) "
+        "verified every spawn region race-free";
+  }
+}
+
 }  // namespace xmt::analysis

@@ -58,4 +58,14 @@ void analyzeFunctionRaces(const IrFunc& fn, AnalysisManager& am,
 std::vector<Diagnostic> analyzeModuleRaces(
     const IrModule& mod, const ModuleSummaries* summaries = nullptr);
 
+/// Feeds model-checking verdicts back into the lint output: when xmtmc has
+/// *exhaustively* verified every spawn region of the program free of races
+/// and order dependence (`verified`), the static detector's "may race"
+/// warnings are demonstrably over-approximations — they are downgraded to
+/// Severity::kNote with an explanatory suffix instead of being dropped, so
+/// the imprecision stays visible without failing -Werror builds. Verdicts
+/// from non-exhaustive (budget-capped) runs must not be applied; pass
+/// verified = false and the diagnostics are returned untouched.
+void applyExplorationVerdicts(std::vector<Diagnostic>& diags, bool verified);
+
 }  // namespace xmt::analysis

@@ -33,6 +33,11 @@ const char* diagCodeTag(DiagCode code) {
     case DiagCode::kDivMayBeZero: return "xmt-div-may-zero";
     case DiagCode::kShiftRange: return "xmt-shift-range";
     case DiagCode::kPsNonPositive: return "xmt-ps-discipline";
+    case DiagCode::kMcRace: return "xmt-mc-race";
+    case DiagCode::kMcOrderDependent: return "xmt-mc-order";
+    case DiagCode::kMcGrConflict: return "xmt-mc-gr";
+    case DiagCode::kMcBudgetExhausted: return "xmt-mc-budget";
+    case DiagCode::kMcStaticUnsound: return "xmt-mc-unsound";
   }
   return "xmt-diag";
 }
@@ -64,6 +69,10 @@ bool isAsmDiag(const Diagnostic& d) {
 bool isValueLintDiag(const Diagnostic& d) {
   return d.code >= DiagCode::kBoundsOutOfRange &&
          d.code <= DiagCode::kPsNonPositive;
+}
+
+bool isMcDiag(const Diagnostic& d) {
+  return d.code >= DiagCode::kMcRace && d.code <= DiagCode::kMcStaticUnsound;
 }
 
 std::string diagnosticsJson(const std::vector<Diagnostic>& ds) {

@@ -50,6 +50,13 @@ enum class DiagCode : std::uint8_t {
   kDivMayBeZero,         // bounded divisor range contains zero
   kShiftRange,           // bounded shift amount escapes [0, 31]
   kPsNonPositive,        // ps increment provably <= 0 (discipline)
+  // Model-checker verdicts (xmtmc). Appended after the value-lint block:
+  // isValueLintDiag() tests by enum range.
+  kMcRace,               // data race witnessed on a concrete schedule
+  kMcOrderDependent,     // final state differs between two schedules
+  kMcGrConflict,         // non-ps global register conflict between threads
+  kMcBudgetExhausted,    // exploration budget hit before exhausting region
+  kMcStaticUnsound,      // static independence contradicted dynamically
 };
 
 /// Stable short tag for a code ("xmt-race-ww", ...), shown in brackets after
@@ -77,6 +84,9 @@ bool isAsmDiag(const Diagnostic& d);
 
 /// True if `d` is one of the value-range lint findings (xmtai).
 bool isValueLintDiag(const Diagnostic& d);
+
+/// True if `d` is a model-checker verdict (xmtmc).
+bool isMcDiag(const Diagnostic& d);
 
 /// Machine-readable serialization of a diagnostic list (for --diag-json):
 /// {"diagnostics":[{"code":...,"severity":...,"line":...,"other_line":...,

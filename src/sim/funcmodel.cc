@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "src/common/error.h"
+#include "src/common/rng.h"
 #include "src/memsys/package.h"
 #include "src/sim/semantics.h"
 
@@ -279,17 +280,23 @@ bool FuncModel::runContextSerial(Context& ctx, bool isMaster,
         std::uint32_t low = gr_[kGrNextId];
         std::uint32_t high = gr_[kGrHigh];
         auto startPc = static_cast<std::uint32_t>(in.imm);
-        // Serialize the spawn block: one virtual thread at a time, each
-        // starting from the master register snapshot.
-        for (std::uint32_t id = low;
-             static_cast<std::int32_t>(id) <=
-             static_cast<std::int32_t>(high);
-             ++id) {
-          if (stats) ++stats->virtualThreads;
-          Context t = makeThreadContext(ctx, startPc, id);
-          if (runContextSerial(t, false, maxInstructions, executed, observer,
-                               stats))
-            return true;
+        if (regionRunner_) {
+          executed += regionRunner_->runRegion(
+              *this, ctx, startPc, low, high, spawnSeq_,
+              maxInstructions - executed, observer, stats);
+        } else {
+          // Serialize the spawn block: one virtual thread at a time, each
+          // starting from the master register snapshot.
+          for (std::uint32_t id = low;
+               static_cast<std::int32_t>(id) <=
+               static_cast<std::int32_t>(high);
+               ++id) {
+            if (stats) ++stats->virtualThreads;
+            Context t = makeThreadContext(ctx, startPc, id);
+            if (runContextSerial(t, false, maxInstructions, executed,
+                                 observer, stats))
+              return true;
+          }
         }
         gr_[kGrNextId] = high + 1;
         ctx.pc = static_cast<std::uint32_t>(in.imm2);
@@ -327,6 +334,251 @@ FunctionalRunResult FuncModel::runFunctional(std::uint64_t maxInstructions,
   r.haltCode = static_cast<std::int32_t>(master.reg(kV0));
   r.instructions = executed;
   return r;
+}
+
+// --- RegionExec: visible-operation stepping of one spawn region -----------
+
+RegionExec::RegionExec(FuncModel& fm, const Context& master,
+                       std::uint32_t startPc, std::uint32_t low,
+                       std::uint32_t high, std::uint64_t spawnSeq,
+                       std::uint64_t instrBudget, bool eager)
+    : fm_(fm), spawnSeq_(spawnSeq), budget_(instrBudget), eager_(eager) {
+  for (std::uint32_t id = low; static_cast<std::int32_t>(id) <=
+                               static_cast<std::int32_t>(high);
+       ++id) {
+    Thread t;
+    t.ctx = fm_.makeThreadContext(master, startPc, id);
+    threads_.push_back(std::move(t));
+  }
+  liveThreads_ = threads_.size();
+  if (eager_)
+    for (std::size_t t = 0; t < threads_.size(); ++t)
+      advance(t, nullptr, nullptr);
+}
+
+void RegionExec::countInstr(Stats* stats, const Instruction& in) {
+  if (executed_ >= budget_)
+    throw SimError("functional mode exceeded instruction limit (" +
+                   std::to_string(budget_) + ")");
+  ++executed_;
+  if (stats) stats->countInstruction(in);
+}
+
+RegionExec::VisibleOp RegionExec::decodeVisible(const Context& ctx,
+                                                const Instruction& in) const {
+  VisibleOp op;
+  op.srcLine = in.srcLine;
+  switch (in.op) {
+    case Op::kLw:
+    case Op::kRolw:
+      op.kind = OpKind::kLoad;
+      op.addr = fm_.effectiveAddr(ctx, in);
+      break;
+    case Op::kLbu:
+      op.kind = OpKind::kLoad;
+      op.addr = fm_.effectiveAddr(ctx, in);
+      op.size = 1;
+      break;
+    case Op::kSw:
+    case Op::kSwnb:
+      op.kind = OpKind::kStore;
+      op.addr = fm_.effectiveAddr(ctx, in);
+      op.write = true;
+      break;
+    case Op::kSb:
+      op.kind = OpKind::kStore;
+      op.addr = fm_.effectiveAddr(ctx, in);
+      op.write = true;
+      op.size = 1;
+      break;
+    case Op::kPs:
+      op.kind = OpKind::kPs;
+      op.addr = static_cast<std::uint32_t>(in.rt);
+      op.write = true;
+      op.atomic = true;
+      break;
+    case Op::kPsm:
+      op.kind = OpKind::kPsm;
+      op.addr = fm_.effectiveAddr(ctx, in);
+      op.write = true;
+      op.atomic = true;
+      break;
+    case Op::kMtgr:
+      op.kind = OpKind::kGrWrite;
+      op.addr = static_cast<std::uint32_t>(in.rt);
+      op.write = true;
+      break;
+    case Op::kMfgr:
+      op.kind = OpKind::kGrRead;
+      op.addr = static_cast<std::uint32_t>(in.rt);
+      break;
+    case Op::kSys:
+      op.kind = OpKind::kOutput;
+      break;
+    case Op::kJoin:
+      op.kind = OpKind::kJoin;
+      break;
+    default:
+      throw InternalError("decodeVisible: invisible op");
+  }
+  return op;
+}
+
+void RegionExec::advance(std::size_t t, CommitObserver* observer,
+                         Stats* stats) {
+  Thread& th = threads_[t];
+  for (;;) {
+    const Instruction& in = fm_.fetch(th.ctx.pc);
+    switch (FuncModel::classify(in)) {
+      case FuncModel::StepClass::kSimple:
+        if (in.op == Op::kMtgr || in.op == Op::kMfgr || in.op == Op::kSys) {
+          th.pending = decodeVisible(th.ctx, in);
+          th.advanced = true;
+          return;
+        }
+        break;  // thread-local: execute below
+      case FuncModel::StepClass::kMemory:
+        if (in.op != Op::kPref && in.op != Op::kFence) {
+          th.pending = decodeVisible(th.ctx, in);
+          th.advanced = true;
+          return;
+        }
+        break;  // timing-only: execute below
+      case FuncModel::StepClass::kPs:
+      case FuncModel::StepClass::kPsm:
+      case FuncModel::StepClass::kJoin:
+        th.pending = decodeVisible(th.ctx, in);
+        th.advanced = true;
+        return;
+      case FuncModel::StepClass::kSpawn:
+        throw SimError("nested spawn reached hardware (the compiler "
+                       "serializes nested spawns)");
+      case FuncModel::StepClass::kHalt:
+        throw SimError("halt executed inside a spawn block");
+    }
+    // Invisible instruction: execute immediately (mirrors the serial path's
+    // event shape — countInstruction, then commit).
+    const std::uint32_t pcBefore = th.ctx.pc;
+    countInstr(stats, in);
+    std::uint32_t memAddr = 0;
+    if (in.op == Op::kPref || in.op == Op::kFence) {
+      memAddr = fm_.effectiveAddr(th.ctx, in);
+      th.ctx.pc += 4;
+    } else {
+      fm_.execSimple(th.ctx, in);
+    }
+    if (observer) observer->onCommit(0, 0, in, pcBefore, memAddr);
+  }
+}
+
+RegionExec::VisibleOp RegionExec::execVisible(std::size_t t,
+                                              CommitObserver* observer,
+                                              Stats* stats) {
+  Thread& th = threads_[t];
+  const Instruction& in = fm_.fetch(th.ctx.pc);
+  const std::uint32_t pcBefore = th.ctx.pc;
+  const VisibleOp op = th.pending;
+  countInstr(stats, in);
+  switch (op.kind) {
+    case OpKind::kLoad:
+    case OpKind::kStore: {
+      switch (in.op) {
+        case Op::kLw:
+        case Op::kRolw:
+          th.ctx.setReg(in.rt, fm_.memory().readWord(op.addr));
+          break;
+        case Op::kLbu:
+          th.ctx.setReg(in.rt, fm_.memory().readByte(op.addr));
+          break;
+        case Op::kSw:
+        case Op::kSwnb:
+          fm_.memory().writeWord(op.addr, th.ctx.reg(in.rt));
+          break;
+        case Op::kSb:
+          fm_.memory().writeByte(op.addr,
+                                 static_cast<std::uint8_t>(th.ctx.reg(in.rt)));
+          break;
+        default:
+          throw InternalError("bad visible memory op");
+      }
+      if (observer)
+        observer->onMemAccess({spawnSeq_, th.ctx.reg(kTid), true, op.write,
+                               false, op.addr, op.size, in.srcLine});
+      th.ctx.pc += 4;
+      if (observer) observer->onCommit(0, 0, in, pcBefore, op.addr);
+      break;
+    }
+    case OpKind::kPs: {
+      if (stats) ++stats->psRequests;
+      std::uint32_t old = fm_.psFetchAdd(in.rt, th.ctx.reg(in.rd));
+      th.ctx.setReg(in.rd, old);
+      th.ctx.pc += 4;
+      if (observer) observer->onCommit(0, 0, in, pcBefore, 0);
+      break;
+    }
+    case OpKind::kPsm: {
+      if (stats) ++stats->psmRequests;
+      std::uint32_t old = fm_.memory().fetchAdd(op.addr, th.ctx.reg(in.rt));
+      th.ctx.setReg(in.rt, old);
+      if (observer)
+        observer->onMemAccess({spawnSeq_, th.ctx.reg(kTid), true, true, true,
+                               op.addr, 4, in.srcLine});
+      th.ctx.pc += 4;
+      if (observer) observer->onCommit(0, 0, in, pcBefore, op.addr);
+      break;
+    }
+    case OpKind::kGrRead:
+    case OpKind::kGrWrite:
+    case OpKind::kOutput:
+      fm_.execSimple(th.ctx, in);
+      if (observer) observer->onCommit(0, 0, in, pcBefore, 0);
+      break;
+    case OpKind::kJoin:
+      if (observer) observer->onCommit(0, 0, in, pcBefore, 0);
+      th.done = true;
+      th.pending = VisibleOp{};
+      --liveThreads_;
+      return op;
+    case OpKind::kNone:
+      throw InternalError("step on a finished thread");
+  }
+  th.advanced = false;
+  return op;
+}
+
+RegionExec::VisibleOp RegionExec::step(std::size_t t, CommitObserver* observer,
+                                       Stats* stats) {
+  Thread& th = threads_[t];
+  XMT_CHECK(!th.done);
+  if (!th.advanced) advance(t, observer, stats);
+  VisibleOp op = execVisible(t, observer, stats);
+  if (eager_ && !th.done) advance(t, observer, stats);
+  return op;
+}
+
+// --- RandomScheduleRunner --------------------------------------------------
+
+std::uint64_t RandomScheduleRunner::runRegion(
+    FuncModel& fm, const Context& master, std::uint32_t startPc,
+    std::uint32_t low, std::uint32_t high, std::uint64_t spawnSeq,
+    std::uint64_t instrBudget, CommitObserver* observer, Stats* stats) {
+  RegionExec exec(fm, master, startPc, low, high, spawnSeq, instrBudget,
+                  /*eager=*/false);
+  if (stats) stats->virtualThreads += exec.threadCount();
+  Rng rng(seed_ + 0x9e3779b97f4a7c15ull * (spawnSeq + 1));
+  std::vector<std::size_t> live;
+  live.reserve(exec.threadCount());
+  for (std::size_t t = 0; t < exec.threadCount(); ++t) live.push_back(t);
+  while (!live.empty()) {
+    std::size_t idx = static_cast<std::size_t>(rng.below(live.size()));
+    std::size_t t = live[idx];
+    exec.step(t, observer, stats);
+    if (exec.done(t)) {
+      live[idx] = live.back();
+      live.pop_back();
+    }
+  }
+  return exec.instructionsExecuted();
 }
 
 FuncModel::ArchState FuncModel::saveArchState() const {

@@ -4,7 +4,9 @@
 #include <exception>
 #include <sstream>
 
+#include "src/assembler/assembler.h"
 #include "src/campaign/spec.h"
+#include "src/compiler/analysis/asmverify.h"
 #include "src/core/toolchain.h"
 
 namespace xmt::testing {
@@ -147,7 +149,26 @@ DiffOutcome runDiffSource(const std::string& source, const Oracle* oracle,
     try {
       CompilerOptions copts;
       copts.optLevel = opt;
-      program = compileToProgram(source, copts);
+      copts.outline = opts.outline;
+      copts.werrorAsm = opts.werrorAsm;
+      if (opts.fenceOracle) {
+        CompileResult cres = compileXmtc(source, copts);
+        analysis::AsmVerifyOptions vo;
+        vo.strictSpawnFence = true;
+        bool fenceFinding = false;
+        for (const Diagnostic& d :
+             analysis::verifyAssembly(cres.asmText, vo)) {
+          if (d.code != DiagCode::kAsmMissingFence &&
+              d.code != DiagCode::kAsmSwnbAtJoin)
+            continue;
+          out.mismatches.push_back({"fence", opt, "", formatDiagnostic(d)});
+          fenceFinding = true;
+        }
+        if (fenceFinding) continue;  // execution legs cannot observe it
+        program = assemble(cres.asmText);
+      } else {
+        program = compileToProgram(source, copts);
+      }
     } catch (const std::exception& e) {
       out.mismatches.push_back({"compile-error", opt, "", e.what()});
       continue;

@@ -80,6 +80,25 @@ struct DiffOptions {
   /// When false, only the reference-vs-functional comparison runs (used by
   /// reduction predicates for findings the cycle legs cannot influence).
   bool cycleLegs = true;
+  /// Compile without the outlining pre-pass. Outlined codegen never emits
+  /// fences in the spawn helper (it contains no stores), which masks the
+  /// drop-fence fault injection entirely (DESIGN.md section 8.5); with
+  /// outlining off the fences stay in the spawning function and the fault
+  /// becomes observable.
+  bool outline = true;
+  /// Promote asm-verifier findings to CompileError so a deleted fence
+  /// surfaces as a "compile-error" mismatch instead of a warning the
+  /// oracle never sees. Note un-outlined codegen legitimately trips the
+  /// Fig. 8 machine-level rule on some generated programs, so this is too
+  /// blunt for a clean `--no-outline` baseline; prefer `fenceOracle`.
+  bool werrorAsm = false;
+  /// Re-verify the emitted assembly with AsmVerifyOptions::strictSpawnFence
+  /// and report any fence finding (missing fence on a path to ps/psm, or
+  /// swnb outstanding at spawn) as a mismatch of kind "fence". Combined
+  /// with `outline = false` this makes the drop-fence fault injection
+  /// observable in a time-boxed CI sweep while staying silent on clean
+  /// compilations.
+  bool fenceOracle = false;
 };
 
 /// Full oracle over a generated program: interprets it on the host, then

@@ -90,6 +90,40 @@ TEST(AsmVerify, StrictModeFlagsSwnbAtJoin) {
   EXPECT_TRUE(ds.empty()) << joinDiags(ds);
 }
 
+TEST(AsmVerify, StrictSpawnFenceFlagsMasterSwnbWindow) {
+  // The master-side window of DESIGN.md section 8.5: an swnb still in
+  // flight when spawn broadcasts. The relaxed default matches the cycle
+  // model (broadcast drains); the narrow strictSpawnFence knob flags it
+  // without also requiring fences before join.
+  const char* src = R"(
+.data
+A: .space 16
+.global A
+.text
+main:
+  la s0, A
+  li t0, 1
+  swnb t0, 0(s0)
+  spawn Lstart, Lend
+Lstart:
+  join
+Lend:
+  halt
+)";
+  EXPECT_TRUE(verifyAssembly(src).empty());
+
+  AsmVerifyOptions strict;
+  strict.strictSpawnFence = true;
+  auto ds = verifyAssembly(src, strict);
+  EXPECT_TRUE(hasCode(ds, DiagCode::kAsmSwnbAtJoin)) << joinDiags(ds);
+
+  std::string fenced = src;
+  auto pos = fenced.find("  spawn");
+  ASSERT_NE(pos, std::string::npos);
+  fenced.insert(pos, "  fence\n");
+  EXPECT_TRUE(verifyAssembly(fenced, strict).empty());
+}
+
 TEST(AsmVerify, FlagsPrefixSumWithOutstandingSwnb) {
   const char* src = R"(
 .data

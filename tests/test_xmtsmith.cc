@@ -160,6 +160,39 @@ TEST(Xmtsmith, InjectedMiscompileIsCaughtAndReduced) {
       << "no seed in 1..10 exposed the injected psm duplication";
 }
 
+// Regression for the DESIGN.md section 8.5 gap: outlined codegen used to
+// mask the drop-fence injection entirely. With outlining off the spawn
+// fences stay in the emitted code, and the strict fence oracle must (a)
+// stay silent on clean compilations and (b) flag the deletion on a seed
+// range small enough for CI.
+TEST(Xmtsmith, DropFenceInjectionCaughtWithoutOutlining) {
+  DiffOptions opts;
+  opts.optLevels = {1};
+  opts.cycleLegs = false;
+  opts.outline = false;
+  opts.fenceOracle = true;
+
+  // Clean baseline: the oracle must not fire on un-injected programs.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    DiffOutcome out = runDiff(generate(seed), opts);
+    for (const Mismatch& m : out.mismatches)
+      EXPECT_NE(m.kind, "fence") << "seed " << seed << ": " << m.detail;
+  }
+
+  ::setenv("XMT_XMTSMITH_INJECT", "drop-fence", 1);
+  struct Cleanup {
+    ~Cleanup() { ::unsetenv("XMT_XMTSMITH_INJECT"); }
+  } cleanup;
+
+  bool caught = false;
+  for (std::uint64_t seed = 1; seed <= 10 && !caught; ++seed) {
+    DiffOutcome out = runDiff(generate(seed), opts);
+    for (const Mismatch& m : out.mismatches) caught = caught || m.kind == "fence";
+  }
+  EXPECT_TRUE(caught)
+      << "no seed in 1..10 exposed the injected fence deletion";
+}
+
 TEST(Xmtsmith, MemoryDigestDeterministicAndExclusionSensitive) {
   Toolchain tc;
   const char* src = R"(
